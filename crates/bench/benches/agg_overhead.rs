@@ -1,0 +1,81 @@
+//! Criterion version of Figure 9: server-side per-round costs.
+//!
+//! `drl_inference` measures the FedDRL impact-factor computation (policy
+//! forward + Gaussian sampling + softmax) — the paper reports ~3 ms,
+//! independent of the client model. `aggregation/*` measures the weighted
+//! averaging for the paper's two model sizes plus the scaled MLP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use feddrl::config::FedDrlConfig;
+use feddrl::strategy::FedDrl;
+use feddrl_fl::client::ClientSummary;
+use feddrl_fl::strategy::{normalize_factors, weighted_average, Strategy};
+use feddrl_nn::rng::Rng64;
+use feddrl_nn::zoo::ModelSpec;
+
+fn summaries(k: usize) -> Vec<ClientSummary> {
+    (0..k)
+        .map(|i| ClientSummary {
+            client_id: i,
+            n_samples: 100 + i,
+            loss_before: 1.0 + 0.01 * i as f32,
+            loss_after: 0.5,
+        })
+        .collect()
+}
+
+fn bench_drl_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_drl_inference");
+    for k in [10usize, 20, 50] {
+        let cfg = FedDrlConfig {
+            online_training: false,
+            ..Default::default()
+        };
+        let mut strategy = FedDrl::new(k, &cfg);
+        let sums = summaries(k);
+        let mut round = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let alpha = strategy.impact_factors(round, &sums);
+                round += 1;
+                std::hint::black_box(alpha)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_aggregation");
+    group.sample_size(10);
+    let k = 10;
+    let sizes = [
+        ("mlp", ModelSpec::Mlp { in_dim: 64, hidden: vec![128], out_dim: 100 }
+            .build(1)
+            .param_count()),
+        ("cnn_mnist", ModelSpec::CnnMnist { num_classes: 10 }.build(1).param_count()),
+        ("vgg11", ModelSpec::Vgg11 { num_classes: 100 }.build(1).param_count()),
+    ];
+    for (name, params) in sizes {
+        let mut rng = Rng64::new(7);
+        let models: Vec<Vec<f32>> = (0..k)
+            .map(|_| {
+                let mut w = vec![0.0f32; params];
+                rng.fill_uniform(&mut w, -1.0, 1.0);
+                w
+            })
+            .collect();
+        let alphas = normalize_factors(&vec![1.0f32; k]);
+        group.throughput(Throughput::Elements(params as u64));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let refs: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+                std::hint::black_box(weighted_average(&refs, &alphas))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drl_inference, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! DDPG agent costs: acting (policy inference + head) and one training
+//! invocation (TD prioritization + batch updates) at Table 1 scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use feddrl_drl::buffer::Experience;
+use feddrl_drl::config::DdpgConfig;
+use feddrl_drl::ddpg::DdpgAgent;
+use feddrl_nn::rng::Rng64;
+
+fn filled_agent(k: usize, experiences: usize) -> DdpgAgent {
+    let cfg = DdpgConfig::for_clients(k);
+    let mut agent = DdpgAgent::new(cfg);
+    let mut rng = Rng64::new(3);
+    for _ in 0..experiences {
+        let state: Vec<f32> = (0..3 * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let next: Vec<f32> = (0..3 * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let action = agent.act(&state, true);
+        agent.remember(Experience {
+            state,
+            action,
+            reward: rng.uniform(-2.0, 0.0),
+            next_state: next,
+        });
+    }
+    agent
+}
+
+fn bench_act(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddpg_act");
+    for k in [10usize, 50] {
+        let mut agent = filled_agent(k, 4);
+        let state = vec![0.1f32; 3 * k];
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| std::hint::black_box(agent.act(&state, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddpg_train");
+    group.sample_size(10);
+    for buffer_size in [64usize, 512] {
+        let mut agent = filled_agent(10, buffer_size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffer_size),
+            &buffer_size,
+            |b, _| b.iter(|| std::hint::black_box(agent.train())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_act, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the numeric kernels underpinning the simulation:
+//! matmul (the training hot loop), row softmax, and the client local
+//! round itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use feddrl_data::synth::SynthSpec;
+use feddrl_fl::client::{run_local_round, LocalTrainConfig};
+use feddrl_nn::rng::Rng64;
+use feddrl_nn::tensor::Tensor;
+use feddrl_nn::zoo::ModelSpec;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let mut rng = Rng64::new(1);
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_rows(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    let x = Tensor::randn(&[256, 100], 0.0, 3.0, &mut rng);
+    c.bench_function("softmax_rows_256x100", |b| {
+        b.iter(|| std::hint::black_box(x.softmax_rows()))
+    });
+}
+
+fn bench_client_round(c: &mut Criterion) {
+    let (train, _) = SynthSpec {
+        train_size: 800,
+        test_size: 100,
+        ..SynthSpec::mnist_like()
+    }
+    .generate(3);
+    let spec = ModelSpec::Mlp {
+        in_dim: train.feature_dim(),
+        hidden: vec![64],
+        out_dim: train.num_classes(),
+    };
+    let model = spec.build(1);
+    let indices: Vec<usize> = (0..400).collect();
+    let cfg = LocalTrainConfig::default();
+    let mut group = c.benchmark_group("client_local_round");
+    group.sample_size(10);
+    group.bench_function("E5_b10_400samples", |b| {
+        b.iter(|| {
+            let mut rng = Rng64::new(9);
+            std::hint::black_box(run_local_round(
+                model.clone(),
+                &train,
+                &indices,
+                0,
+                &cfg,
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax_rows, bench_client_round);
+criterion_main!(benches);

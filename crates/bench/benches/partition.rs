@@ -1,0 +1,32 @@
+//! Partitioner throughput: how fast each non-IID scheme splits a
+//! 100-client federation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use feddrl_data::partition::PartitionMethod;
+use feddrl_data::synth::SynthSpec;
+use feddrl_nn::rng::Rng64;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let (train, _) = SynthSpec::cifar100_like().generate(11);
+    let mut group = c.benchmark_group("partition_100_clients");
+    let methods = [
+        ("IID", PartitionMethod::Iid),
+        ("PA", PartitionMethod::pa_cifar100()),
+        ("CE", PartitionMethod::ce_cifar100(0.6)),
+        ("CN", PartitionMethod::cn_cifar100(0.6)),
+        ("Equal", PartitionMethod::shards_equal()),
+        ("Non-equal", PartitionMethod::shards_non_equal()),
+    ];
+    for (name, method) in methods {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, m| {
+            b.iter(|| {
+                let mut rng = Rng64::new(5);
+                std::hint::black_box(m.partition(&train, 100, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

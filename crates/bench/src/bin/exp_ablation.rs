@@ -1,0 +1,88 @@
+//! Ablations of FedDRL's design choices (DESIGN.md §3.1/§5):
+//!
+//! * reward fairness weight λ ∈ {0, 1, 2} (Eq. 7's second term),
+//! * σ-constraint β ∈ {0.05, 0.2, 0.5} (Eq. 6),
+//! * TD-prioritized vs uniform replay (Algorithm 1 lines 1–2),
+//! * two-stage pre-training vs pure online training (§3.4.2).
+//!
+//! All on the mnist-like CE(0.6) federation with 10 clients.
+
+use feddrl::prelude::*;
+use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec};
+
+fn run_variant(
+    exp: &ExperimentSpec,
+    scale: feddrl_bench::Scale,
+    label: &str,
+    mutate: impl FnOnce(&mut FedDrlRunConfig),
+) -> Vec<String> {
+    let (train, test, partition, model) = exp.materialize(scale);
+    let mut cfg = exp.feddrl_config();
+    mutate(&mut cfg);
+    let run = run_feddrl(&model, &train, &test, &partition, &exp.fl_config(), &cfg);
+    let best = run.history.best();
+    let mean_reward_tail: f32 = {
+        let r = &run.rewards;
+        let tail = &r[r.len() / 2..];
+        if tail.is_empty() {
+            f32::NAN
+        } else {
+            tail.iter().sum::<f32>() / tail.len() as f32
+        }
+    };
+    println!(
+        "ablation {label}: best acc {:.2}% @ round {} (tail reward {:.3})",
+        best.best_accuracy * 100.0,
+        best.best_round,
+        mean_reward_tail
+    );
+    vec![
+        label.to_string(),
+        format!("{:.2}", best.best_accuracy * 100.0),
+        best.best_round.to_string(),
+        format!("{mean_reward_tail:.3}"),
+    ]
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let exp = ExperimentSpec::new(DatasetKind::MnistLike, "CE", 10, &opts);
+    let mut rows = Vec::new();
+
+    rows.push(run_variant(&exp, opts.scale, "baseline (lambda=1, beta=0.2, TD, online)", |_| {}));
+    for lambda in [0.0f32, 2.0] {
+        rows.push(run_variant(
+            &exp,
+            opts.scale,
+            &format!("reward lambda={lambda}"),
+            |c| c.feddrl.reward_lambda = lambda,
+        ));
+    }
+    for beta in [0.05f32, 0.5] {
+        rows.push(run_variant(
+            &exp,
+            opts.scale,
+            &format!("sigma beta={beta}"),
+            |c| c.feddrl.ddpg.sigma_beta = beta,
+        ));
+    }
+    rows.push(run_variant(&exp, opts.scale, "uniform replay", |c| {
+        c.feddrl.ddpg.prioritized_replay = false;
+    }));
+    rows.push(run_variant(&exp, opts.scale, "two-stage pretraining (m=2)", |c| {
+        c.two_stage = Some(TwoStageConfig {
+            workers: 2,
+            online_rounds: (exp.rounds / 2).max(2),
+            offline_updates: 20,
+            seed: exp.seed ^ 0x25,
+        });
+    }));
+
+    let table = render_table(
+        &["variant", "best acc (%)", "best round", "tail reward"],
+        &rows,
+    );
+    println!("\nAblation study (mnist-like, CE 0.6, 10 clients, rounds = {})\n", exp.rounds);
+    println!("{table}");
+    write_artifact(&opts.out_path("ablation.txt"), &table);
+}

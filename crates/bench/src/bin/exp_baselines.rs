@@ -1,0 +1,52 @@
+//! Extended baseline comparison (paper §2.2.2's related-work landscape):
+//! every aggregation strategy in the library — FedAvg, FedProx, Uniform,
+//! LossProp (q-FFL/FedCav-style), FedAdp ([25]) and FedDRL — on one
+//! cluster-skew block (mnist-like, CE 0.6, 10 clients).
+
+use feddrl::prelude::*;
+use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let exp = ExperimentSpec::new(DatasetKind::MnistLike, "CE", 10, &opts);
+    let (train, test, partition, model) = exp.materialize(opts.scale);
+    let fl_cfg = exp.fl_config();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push_row = |h: &RunHistory| {
+        let best = h.best();
+        rows.push(vec![
+            h.method.clone(),
+            format!("{:.2}", best.best_accuracy * 100.0),
+            best.best_round.to_string(),
+            format!("{:.4}", h.records.last().unwrap().test_loss),
+        ]);
+    };
+
+    let mut strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(FedAvg),
+        Box::new(FedProx::default()),
+        Box::new(Uniform),
+        Box::new(LossProportional::default()),
+        Box::new(FedAdp::default()),
+    ];
+    for strategy in strategies.iter_mut() {
+        let h = run_federated(&model, &train, &test, &partition, strategy.as_mut(), &fl_cfg);
+        println!("{}: best {:.2}%", h.method, h.best().best_accuracy * 100.0);
+        push_row(&h);
+    }
+    let drl = exp.run_method(MethodKind::FedDrl, opts.scale);
+    println!("{}: best {:.2}%", drl.method, drl.best().best_accuracy * 100.0);
+    push_row(&drl);
+
+    let table = render_table(
+        &["strategy", "best acc (%)", "best round", "final loss"],
+        &rows,
+    );
+    println!(
+        "\nExtended baselines (mnist-like, CE 0.6, 10 clients, {} rounds)\n",
+        exp.rounds
+    );
+    println!("{table}");
+    write_artifact(&opts.out_path("baselines.txt"), &table);
+}

@@ -1,0 +1,48 @@
+//! Figure 10 — convergence rate: communication rounds needed to reach a
+//! target accuracy (the minimum best-accuracy over the compared methods,
+//! per the paper's protocol) for each dataset × partition block.
+
+use feddrl::prelude::*;
+use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mut rows = Vec::new();
+    for dataset in DatasetKind::all() {
+        for code in ["PA", "CE", "CN"] {
+            let exp = ExperimentSpec::new(dataset, code, 10, &opts);
+            let histories: Vec<_> = MethodKind::federated()
+                .iter()
+                .map(|m| feddrl_bench::load_or_run(&opts, &exp, *m, opts.scale))
+                .collect();
+            // Target = minimum of the methods' best accuracies.
+            let target = histories
+                .iter()
+                .map(|h| h.best().best_accuracy)
+                .fold(f32::INFINITY, f32::min);
+            let mut row = vec![
+                format!("{} {}", dataset.name(), code),
+                format!("{:.1}%", target * 100.0),
+            ];
+            let feddrl_rounds =
+                rounds_to_target(&histories[2].accuracies(), target).unwrap_or(exp.rounds);
+            for h in &histories {
+                match rounds_to_target(&h.accuracies(), target) {
+                    Some(r) => {
+                        let ratio = (r.max(1)) as f32 / (feddrl_rounds.max(1)) as f32;
+                        row.push(format!("{r} ({ratio:.2}x)"));
+                    }
+                    None => row.push("n/a".into()),
+                }
+            }
+            rows.push(row);
+        }
+    }
+    let table = render_table(
+        &["block", "target acc", "FedAvg (vs DRL)", "FedProx (vs DRL)", "FedDRL"],
+        &rows,
+    );
+    println!("Figure 10: rounds to reach the target accuracy (10 clients)\n");
+    println!("{table}");
+    write_artifact(&opts.out_path("fig10_convergence.txt"), &table);
+}

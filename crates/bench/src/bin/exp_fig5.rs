@@ -1,0 +1,45 @@
+//! Figure 5 — top-1 test accuracy vs communication round for every
+//! (dataset, partition) pair and federated method.
+//!
+//! Writes one CSV per block with columns `round,FedAvg,FedProx,FedDRL`
+//! (the paper smooths Fashion-MNIST over 10 rounds; we emit both raw and
+//! smoothed series).
+
+use feddrl_bench::{write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let n_clients = 10;
+    for dataset in DatasetKind::all() {
+        for code in ["PA", "CE", "CN"] {
+            let exp = ExperimentSpec::new(dataset, code, n_clients, &opts);
+            let histories: Vec<_> = MethodKind::federated()
+                .iter()
+                .map(|m| feddrl_bench::load_or_run(&opts, &exp, *m, opts.scale))
+                .collect();
+            let smooth = if dataset == DatasetKind::FashionLike { 10 } else { 1 };
+            let mut csv = String::from("round,FedAvg,FedProx,FedDRL\n");
+            let series: Vec<Vec<f32>> = histories
+                .iter()
+                .map(|h| h.smoothed_accuracies(smooth))
+                .collect();
+            for round in 0..exp.rounds {
+                csv.push_str(&format!(
+                    "{round},{:.4},{:.4},{:.4}\n",
+                    series[0][round], series[1][round], series[2][round]
+                ));
+            }
+            let name = format!("fig5_{}_{}.csv", dataset.name(), code);
+            write_artifact(&opts.out_path(&name), &csv);
+            // Console summary: final-round and best accuracy per method.
+            println!(
+                "fig5 {} {}: final acc FedAvg {:.3} FedProx {:.3} FedDRL {:.3}",
+                dataset.name(),
+                code,
+                series[0].last().unwrap(),
+                series[1].last().unwrap(),
+                series[2].last().unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 6 — average (top row) and variance (bottom row) of the global
+//! model's inference loss across clients, normalized to FedDRL
+//! (CIFAR-100-like, 10 clients, PA / CE / CN).
+//!
+//! A value above 1.0 means the method is worse (higher loss / higher
+//! variance) than FedDRL at that round.
+
+use feddrl::prelude::*;
+use feddrl_bench::{write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind};
+
+/// Per-round mean and variance of the recorded client losses.
+fn loss_stats(history: &RunHistory) -> (Vec<f32>, Vec<f32>) {
+    history
+        .records
+        .iter()
+        .map(|r| mean_var(&r.client_losses_before))
+        .unzip()
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    for code in ["PA", "CE", "CN"] {
+        let exp = ExperimentSpec::new(DatasetKind::Cifar100Like, code, 10, &opts);
+        let histories: Vec<_> = MethodKind::federated()
+            .iter()
+            .map(|m| feddrl_bench::load_or_run(&opts, &exp, *m, opts.scale))
+            .collect();
+        let (avg_fedavg, var_fedavg) = loss_stats(&histories[0]);
+        let (avg_fedprox, var_fedprox) = loss_stats(&histories[1]);
+        let (avg_feddrl, var_feddrl) = loss_stats(&histories[2]);
+        let mut csv =
+            String::from("round,avg_fedavg_norm,avg_fedprox_norm,var_fedavg_norm,var_fedprox_norm\n");
+        for round in 0..exp.rounds {
+            let na = avg_feddrl[round].max(1e-8);
+            let nv = var_feddrl[round].max(1e-8);
+            csv.push_str(&format!(
+                "{round},{:.4},{:.4},{:.4},{:.4}\n",
+                avg_fedavg[round] / na,
+                avg_fedprox[round] / na,
+                var_fedavg[round] / nv,
+                var_fedprox[round] / nv,
+            ));
+        }
+        write_artifact(&opts.out_path(&format!("fig6_{code}.csv")), &csv);
+
+        // Tail-window summary (after the DRL has had time to learn).
+        let tail = exp.rounds / 2;
+        let mean_tail = |xs: &[f32], norm: &[f32]| -> f32 {
+            let vals: Vec<f32> = (tail..exp.rounds)
+                .map(|r| xs[r] / norm[r].max(1e-8))
+                .collect();
+            vals.iter().sum::<f32>() / vals.len() as f32
+        };
+        println!(
+            "fig6 {code}: tail-mean normalized avg loss FedAvg {:.3} FedProx {:.3} (FedDRL = 1.0)",
+            mean_tail(&avg_fedavg, &avg_feddrl),
+            mean_tail(&avg_fedprox, &avg_feddrl)
+        );
+        println!(
+            "fig6 {code}: tail-mean normalized variance FedAvg {:.3} FedProx {:.3} (FedDRL = 1.0)",
+            mean_tail(&var_fedavg, &var_feddrl),
+            mean_tail(&var_fedprox, &var_feddrl)
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 7 — testing accuracy vs the number of participating clients
+//! K ∈ {10, 20, 30, 40, 50} (CIFAR-100-like, N = 100 clients, CE).
+
+use feddrl_bench::{
+    render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind, Scale,
+};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let ks: &[usize] = match opts.scale {
+        Scale::Quick => &[10, 30],
+        _ => &[10, 20, 30, 40, 50],
+    };
+    let mut rows = Vec::new();
+    let mut csv = String::from("k,FedAvg,FedProx,FedDRL\n");
+    for &k in ks {
+        let mut exp = ExperimentSpec::new(DatasetKind::Cifar100Like, "CE", 100, &opts);
+        exp.participants = k;
+        let mut row = vec![k.to_string()];
+        let mut accs = Vec::new();
+        for method in MethodKind::federated() {
+            let history = exp.run_method(method, opts.scale);
+            let best = history.best().best_accuracy * 100.0;
+            row.push(format!("{best:.2}"));
+            accs.push(best);
+        }
+        csv.push_str(&format!("{k},{:.2},{:.2},{:.2}\n", accs[0], accs[1], accs[2]));
+        rows.push(row);
+    }
+    let table = render_table(&["K", "FedAvg", "FedProx", "FedDRL"], &rows);
+    println!("Figure 7: accuracy vs participating clients (cifar100-like, N=100, CE)\n");
+    println!("{table}");
+    write_artifact(&opts.out_path("fig7_participation.csv"), &csv);
+    write_artifact(&opts.out_path("fig7_participation.txt"), &table);
+}

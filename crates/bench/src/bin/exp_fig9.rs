@@ -1,0 +1,73 @@
+//! Figure 9 — average server computation time: DRL impact-factor
+//! inference vs weighted aggregation, for the paper's two model sizes
+//! (VGG-11 for CIFAR-100, CNN for MNIST/F-MNIST) plus the scaled MLP.
+//!
+//! Also prints the §3.5 communication-overhead table.
+
+use feddrl_bench::{render_table, write_artifact, ExpOptions, Scale};
+use feddrl_nn::zoo::ModelSpec;
+use feddrl_sim::comm::CommModel;
+use feddrl_sim::timing::{time_aggregation, time_drl_inference};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let iters = match opts.scale {
+        Scale::Quick => 3,
+        _ => 10,
+    };
+    let k = 10;
+
+    // Real parameter counts from the model zoo.
+    let vgg_params = ModelSpec::Vgg11 { num_classes: 100 }.build(1).param_count();
+    let cnn_params = ModelSpec::CnnMnist { num_classes: 10 }.build(1).param_count();
+    let mlp_params = ModelSpec::Mlp {
+        in_dim: 64,
+        hidden: vec![128],
+        out_dim: 100,
+    }
+    .build(1)
+    .param_count();
+
+    let drl = time_drl_inference(k, iters);
+    let mut rows = Vec::new();
+    for (name, params) in [
+        ("VGG-11 (CIFAR-100)", vgg_params),
+        ("CNN (MNIST/F-MNIST)", cnn_params),
+        ("MLP (scaled profile)", mlp_params),
+    ] {
+        let agg = time_aggregation(params, k, iters);
+        rows.push(vec![
+            name.to_string(),
+            params.to_string(),
+            format!("{:.3}", drl.mean_micros / 1000.0),
+            format!("{:.3}", agg.mean_micros / 1000.0),
+        ]);
+    }
+    let table = render_table(
+        &["model", "#params", "DRL (ms)", "Aggregation (ms)"],
+        &rows,
+    );
+    println!("Figure 9: average server computation time (K = {k})\n");
+    println!("{table}");
+    println!("paper reference: DRL ~3 ms constant; aggregation ~45 ms (VGG-11) / ~3 ms (CNN)\n");
+    write_artifact(&opts.out_path("fig9_server_time.txt"), &table);
+
+    // §3.5 communication overhead.
+    let mut comm_rows = Vec::new();
+    for (name, params) in [("VGG-11", vgg_params), ("CNN", cnn_params), ("MLP", mlp_params)] {
+        let m = CommModel::new(params as u64, k as u64);
+        comm_rows.push(vec![
+            name.to_string(),
+            m.fedavg_round().total().to_string(),
+            m.feddrl_round().total().to_string(),
+            format!("{:.2e}", m.feddrl_overhead_ratio()),
+        ]);
+    }
+    let comm_table = render_table(
+        &["model", "FedAvg bytes/round", "FedDRL bytes/round", "overhead ratio"],
+        &comm_rows,
+    );
+    println!("sec 3.5: communication overhead of FedDRL vs FedAvg\n");
+    println!("{comm_table}");
+    write_artifact(&opts.out_path("fig9_comm_overhead.txt"), &comm_table);
+}

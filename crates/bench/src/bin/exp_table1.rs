@@ -1,0 +1,28 @@
+//! Table 1 — configuration of the policy and value networks.
+//!
+//! Prints the DDPG hyper-parameter block and asserts it matches the
+//! paper's published values.
+
+use feddrl_bench::render_table;
+use feddrl_drl::config::DdpgConfig;
+
+fn main() {
+    let cfg = DdpgConfig::default();
+    let rows: Vec<Vec<String>> = cfg
+        .table1_rows()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    println!("Table 1: Configuration of the policy and value networks\n");
+    println!("{}", render_table(&["Hyper-parameter", "Value"], &rows));
+
+    // Paper fidelity assertions (same numbers as Table 1).
+    assert_eq!(cfg.policy_layers, 3);
+    assert_eq!(cfg.hidden, 256);
+    assert_eq!(cfg.policy_lr, 1e-4);
+    assert_eq!(cfg.value_lr, 1e-3);
+    assert_eq!(cfg.buffer_capacity, 100_000);
+    assert_eq!(cfg.gamma, 0.99);
+    assert_eq!(cfg.tau, 0.02);
+    println!("all values match the paper's Table 1");
+}

@@ -1,0 +1,85 @@
+//! Table 3 — top-1 test accuracy of SingleSet / FedAvg / FedProx / FedDRL
+//! under the PA, CE and CN partitioning methods on all three datasets,
+//! for 10 and 100 clients (δ = 0.6, K = 10).
+//!
+//! Prints one block per (dataset, client count) with the paper's
+//! impr.(a)/(b) rows and saves every run history as JSON for reuse by the
+//! figure binaries.
+
+use feddrl_bench::{
+    improvements, render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec,
+    MethodKind, Scale,
+};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let client_counts: &[usize] = match opts.scale {
+        Scale::Quick => &[10],
+        _ => &[10, 100],
+    };
+    let partitions = ["PA", "CE", "CN"];
+    let mut report = String::new();
+
+    for &n_clients in client_counts {
+        for dataset in DatasetKind::all() {
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            // accuracy[method][partition]
+            let mut acc = vec![vec![0.0f32; partitions.len()]; 4];
+            for (mi, method) in MethodKind::all().iter().enumerate() {
+                let mut row = vec![method.name().to_string()];
+                for (pi, code) in partitions.iter().enumerate() {
+                    let exp = ExperimentSpec::new(dataset, code, n_clients, &opts);
+                    let history = exp.run_method(*method, opts.scale);
+                    let best = history.best().best_accuracy * 100.0;
+                    acc[mi][pi] = best;
+                    row.push(format!("{best:.2}"));
+                    let fname = format!(
+                        "table3_{}_{}_{}_{}.json",
+                        dataset.name(),
+                        code,
+                        n_clients,
+                        method.name()
+                    );
+                    history
+                        .save_json(&opts.out_path(&fname))
+                        .expect("save history");
+                    // SingleSet ignores the partition; no need to re-run it.
+                    if *method == MethodKind::SingleSet {
+                        for rest in (pi + 1)..partitions.len() {
+                            acc[mi][rest] = best;
+                        }
+                        while row.len() < partitions.len() + 1 {
+                            row.push(format!("{best:.2}"));
+                        }
+                        break;
+                    }
+                }
+                rows.push(row);
+            }
+            // impr.(a): vs best baseline; impr.(b): vs worst baseline.
+            let mut impr_a = vec!["impr.(a)".to_string()];
+            let mut impr_b = vec!["impr.(b)".to_string()];
+            for pi in 0..partitions.len() {
+                let baselines = [acc[1][pi], acc[2][pi]]; // FedAvg, FedProx
+                let (a, b) = improvements(acc[3][pi], &baselines);
+                impr_a.push(format!("{a:+.2}%"));
+                impr_b.push(format!("{b:+.2}%"));
+            }
+            rows.push(impr_a);
+            rows.push(impr_b);
+
+            let headers = ["method", "PA", "CE", "CN"];
+            let table = render_table(&headers, &rows);
+            let block = format!(
+                "Table 3 block: {} / {} clients (rounds = {}, K = {})\n{table}\n",
+                dataset.name(),
+                n_clients,
+                opts.rounds(),
+                10.min(n_clients)
+            );
+            println!("{block}");
+            report.push_str(&block);
+        }
+    }
+    write_artifact(&opts.out_path("table3.txt"), &report);
+}

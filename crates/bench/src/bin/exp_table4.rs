@@ -1,0 +1,52 @@
+//! Table 4 — top-1 test accuracy with FedAvg's label-size-imbalance
+//! splits (Equal / Non-equal shards, §5.1) on the CIFAR-100-like dataset
+//! for 10 and 100 clients.
+
+use feddrl_bench::{
+    improvements, render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec,
+    MethodKind, Scale,
+};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let client_counts: &[usize] = match opts.scale {
+        Scale::Quick => &[10],
+        _ => &[10, 100],
+    };
+    let mut report = String::new();
+    for &n_clients in client_counts {
+        let mut rows = Vec::new();
+        let mut acc = vec![vec![0.0f32; 2]; 4];
+        for (mi, method) in MethodKind::all().iter().enumerate() {
+            let mut row = vec![method.name().to_string()];
+            for (pi, code) in ["Equal", "Non-equal"].iter().enumerate() {
+                let exp =
+                    ExperimentSpec::new(DatasetKind::Cifar100Like, code, n_clients, &opts);
+                let history = exp.run_method(*method, opts.scale);
+                let best = history.best().best_accuracy * 100.0;
+                acc[mi][pi] = best;
+                row.push(format!("{best:.2}"));
+                if *method == MethodKind::SingleSet {
+                    acc[mi][1] = best;
+                    row.push(format!("{best:.2}"));
+                    break;
+                }
+            }
+            rows.push(row);
+        }
+        let mut impr = vec!["impr.(a)".to_string()];
+        for pi in 0..2 {
+            let (a, _) = improvements(acc[3][pi], &[acc[1][pi], acc[2][pi]]);
+            impr.push(format!("{a:+.2}%"));
+        }
+        rows.push(impr);
+        let table = render_table(&["method", "Equal", "Non-equal"], &rows);
+        let block = format!(
+            "Table 4 block: cifar100-like / {n_clients} clients (rounds = {})\n{table}\n",
+            opts.rounds()
+        );
+        println!("{block}");
+        report.push_str(&block);
+    }
+    write_artifact(&opts.out_path("table4.txt"), &report);
+}

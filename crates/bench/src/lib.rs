@@ -1,0 +1,535 @@
+//! # feddrl-bench — experiment harness
+//!
+//! Shared machinery for the binaries that regenerate every table and
+//! figure of the FedDRL paper (see DESIGN.md §5 for the experiment index).
+//! Each binary accepts `--quick` (CI-sized), the default scaled profile,
+//! or `--full` (paper-scale parameters) plus overrides like `--rounds`.
+
+#![warn(missing_docs)]
+
+use feddrl::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Experiment scale profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke profile.
+    Quick,
+    /// Minutes-scale default used for EXPERIMENTS.md.
+    Default,
+    /// Paper-scale parameters (hours on CPU).
+    Full,
+}
+
+impl Scale {
+    /// Communication rounds for federated runs.
+    pub fn rounds(self) -> usize {
+        match self {
+            Scale::Quick => 15,
+            Scale::Default => 60,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// SingleSet epochs.
+    pub fn singleset_epochs(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Default => 40,
+            Scale::Full => 120,
+        }
+    }
+
+    /// Hidden width of the DDPG networks (Table 1 uses 256; the quick
+    /// profile shrinks it to keep CI fast).
+    pub fn drl_hidden(self) -> usize {
+        match self {
+            Scale::Quick => 64,
+            Scale::Default => 256,
+            Scale::Full => 256,
+        }
+    }
+}
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Scale profile.
+    pub scale: Scale,
+    /// Override for the number of rounds.
+    pub rounds: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl ExpOptions {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn from_args() -> Self {
+        let mut opts = Self {
+            scale: Scale::Default,
+            rounds: None,
+            seed: 2022,
+            out_dir: PathBuf::from("results"),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.scale = Scale::Quick,
+                "--full" => opts.scale = Scale::Full,
+                "--rounds" => {
+                    let v = args.next().expect("--rounds needs a value");
+                    opts.rounds = Some(v.parse().expect("--rounds must be an integer"));
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--out" => {
+                    opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+                }
+                other => panic!(
+                    "unknown argument: {other} (try --quick/--full/--rounds N/--seed N/--out DIR)"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// Rounds to run (override or scale default).
+    pub fn rounds(&self) -> usize {
+        self.rounds.unwrap_or_else(|| self.scale.rounds())
+    }
+
+    /// Ensure the output directory exists and return `out_dir/name`.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        self.out_dir.join(name)
+    }
+}
+
+/// The three federated datasets of the paper (§4.1.1), in their synthetic
+/// stand-in form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// MNIST stand-in.
+    MnistLike,
+    /// Fashion-MNIST stand-in.
+    FashionLike,
+    /// CIFAR-100 stand-in.
+    Cifar100Like,
+}
+
+impl DatasetKind {
+    /// All three datasets in paper order.
+    pub fn all() -> [DatasetKind; 3] {
+        [
+            DatasetKind::Cifar100Like,
+            DatasetKind::FashionLike,
+            DatasetKind::MnistLike,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::MnistLike => "mnist-like",
+            DatasetKind::FashionLike => "fashion-like",
+            DatasetKind::Cifar100Like => "cifar100-like",
+        }
+    }
+
+    /// Synthetic spec (the full-scale profile enlarges sample counts
+    /// toward the real datasets' sizes).
+    pub fn synth_spec(self, scale: Scale) -> SynthSpec {
+        let mut spec = match self {
+            DatasetKind::MnistLike => SynthSpec::mnist_like(),
+            DatasetKind::FashionLike => SynthSpec::fashion_like(),
+            DatasetKind::Cifar100Like => SynthSpec::cifar100_like(),
+        };
+        match scale {
+            Scale::Quick => {
+                spec.train_size /= 2;
+                spec.test_size /= 2;
+            }
+            Scale::Default => {}
+            Scale::Full => {
+                spec.train_size *= 4;
+                spec.test_size *= 4;
+            }
+        }
+        spec
+    }
+
+    /// Client model for this dataset (MLP profiles; see DESIGN.md §4 for
+    /// why the default profile does not train the CNN/VGG-11 end-to-end).
+    pub fn model_spec(self, train: &Dataset) -> ModelSpec {
+        let hidden = match self {
+            DatasetKind::MnistLike | DatasetKind::FashionLike => vec![64],
+            DatasetKind::Cifar100Like => vec![128],
+        };
+        ModelSpec::Mlp {
+            in_dim: train.feature_dim(),
+            hidden,
+            out_dim: train.num_classes(),
+        }
+    }
+
+    /// Partition method for a paper code ("PA", "CE", "CN", "Equal",
+    /// "Non-equal"), sized for this dataset's label space.
+    pub fn partition_method(self, code: &str, delta: f64) -> PartitionMethod {
+        let many_labels = matches!(self, DatasetKind::Cifar100Like);
+        match code {
+            "PA" => {
+                if many_labels {
+                    PartitionMethod::pa_cifar100()
+                } else {
+                    PartitionMethod::pa()
+                }
+            }
+            "CE" => {
+                if many_labels {
+                    PartitionMethod::ce_cifar100(delta)
+                } else {
+                    PartitionMethod::ce(delta)
+                }
+            }
+            "CN" => {
+                if many_labels {
+                    PartitionMethod::cn_cifar100(delta)
+                } else {
+                    PartitionMethod::cn(delta)
+                }
+            }
+            "Equal" => PartitionMethod::shards_equal(),
+            "Non-equal" => PartitionMethod::shards_non_equal(),
+            "IID" => PartitionMethod::Iid,
+            other => panic!("unknown partition code {other}"),
+        }
+    }
+}
+
+/// The compared methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Centralized reference.
+    SingleSet,
+    /// FedAvg baseline.
+    FedAvg,
+    /// FedProx baseline (μ = 0.01).
+    FedProx,
+    /// The paper's contribution.
+    FedDrl,
+}
+
+impl MethodKind {
+    /// The Table 3/4 method column, in paper order.
+    pub fn all() -> [MethodKind; 4] {
+        [
+            MethodKind::SingleSet,
+            MethodKind::FedAvg,
+            MethodKind::FedProx,
+            MethodKind::FedDrl,
+        ]
+    }
+
+    /// Federated methods only.
+    pub fn federated() -> [MethodKind; 3] {
+        [MethodKind::FedAvg, MethodKind::FedProx, MethodKind::FedDrl]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::SingleSet => "SingleSet",
+            MethodKind::FedAvg => "FedAvg",
+            MethodKind::FedProx => "FedProx",
+            MethodKind::FedDrl => "FedDRL",
+        }
+    }
+}
+
+/// A fully-specified federated experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Partition code ("PA", "CE", …).
+    pub partition_code: String,
+    /// Cluster-skew level δ where applicable.
+    pub delta: f64,
+    /// Total clients `N`.
+    pub n_clients: usize,
+    /// Participants per round `K`.
+    pub participants: usize,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// DDPG hidden width (scale-dependent).
+    pub drl_hidden: usize,
+}
+
+impl ExperimentSpec {
+    /// Build from options with paper defaults (δ = 0.6, K = 10).
+    pub fn new(
+        dataset: DatasetKind,
+        partition_code: &str,
+        n_clients: usize,
+        opts: &ExpOptions,
+    ) -> Self {
+        Self {
+            dataset,
+            partition_code: partition_code.to_string(),
+            delta: 0.6,
+            n_clients,
+            participants: 10.min(n_clients),
+            rounds: opts.rounds(),
+            seed: opts.seed,
+            drl_hidden: opts.scale.drl_hidden(),
+        }
+    }
+
+    /// Generate data, partition, and model for this experiment.
+    pub fn materialize(&self, scale: Scale) -> (Dataset, Dataset, Partition, ModelSpec) {
+        let (train, test) = self.dataset.synth_spec(scale).generate(self.seed);
+        let method = self
+            .dataset
+            .partition_method(&self.partition_code, self.delta);
+        let partition = method
+            .partition(&train, self.n_clients, &mut Rng64::new(self.seed ^ 0x9A27))
+            .unwrap_or_else(|e| panic!("partition {} failed: {e}", self.partition_code));
+        let model = self.dataset.model_spec(&train);
+        (train, test, partition, model)
+    }
+
+    /// Federated loop configuration.
+    pub fn fl_config(&self) -> FlConfig {
+        FlConfig {
+            rounds: self.rounds,
+            participants: self.participants,
+            local: LocalTrainConfig {
+                epochs: 5,
+                batch_size: 10,
+                lr: 0.01,
+                ..Default::default()
+            },
+            eval_batch: 512,
+            seed: self.seed,
+            log_every: 0,
+            selection: Selection::Uniform,
+        }
+    }
+
+    /// FedDRL run configuration.
+    ///
+    /// The agent's learning-speed knobs are adapted to the scaled horizon
+    /// (tens of rounds instead of the paper's 1000): more replay updates
+    /// per round, a faster policy/value learning rate, and annealed
+    /// exploration so the late rounds exploit what was learned. Network
+    /// topology, buffer, gamma and tau stay at Table 1 values.
+    pub fn feddrl_config(&self) -> FedDrlRunConfig {
+        let mut cfg = FedDrlRunConfig::default();
+        cfg.feddrl.ddpg.hidden = self.drl_hidden;
+        cfg.feddrl.ddpg.seed = self.seed ^ 0xD41;
+        cfg.feddrl.seed = self.seed ^ 0xA1;
+        if self.rounds < 500 {
+            cfg.feddrl.ddpg.updates_per_round = 8;
+            cfg.feddrl.ddpg.policy_lr = 1e-3;
+            cfg.feddrl.ddpg.value_lr = 5e-3;
+            cfg.feddrl.ddpg.warmup = 8;
+            cfg.feddrl.ddpg.exploration_noise = 0.2;
+            // Anneal to ~10% noise by the final third of the run.
+            cfg.feddrl.ddpg.exploration_decay =
+                (0.1f32).powf(1.0 / (0.67 * self.rounds as f32).max(1.0));
+        }
+        cfg
+    }
+
+    /// Run one method on this experiment.
+    pub fn run_method(&self, method: MethodKind, scale: Scale) -> RunHistory {
+        let (train, test, partition, model) = self.materialize(scale);
+        let mut history = match method {
+            MethodKind::SingleSet => {
+                let cfg = SingleSetConfig {
+                    epochs: scale.singleset_epochs(),
+                    seed: self.seed,
+                    ..Default::default()
+                };
+                run_singleset(&model, &train, &test, &cfg)
+            }
+            MethodKind::FedAvg => run_federated(
+                &model,
+                &train,
+                &test,
+                &partition,
+                &mut FedAvg,
+                &self.fl_config(),
+            ),
+            MethodKind::FedProx => run_federated(
+                &model,
+                &train,
+                &test,
+                &partition,
+                &mut FedProx::default(),
+                &self.fl_config(),
+            ),
+            MethodKind::FedDrl => {
+                run_feddrl(
+                    &model,
+                    &train,
+                    &test,
+                    &partition,
+                    &self.fl_config(),
+                    &self.feddrl_config(),
+                )
+                .history
+            }
+        };
+        history.dataset = self.dataset.name().to_string();
+        history
+    }
+}
+
+/// Render an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Write `content` to `path`, creating parent dirs.
+pub fn write_artifact(path: &std::path::Path, content: &str) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create artifact dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create artifact");
+    f.write_all(content.as_bytes()).expect("write artifact");
+    eprintln!("wrote {}", path.display());
+}
+
+/// The paper's improvement metrics: impr.(a) vs the best baseline and
+/// impr.(b) vs the worst baseline, in relative percent (Table 3 caption).
+pub fn improvements(feddrl: f32, baselines: &[f32]) -> (f32, f32) {
+    assert!(!baselines.is_empty());
+    let best = baselines.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let worst = baselines.iter().copied().fold(f32::INFINITY, f32::min);
+    (
+        (feddrl - best) / best * 100.0,
+        (feddrl - worst) / worst * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvements_match_definition() {
+        let (a, b) = improvements(0.72, &[0.70, 0.68]);
+        assert!((a - (0.72 - 0.70) / 0.70 * 100.0).abs() < 1e-4);
+        assert!((b - (0.72 - 0.68) / 0.68 * 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["method", "acc"],
+            &[
+                vec!["FedAvg".into(), "0.61".into()],
+                vec!["FedDRL".into(), "0.645".into()],
+            ],
+        );
+        assert!(t.contains("| method | acc   |"));
+        assert!(t.lines().count() >= 6);
+    }
+
+    #[test]
+    fn partition_methods_resolve_for_all_codes() {
+        for ds in DatasetKind::all() {
+            for code in ["PA", "CE", "CN", "Equal", "Non-equal", "IID"] {
+                let _ = ds.partition_method(code, 0.6);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_experiment_end_to_end() {
+        let opts = ExpOptions {
+            scale: Scale::Quick,
+            rounds: Some(2),
+            seed: 7,
+            out_dir: std::env::temp_dir().join("feddrl_bench_test"),
+        };
+        let exp = ExperimentSpec::new(DatasetKind::MnistLike, "CE", 6, &opts);
+        let h = exp.run_method(MethodKind::FedAvg, Scale::Quick);
+        assert_eq!(h.records.len(), 2);
+        assert_eq!(h.dataset, "mnist-like");
+        assert_eq!(h.partition, "CE");
+    }
+}
+
+/// Load a previously-saved table3-style history for `(exp, method)` if one
+/// exists with at least `exp.rounds` records (truncating to the requested
+/// horizon), otherwise run the method fresh. Lets the figure binaries
+/// reuse `exp_table3`'s artifacts instead of re-running 30+ federated
+/// trainings.
+pub fn load_or_run(
+    opts: &ExpOptions,
+    exp: &ExperimentSpec,
+    method: MethodKind,
+    scale: Scale,
+) -> RunHistory {
+    let fname = format!(
+        "table3_{}_{}_{}_{}.json",
+        exp.dataset.name(),
+        exp.partition_code,
+        exp.n_clients,
+        method.name()
+    );
+    let path = opts.out_dir.join(&fname);
+    if path.exists() {
+        if let Ok(mut h) = RunHistory::load_json(&path) {
+            if h.records.len() >= exp.rounds
+                && h.participants == exp.participants
+                && h.seed == exp.seed
+            {
+                h.records.truncate(exp.rounds);
+                eprintln!("reusing {}", path.display());
+                return h;
+            }
+        }
+    }
+    exp.run_method(method, scale)
+}

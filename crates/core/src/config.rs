@@ -1,0 +1,80 @@
+//! FedDRL configuration.
+
+use feddrl_drl::config::DdpgConfig;
+use serde::{Deserialize, Serialize};
+
+/// Top-level FedDRL settings: the DDPG hyper-parameters (Table 1) plus the
+/// FedDRL-specific knobs the paper describes in prose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedDrlConfig {
+    /// DDPG template; `state_dim`/`action_dim` are overwritten per `k`
+    /// when the strategy is constructed.
+    pub ddpg: DdpgConfig,
+    /// λ weighting of the fairness (max−min) reward term (Eq. 7 combines
+    /// both terms with implicit weight 1).
+    pub reward_lambda: f32,
+    /// Add exploration noise while acting.
+    pub explore: bool,
+    /// Train the agent online after every stored transition (the paper's
+    /// "side thread"; disable for a frozen, pre-trained policy).
+    pub online_training: bool,
+    /// Seed for the strategy's impact-factor sampling.
+    pub seed: u64,
+}
+
+impl Default for FedDrlConfig {
+    fn default() -> Self {
+        Self {
+            ddpg: DdpgConfig::default(),
+            reward_lambda: 1.0,
+            explore: true,
+            online_training: true,
+            seed: 0xFED_D41,
+        }
+    }
+}
+
+impl FedDrlConfig {
+    /// DDPG config resized for `k` participating clients (state `3k`,
+    /// action `2k`, per §3.3).
+    pub fn ddpg_for(&self, k: usize) -> DdpgConfig {
+        assert!(k > 0, "FedDRL needs at least one participating client");
+        DdpgConfig {
+            state_dim: 3 * k,
+            action_dim: 2 * k,
+            ..self.ddpg.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddpg_for_resizes_dims_only() {
+        let cfg = FedDrlConfig::default();
+        let d = cfg.ddpg_for(7);
+        assert_eq!(d.state_dim, 21);
+        assert_eq!(d.action_dim, 14);
+        assert_eq!(d.hidden, cfg.ddpg.hidden);
+        assert_eq!(d.gamma, cfg.ddpg.gamma);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_clients() {
+        let _ = FedDrlConfig::default().ddpg_for(0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = FedDrlConfig {
+            reward_lambda: 0.5,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FedDrlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,153 @@
+//! High-level FedDRL run orchestration.
+//!
+//! Wires the two training modes together the way the paper deploys them:
+//! optionally pre-train an agent with the two-stage procedure (§3.4.2),
+//! then run the measured federated training with the FedDRL strategy
+//! continuing to learn online (the paper's main-thread/side-thread split).
+
+use crate::config::FedDrlConfig;
+use crate::strategy::FedDrl;
+use crate::two_stage::{two_stage_train, TwoStageConfig, TwoStageReport};
+use feddrl_data::dataset::Dataset;
+use feddrl_data::partition::Partition;
+use feddrl_fl::history::RunHistory;
+use feddrl_fl::server::{run_federated, FlConfig};
+#[cfg(test)]
+use feddrl_fl::server::Selection;
+use feddrl_nn::zoo::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// How the FedDRL agent is obtained for a measured run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedDrlRunConfig {
+    /// Strategy/agent settings.
+    pub feddrl: FedDrlConfig,
+    /// Optional two-stage pre-training before the measured run.
+    pub two_stage: Option<TwoStageConfig>,
+}
+
+impl Default for FedDrlRunConfig {
+    fn default() -> Self {
+        Self {
+            feddrl: FedDrlConfig::default(),
+            two_stage: None,
+        }
+    }
+}
+
+/// Result of [`run_feddrl`].
+pub struct FedDrlRun {
+    /// Round-by-round history of the measured run.
+    pub history: RunHistory,
+    /// Two-stage diagnostics when pre-training was enabled.
+    pub two_stage_report: Option<TwoStageReport>,
+    /// Rewards observed during the measured run.
+    pub rewards: Vec<f32>,
+}
+
+/// Run FedDRL end to end: (optional) two-stage pre-training, then the
+/// measured federated training.
+pub fn run_feddrl(
+    spec: &ModelSpec,
+    train: &Dataset,
+    test: &Dataset,
+    partition: &Partition,
+    fl_cfg: &FlConfig,
+    run_cfg: &FedDrlRunConfig,
+) -> FedDrlRun {
+    let (mut strategy, report) = match &run_cfg.two_stage {
+        Some(ts) => {
+            let (agent, report) =
+                two_stage_train(spec, train, test, partition, fl_cfg, &run_cfg.feddrl, ts);
+            (FedDrl::from_agent(agent, &run_cfg.feddrl), Some(report))
+        }
+        None => (FedDrl::new(fl_cfg.participants, &run_cfg.feddrl), None),
+    };
+    let history = run_federated(spec, train, test, partition, &mut strategy, fl_cfg);
+    FedDrlRun {
+        history,
+        two_stage_report: report,
+        rewards: strategy.rewards().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feddrl_data::partition::PartitionMethod;
+    use feddrl_data::synth::SynthSpec;
+    use feddrl_fl::client::LocalTrainConfig;
+    use feddrl_nn::rng::Rng64;
+
+    fn env() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
+        let (train, test) = SynthSpec {
+            train_size: 800,
+            test_size: 200,
+            ..SynthSpec::mnist_like()
+        }
+        .generate(8);
+        let partition = PartitionMethod::ce(0.6)
+            .partition(&train, 6, &mut Rng64::new(2))
+            .unwrap();
+        let spec = ModelSpec::Mlp {
+            in_dim: train.feature_dim(),
+            hidden: vec![24],
+            out_dim: train.num_classes(),
+        };
+        let fl_cfg = FlConfig {
+            rounds: 8,
+            participants: 6,
+            local: LocalTrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 0.05,
+                ..Default::default()
+            },
+            eval_batch: 128,
+            seed: 21,
+            log_every: 0,
+            selection: Selection::Uniform,
+        };
+        (spec, train, test, partition, fl_cfg)
+    }
+
+    fn small_run_cfg() -> FedDrlRunConfig {
+        let mut cfg = FedDrlRunConfig::default();
+        cfg.feddrl.ddpg.hidden = 32;
+        cfg.feddrl.ddpg.batch_size = 4;
+        cfg.feddrl.ddpg.warmup = 4;
+        cfg.feddrl.ddpg.updates_per_round = 1;
+        cfg
+    }
+
+    #[test]
+    fn online_only_run_learns() {
+        let (spec, train, test, partition, fl_cfg) = env();
+        let run = run_feddrl(&spec, &train, &test, &partition, &fl_cfg, &small_run_cfg());
+        assert_eq!(run.history.records.len(), 8);
+        assert!(run.two_stage_report.is_none());
+        assert_eq!(run.rewards.len(), 7);
+        assert!(
+            run.history.best().best_accuracy > 0.5,
+            "FedDRL failed to learn at all: {}",
+            run.history.best().best_accuracy
+        );
+    }
+
+    #[test]
+    fn two_stage_pretraining_is_reported() {
+        let (spec, train, test, partition, fl_cfg) = env();
+        let mut cfg = small_run_cfg();
+        cfg.two_stage = Some(TwoStageConfig {
+            workers: 2,
+            online_rounds: 3,
+            offline_updates: 2,
+            seed: 3,
+        });
+        let run = run_feddrl(&spec, &train, &test, &partition, &fl_cfg, &cfg);
+        let report = run.two_stage_report.expect("two-stage report missing");
+        assert_eq!(report.worker_experiences.len(), 2);
+        assert!(report.merged_experiences >= 4);
+        assert_eq!(run.history.method, "FedDRL");
+    }
+}

@@ -1,0 +1,140 @@
+//! DRL state construction (paper §3.3.2).
+//!
+//! The state is the concatenation of three `K`-vectors: the global model's
+//! inference loss on each participating client (`l_before`), each client's
+//! post-training local loss (`l_after`), and the clients' sample counts.
+//! The paper feeds these raw; raw cross-entropy magnitudes and sample
+//! counts in the thousands destabilize DDPG, so we z-normalize each loss
+//! block and convert counts to fractions — a monotone, information-
+//! preserving transform (DESIGN.md §3.1).
+
+use feddrl_fl::client::ClientSummary;
+
+/// z-normalize a block in place (mean 0, unit variance; degenerate blocks
+/// collapse to zeros).
+fn z_normalize(block: &mut [f32]) {
+    let n = block.len() as f32;
+    if n == 0.0 {
+        return;
+    }
+    let mean = block.iter().sum::<f32>() / n;
+    let var = block.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let std = var.sqrt();
+    if std < 1e-8 {
+        for v in block.iter_mut() {
+            *v = 0.0;
+        }
+    } else {
+        for v in block.iter_mut() {
+            *v = (*v - mean) / std;
+        }
+    }
+}
+
+/// Build the `3K` state vector from the clients' round reports, in the
+/// order the summaries are given (which matches the order impact factors
+/// must be returned in).
+///
+/// # Panics
+/// Panics if `summaries` is empty or a loss is non-finite.
+pub fn build_state(summaries: &[ClientSummary]) -> Vec<f32> {
+    assert!(!summaries.is_empty(), "state needs at least one client");
+    let k = summaries.len();
+    let mut state = Vec::with_capacity(3 * k);
+    for s in summaries {
+        assert!(
+            s.loss_before.is_finite(),
+            "client {} reported non-finite loss_before",
+            s.client_id
+        );
+        state.push(s.loss_before);
+    }
+    for s in summaries {
+        assert!(
+            s.loss_after.is_finite(),
+            "client {} reported non-finite loss_after",
+            s.client_id
+        );
+        state.push(s.loss_after);
+    }
+    let total: f32 = summaries.iter().map(|s| s.n_samples as f32).sum();
+    for s in summaries {
+        state.push(s.n_samples as f32 / total.max(1.0));
+    }
+    z_normalize(&mut state[..k]);
+    z_normalize(&mut state[k..2 * k]);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(id: usize, n: usize, before: f32, after: f32) -> ClientSummary {
+        ClientSummary {
+            client_id: id,
+            n_samples: n,
+            loss_before: before,
+            loss_after: after,
+        }
+    }
+
+    #[test]
+    fn state_has_3k_entries() {
+        let s = build_state(&[
+            summary(0, 100, 2.0, 1.0),
+            summary(1, 300, 3.0, 0.5),
+            summary(2, 100, 1.0, 0.2),
+        ]);
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn loss_blocks_are_z_normalized() {
+        let s = build_state(&[
+            summary(0, 10, 1.0, 5.0),
+            summary(1, 10, 2.0, 6.0),
+            summary(2, 10, 3.0, 7.0),
+        ]);
+        let before = &s[0..3];
+        let after = &s[3..6];
+        for block in [before, after] {
+            let mean: f32 = block.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-6, "block mean {mean}");
+            let var: f32 = block.iter().map(|x| x * x).sum::<f32>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-5, "block variance {var}");
+        }
+    }
+
+    #[test]
+    fn sample_counts_become_fractions() {
+        let s = build_state(&[summary(0, 100, 1.0, 1.0), summary(1, 300, 2.0, 2.0)]);
+        assert!((s[4] - 0.25).abs() < 1e-6);
+        assert!((s[5] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_losses_collapse_to_zero_block() {
+        let s = build_state(&[summary(0, 10, 2.0, 2.0), summary(1, 20, 2.0, 2.0)]);
+        assert_eq!(&s[0..4], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ordering_follows_input_not_client_id() {
+        let a = build_state(&[summary(9, 10, 1.0, 0.0), summary(2, 30, 5.0, 0.0)]);
+        // First position belongs to client 9 (lower loss → negative z).
+        assert!(a[0] < a[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_loss() {
+        let _ = build_state(&[summary(0, 10, f32::NAN, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = build_state(&[]);
+    }
+}

@@ -1,0 +1,248 @@
+//! The two-stage training strategy (paper §3.4.2, Figure 3(b)).
+//!
+//! *Stage 1 (online):* `m` initially-identical worker agents each drive
+//! their own federated-learning environment replica (same partition,
+//! different seeds), acting with exploration noise and learning online.
+//! Because their streams diverge, their experience buffers end up covering
+//! different parts of the state-action space.
+//!
+//! *Stage 2 (offline):* the workers' buffers are merged into a centralized
+//! buffer and a fresh *main agent* is trained purely by replay, without
+//! touching the environment. The trained main agent is then used for the
+//! actual aggregation decisions.
+
+use crate::config::FedDrlConfig;
+use crate::strategy::FedDrl;
+use feddrl_data::dataset::Dataset;
+use feddrl_data::partition::Partition;
+use feddrl_drl::ddpg::DdpgAgent;
+use feddrl_fl::server::{run_federated, FlConfig};
+#[cfg(test)]
+use feddrl_fl::server::Selection;
+use feddrl_nn::parallel::par_map;
+use feddrl_nn::zoo::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Two-stage training parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoStageConfig {
+    /// Number of online workers `m` (paper §4.1.3 uses 2).
+    pub workers: usize,
+    /// Federated rounds each worker interacts for (stage 1).
+    pub online_rounds: usize,
+    /// `DdpgAgent::train` invocations on the merged buffer (stage 2).
+    pub offline_updates: usize,
+    /// Seed governing worker divergence and the main agent's init.
+    pub seed: u64,
+}
+
+impl Default for TwoStageConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            online_rounds: 30,
+            offline_updates: 50,
+            seed: 0x25A6E,
+        }
+    }
+}
+
+/// Diagnostics of a two-stage run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoStageReport {
+    /// Experiences collected per worker.
+    pub worker_experiences: Vec<usize>,
+    /// Size of the merged buffer handed to the main agent.
+    pub merged_experiences: usize,
+    /// Offline updates actually performed.
+    pub offline_updates: usize,
+}
+
+/// Run the two-stage procedure and return the trained main agent plus a
+/// report. Workers execute in parallel (each already parallelizes its own
+/// clients internally).
+pub fn two_stage_train(
+    spec: &ModelSpec,
+    train: &Dataset,
+    test: &Dataset,
+    partition: &Partition,
+    fl_cfg: &FlConfig,
+    feddrl_cfg: &FedDrlConfig,
+    ts_cfg: &TwoStageConfig,
+) -> (DdpgAgent, TwoStageReport) {
+    assert!(ts_cfg.workers > 0, "need at least one worker");
+    assert!(ts_cfg.online_rounds >= 2, "workers need >= 2 rounds to record a transition");
+
+    // --- Stage 1: online workers.
+    let worker_ids: Vec<usize> = (0..ts_cfg.workers).collect();
+    let agents: Vec<DdpgAgent> = par_map(&worker_ids, |_, &w| {
+        let mut worker_feddrl = feddrl_cfg.clone();
+        worker_feddrl.explore = true;
+        worker_feddrl.online_training = true;
+        worker_feddrl.seed = feddrl_cfg.seed ^ (0x1111 * (w as u64 + 1));
+        worker_feddrl.ddpg.seed = feddrl_cfg.ddpg.seed ^ (0x2222 * (w as u64 + 1));
+        let mut strategy = FedDrl::new(fl_cfg.participants, &worker_feddrl);
+        let mut worker_fl = fl_cfg.clone();
+        worker_fl.rounds = ts_cfg.online_rounds;
+        worker_fl.seed = fl_cfg.seed ^ (0x3333 * (w as u64 + 1));
+        let _ = run_federated(spec, train, test, partition, &mut strategy, &worker_fl);
+        strategy.into_agent()
+    });
+
+    // --- Stage 2: merge buffers, train a fresh main agent offline.
+    let mut main_cfg = feddrl_cfg.ddpg_for(fl_cfg.participants);
+    main_cfg.seed = ts_cfg.seed;
+    let mut main = DdpgAgent::new(main_cfg);
+    let worker_experiences: Vec<usize> = agents.iter().map(|a| a.buffer.len()).collect();
+    for agent in &agents {
+        main.buffer.absorb(&agent.buffer);
+    }
+    let merged = main.buffer.len();
+    let mut performed = 0;
+    for _ in 0..ts_cfg.offline_updates {
+        if main.train().is_some() {
+            performed += 1;
+        }
+    }
+    (
+        main,
+        TwoStageReport {
+            worker_experiences,
+            merged_experiences: merged,
+            offline_updates: performed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feddrl_data::partition::PartitionMethod;
+    use feddrl_data::synth::SynthSpec;
+    use feddrl_fl::client::LocalTrainConfig;
+    use feddrl_nn::rng::Rng64;
+
+    fn quick_env() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
+        let (train, test) = SynthSpec {
+            train_size: 600,
+            test_size: 150,
+            ..SynthSpec::mnist_like()
+        }
+        .generate(3);
+        let partition = PartitionMethod::ce(0.6)
+            .partition(&train, 6, &mut Rng64::new(4))
+            .unwrap();
+        let spec = ModelSpec::Mlp {
+            in_dim: train.feature_dim(),
+            hidden: vec![16],
+            out_dim: train.num_classes(),
+        };
+        let fl_cfg = FlConfig {
+            rounds: 5,
+            participants: 6,
+            local: LocalTrainConfig {
+                epochs: 1,
+                batch_size: 16,
+                lr: 0.05,
+                ..Default::default()
+            },
+            eval_batch: 128,
+            seed: 11,
+            log_every: 0,
+            selection: Selection::Uniform,
+        };
+        (spec, train, test, partition, fl_cfg)
+    }
+
+    fn small_feddrl() -> FedDrlConfig {
+        let mut cfg = FedDrlConfig::default();
+        cfg.ddpg.hidden = 32;
+        cfg.ddpg.batch_size = 4;
+        cfg.ddpg.warmup = 4;
+        cfg.ddpg.updates_per_round = 1;
+        cfg
+    }
+
+    #[test]
+    fn workers_fill_merged_buffer() {
+        let (spec, train, test, partition, fl_cfg) = quick_env();
+        let ts = TwoStageConfig {
+            workers: 2,
+            online_rounds: 4,
+            offline_updates: 3,
+            seed: 5,
+        };
+        let (main, report) =
+            two_stage_train(&spec, &train, &test, &partition, &fl_cfg, &small_feddrl(), &ts);
+        // Each worker records rounds−1 transitions.
+        assert_eq!(report.worker_experiences, vec![3, 3]);
+        assert_eq!(report.merged_experiences, 6);
+        assert_eq!(main.buffer.len(), 6);
+        assert_eq!(report.offline_updates, 3);
+    }
+
+    #[test]
+    fn workers_diverge() {
+        let (spec, train, test, partition, fl_cfg) = quick_env();
+        let ts = TwoStageConfig {
+            workers: 2,
+            online_rounds: 3,
+            offline_updates: 1,
+            seed: 6,
+        };
+        let (main, _) =
+            two_stage_train(&spec, &train, &test, &partition, &fl_cfg, &small_feddrl(), &ts);
+        // The two workers' experiences must not be identical: compare the
+        // stored rewards pairwise.
+        let rewards: Vec<f32> = main.buffer.iter().map(|e| e.reward).collect();
+        let (first_half, second_half) = rewards.split_at(rewards.len() / 2);
+        assert_ne!(
+            first_half, second_half,
+            "worker streams identical — seeds not diverging"
+        );
+    }
+
+    #[test]
+    fn offline_training_changes_main_policy() {
+        let (spec, train, test, partition, fl_cfg) = quick_env();
+        let feddrl = small_feddrl();
+        let ts_no = TwoStageConfig {
+            workers: 1,
+            online_rounds: 6,
+            offline_updates: 0,
+            seed: 7,
+        };
+        let ts_yes = TwoStageConfig {
+            offline_updates: 10,
+            ..ts_no.clone()
+        };
+        let (main_no, _) =
+            two_stage_train(&spec, &train, &test, &partition, &fl_cfg, &feddrl, &ts_no);
+        let (main_yes, _) =
+            two_stage_train(&spec, &train, &test, &partition, &fl_cfg, &feddrl, &ts_yes);
+        assert_ne!(
+            main_no.policy_params(),
+            main_yes.policy_params(),
+            "offline updates had no effect on the main policy"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        let (spec, train, test, partition, fl_cfg) = quick_env();
+        let ts = TwoStageConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        let _ = two_stage_train(
+            &spec,
+            &train,
+            &test,
+            &partition,
+            &fl_cfg,
+            &small_feddrl(),
+            &ts,
+        );
+    }
+}

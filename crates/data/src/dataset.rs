@@ -1,0 +1,200 @@
+//! In-memory labelled dataset.
+//!
+//! Federated clients never copy their shard of the training set; they hold
+//! index lists into one shared [`Dataset`] and materialize mini-batches with
+//! [`Dataset::gather`]. This mirrors how FL simulators (and the paper's
+//! PyTorch harness) treat a centrally-partitioned dataset.
+
+use feddrl_nn::tensor::Tensor;
+
+/// A dense classification dataset: `[n, d]` features and one label per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset, validating label range and shape agreement.
+    ///
+    /// # Panics
+    /// Panics if `features` is not 2-D, row count mismatches `labels`, or a
+    /// label is `>= num_classes`.
+    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(features.ndim(), 2, "features must be [n, d]");
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature rows ({}) != labels ({})",
+            features.rows(),
+            labels.len()
+        );
+        assert!(num_classes > 0, "num_classes must be positive");
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(
+                l < num_classes,
+                "label {l} at row {i} out of range (num_classes={num_classes})"
+            );
+        }
+        Self {
+            features,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Full feature tensor.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Copy the rows named by `indices` into a dense batch.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let d = self.feature_dim();
+        let mut out = Tensor::zeros(&[indices.len(), d]);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < self.len(), "gather index {i} out of bounds ({})", self.len());
+            out.row_mut(r).copy_from_slice(self.features.row(i));
+            labels.push(self.labels[i]);
+        }
+        (out, labels)
+    }
+
+    /// Indices of all samples of each label: `result[l]` lists the rows with
+    /// label `l`, in dataset order.
+    pub fn indices_by_label(&self) -> Vec<Vec<usize>> {
+        let mut by_label = vec![Vec::new(); self.num_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_label[l].push(i);
+        }
+        by_label
+    }
+
+    /// Per-label sample counts.
+    pub fn label_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Materialize a subset as an owned dataset (used by SingleSet and by
+    /// tests; clients use [`Dataset::gather`] directly).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let (features, labels) = self.gather(indices);
+        Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Tensor::from_vec(&[4, 2], vec![0., 0., 1., 1., 2., 2., 3., 3.]);
+        Dataset::new(features, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.feature_dim(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.label(2), 0);
+    }
+
+    #[test]
+    fn gather_copies_rows_in_order() {
+        let ds = toy();
+        let (x, y) = ds.gather(&[3, 0]);
+        assert_eq!(x.row(0), &[3., 3.]);
+        assert_eq!(x.row(1), &[0., 0.]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rejects_bad_index() {
+        let _ = toy().gather(&[4]);
+    }
+
+    #[test]
+    fn indices_by_label_partitions_rows() {
+        let ds = toy();
+        let by = ds.indices_by_label();
+        assert_eq!(by[0], vec![0, 2]);
+        assert_eq!(by[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn label_counts_sum_to_len() {
+        let ds = toy();
+        let counts = ds.label_counts();
+        assert_eq!(counts.iter().sum::<usize>(), ds.len());
+        assert_eq!(counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn subset_preserves_class_space() {
+        let ds = toy();
+        let sub = ds.subset(&[1]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.num_classes(), 2);
+        assert_eq!(sub.labels(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range_label() {
+        let features = Tensor::zeros(&[1, 2]);
+        let _ = Dataset::new(features, vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn new_rejects_mismatched_rows() {
+        let features = Tensor::zeros(&[2, 2]);
+        let _ = Dataset::new(features, vec![0], 2);
+    }
+}

@@ -1,0 +1,363 @@
+//! Cluster-skew partitioners (paper "CE" and "CN", §4.1.1).
+//!
+//! The paper's novel non-IID type: labels are partitioned into clusters and
+//! clients into groups; each group's clients draw their labels only from
+//! their cluster. One *main* group holds `δ·N` clients — the higher δ, the
+//! stronger the bias toward the main group's knowledge. CE keeps per-client
+//! sample counts equal; CN additionally draws per-client counts from a
+//! power law (quantity skew).
+
+use super::{allocate_proportional, PartitionError};
+use crate::dataset::Dataset;
+use feddrl_nn::rng::Rng64;
+
+/// Partition with cluster skew. `quantity_alpha = None` gives CE (equal
+/// counts), `Some(alpha)` gives CN (power-law counts). Returns the per-
+/// client index sets and the client → group assignment.
+#[allow(clippy::type_complexity)]
+pub(super) fn split(
+    dataset: &Dataset,
+    n_clients: usize,
+    delta: f64,
+    num_groups: usize,
+    labels_per_client: usize,
+    quantity_alpha: Option<f64>,
+    rng: &mut Rng64,
+) -> Result<(Vec<Vec<usize>>, Vec<usize>), PartitionError> {
+    let n_labels = dataset.num_classes();
+    if !(0.0..=1.0).contains(&delta) {
+        return Err(PartitionError::BadParameter(format!(
+            "delta must be in [0,1], got {delta}"
+        )));
+    }
+    if num_groups < 2 {
+        return Err(PartitionError::BadParameter(
+            "cluster skew needs at least 2 groups".into(),
+        ));
+    }
+    if num_groups > n_clients {
+        return Err(PartitionError::BadParameter(format!(
+            "{num_groups} groups but only {n_clients} clients"
+        )));
+    }
+    if labels_per_client == 0 {
+        return Err(PartitionError::BadParameter(
+            "labels_per_client must be positive".into(),
+        ));
+    }
+    // Every group's label cluster must be able to supply labels_per_client
+    // distinct labels.
+    if n_labels / num_groups < labels_per_client {
+        return Err(PartitionError::NotEnoughLabels {
+            labels: n_labels,
+            needed: labels_per_client * num_groups,
+        });
+    }
+    if let Some(alpha) = quantity_alpha {
+        if alpha <= 0.0 {
+            return Err(PartitionError::BadParameter(format!(
+                "power-law alpha must be positive, got {alpha}"
+            )));
+        }
+    }
+
+    // ---- Label clusters: contiguous near-equal chunks over a shuffled
+    // label ring (shuffling decorrelates cluster identity from label id).
+    let mut ring: Vec<usize> = (0..n_labels).collect();
+    rng.shuffle(&mut ring);
+    let base = n_labels / num_groups;
+    let extra = n_labels % num_groups;
+    let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(num_groups);
+    let mut cursor = 0;
+    for g in 0..num_groups {
+        let take = base + usize::from(g < extra);
+        clusters.push(ring[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+
+    // ---- Client groups: main group gets round(δ·N) (at least 1), the
+    // rest split evenly.
+    let main_size = ((delta * n_clients as f64).round() as usize)
+        .clamp(1, n_clients - (num_groups - 1));
+    let rest = n_clients - main_size;
+    let minor = num_groups - 1;
+    let mut groups = vec![0usize; n_clients];
+    let mut assigned = main_size;
+    for g in 1..num_groups {
+        let take = rest / minor + usize::from(g - 1 < rest % minor);
+        for item in groups.iter_mut().skip(assigned).take(take) {
+            *item = g;
+        }
+        assigned += take;
+    }
+    debug_assert_eq!(assigned, n_clients);
+
+    // ---- Per-client label choice within the group's cluster. Labels are
+    // dealt cyclically over a per-group shuffled ring (staggered on wrap,
+    // as in the PA partitioner) so every cluster label receives nearly
+    // equal demand — this is what lets CE deliver *equal* sample counts
+    // from finite per-label pools.
+    let mut client_labels: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for g in 0..num_groups {
+        let mut ring = clusters[g].clone();
+        rng.shuffle(&mut ring);
+        let l = ring.len();
+        let mut cursor = 0usize;
+        for (c, labels) in client_labels.iter_mut().enumerate() {
+            if groups[c] != g {
+                continue;
+            }
+            while labels.len() < labels_per_client {
+                let lab = ring[(cursor + cursor / l) % l];
+                cursor += 1;
+                if !labels.contains(&lab) {
+                    labels.push(lab);
+                }
+            }
+        }
+    }
+
+    // ---- Per-client sample budgets.
+    //
+    // CE demands *equal* sizes across all clients, so the budget is the
+    // worst-case per-client capacity over groups (surplus samples in richer
+    // clusters go unused, exactly as when a real CE split subsamples).
+    // CN draws power-law weights and spends each group's full capacity
+    // proportionally to them.
+    let mut group_capacity = vec![0usize; num_groups];
+    let pools_by_label = dataset.indices_by_label();
+    for (g, cluster) in clusters.iter().enumerate() {
+        group_capacity[g] = cluster.iter().map(|&l| pools_by_label[l].len()).sum();
+    }
+    let mut group_size = vec![0usize; num_groups];
+    for &g in groups.iter() {
+        group_size[g] += 1;
+    }
+    let budgets: Vec<usize> = match quantity_alpha {
+        None => {
+            let spc = (0..num_groups)
+                .map(|g| group_capacity[g] / group_size[g].max(1))
+                .min()
+                .unwrap_or(0)
+                .max(1);
+            vec![spc; n_clients]
+        }
+        Some(alpha) => {
+            let mut order: Vec<usize> = (0..n_clients).collect();
+            rng.shuffle(&mut order);
+            let mut w = vec![0.0f64; n_clients];
+            for (rank, &c) in order.iter().enumerate() {
+                w[c] = ((rank + 1) as f64).powf(-alpha);
+            }
+            let mut group_w = vec![0.0f64; num_groups];
+            for (c, &g) in groups.iter().enumerate() {
+                group_w[g] += w[c];
+            }
+            (0..n_clients)
+                .map(|c| {
+                    let g = groups[c];
+                    ((w[c] / group_w[g]) * group_capacity[g] as f64).floor() as usize
+                })
+                .map(|b| b.max(1))
+                .collect()
+        }
+    };
+
+    // ---- Allocation. First pass: split each label's pool among its owners
+    // proportionally to their demand (budget/labels_per_client), capped at
+    // the total demand so CE never overshoots. Second pass: clients short
+    // of their budget top up from leftover pools of their own labels.
+    let mut owners: Vec<Vec<usize>> = vec![Vec::new(); n_labels];
+    for (c, labels) in client_labels.iter().enumerate() {
+        for &l in labels {
+            owners[l].push(c);
+        }
+    }
+    let mut pools = pools_by_label;
+    for pool in pools.iter_mut() {
+        rng.shuffle(pool);
+    }
+    let mut pool_cursor = vec![0usize; n_labels];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for (label, pool) in pools.iter().enumerate() {
+        let own = &owners[label];
+        if own.is_empty() || pool.is_empty() {
+            continue;
+        }
+        let want: Vec<f64> = own
+            .iter()
+            .map(|&c| budgets[c] as f64 / labels_per_client as f64)
+            .collect();
+        let total_want: f64 = want.iter().sum();
+        let take_total = (total_want.round() as usize).min(pool.len());
+        let alloc = allocate_proportional(take_total, &want);
+        let mut cursor = 0;
+        for (&client, &take) in own.iter().zip(alloc.iter()) {
+            out[client].extend_from_slice(&pool[cursor..cursor + take]);
+            cursor += take;
+        }
+        pool_cursor[label] = cursor;
+    }
+    for c in 0..n_clients {
+        let mut deficit = budgets[c].saturating_sub(out[c].len());
+        if deficit == 0 {
+            continue;
+        }
+        for &label in &client_labels[c] {
+            if deficit == 0 {
+                break;
+            }
+            let remaining = pools[label].len() - pool_cursor[label];
+            let take = deficit.min(remaining);
+            let start = pool_cursor[label];
+            out[c].extend_from_slice(&pools[label][start..start + take]);
+            pool_cursor[label] += take;
+            deficit -= take;
+        }
+    }
+
+    // Guarantee non-emptiness (possible when a tiny power-law weight
+    // floors to zero for every owned label).
+    for c in 0..n_clients {
+        if out[c].is_empty() {
+            let donor = (0..n_clients)
+                .filter(|&d| out[d].len() > 1)
+                .max_by_key(|&d| out[d].len())
+                .ok_or_else(|| {
+                    PartitionError::BadParameter("no donor sample available".into())
+                })?;
+            let sample = out[donor].pop().expect("donor checked non-empty");
+            out[c].push(sample);
+        }
+    }
+    Ok((out, groups))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+    use std::collections::HashSet;
+
+    fn train() -> Dataset {
+        SynthSpec::mnist_like().generate(13).0
+    }
+
+    #[test]
+    fn main_group_holds_delta_fraction() {
+        let ds = train();
+        let mut rng = Rng64::new(1);
+        let (_, groups) = split(&ds, 100, 0.6, 3, 2, None, &mut rng).unwrap();
+        let main = groups.iter().filter(|&&g| g == 0).count();
+        assert_eq!(main, 60);
+        let g1 = groups.iter().filter(|&&g| g == 1).count();
+        let g2 = groups.iter().filter(|&&g| g == 2).count();
+        assert_eq!(g1 + g2, 40);
+        assert!((g1 as i64 - g2 as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn client_labels_stay_inside_group_cluster() {
+        let ds = train();
+        let mut rng = Rng64::new(2);
+        let (parts, groups) = split(&ds, 30, 0.6, 3, 2, None, &mut rng).unwrap();
+        // Reconstruct the label set of each group from the assignment.
+        let mut group_labels: Vec<HashSet<usize>> = vec![HashSet::new(); 3];
+        for (c, part) in parts.iter().enumerate() {
+            for &i in part {
+                group_labels[groups[c]].insert(ds.label(i));
+            }
+        }
+        // Groups' observed label sets must be pairwise disjoint (that is
+        // the defining property of cluster skew).
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert!(
+                    group_labels[a].is_disjoint(&group_labels[b]),
+                    "groups {a} and {b} share labels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ce_sample_counts_are_near_equal_within_groups() {
+        let ds = train();
+        let mut rng = Rng64::new(3);
+        let (parts, _) = split(&ds, 10, 0.6, 3, 2, None, &mut rng).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        // CE: all clients demand equal shares; allow modest imbalance from
+        // pool granularity.
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min < 2.6, "CE sizes too skewed: {sizes:?}");
+    }
+
+    #[test]
+    fn cn_sample_counts_are_skewed() {
+        let ds = train();
+        let mut rng = Rng64::new(4);
+        let (parts, _) = split(&ds, 10, 0.6, 3, 2, Some(1.2), &mut rng).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min > 2.5, "CN sizes too balanced: {sizes:?}");
+    }
+
+    #[test]
+    fn each_client_has_at_most_lpc_labels() {
+        let ds = train();
+        let mut rng = Rng64::new(5);
+        let (parts, _) = split(&ds, 20, 0.4, 3, 2, None, &mut rng).unwrap();
+        for part in &parts {
+            let labels: HashSet<usize> = part.iter().map(|&i| ds.label(i)).collect();
+            assert!(labels.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        let ds = train();
+        let mut rng = Rng64::new(6);
+        assert!(matches!(
+            split(&ds, 10, 1.5, 3, 2, None, &mut rng),
+            Err(PartitionError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_one_group() {
+        let ds = train();
+        let mut rng = Rng64::new(7);
+        assert!(matches!(
+            split(&ds, 10, 0.6, 1, 2, None, &mut rng),
+            Err(PartitionError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_too_small_clusters() {
+        let ds = train(); // 10 labels
+        let mut rng = Rng64::new(8);
+        // 5 groups × 2 labels = at least 10 labels needed per group of 2 →
+        // each cluster has 2 labels, exactly enough; 5 groups × 3 labels
+        // would overflow.
+        assert!(split(&ds, 10, 0.6, 5, 2, None, &mut rng).is_ok());
+        assert!(matches!(
+            split(&ds, 10, 0.6, 5, 3, None, &mut rng),
+            Err(PartitionError::NotEnoughLabels { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_extremes_are_clamped_sanely() {
+        let ds = train();
+        let mut rng = Rng64::new(9);
+        // δ=1.0 would leave minor groups empty; implementation reserves one
+        // client per minor group.
+        let (_, groups) = split(&ds, 10, 1.0, 3, 2, None, &mut rng).unwrap();
+        for g in 0..3 {
+            assert!(groups.iter().any(|&x| x == g), "group {g} empty");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! IID reference split: shuffle once, deal evenly.
+
+use crate::dataset::Dataset;
+use feddrl_nn::rng::Rng64;
+
+/// Shuffle all sample indices and split them into `n_clients` near-equal
+/// contiguous chunks (sizes differ by at most one).
+pub(super) fn split(dataset: &Dataset, n_clients: usize, rng: &mut Rng64) -> Vec<Vec<usize>> {
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    rng.shuffle(&mut indices);
+    let base = indices.len() / n_clients;
+    let extra = indices.len() % n_clients;
+    let mut out = Vec::with_capacity(n_clients);
+    let mut cursor = 0;
+    for c in 0..n_clients {
+        let take = base + usize::from(c < extra);
+        out.push(indices[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn covers_every_sample_evenly() {
+        let (train, _) = SynthSpec::mnist_like().generate(1);
+        let mut rng = Rng64::new(2);
+        let parts = split(&train, 7, &mut rng);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, train.len());
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn label_distribution_is_roughly_uniform() {
+        let (train, _) = SynthSpec::mnist_like().generate(3);
+        let mut rng = Rng64::new(4);
+        let parts = split(&train, 4, &mut rng);
+        // Each client should see close to train_len/(4*10) samples per label.
+        for part in &parts {
+            let mut counts = vec![0usize; train.num_classes()];
+            for &i in part {
+                counts[train.label(i)] += 1;
+            }
+            let expected = part.len() as f64 / train.num_classes() as f64;
+            for (l, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64) > expected * 0.4 && (c as f64) < expected * 1.8,
+                    "label {l} count {c} far from IID expectation {expected}"
+                );
+            }
+        }
+    }
+}

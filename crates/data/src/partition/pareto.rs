@@ -1,0 +1,190 @@
+//! Pareto label-skew partitioner (paper "PA").
+//!
+//! Each client holds a fixed number of labels; a label's sample pool is
+//! divided among the clients that own it with power-law shares, following
+//! the protocol of [12, 13]: "the number of samples of a label among
+//! clients follows a power law".
+
+use super::{allocate_proportional, PartitionError};
+use crate::dataset::Dataset;
+use feddrl_nn::rng::Rng64;
+
+pub(super) fn split(
+    dataset: &Dataset,
+    n_clients: usize,
+    labels_per_client: usize,
+    alpha: f64,
+    rng: &mut Rng64,
+) -> Result<Vec<Vec<usize>>, PartitionError> {
+    let n_labels = dataset.num_classes();
+    if labels_per_client == 0 {
+        return Err(PartitionError::BadParameter(
+            "labels_per_client must be positive".into(),
+        ));
+    }
+    if labels_per_client > n_labels {
+        return Err(PartitionError::NotEnoughLabels {
+            labels: n_labels,
+            needed: labels_per_client,
+        });
+    }
+    if alpha <= 0.0 {
+        return Err(PartitionError::BadParameter(format!(
+            "power-law alpha must be positive, got {alpha}"
+        )));
+    }
+
+    // Assign labels to clients cyclically over a shuffled label ring so
+    // every label gets ≈ n_clients·lpc/n_labels owners and every client
+    // gets exactly `labels_per_client` distinct labels. Each pass over the
+    // ring is staggered by one position (`cursor / n_labels`), otherwise
+    // consecutive passes would re-create the same disjoint label tuples and
+    // accidentally manufacture cluster skew.
+    let mut ring: Vec<usize> = (0..n_labels).collect();
+    rng.shuffle(&mut ring);
+    let mut client_labels: Vec<Vec<usize>> = Vec::with_capacity(n_clients);
+    let mut cursor = 0usize;
+    for _ in 0..n_clients {
+        let mut labels = Vec::with_capacity(labels_per_client);
+        while labels.len() < labels_per_client {
+            let l = ring[(cursor + cursor / n_labels) % n_labels];
+            cursor += 1;
+            if !labels.contains(&l) {
+                labels.push(l);
+            }
+        }
+        client_labels.push(labels);
+    }
+
+    // Owners per label.
+    let mut owners: Vec<Vec<usize>> = vec![Vec::new(); n_labels];
+    for (c, labels) in client_labels.iter().enumerate() {
+        for &l in labels {
+            owners[l].push(c);
+        }
+    }
+
+    // Shuffled per-label pools.
+    let mut pools = dataset.indices_by_label();
+    for pool in pools.iter_mut() {
+        rng.shuffle(pool);
+    }
+
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for (label, pool) in pools.iter().enumerate() {
+        let own = &owners[label];
+        if own.is_empty() || pool.is_empty() {
+            continue;
+        }
+        // Power-law shares over a per-label random owner order, so heavy
+        // owners differ from label to label.
+        let mut order: Vec<usize> = own.clone();
+        rng.shuffle(&mut order);
+        let want: Vec<f64> = (0..order.len())
+            .map(|rank| ((rank + 1) as f64).powf(-alpha))
+            .collect();
+        let alloc = allocate_proportional(pool.len(), &want);
+        let mut cursor = 0;
+        for (&client, &take) in order.iter().zip(alloc.iter()) {
+            out[client].extend_from_slice(&pool[cursor..cursor + take]);
+            cursor += take;
+        }
+    }
+
+    // Power-law floors can starve a client that drew last ranks for both of
+    // its labels; guarantee non-emptiness by stealing one sample from the
+    // richest client holding a shared label (any sample keeps validity).
+    for c in 0..n_clients {
+        if out[c].is_empty() {
+            let donor = (0..n_clients)
+                .filter(|&d| out[d].len() > 1)
+                .max_by_key(|&d| out[d].len())
+                .ok_or_else(|| {
+                    PartitionError::BadParameter("no donor sample available".into())
+                })?;
+            let sample = out[donor].pop().expect("donor checked non-empty");
+            out[c].push(sample);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    fn train() -> Dataset {
+        SynthSpec::mnist_like().generate(9).0
+    }
+
+    #[test]
+    fn each_client_has_exactly_two_labels() {
+        let ds = train();
+        let mut rng = Rng64::new(1);
+        let parts = split(&ds, 10, 2, 1.2, &mut rng).unwrap();
+        for (c, part) in parts.iter().enumerate() {
+            let mut labels: Vec<usize> = part.iter().map(|&i| ds.label(i)).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert!(
+                labels.len() <= 2,
+                "client {c} holds {} labels (expected ≤ 2)",
+                labels.len()
+            );
+            assert!(!part.is_empty());
+        }
+    }
+
+    #[test]
+    fn quantity_skew_is_present() {
+        let ds = train();
+        let mut rng = Rng64::new(2);
+        let parts = split(&ds, 10, 2, 1.2, &mut rng).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(
+            max / min > 1.5,
+            "power-law split too balanced: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_labels_per_client() {
+        let ds = train();
+        let mut rng = Rng64::new(3);
+        assert!(matches!(
+            split(&ds, 10, 0, 1.2, &mut rng),
+            Err(PartitionError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_more_labels_than_exist() {
+        let ds = train();
+        let mut rng = Rng64::new(4);
+        assert!(matches!(
+            split(&ds, 10, 11, 1.2, &mut rng),
+            Err(PartitionError::NotEnoughLabels { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_positive_alpha() {
+        let ds = train();
+        let mut rng = Rng64::new(5);
+        assert!(matches!(
+            split(&ds, 10, 2, 0.0, &mut rng),
+            Err(PartitionError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn many_clients_all_nonempty() {
+        let ds = train();
+        let mut rng = Rng64::new(6);
+        let parts = split(&ds, 100, 2, 1.5, &mut rng).unwrap();
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+}

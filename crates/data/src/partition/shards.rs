@@ -1,0 +1,200 @@
+//! FedAvg label-size-imbalance shard partitioners (paper §5.1, after [17]).
+//!
+//! The dataset is sorted by label and cut into contiguous shards; clients
+//! receive whole shards. *Equal*: `shards_per_client·N` shards, every client
+//! gets exactly `shards_per_client`. *Non-equal*: `10·N` shards, each client
+//! draws a shard count uniformly from `[min, max]` (paper: 6–14).
+
+use super::PartitionError;
+use crate::dataset::Dataset;
+use feddrl_nn::rng::Rng64;
+
+/// Sort indices by label and cut into `n_shards` near-equal chunks.
+fn make_shards(dataset: &Dataset, n_shards: usize) -> Vec<Vec<usize>> {
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.sort_by_key(|&i| dataset.label(i));
+    let base = indices.len() / n_shards;
+    let extra = indices.len() % n_shards;
+    let mut shards = Vec::with_capacity(n_shards);
+    let mut cursor = 0;
+    for s in 0..n_shards {
+        let take = base + usize::from(s < extra);
+        shards.push(indices[cursor..cursor + take].to_vec());
+        cursor += take;
+    }
+    shards
+}
+
+pub(super) fn split_equal(
+    dataset: &Dataset,
+    n_clients: usize,
+    shards_per_client: usize,
+    rng: &mut Rng64,
+) -> Result<Vec<Vec<usize>>, PartitionError> {
+    if shards_per_client == 0 {
+        return Err(PartitionError::BadParameter(
+            "shards_per_client must be positive".into(),
+        ));
+    }
+    let n_shards = n_clients * shards_per_client;
+    if dataset.len() < n_shards {
+        return Err(PartitionError::NotEnoughSamples {
+            samples: dataset.len(),
+            clients: n_clients,
+        });
+    }
+    let mut shards = make_shards(dataset, n_shards);
+    let mut order: Vec<usize> = (0..n_shards).collect();
+    rng.shuffle(&mut order);
+    let mut out = vec![Vec::new(); n_clients];
+    for (slot, &shard_id) in order.iter().enumerate() {
+        out[slot % n_clients].append(&mut shards[shard_id]);
+    }
+    Ok(out)
+}
+
+pub(super) fn split_non_equal(
+    dataset: &Dataset,
+    n_clients: usize,
+    min_shards: usize,
+    max_shards: usize,
+    rng: &mut Rng64,
+) -> Result<Vec<Vec<usize>>, PartitionError> {
+    if min_shards == 0 || min_shards > max_shards {
+        return Err(PartitionError::BadParameter(format!(
+            "invalid shard range [{min_shards}, {max_shards}]"
+        )));
+    }
+    let n_shards = 10 * n_clients;
+    if dataset.len() < n_shards {
+        return Err(PartitionError::NotEnoughSamples {
+            samples: dataset.len(),
+            clients: n_clients,
+        });
+    }
+    let mut shards = make_shards(dataset, n_shards);
+    let mut order: Vec<usize> = (0..n_shards).collect();
+    rng.shuffle(&mut order);
+
+    // Draw desired counts, guarantee one shard per client up front, then
+    // satisfy the rest of each client's draw while shards remain.
+    let draws: Vec<usize> = (0..n_clients)
+        .map(|_| rng.int_range(min_shards, max_shards))
+        .collect();
+    let mut out = vec![Vec::new(); n_clients];
+    let mut cursor = 0;
+    for c in 0..n_clients {
+        out[c].append(&mut shards[order[cursor]]);
+        cursor += 1;
+    }
+    'outer: for c in 0..n_clients {
+        // One shard already delivered above.
+        for _ in 1..draws[c] {
+            if cursor >= n_shards {
+                break 'outer;
+            }
+            out[c].append(&mut shards[order[cursor]]);
+            cursor += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+    use std::collections::HashSet;
+
+    fn train() -> Dataset {
+        SynthSpec::mnist_like().generate(21).0
+    }
+
+    #[test]
+    fn equal_covers_everything_with_two_shards_each() {
+        let ds = train();
+        let mut rng = Rng64::new(1);
+        let parts = split_equal(&ds, 10, 2, &mut rng).unwrap();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, ds.len());
+        // Sorted shards of 2 per client → at most ~4 labels per client
+        // (each shard spans at most a label boundary).
+        for part in &parts {
+            let labels: HashSet<usize> = part.iter().map(|&i| ds.label(i)).collect();
+            assert!(
+                labels.len() <= 4,
+                "equal-shard client saw {} labels",
+                labels.len()
+            );
+        }
+    }
+
+    #[test]
+    fn equal_sizes_are_near_equal() {
+        let ds = train();
+        let mut rng = Rng64::new(2);
+        let parts = split_equal(&ds, 10, 2, &mut rng).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 2, "equal shards uneven: {sizes:?}");
+    }
+
+    #[test]
+    fn non_equal_produces_quantity_skew() {
+        let ds = train(); // 4000 samples, 10 clients → 100 shards of 40
+        let mut rng = Rng64::new(3);
+        let parts = split_non_equal(&ds, 10, 6, 14, &mut rng).unwrap();
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min >= 1.3, "non-equal too balanced: {sizes:?}");
+    }
+
+    #[test]
+    fn non_equal_shard_counts_within_draw_range() {
+        let ds = train();
+        let mut rng = Rng64::new(4);
+        let parts = split_non_equal(&ds, 10, 6, 14, &mut rng).unwrap();
+        // 100 shards, draws sum in [60, 140]; with truncation the per-client
+        // shard count is ≤ 14 shards ≈ 14*40 samples.
+        for part in &parts {
+            assert!(part.len() <= 14 * 41);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shard_range() {
+        let ds = train();
+        let mut rng = Rng64::new(5);
+        assert!(matches!(
+            split_non_equal(&ds, 10, 0, 5, &mut rng),
+            Err(PartitionError::BadParameter(_))
+        ));
+        assert!(matches!(
+            split_non_equal(&ds, 10, 8, 5, &mut rng),
+            Err(PartitionError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_too_many_shards_for_dataset() {
+        let ds = train(); // 4000 samples
+        let mut rng = Rng64::new(6);
+        assert!(matches!(
+            split_equal(&ds, 4000, 2, &mut rng),
+            Err(PartitionError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn shards_are_label_contiguous() {
+        let ds = train();
+        let shards = make_shards(&ds, 100);
+        for shard in &shards {
+            let labels: HashSet<usize> = shard.iter().map(|&i| ds.label(i)).collect();
+            assert!(labels.len() <= 2, "shard spans {} labels", labels.len());
+        }
+    }
+}

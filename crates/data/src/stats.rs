@@ -1,0 +1,281 @@
+//! Partition skew statistics.
+//!
+//! Quantifies the three non-IID axes of the paper's Table 2 — cluster skew,
+//! label-size imbalance and quantity imbalance — directly from a realized
+//! [`Partition`], so the table can be *derived from data* rather than
+//! asserted. Also renders the client×label bubble matrices of Figure 4.
+
+use crate::dataset::Dataset;
+use crate::partition::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Computed skew statistics for one partition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Per-client sample counts.
+    pub sizes: Vec<usize>,
+    /// `matrix[c][l]` = samples of label `l` held by client `c`.
+    pub label_matrix: Vec<Vec<usize>>,
+    /// Distinct labels per client.
+    pub distinct_labels: Vec<usize>,
+    /// `max(sizes)/min(sizes)`.
+    pub quantity_ratio: f64,
+    /// Gini coefficient of `sizes` (0 = equal, →1 = concentrated).
+    pub gini: f64,
+    /// Connected components of the label-sharing graph (clients are
+    /// adjacent when their label sets intersect). `> 1` means groups of
+    /// clients share *no* labels across groups — the defining signature of
+    /// cluster skew.
+    pub label_sharing_components: usize,
+}
+
+impl PartitionStats {
+    /// Compute statistics for `partition` over `dataset`.
+    pub fn compute(partition: &Partition, dataset: &Dataset) -> Self {
+        let n_clients = partition.n_clients();
+        let n_labels = dataset.num_classes();
+        let mut label_matrix = vec![vec![0usize; n_labels]; n_clients];
+        for (c, indices) in partition.clients().iter().enumerate() {
+            for &i in indices {
+                label_matrix[c][dataset.label(i)] += 1;
+            }
+        }
+        let sizes = partition.sizes();
+        let distinct_labels: Vec<usize> = label_matrix
+            .iter()
+            .map(|row| row.iter().filter(|&&c| c > 0).count())
+            .collect();
+        let max = *sizes.iter().max().unwrap_or(&0) as f64;
+        let min = *sizes.iter().min().unwrap_or(&0) as f64;
+        let quantity_ratio = if min > 0.0 { max / min } else { f64::INFINITY };
+        Self {
+            gini: gini(&sizes),
+            label_sharing_components: components(&label_matrix),
+            sizes,
+            label_matrix,
+            distinct_labels,
+            quantity_ratio,
+        }
+    }
+
+    /// Table 2 column 1: does the partition exhibit cluster skew?
+    pub fn has_cluster_skew(&self) -> bool {
+        self.label_sharing_components > 1
+    }
+
+    /// Table 2 column 2: label-size imbalance (clients see only a strict
+    /// subset of the label space).
+    pub fn has_label_size_imbalance(&self) -> bool {
+        let n_labels = self.label_matrix.first().map_or(0, |r| r.len());
+        self.distinct_labels.iter().any(|&d| d < n_labels)
+    }
+
+    /// Table 2 column 3: quantity imbalance (sizes differ by >50%).
+    pub fn has_quantity_imbalance(&self) -> bool {
+        self.quantity_ratio > 1.5
+    }
+
+    /// ASCII bubble plot in the style of Figure 4: rows = labels, columns =
+    /// clients, glyph size ∝ sample count.
+    pub fn render_bubbles(&self) -> String {
+        let n_clients = self.label_matrix.len();
+        let n_labels = self.label_matrix.first().map_or(0, |r| r.len());
+        let max = self
+            .label_matrix
+            .iter()
+            .flat_map(|r| r.iter())
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        for l in (0..n_labels).rev() {
+            out.push_str(&format!("L{l:<3}|"));
+            for c in 0..n_clients {
+                let v = self.label_matrix[c][l];
+                let glyph = if v == 0 {
+                    " . "
+                } else if v * 4 < max {
+                    " o "
+                } else if v * 2 < max {
+                    " O "
+                } else {
+                    " @ "
+                };
+                out.push_str(glyph);
+            }
+            out.push('\n');
+        }
+        out.push_str("    +");
+        out.push_str(&"---".repeat(n_clients));
+        out.push('\n');
+        out.push_str("     ");
+        for c in 0..n_clients {
+            out.push_str(&format!("{c:^3}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Gini coefficient of non-negative counts.
+fn gini(sizes: &[usize]) -> f64 {
+    if sizes.is_empty() {
+        return 0.0;
+    }
+    let n = sizes.len() as f64;
+    let mut sorted: Vec<f64> = sizes.iter().map(|&s| s as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sum: f64 = sorted.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+/// Connected components of the "clients share a label" graph via union-find.
+fn components(label_matrix: &[Vec<usize>]) -> usize {
+    let n_clients = label_matrix.len();
+    if n_clients == 0 {
+        return 0;
+    }
+    let n_labels = label_matrix[0].len();
+    let mut parent: Vec<usize> = (0..n_clients).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for l in 0..n_labels {
+        let mut first_owner: Option<usize> = None;
+        for (c, row) in label_matrix.iter().enumerate() {
+            if row[l] > 0 {
+                match first_owner {
+                    None => first_owner = Some(c),
+                    Some(o) => {
+                        let (a, b) = (find(&mut parent, o), find(&mut parent, c));
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+    }
+    (0..n_clients)
+        .map(|c| find(&mut parent, c))
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionMethod;
+    use crate::synth::SynthSpec;
+    use feddrl_nn::rng::Rng64;
+
+    fn stats_for(method: PartitionMethod, n_clients: usize, seed: u64) -> PartitionStats {
+        let (train, _) = SynthSpec::mnist_like().generate(31);
+        let p = method
+            .partition(&train, n_clients, &mut Rng64::new(seed))
+            .unwrap();
+        PartitionStats::compute(&p, &train)
+    }
+
+    #[test]
+    fn table2_row_pa() {
+        let s = stats_for(PartitionMethod::pa(), 10, 1);
+        assert!(!s.has_cluster_skew(), "PA misdetected as cluster skew");
+        assert!(s.has_label_size_imbalance());
+        assert!(s.has_quantity_imbalance());
+    }
+
+    #[test]
+    fn table2_row_ce() {
+        let s = stats_for(PartitionMethod::ce(0.6), 12, 2);
+        assert!(s.has_cluster_skew(), "CE must show cluster skew");
+        assert!(s.has_label_size_imbalance());
+        assert!(!s.has_quantity_imbalance(), "CE sizes: {:?}", s.sizes);
+    }
+
+    #[test]
+    fn table2_row_cn() {
+        let s = stats_for(PartitionMethod::cn(0.6), 12, 3);
+        assert!(s.has_cluster_skew());
+        assert!(s.has_label_size_imbalance());
+        assert!(s.has_quantity_imbalance(), "CN sizes: {:?}", s.sizes);
+    }
+
+    #[test]
+    fn iid_has_no_skew() {
+        let s = stats_for(PartitionMethod::Iid, 10, 4);
+        assert!(!s.has_cluster_skew());
+        assert!(!s.has_label_size_imbalance());
+        assert!(!s.has_quantity_imbalance());
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[100, 100, 100]).abs() < 1e-9);
+        assert!(gini(&[0, 0, 300]) > 0.6);
+        assert_eq!(gini(&[]), 0.0);
+    }
+
+    #[test]
+    fn components_detects_blocks() {
+        // Two clients on labels {0,1}, two on {2,3}: two components.
+        let m = vec![
+            vec![5, 5, 0, 0],
+            vec![3, 7, 0, 0],
+            vec![0, 0, 5, 5],
+            vec![0, 0, 2, 8],
+        ];
+        assert_eq!(components(&m), 2);
+        // A bridge client merges them.
+        let m2 = vec![
+            vec![5, 5, 0, 0],
+            vec![0, 1, 1, 0],
+            vec![0, 0, 5, 5],
+        ];
+        assert_eq!(components(&m2), 1);
+    }
+
+    #[test]
+    fn label_matrix_sums_match_sizes() {
+        let s = stats_for(PartitionMethod::cn(0.6), 10, 5);
+        for (c, row) in s.label_matrix.iter().enumerate() {
+            assert_eq!(row.iter().sum::<usize>(), s.sizes[c]);
+        }
+    }
+
+    #[test]
+    fn bubbles_render_every_label_row() {
+        let s = stats_for(PartitionMethod::ce(0.6), 10, 6);
+        let art = s.render_bubbles();
+        for l in 0..10 {
+            assert!(art.contains(&format!("L{l}")), "missing label row {l}");
+        }
+        assert!(art.contains('@'), "no large bubbles rendered");
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let s = stats_for(PartitionMethod::pa(), 6, 7);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PartitionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sizes, s.sizes);
+        assert_eq!(back.label_sharing_components, s.label_sharing_components);
+    }
+}

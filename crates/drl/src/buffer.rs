@@ -1,0 +1,223 @@
+//! Experience replay with temporal-difference prioritization
+//! (paper Algorithm 1, lines 1–4).
+
+use feddrl_nn::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// One transition `(s, a, r, s′)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experience {
+    /// Observation at decision time.
+    pub state: Vec<f32>,
+    /// Action emitted by the policy (the `(μ, σ)` tuple in FedDRL).
+    pub action: Vec<f32>,
+    /// Reward received after the environment step.
+    pub reward: f32,
+    /// Observation after the step.
+    pub next_state: Vec<f32>,
+}
+
+/// Fixed-capacity ring buffer of experiences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Experience>,
+    /// Ring write head (valid once `items.len() == capacity`).
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Create a buffer that retains at most `capacity` experiences.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self {
+            capacity,
+            items: Vec::new(),
+            head: 0,
+        }
+    }
+
+    /// Number of stored experiences.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no experience is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum number of retained experiences.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an experience, evicting the oldest once full.
+    pub fn push(&mut self, exp: Experience) {
+        if self.items.len() < self.capacity {
+            self.items.push(exp);
+        } else {
+            self.items[self.head] = exp;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Append every experience from `other` (used by the two-stage
+    /// trainer's buffer merge, paper §3.4.2).
+    pub fn absorb(&mut self, other: &ReplayBuffer) {
+        for exp in &other.items {
+            self.push(exp.clone());
+        }
+    }
+
+    /// All stored experiences (insertion order not guaranteed once the
+    /// ring has wrapped).
+    pub fn iter(&self) -> impl Iterator<Item = &Experience> {
+        self.items.iter()
+    }
+
+    /// Uniform random sample of `batch` experiences (with replacement when
+    /// the buffer is smaller than `batch`).
+    pub fn sample_uniform(&self, batch: usize, rng: &mut Rng64) -> Vec<&Experience> {
+        assert!(!self.is_empty(), "sampling from empty replay buffer");
+        (0..batch)
+            .map(|_| &self.items[rng.below(self.items.len())])
+            .collect()
+    }
+
+    /// TD-prioritized sample: `priorities[i]` is the priority of
+    /// `items[i]` (the caller computes `|r + γQ′ − Q|` with its critic —
+    /// Algorithm 1 line 1). Sampling is rank-based: experiences are sorted
+    /// by descending priority and drawn with probability ∝ 1/rank, which
+    /// keeps the sort order the paper prescribes while remaining robust to
+    /// the scale of TD errors.
+    ///
+    /// # Panics
+    /// Panics if `priorities.len() != self.len()` or the buffer is empty.
+    pub fn sample_prioritized(
+        &self,
+        batch: usize,
+        priorities: &[f32],
+        rng: &mut Rng64,
+    ) -> Vec<&Experience> {
+        assert!(!self.is_empty(), "sampling from empty replay buffer");
+        assert_eq!(
+            priorities.len(),
+            self.items.len(),
+            "priorities/buffer length mismatch"
+        );
+        // Rank experiences by descending priority (Algorithm 1 line 2).
+        let mut order: Vec<usize> = (0..self.items.len()).collect();
+        order.sort_by(|&a, &b| {
+            priorities[b]
+                .partial_cmp(&priorities[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let weights: Vec<f64> = (0..order.len()).map(|rank| 1.0 / (rank + 1) as f64).collect();
+        (0..batch)
+            .map(|_| {
+                let rank = rng.weighted_index(&weights);
+                &self.items[order[rank]]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(tag: f32) -> Experience {
+        Experience {
+            state: vec![tag; 3],
+            action: vec![tag; 2],
+            reward: tag,
+            next_state: vec![tag + 0.5; 3],
+        }
+    }
+
+    #[test]
+    fn push_until_capacity_then_ring() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(exp(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        // 0 and 1 evicted; rewards present: {2, 3, 4}.
+        let mut rewards: Vec<f32> = buf.iter().map(|e| e.reward).collect();
+        rewards.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(rewards, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn absorb_merges_buffers() {
+        let mut a = ReplayBuffer::new(10);
+        let mut b = ReplayBuffer::new(10);
+        a.push(exp(1.0));
+        b.push(exp(2.0));
+        b.push(exp(3.0));
+        a.absorb(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn uniform_sampling_covers_buffer() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(exp(i as f32));
+        }
+        let mut rng = Rng64::new(1);
+        let sample = buf.sample_uniform(400, &mut rng);
+        let mut seen = [false; 8];
+        for e in sample {
+            seen[e.reward as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "400 uniform draws missed an item");
+    }
+
+    #[test]
+    fn prioritized_sampling_prefers_high_priority() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..4 {
+            buf.push(exp(i as f32));
+        }
+        // Item 3 has overwhelming priority.
+        let priorities = vec![0.01, 0.01, 0.01, 100.0];
+        let mut rng = Rng64::new(2);
+        let sample = buf.sample_prioritized(1000, &priorities, &mut rng);
+        let hits_top = sample.iter().filter(|e| e.reward == 3.0).count();
+        // Rank-based 1/rank weights: top rank has weight 1 of (1+1/2+1/3+1/4)
+        // ≈ 0.48 of the mass.
+        assert!(
+            hits_top > 380,
+            "top-priority item drawn only {hits_top}/1000 times"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn prioritized_rejects_wrong_priority_count() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(exp(0.0));
+        let mut rng = Rng64::new(3);
+        let _ = buf.sample_prioritized(1, &[1.0, 2.0], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay buffer")]
+    fn sampling_empty_panics() {
+        let buf = ReplayBuffer::new(2);
+        let mut rng = Rng64::new(4);
+        let _ = buf.sample_uniform(1, &mut rng);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.push(exp(7.0));
+        let json = serde_json::to_string(&buf).unwrap();
+        let back: ReplayBuffer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.iter().next().unwrap().reward, 7.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Agent checkpointing.
+//!
+//! A [`AgentCheckpoint`] captures everything needed to resume or deploy a
+//! trained agent: the configuration, all four networks' flat parameters,
+//! and (optionally) the replay buffer. Stored as JSON so checkpoints are
+//! portable and diffable.
+
+use crate::buffer::ReplayBuffer;
+use crate::config::DdpgConfig;
+use crate::ddpg::DdpgAgent;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Serialized agent state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgentCheckpoint {
+    /// Hyper-parameters (also defines the network shapes).
+    pub config: DdpgConfig,
+    /// Main policy flat parameters.
+    pub policy: Vec<f32>,
+    /// Target policy flat parameters.
+    pub policy_target: Vec<f32>,
+    /// Main value flat parameters.
+    pub value: Vec<f32>,
+    /// Target value flat parameters.
+    pub value_target: Vec<f32>,
+    /// Replay buffer contents (`None` for deploy-only checkpoints).
+    pub buffer: Option<ReplayBuffer>,
+}
+
+impl AgentCheckpoint {
+    /// Capture an agent. `with_buffer` controls whether the experience
+    /// buffer is included (it dominates checkpoint size).
+    pub fn capture(agent: &DdpgAgent, with_buffer: bool) -> Self {
+        Self {
+            config: agent.config().clone(),
+            policy: agent.policy_params(),
+            policy_target: agent.target_policy_params(),
+            value: agent.value_params(),
+            value_target: agent.target_value_params(),
+            buffer: with_buffer.then(|| agent.buffer.clone()),
+        }
+    }
+
+    /// Rebuild an agent from the checkpoint.
+    pub fn restore(&self) -> DdpgAgent {
+        let mut agent = DdpgAgent::new(self.config.clone());
+        agent.set_network_params(
+            &self.policy,
+            &self.policy_target,
+            &self.value,
+            &self.value_target,
+        );
+        if let Some(buffer) = &self.buffer {
+            agent.buffer = buffer.clone();
+        }
+        agent
+    }
+
+    /// Write to a JSON file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("checkpoint serialization");
+        std::fs::write(path, json)
+    }
+
+    /// Read from a JSON file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Experience;
+
+    fn trained_agent() -> DdpgAgent {
+        let cfg = DdpgConfig {
+            state_dim: 6,
+            action_dim: 4,
+            hidden: 16,
+            batch_size: 4,
+            warmup: 4,
+            updates_per_round: 2,
+            ..Default::default()
+        };
+        let mut agent = DdpgAgent::new(cfg);
+        for i in 0..6 {
+            agent.remember(Experience {
+                state: vec![i as f32; 6],
+                action: vec![0.1; 4],
+                reward: -1.0,
+                next_state: vec![i as f32 + 1.0; 6],
+            });
+        }
+        agent.train();
+        agent
+    }
+
+    #[test]
+    fn roundtrip_preserves_decisions() {
+        let mut agent = trained_agent();
+        let ckpt = AgentCheckpoint::capture(&agent, true);
+        let mut restored = ckpt.restore();
+        let state = vec![0.3f32; 6];
+        assert_eq!(agent.act(&state, false), restored.act(&state, false));
+        assert_eq!(restored.buffer.len(), agent.buffer.len());
+    }
+
+    #[test]
+    fn deploy_checkpoint_drops_buffer() {
+        let agent = trained_agent();
+        let ckpt = AgentCheckpoint::capture(&agent, false);
+        assert!(ckpt.buffer.is_none());
+        let restored = ckpt.restore();
+        assert_eq!(restored.buffer.len(), 0);
+        assert_eq!(restored.policy_params(), agent.policy_params());
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let agent = trained_agent();
+        let ckpt = AgentCheckpoint::capture(&agent, true);
+        let dir = std::env::temp_dir().join("feddrl_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.json");
+        ckpt.save(&path).unwrap();
+        let loaded = AgentCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded.policy, ckpt.policy);
+        assert_eq!(loaded.config, ckpt.config);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_validates_shapes() {
+        let agent = trained_agent();
+        let mut ckpt = AgentCheckpoint::capture(&agent, false);
+        ckpt.policy.pop();
+        let result = std::panic::catch_unwind(|| ckpt.restore());
+        assert!(result.is_err(), "truncated checkpoint must be rejected");
+    }
+}

@@ -1,0 +1,177 @@
+//! Run histories: everything recorded per communication round, exportable
+//! as JSON/CSV for the experiment harness (Figures 5–8 and 10 are plotted
+//! straight from these records).
+
+use crate::metrics::{best_accuracy, ConvergenceStats};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Per-round measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Communication round (0-based).
+    pub round: usize,
+    /// Top-1 accuracy of the new global model on the test set.
+    pub test_accuracy: f32,
+    /// Mean test loss of the new global model.
+    pub test_loss: f32,
+    /// Ids of the clients that participated.
+    pub selected: Vec<usize>,
+    /// Normalized impact factors applied at aggregation (aligned with
+    /// `selected`).
+    pub impact_factors: Vec<f32>,
+    /// Inference loss of the broadcast global model on each selected
+    /// client's data (`l_before`; Figure 6's robustness metric).
+    pub client_losses_before: Vec<f32>,
+    /// Wall-clock spent computing impact factors (µs) — Figure 9's "DRL".
+    pub strategy_micros: u64,
+    /// Wall-clock spent averaging weight vectors (µs) — Figure 9's
+    /// "Aggregation".
+    pub aggregate_micros: u64,
+}
+
+/// A complete federated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunHistory {
+    /// Strategy name ("FedAvg", "FedProx", "FedDRL", …).
+    pub method: String,
+    /// Dataset name ("mnist-like", …).
+    pub dataset: String,
+    /// Partition code ("PA", "CE", "CN", …).
+    pub partition: String,
+    /// Total clients `N`.
+    pub n_clients: usize,
+    /// Participants per round `K`.
+    pub participants: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// One record per round, in order.
+    pub records: Vec<RoundRecord>,
+}
+
+impl RunHistory {
+    /// Accuracy trajectory.
+    pub fn accuracies(&self) -> Vec<f32> {
+        self.records.iter().map(|r| r.test_accuracy).collect()
+    }
+
+    /// Best accuracy and when it was reached.
+    pub fn best(&self) -> ConvergenceStats {
+        best_accuracy(&self.accuracies())
+    }
+
+    /// Moving average of the accuracy trajectory (the paper smooths
+    /// Fashion-MNIST curves over 10 rounds for Figure 5).
+    pub fn smoothed_accuracies(&self, window: usize) -> Vec<f32> {
+        let acc = self.accuracies();
+        let w = window.max(1);
+        acc.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let lo = i.saturating_sub(w - 1);
+                let slice = &acc[lo..=i];
+                slice.iter().sum::<f32>() / slice.len() as f32
+            })
+            .collect()
+    }
+
+    /// CSV with one row per round: `round,accuracy,loss,strategy_us,agg_us`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,test_accuracy,test_loss,strategy_micros,aggregate_micros\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{},{}\n",
+                r.round, r.test_accuracy, r.test_loss, r.strategy_micros, r.aggregate_micros
+            ));
+        }
+        out
+    }
+
+    /// Serialize to pretty JSON at `path` (parent directories must exist).
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let json = serde_json::to_string_pretty(self).expect("history serialization");
+        f.write_all(json.as_bytes())
+    }
+
+    /// Deserialize from a JSON file produced by [`RunHistory::save_json`].
+    pub fn load_json(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_history() -> RunHistory {
+        RunHistory {
+            method: "FedAvg".into(),
+            dataset: "mnist-like".into(),
+            partition: "CE".into(),
+            n_clients: 10,
+            participants: 10,
+            seed: 1,
+            records: (0..5)
+                .map(|round| RoundRecord {
+                    round,
+                    test_accuracy: 0.1 * (round as f32 + 1.0),
+                    test_loss: 1.0 / (round as f32 + 1.0),
+                    selected: vec![0, 1],
+                    impact_factors: vec![0.5, 0.5],
+                    client_losses_before: vec![1.0, 2.0],
+                    strategy_micros: 3,
+                    aggregate_micros: 45,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn best_tracks_maximum() {
+        let h = toy_history();
+        let best = h.best();
+        assert!((best.best_accuracy - 0.5).abs() < 1e-6);
+        assert_eq!(best.best_round, 4);
+    }
+
+    #[test]
+    fn smoothing_window_one_is_identity() {
+        let h = toy_history();
+        assert_eq!(h.smoothed_accuracies(1), h.accuracies());
+    }
+
+    #[test]
+    fn smoothing_averages_prefix() {
+        let h = toy_history();
+        let sm = h.smoothed_accuracies(3);
+        assert!((sm[0] - 0.1).abs() < 1e-6);
+        assert!((sm[1] - 0.15).abs() < 1e-6);
+        assert!((sm[4] - 0.4).abs() < 1e-6); // (0.3+0.4+0.5)/3
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = toy_history().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("round,"));
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn json_roundtrip_via_disk() {
+        let h = toy_history();
+        let dir = std::env::temp_dir().join("feddrl_fl_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        h.save_json(&path).unwrap();
+        let back = RunHistory::load_json(&path).unwrap();
+        assert_eq!(back.records.len(), 5);
+        assert_eq!(back.method, "FedAvg");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

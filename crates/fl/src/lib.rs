@@ -1,0 +1,59 @@
+//! # feddrl-fl — synchronous federated-learning simulator
+//!
+//! The orchestration substrate of the FedDRL (ICPP'22) reproduction,
+//! implementing the paper's Algorithm 2 skeleton:
+//!
+//! * [`client`] — local training rounds producing the
+//!   `(l_before, l_after, n_k, w_k)` report tuple;
+//! * [`strategy`] — the pluggable impact-factor abstraction with
+//!   [`strategy::FedAvg`], [`strategy::FedProx`] and a uniform ablation
+//!   baseline (FedDRL plugs in from the `feddrl` crate);
+//! * [`server`] — the deterministic, crossbeam-parallel round loop with
+//!   per-stage server timing (Figure 9);
+//! * [`singleset`] — the centralized reference;
+//! * [`metrics`] / [`history`] — evaluation and per-round records feeding
+//!   every figure of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use feddrl_fl::prelude::*;
+//! use feddrl_data::prelude::*;
+//! use feddrl_nn::prelude::*;
+//!
+//! let (train, test) = SynthSpec { train_size: 600, test_size: 200,
+//!     ..SynthSpec::mnist_like() }.generate(1);
+//! let partition = PartitionMethod::Iid
+//!     .partition(&train, 4, &mut Rng64::new(2)).unwrap();
+//! let spec = ModelSpec::Mlp { in_dim: train.feature_dim(),
+//!     hidden: vec![16], out_dim: train.num_classes() };
+//! let cfg = FlConfig { rounds: 2, participants: 4, ..Default::default() };
+//! let history = run_federated(&spec, &train, &test, &partition,
+//!     &mut FedAvg, &cfg);
+//! assert_eq!(history.records.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod client;
+pub mod history;
+pub mod metrics;
+pub mod server;
+pub mod singleset;
+pub mod strategy;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::client::{ClientSummary, ClientUpdate, LocalTrainConfig};
+    pub use crate::history::{RoundRecord, RunHistory};
+    pub use crate::metrics::{
+        best_accuracy, evaluate, inference_loss, mean_var, rounds_to_target, ConvergenceStats,
+    };
+    pub use crate::server::{run_federated, FlConfig, Selection};
+    pub use crate::singleset::{run_singleset, SingleSetConfig};
+    pub use crate::baselines::{FedAdp, LossProportional};
+    pub use crate::strategy::{
+        normalize_factors, weighted_average, FedAvg, FedProx, RoundContext, Strategy, Uniform,
+    };
+}

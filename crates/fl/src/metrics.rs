@@ -1,0 +1,162 @@
+//! Evaluation metrics: test accuracy, inference losses, robustness and
+//! convergence statistics (paper §4.2.2, Figure 6 and Figure 10).
+
+use feddrl_data::dataset::Dataset;
+use feddrl_nn::loss::{accuracy, cross_entropy_loss_only};
+use feddrl_nn::model::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// Mean cross-entropy of `model` on the rows of `dataset` selected by
+/// `indices`, evaluated in inference mode in chunks of `batch`.
+pub fn inference_loss(
+    model: &mut Sequential,
+    dataset: &Dataset,
+    indices: &[usize],
+    batch: usize,
+) -> f32 {
+    assert!(!indices.is_empty(), "inference_loss on empty index set");
+    let mut total = 0.0f64;
+    for chunk in indices.chunks(batch.max(1)) {
+        let (x, y) = dataset.gather(chunk);
+        let logits = model.forward(&x, false);
+        total += cross_entropy_loss_only(&logits, &y) as f64 * chunk.len() as f64;
+    }
+    (total / indices.len() as f64) as f32
+}
+
+/// Top-1 accuracy and mean loss of `model` over the whole `dataset`.
+pub fn evaluate(model: &mut Sequential, dataset: &Dataset, batch: usize) -> (f32, f32) {
+    assert!(!dataset.is_empty(), "evaluate on empty dataset");
+    let mut loss = 0.0f64;
+    let mut correct = 0.0f64;
+    let n = dataset.len();
+    let indices: Vec<usize> = (0..n).collect();
+    for chunk in indices.chunks(batch.max(1)) {
+        let (x, y) = dataset.gather(chunk);
+        let logits = model.forward(&x, false);
+        loss += cross_entropy_loss_only(&logits, &y) as f64 * chunk.len() as f64;
+        correct += accuracy(&logits, &y) as f64 * chunk.len() as f64;
+    }
+    ((correct / n as f64) as f32, (loss / n as f64) as f32)
+}
+
+/// Mean and population variance of a slice (used for Figure 6's per-client
+/// inference-loss statistics).
+pub fn mean_var(xs: &[f32]) -> (f32, f32) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = xs
+        .iter()
+        .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+        .sum::<f64>()
+        / n;
+    (mean as f32, var as f32)
+}
+
+/// Accuracy trajectory summary of one federated run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConvergenceStats {
+    /// Best test accuracy over all rounds.
+    pub best_accuracy: f32,
+    /// Round at which the best accuracy was first reached.
+    pub best_round: usize,
+}
+
+/// First round whose accuracy reaches `target`, if any (Figure 10's
+/// convergence-rate metric).
+pub fn rounds_to_target(accuracies: &[f32], target: f32) -> Option<usize> {
+    accuracies.iter().position(|&a| a >= target)
+}
+
+/// Best accuracy and the round it was first achieved.
+pub fn best_accuracy(accuracies: &[f32]) -> ConvergenceStats {
+    let mut best = ConvergenceStats::default();
+    for (round, &acc) in accuracies.iter().enumerate() {
+        if acc > best.best_accuracy {
+            best.best_accuracy = acc;
+            best.best_round = round;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feddrl_data::synth::SynthSpec;
+    use feddrl_nn::zoo::ModelSpec;
+
+    #[test]
+    fn evaluate_untrained_model_is_chance_level() {
+        let (_, test) = SynthSpec::mnist_like().generate(2);
+        let spec = ModelSpec::Mlp {
+            in_dim: test.feature_dim(),
+            hidden: vec![16],
+            out_dim: test.num_classes(),
+        };
+        let mut model = spec.build(1);
+        let (acc, loss) = evaluate(&mut model, &test, 128);
+        assert!(acc < 0.35, "untrained accuracy suspiciously high: {acc}");
+        // Untrained CE should be at least chance level ln(10) ≈ 2.30 and
+        // not absurdly large (He-init logits inflate it somewhat).
+        assert!(
+            (1.5..8.0).contains(&loss),
+            "untrained loss {loss} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn inference_loss_batch_size_invariant() {
+        let (train, _) = SynthSpec::mnist_like().generate(3);
+        let spec = ModelSpec::Mlp {
+            in_dim: train.feature_dim(),
+            hidden: vec![16],
+            out_dim: train.num_classes(),
+        };
+        let mut model = spec.build(2);
+        let indices: Vec<usize> = (0..333).collect();
+        let a = inference_loss(&mut model, &train, &indices, 7);
+        let b = inference_loss(&mut model, &train, &indices, 333);
+        assert!((a - b).abs() < 1e-4, "batching changed the loss: {a} vs {b}");
+    }
+
+    #[test]
+    fn mean_var_known_values() {
+        let (m, v) = mean_var(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-6);
+        assert!((v - 1.25).abs() < 1e-6);
+        assert_eq!(mean_var(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn rounds_to_target_finds_first_crossing() {
+        let acc = [0.1, 0.3, 0.5, 0.4, 0.6];
+        assert_eq!(rounds_to_target(&acc, 0.5), Some(2));
+        assert_eq!(rounds_to_target(&acc, 0.65), None);
+        assert_eq!(rounds_to_target(&acc, 0.05), Some(0));
+    }
+
+    #[test]
+    fn best_accuracy_tracks_first_peak() {
+        let acc = [0.1, 0.8, 0.8, 0.2];
+        let stats = best_accuracy(&acc);
+        assert_eq!(stats.best_accuracy, 0.8);
+        assert_eq!(stats.best_round, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty index set")]
+    fn inference_loss_rejects_empty() {
+        let (train, _) = SynthSpec::mnist_like().generate(4);
+        let spec = ModelSpec::Mlp {
+            in_dim: train.feature_dim(),
+            hidden: vec![8],
+            out_dim: train.num_classes(),
+        };
+        let mut model = spec.build(3);
+        let _ = inference_loss(&mut model, &train, &[], 32);
+    }
+}

@@ -1,0 +1,344 @@
+//! The synchronous federated-learning server loop (paper Algorithm 2).
+//!
+//! Per communication round the server: samples `K` of `N` clients, trains
+//! them *in parallel* (one crossbeam task per client — the simulation
+//! analogue of the paper's distributed edge devices), asks the
+//! [`Strategy`] for impact factors, applies the weighted aggregation of
+//! Eq. 4, and evaluates the new global model. Timing of the two server-side
+//! stages is recorded separately to reproduce Figure 9.
+//!
+//! Determinism: client-local randomness is derived from
+//! `(master seed, round, client id)`, so results are independent of thread
+//! scheduling.
+
+use crate::client::{run_local_round, ClientUpdate, LocalTrainConfig};
+use crate::history::{RoundRecord, RunHistory};
+use crate::metrics::evaluate;
+use crate::strategy::{normalize_factors, weighted_average, RoundContext, Strategy};
+use feddrl_data::dataset::Dataset;
+use feddrl_data::partition::Partition;
+use feddrl_nn::parallel::par_map;
+use feddrl_nn::rng::Rng64;
+use feddrl_nn::zoo::ModelSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Client-selection policy for each round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Selection {
+    /// Uniform sampling without replacement (the paper's setting).
+    #[default]
+    Uniform,
+    /// Power-of-choice ([3] in the paper): sample `candidates ≥ K`
+    /// clients uniformly, then keep the `K` with the highest last-known
+    /// inference loss (unseen clients count as highest). Biases
+    /// participation toward struggling clients.
+    PowerOfChoice {
+        /// Candidate pool size `d` (clamped to `[K, N]`).
+        candidates: usize,
+    },
+}
+
+/// Federated orchestration parameters (paper §4.1.2 defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Participating clients per round `K` (paper default 10).
+    pub participants: usize,
+    /// Local solver settings.
+    pub local: LocalTrainConfig,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Print progress to stderr every `log_every` rounds (0 = silent).
+    pub log_every: usize,
+    /// Client-selection policy (the paper uses uniform sampling).
+    #[serde(default)]
+    pub selection: Selection,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 100,
+            participants: 10,
+            local: LocalTrainConfig::default(),
+            eval_batch: 256,
+            seed: 0xFEDD,
+            log_every: 0,
+            selection: Selection::Uniform,
+        }
+    }
+}
+
+/// Run one complete federated training with the given strategy.
+///
+/// # Panics
+/// Panics if `participants` exceeds the partition's client count or is
+/// zero, mirroring the typed errors the partitioners raise at their layer.
+pub fn run_federated(
+    spec: &ModelSpec,
+    train: &Dataset,
+    test: &Dataset,
+    partition: &Partition,
+    strategy: &mut dyn Strategy,
+    cfg: &FlConfig,
+) -> RunHistory {
+    let n_clients = partition.n_clients();
+    assert!(cfg.participants > 0, "participants must be positive");
+    assert!(
+        cfg.participants <= n_clients,
+        "K = {} exceeds N = {n_clients}",
+        cfg.participants
+    );
+    assert!(cfg.rounds > 0, "rounds must be positive");
+
+    let mut master = Rng64::new(cfg.seed);
+    let mut global = spec.build(master.next_u64());
+    let mut local_cfg = cfg.local.clone();
+    local_cfg.proximal_mu = strategy.proximal_mu();
+
+    // Last-known per-client inference loss, for power-of-choice.
+    let mut known_loss: Vec<Option<f32>> = vec![None; n_clients];
+    let mut records = Vec::with_capacity(cfg.rounds);
+    for round in 0..cfg.rounds {
+        // --- Client selection (Algorithm 2; uniform by default).
+        let mut select_rng = master.derive(round as u64);
+        let selected = match cfg.selection {
+            Selection::Uniform => select_rng.sample_indices(n_clients, cfg.participants),
+            Selection::PowerOfChoice { candidates } => {
+                let d = candidates.clamp(cfg.participants, n_clients);
+                let mut pool = select_rng.sample_indices(n_clients, d);
+                // Highest last-known loss first; never-seen clients first
+                // of all so everyone is eventually profiled.
+                pool.sort_by(|&a, &b| {
+                    let la = known_loss[a].unwrap_or(f32::INFINITY);
+                    let lb = known_loss[b].unwrap_or(f32::INFINITY);
+                    lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                pool.truncate(cfg.participants);
+                pool
+            }
+        };
+
+        // --- Parallel local training: one task per participating client.
+        let global_flat = global.flat_params();
+        let updates: Vec<ClientUpdate> = par_map(&selected, |_, &client_id| {
+            let mut model = global.clone();
+            model.set_flat_params(&global_flat);
+            let mut rng = Rng64::new(cfg.seed ^ 0xC11E)
+                .derive(round as u64)
+                .derive(client_id as u64);
+            run_local_round(
+                model,
+                train,
+                partition.client(client_id),
+                client_id,
+                &local_cfg,
+                &mut rng,
+            )
+        });
+
+        // --- Impact factors (the strategy's decision; DRL inference for
+        // FedDRL) — timed separately for Figure 9.
+        let t0 = Instant::now();
+        let raw = strategy.impact_factors_ctx(&RoundContext {
+            round,
+            global_weights: &global_flat,
+            updates: &updates,
+        });
+        let strategy_micros = t0.elapsed().as_micros() as u64;
+        assert_eq!(
+            raw.len(),
+            updates.len(),
+            "strategy returned {} factors for {} clients",
+            raw.len(),
+            updates.len()
+        );
+        let alphas = normalize_factors(&raw);
+
+        // --- Weighted aggregation (Eq. 4).
+        let t1 = Instant::now();
+        let weight_refs: Vec<&[f32]> = updates.iter().map(|u| u.weights.as_slice()).collect();
+        let new_global = weighted_average(&weight_refs, &alphas);
+        let aggregate_micros = t1.elapsed().as_micros() as u64;
+        global.set_flat_params(&new_global);
+
+        for u in &updates {
+            known_loss[u.client_id] = Some(u.loss_before);
+        }
+
+        // --- Evaluation.
+        let (test_accuracy, test_loss) = evaluate(&mut global, test, cfg.eval_batch);
+        let record = RoundRecord {
+            round,
+            test_accuracy,
+            test_loss,
+            selected: selected.clone(),
+            impact_factors: alphas,
+            client_losses_before: updates.iter().map(|u| u.loss_before).collect(),
+            strategy_micros,
+            aggregate_micros,
+        };
+        if cfg.log_every > 0 && round % cfg.log_every == 0 {
+            eprintln!(
+                "[{}] round {round:>4}: acc {:.4} loss {:.4}",
+                strategy.name(),
+                test_accuracy,
+                test_loss
+            );
+        }
+        records.push(record);
+    }
+
+    RunHistory {
+        method: strategy.name().to_string(),
+        dataset: String::new(),
+        partition: partition.method().code().to_string(),
+        n_clients,
+        participants: cfg.participants,
+        seed: cfg.seed,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{FedAvg, FedProx, Uniform};
+    use feddrl_data::partition::PartitionMethod;
+    use feddrl_data::synth::SynthSpec;
+
+    fn quick_setup() -> (ModelSpec, Dataset, Dataset, Partition) {
+        let spec_ds = SynthSpec {
+            train_size: 1200,
+            test_size: 300,
+            ..SynthSpec::mnist_like()
+        };
+        let (train, test) = spec_ds.generate(5);
+        let partition = PartitionMethod::Iid
+            .partition(&train, 6, &mut Rng64::new(9))
+            .unwrap();
+        let spec = ModelSpec::Mlp {
+            in_dim: train.feature_dim(),
+            hidden: vec![32],
+            out_dim: train.num_classes(),
+        };
+        (spec, train, test, partition)
+    }
+
+    fn quick_cfg(rounds: usize) -> FlConfig {
+        FlConfig {
+            rounds,
+            participants: 6,
+            local: LocalTrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 0.05,
+                ..Default::default()
+            },
+            eval_batch: 128,
+            seed: 77,
+            log_every: 0,
+            selection: Selection::Uniform,
+        }
+    }
+
+    #[test]
+    fn fedavg_learns_on_iid_data() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut strategy = FedAvg;
+        let history =
+            run_federated(&spec, &train, &test, &partition, &mut strategy, &quick_cfg(12));
+        assert_eq!(history.records.len(), 12);
+        let best = history.best();
+        assert!(
+            best.best_accuracy > 0.7,
+            "FedAvg failed to learn: best acc {}",
+            best.best_accuracy
+        );
+        // Accuracy should improve over the run.
+        let first = history.records[0].test_accuracy;
+        assert!(best.best_accuracy > first + 0.2);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (spec, train, test, partition) = quick_setup();
+        let h1 = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &quick_cfg(4));
+        let h2 = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &quick_cfg(4));
+        assert_eq!(h1.accuracies(), h2.accuracies());
+        let mut other_cfg = quick_cfg(4);
+        other_cfg.seed = 78;
+        let h3 = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &other_cfg);
+        assert_ne!(h1.accuracies(), h3.accuracies());
+    }
+
+    #[test]
+    fn fedprox_propagates_proximal_mu() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut prox = FedProx::new(0.1);
+        let h = run_federated(&spec, &train, &test, &partition, &mut prox, &quick_cfg(3));
+        assert_eq!(h.method, "FedProx");
+        // Sanity: still learns.
+        assert!(h.best().best_accuracy > 0.4);
+    }
+
+    #[test]
+    fn impact_factors_are_recorded_and_normalized() {
+        let (spec, train, test, partition) = quick_setup();
+        let h = run_federated(&spec, &train, &test, &partition, &mut Uniform, &quick_cfg(2));
+        for r in &h.records {
+            let sum: f32 = r.impact_factors.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert_eq!(r.impact_factors.len(), r.selected.len());
+            assert_eq!(r.client_losses_before.len(), r.selected.len());
+        }
+    }
+
+    #[test]
+    fn partial_participation_selects_k_clients() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut cfg = quick_cfg(3);
+        cfg.participants = 3;
+        let h = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
+        for r in &h.records {
+            assert_eq!(r.selected.len(), 3);
+            let mut s = r.selected.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 3, "duplicate client selected");
+        }
+    }
+
+    #[test]
+    fn power_of_choice_prefers_lossy_clients() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut cfg = quick_cfg(8);
+        cfg.participants = 2;
+        cfg.selection = Selection::PowerOfChoice { candidates: 6 };
+        let h = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
+        // All clients must eventually be profiled (unseen-first rule).
+        let mut seen = std::collections::HashSet::new();
+        for r in &h.records {
+            for &c in &r.selected {
+                seen.insert(c);
+            }
+            assert_eq!(r.selected.len(), 2);
+        }
+        assert_eq!(seen.len(), 6, "power-of-choice starved some clients");
+        // Still learns.
+        assert!(h.best().best_accuracy > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N")]
+    fn rejects_k_larger_than_n() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut cfg = quick_cfg(1);
+        cfg.participants = 7;
+        let _ = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
+    }
+}

@@ -1,0 +1,249 @@
+//! Server-side aggregation strategies.
+//!
+//! A [`Strategy`] maps the clients' round reports to *impact factors* — the
+//! weights `α` of the convex combination `w^{t+1} = Σ_k α_k · w_k^t`
+//! (paper Eq. 4). The server normalizes and applies the combination itself,
+//! which cleanly separates "deciding α" (3 ms for the DRL policy in Fig. 9)
+//! from "averaging weights" (model-size dependent).
+//!
+//! Built-in strategies: [`FedAvg`] (α ∝ n_k, paper Eq. 1), [`FedProx`]
+//! (FedAvg aggregation + proximal local solver, [12]) and [`Uniform`]
+//! (α = 1/K ablation). FedDRL itself lives in the `feddrl` crate and plugs
+//! in through this same trait.
+
+use crate::client::{ClientSummary, ClientUpdate};
+
+/// Everything a strategy may inspect about the current round beyond the
+/// scalar summaries: the global model broadcast at round start and the
+/// full client updates (including weight vectors), enabling
+/// gradient-geometry strategies like [`FedAdp`].
+pub struct RoundContext<'a> {
+    /// Communication round (0-based).
+    pub round: usize,
+    /// Flat global weights broadcast at the start of this round.
+    pub global_weights: &'a [f32],
+    /// Full client reports, aligned with the summaries.
+    pub updates: &'a [ClientUpdate],
+}
+
+/// A pluggable impact-factor policy.
+pub trait Strategy: Send {
+    /// Display name used in tables and history files.
+    fn name(&self) -> &'static str;
+
+    /// Compute one impact factor per entry of `summaries` for round
+    /// `round`. The returned vector needs to be non-negative and finite;
+    /// the server normalizes it onto the simplex.
+    fn impact_factors(&mut self, round: usize, summaries: &[ClientSummary]) -> Vec<f32>;
+
+    /// Context-aware variant the server actually invokes. The default
+    /// delegates to [`Strategy::impact_factors`]; strategies that need the
+    /// weight vectors or the broadcast global model (e.g. gradient-angle
+    /// weighting) override this instead.
+    fn impact_factors_ctx(&mut self, ctx: &RoundContext<'_>) -> Vec<f32> {
+        let summaries: Vec<ClientSummary> = ctx.updates.iter().map(|u| u.summary()).collect();
+        self.impact_factors(ctx.round, &summaries)
+    }
+
+    /// Proximal coefficient the local solver should use (`Some` only for
+    /// FedProx-style strategies).
+    fn proximal_mu(&self) -> Option<f32> {
+        None
+    }
+}
+
+/// FedAvg: impact proportional to the client's sample count (Eq. 1).
+#[derive(Debug, Clone, Default)]
+pub struct FedAvg;
+
+impl Strategy for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn impact_factors(&mut self, _round: usize, summaries: &[ClientSummary]) -> Vec<f32> {
+        summaries.iter().map(|s| s.n_samples as f32).collect()
+    }
+}
+
+/// FedProx: FedAvg's aggregation plus the proximal term `(μ/2)‖w−w_t‖²`
+/// in the local objective (paper baseline, μ = 0.01).
+#[derive(Debug, Clone)]
+pub struct FedProx {
+    mu: f32,
+}
+
+impl FedProx {
+    /// Create FedProx with proximal coefficient `μ`.
+    pub fn new(mu: f32) -> Self {
+        assert!(mu >= 0.0, "FedProx mu must be non-negative, got {mu}");
+        Self { mu }
+    }
+}
+
+impl Default for FedProx {
+    /// Paper setting μ = 0.01.
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl Strategy for FedProx {
+    fn name(&self) -> &'static str {
+        "FedProx"
+    }
+
+    fn impact_factors(&mut self, _round: usize, summaries: &[ClientSummary]) -> Vec<f32> {
+        summaries.iter().map(|s| s.n_samples as f32).collect()
+    }
+
+    fn proximal_mu(&self) -> Option<f32> {
+        Some(self.mu)
+    }
+}
+
+/// Uniform weighting (α = 1/K); ablation reference.
+#[derive(Debug, Clone, Default)]
+pub struct Uniform;
+
+impl Strategy for Uniform {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn impact_factors(&mut self, _round: usize, summaries: &[ClientSummary]) -> Vec<f32> {
+        vec![1.0; summaries.len()]
+    }
+}
+
+/// Normalize raw factors onto the probability simplex.
+///
+/// # Panics
+/// Panics if any factor is negative/non-finite or the sum is zero — a
+/// strategy returning such factors is a bug worth failing loudly on.
+pub fn normalize_factors(raw: &[f32]) -> Vec<f32> {
+    assert!(!raw.is_empty(), "no impact factors to normalize");
+    let mut sum = 0.0f64;
+    for (i, &f) in raw.iter().enumerate() {
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "impact factor {i} invalid: {f}"
+        );
+        sum += f as f64;
+    }
+    assert!(sum > 0.0, "impact factors sum to zero");
+    raw.iter().map(|&f| (f as f64 / sum) as f32).collect()
+}
+
+/// Weighted average of flat client weight vectors: `Σ_k α_k w_k`
+/// (paper Eq. 4). `alphas` must already be normalized.
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn weighted_average(weights: &[&[f32]], alphas: &[f32]) -> Vec<f32> {
+    assert_eq!(
+        weights.len(),
+        alphas.len(),
+        "weights/alphas cardinality mismatch"
+    );
+    assert!(!weights.is_empty(), "nothing to aggregate");
+    let dim = weights[0].len();
+    let mut out = vec![0.0f32; dim];
+    for (w, &a) in weights.iter().zip(alphas.iter()) {
+        assert_eq!(w.len(), dim, "client weight vector length mismatch");
+        if a == 0.0 {
+            continue;
+        }
+        for (o, &v) in out.iter_mut().zip(w.iter()) {
+            *o += a * v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summaries(ns: &[usize]) -> Vec<ClientSummary> {
+        ns.iter()
+            .enumerate()
+            .map(|(i, &n)| ClientSummary {
+                client_id: i,
+                n_samples: n,
+                loss_before: 1.0,
+                loss_after: 0.5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fedavg_weights_by_sample_count() {
+        let mut s = FedAvg;
+        let raw = s.impact_factors(0, &summaries(&[100, 300]));
+        let alpha = normalize_factors(&raw);
+        assert!((alpha[0] - 0.25).abs() < 1e-6);
+        assert!((alpha[1] - 0.75).abs() < 1e-6);
+        assert!(s.proximal_mu().is_none());
+    }
+
+    #[test]
+    fn fedprox_same_aggregation_with_proximal() {
+        let mut p = FedProx::default();
+        let mut a = FedAvg;
+        let sums = summaries(&[10, 20, 30]);
+        assert_eq!(p.impact_factors(3, &sums), a.impact_factors(3, &sums));
+        assert_eq!(p.proximal_mu(), Some(0.01));
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let mut u = Uniform;
+        let alpha = normalize_factors(&u.impact_factors(0, &summaries(&[5, 500])));
+        assert!((alpha[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_puts_on_simplex() {
+        let alpha = normalize_factors(&[2.0, 2.0, 4.0]);
+        assert!((alpha.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert_eq!(alpha, vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn normalize_rejects_nan() {
+        let _ = normalize_factors(&[1.0, f32::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn normalize_rejects_all_zero() {
+        let _ = normalize_factors(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_average_identity_on_identical_inputs() {
+        let w = vec![1.0f32, -2.0, 3.0];
+        let avg = weighted_average(&[&w, &w, &w], &[0.2, 0.5, 0.3]);
+        for (a, b) in avg.iter().zip(w.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_average_convex_combination() {
+        let a = vec![0.0f32, 0.0];
+        let b = vec![1.0f32, 2.0];
+        let avg = weighted_average(&[&a, &b], &[0.75, 0.25]);
+        assert_eq!(avg, vec![0.25, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weighted_average_rejects_ragged_inputs() {
+        let a = vec![0.0f32, 0.0];
+        let b = vec![1.0f32];
+        let _ = weighted_average(&[&a, &b], &[0.5, 0.5]);
+    }
+}

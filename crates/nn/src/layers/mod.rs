@@ -1,0 +1,148 @@
+//! Neural-network layers with explicit backpropagation.
+//!
+//! Rather than a tape-based autograd, each [`Layer`] caches what it needs in
+//! `forward` and produces input gradients (accumulating parameter gradients)
+//! in `backward`. This matches the fixed feed-forward topologies the FedDRL
+//! paper uses — client CNN/VGG-11 classifiers and 2–3 layer MLP policy/value
+//! networks — and keeps the hot training loop free of allocation-heavy graph
+//! bookkeeping.
+//!
+//! Layout conventions: every inter-layer activation is a 2-D tensor
+//! `[batch, features]`. Convolutional layers carry their own `(C, H, W)`
+//! bookkeeping and interpret the feature axis as `C·H·W` in row-major order,
+//! so no separate reshape/flatten layers are required.
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod pool;
+
+pub use activation::{Activation, ActivationKind};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use pool::MaxPool2d;
+
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// Implementations cache forward inputs internally; `backward` must be called
+/// after the matching `forward` with a gradient of the same shape as that
+/// forward's output. Parameter gradients accumulate across calls until
+/// [`Layer::zero_grad`].
+pub trait Layer: Send + Sync {
+    /// Compute the layer output. `train` toggles train-time behaviour
+    /// (dropout masks); inference passes should use `false`.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagate `grad_out` (shape of the last forward's output),
+    /// returning the gradient w.r.t. that forward's input and accumulating
+    /// parameter gradients.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Immutable views of the trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the trainable parameters, paired index-for-index
+    /// with [`Layer::grads_mut`].
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Immutable views of the accumulated gradients.
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the accumulated gradients.
+    fn grads_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Reset accumulated gradients to zero.
+    fn zero_grad(&mut self) {
+        for g in self.grads_mut() {
+            g.fill_zero();
+        }
+    }
+
+    /// Short human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Clone into a boxed trait object (layers hold no shared state, so this
+    /// is a deep copy; used when federated clients fork the global model).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Finite-difference gradient check used by layer tests.
+///
+/// Verifies `d loss / d input` returned by `backward` against central
+/// differences of `loss(x) = Σ forward(x) ⊙ seed`, where `seed` is a fixed
+/// random weighting so every output coordinate participates.
+#[cfg(test)]
+pub(crate) fn grad_check_input(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    seed_rng: &mut crate::rng::Rng64,
+    tol: f32,
+) {
+    let y = layer.forward(x, true);
+    let seed = Tensor::randn(y.shape(), 0.0, 1.0, seed_rng);
+    let grad_in = layer.backward(&seed);
+    let eps = 1e-2f32;
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let lp = layer.forward(&xp, true).dot(&seed);
+        let lm = layer.forward(&xm, true).dot(&seed);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = grad_in.data()[i];
+        assert!(
+            (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+            "input grad mismatch at {i}: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}
+
+/// Finite-difference check of parameter gradients (same seeding trick).
+#[cfg(test)]
+pub(crate) fn grad_check_params(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    seed_rng: &mut crate::rng::Rng64,
+    tol: f32,
+) {
+    let y = layer.forward(x, true);
+    let seed = Tensor::randn(y.shape(), 0.0, 1.0, seed_rng);
+    layer.zero_grad();
+    let _ = layer.backward(&seed);
+    let analytic: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.data().to_vec()).collect();
+    let eps = 1e-2f32;
+    let n_params = layer.params().len();
+    for p_idx in 0..n_params {
+        let numel = layer.params()[p_idx].numel();
+        for i in 0..numel {
+            let orig = layer.params()[p_idx].data()[i];
+            layer.params_mut()[p_idx].data_mut()[i] = orig + eps;
+            let lp = layer.forward(x, true).dot(&seed);
+            layer.params_mut()[p_idx].data_mut()[i] = orig - eps;
+            let lm = layer.forward(x, true).dot(&seed);
+            layer.params_mut()[p_idx].data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[p_idx][i];
+            assert!(
+                (numeric - a).abs() <= tol * (1.0 + numeric.abs().max(a.abs())),
+                "param {p_idx} grad mismatch at {i}: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Loss functions with fused gradients.
+//!
+//! Both losses return `(mean_loss, gradient_wrt_input)` in one pass; the
+//! gradient is already divided by the batch size so callers can feed it
+//! straight into `Sequential::backward`.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over logits.
+///
+/// `logits` is `[batch, classes]`, `labels[i] ∈ [0, classes)`. Returns the
+/// mean negative log-likelihood and its gradient `(softmax − onehot)/batch`.
+/// Numerically stable via the max-shift trick.
+///
+/// # Panics
+/// Panics if a label is out of range or the batch sizes disagree.
+pub fn cross_entropy_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "cross_entropy expects [batch, classes]");
+    let (batch, classes) = (logits.rows(), logits.cols());
+    assert_eq!(batch, labels.len(), "batch/labels length mismatch");
+    let mut grad = logits.softmax_rows();
+    let mut loss = 0.0f64;
+    let inv_b = 1.0 / batch as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range (classes={classes})");
+        let p = grad.at(i, label).max(1e-12);
+        loss -= (p as f64).ln();
+        let row = grad.row_mut(i);
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_b;
+        }
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Inference-only mean cross-entropy (no gradient allocation).
+pub fn cross_entropy_loss_only(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.ndim(), 2);
+    let batch = logits.rows();
+    assert_eq!(batch, labels.len(), "batch/labels length mismatch");
+    let probs = logits.softmax_rows();
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.at(i, label).max(1e-12);
+        loss -= (p as f64).ln();
+    }
+    (loss / batch as f64) as f32
+}
+
+/// Mean-squared error. Returns the mean of `(pred − target)²` and the
+/// gradient `2(pred − target)/numel`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "mse shape mismatch: {:?} vs {:?}",
+        pred.shape(),
+        target.shape()
+    );
+    let n = pred.numel() as f32;
+    let mut grad = pred.clone();
+    grad.sub_assign(target);
+    let loss = grad.norm_sq() / n;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Top-1 accuracy of logits against labels, in `[0, 1]`.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), labels.len(), "batch/labels length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn cross_entropy_uniform_logits_is_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let labels = vec![0, 3, 7, 9];
+        let (loss, _) = cross_entropy_logits(&logits, &labels);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_near_zero() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 50.0;
+        let (loss, _) = cross_entropy_logits(&logits, &[1]);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = Rng64::new(1);
+        let logits = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let labels = vec![1, 0, 3];
+        let (_, grad) = cross_entropy_logits(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fp = cross_entropy_loss_only(&lp, &labels);
+            let fm = cross_entropy_loss_only(&lm, &labels);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "grad mismatch at {i}: {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let mut rng = Rng64::new(2);
+        let logits = Tensor::randn(&[5, 7], 0.0, 2.0, &mut rng);
+        let labels = vec![0, 1, 2, 3, 4];
+        let (_, grad) = cross_entropy_logits(&logits, &labels);
+        for r in 0..5 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = cross_entropy_logits(&logits, &[3]);
+    }
+
+    #[test]
+    fn loss_only_matches_fused() {
+        let mut rng = Rng64::new(3);
+        let logits = Tensor::randn(&[6, 5], 0.0, 1.0, &mut rng);
+        let labels = vec![0, 1, 2, 3, 4, 0];
+        let (fused, _) = cross_entropy_logits(&logits, &labels);
+        let only = cross_entropy_loss_only(&logits, &labels);
+        assert!((fused - only).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let pred = Tensor::from_slice(&[1.0, 2.0]);
+        let target = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1+4)/2
+        assert_eq!(grad.data(), &[1.0, 2.0]); // 2*(p-t)/2
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let t = Tensor::from_slice(&[3.0, -1.0, 2.0]);
+        let (loss, grad) = mse(&t, &t);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(&[3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//!
+//! We deliberately avoid a global thread-pool: federated-learning runs spawn
+//! short, coarse-grained bursts of work (one task per client, or one row
+//! block per matmul), and scoped threads keep the borrow story simple while
+//! guaranteeing data-race freedom. Thread count is capped by
+//! `std::thread::available_parallelism` and can be overridden for tests via
+//! [`set_max_threads`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the maximum number of worker threads (0 = auto-detect).
+///
+/// Intended for tests and benchmarks that need single-threaded execution;
+/// production code should leave this at the default.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads that parallel helpers will use.
+pub fn max_threads() -> usize {
+    let forced = MAX_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to disjoint mutable chunks of `data` in parallel.
+///
+/// `f(chunk_start, chunk)` receives the absolute element offset of the chunk
+/// so callers can recover global indices. Falls back to a sequential call
+/// when the work is too small to amortize thread spawning.
+pub fn par_chunks_mut<T, F>(data: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let threads = max_threads().min(len / min_chunk.max(1)).max(1);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (i, piece) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| f(i * chunk, piece));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Run one closure per item of `items` in parallel and collect the results
+/// in input order.
+///
+/// Used for "one task per federated client" parallelism where each task is
+/// heavy (a full local-training pass), so the per-thread overhead is noise.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (block, out_block) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let start = block * chunk;
+            scope.spawn(move |_| {
+                for (j, slot) in out_block.iter_mut().enumerate() {
+                    let i = start + j;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("worker left a result slot empty"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u32; 10_000];
+        par_chunks_mut(&mut data, 16, |start, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v += (start + j) as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_small_input_sequential() {
+        let mut data = vec![1.0f32; 3];
+        par_chunks_mut(&mut data, 1024, |_, chunk| {
+            for v in chunk {
+                *v *= 2.0;
+            }
+        });
+        assert_eq!(data, vec![2.0; 3]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let squares = par_map(&items, |_, &x| x * x);
+        for (i, &s) in squares.iter().enumerate() {
+            assert_eq!(s, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let items: Vec<u8> = vec![];
+        let out: Vec<u8> = par_map(&items, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn max_threads_override() {
+        set_max_threads(2);
+        assert_eq!(max_threads(), 2);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

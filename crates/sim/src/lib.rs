@@ -1,0 +1,21 @@
+//! # feddrl-sim — overhead models for the FedDRL reproduction
+//!
+//! Quantifies the paper's §3.5 practicality claims:
+//!
+//! * [`comm`] — analytic per-round communication traffic for
+//!   FedAvg/FedProx/FedDRL, showing FedDRL's extra cost is two floats per
+//!   client per round;
+//! * [`timing`] — wall-clock measurement of the two server-side stages
+//!   (DRL impact-factor inference vs weighted aggregation) that Figure 9
+//!   compares across model sizes.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod timing;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::comm::{CommModel, RoundTraffic};
+    pub use crate::timing::{measure, time_aggregation, time_drl_inference, StageTiming};
+}

@@ -1,0 +1,130 @@
+//! Server-side computation timing (paper §5.3, Figure 9).
+//!
+//! Figure 9 compares the server's two per-round costs: computing the DRL
+//! impact factors ("DRL", ~3 ms, model-independent) and performing the
+//! weighted aggregation ("Aggregation", model-size dependent: ~45 ms for
+//! VGG-11 vs ~3 ms for the small CNN). These helpers measure both stages
+//! in isolation on real-size parameter vectors.
+
+use feddrl::config::FedDrlConfig;
+use feddrl::strategy::FedDrl;
+use feddrl_fl::client::ClientSummary;
+use feddrl_fl::strategy::{normalize_factors, weighted_average, Strategy};
+use feddrl_nn::rng::Rng64;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One measured stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Mean wall-clock per invocation, microseconds.
+    pub mean_micros: f64,
+    /// Invocations measured (after one warmup).
+    pub iters: usize,
+}
+
+/// Measure `f` over `iters` invocations (plus one untimed warmup).
+pub fn measure(mut f: impl FnMut(), iters: usize) -> StageTiming {
+    assert!(iters > 0, "need at least one iteration");
+    f(); // warmup
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    StageTiming {
+        mean_micros: t0.elapsed().as_micros() as f64 / iters as f64,
+        iters,
+    }
+}
+
+/// Time the DRL impact-factor computation (policy inference + Gaussian
+/// sampling + softmax) for `k` participating clients.
+pub fn time_drl_inference(k: usize, iters: usize) -> StageTiming {
+    let cfg = FedDrlConfig {
+        online_training: false,
+        ..Default::default()
+    };
+    let mut strategy = FedDrl::new(k, &cfg);
+    let summaries: Vec<ClientSummary> = (0..k)
+        .map(|i| ClientSummary {
+            client_id: i,
+            n_samples: 100 + i,
+            loss_before: 1.0 + i as f32 * 0.01,
+            loss_after: 0.5,
+        })
+        .collect();
+    let mut round = 0;
+    measure(
+        || {
+            let alpha = strategy.impact_factors(round, &summaries);
+            round += 1;
+            std::hint::black_box(alpha);
+        },
+        iters,
+    )
+}
+
+/// Time the weighted aggregation of `k` client models with `param_count`
+/// parameters each.
+pub fn time_aggregation(param_count: usize, k: usize, iters: usize) -> StageTiming {
+    let mut rng = Rng64::new(42);
+    let models: Vec<Vec<f32>> = (0..k)
+        .map(|_| {
+            let mut w = vec![0.0f32; param_count];
+            rng.fill_uniform(&mut w, -1.0, 1.0);
+            w
+        })
+        .collect();
+    let alphas = normalize_factors(&vec![1.0; k]);
+    measure(
+        || {
+            let refs: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+            let out = weighted_average(&refs, &alphas);
+            std::hint::black_box(out);
+        },
+        iters,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        let mut calls = 0;
+        let t = measure(|| calls += 1, 5);
+        assert_eq!(calls, 6); // warmup + 5
+        assert_eq!(t.iters, 5);
+        assert!(t.mean_micros >= 0.0);
+    }
+
+    #[test]
+    fn drl_inference_is_fast_and_model_size_independent() {
+        let t = time_drl_inference(10, 5);
+        // Paper reports ~3 ms; allow a generous envelope for CI machines.
+        assert!(
+            t.mean_micros < 50_000.0,
+            "DRL inference too slow: {} µs",
+            t.mean_micros
+        );
+    }
+
+    #[test]
+    fn aggregation_scales_with_model_size() {
+        let small = time_aggregation(10_000, 10, 5);
+        let large = time_aggregation(1_000_000, 10, 5);
+        assert!(
+            large.mean_micros > small.mean_micros * 3.0,
+            "aggregation cost did not scale: {} vs {} µs",
+            small.mean_micros,
+            large.mean_micros
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn measure_rejects_zero_iters() {
+        let _ = measure(|| {}, 0);
+    }
+}

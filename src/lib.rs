@@ -1,0 +1,28 @@
+//! # feddrl-repro — root facade of the FedDRL (ICPP'22) reproduction
+//!
+//! Re-exports every crate of the workspace so examples and integration
+//! tests can `use feddrl_repro::prelude::*`. See the individual crates for
+//! the real documentation:
+//!
+//! * [`feddrl`] — the FedDRL aggregation strategy and two-stage training;
+//! * [`feddrl_fl`] — the synchronous federated-learning simulator;
+//! * [`feddrl_drl`] — the DDPG agent with TD-prioritized replay;
+//! * [`feddrl_data`] — synthetic federated datasets and non-IID
+//!   partitioners (including the paper's novel cluster-skew CE/CN);
+//! * [`feddrl_nn`] — the pure-Rust deep-learning substrate;
+//! * [`feddrl_sim`] — communication/timing overhead models.
+
+#![warn(missing_docs)]
+
+pub use feddrl;
+pub use feddrl_data;
+pub use feddrl_drl;
+pub use feddrl_fl;
+pub use feddrl_nn;
+pub use feddrl_sim;
+
+/// Everything, via the `feddrl` crate's prelude plus the sim helpers.
+pub mod prelude {
+    pub use feddrl::prelude::*;
+    pub use feddrl_sim::prelude::*;
+}

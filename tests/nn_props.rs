@@ -1,0 +1,128 @@
+//! Property-based tests of the numeric substrate: tensor algebra laws,
+//! softmax/simplex invariants, and model flat-parameter roundtrips.
+
+use feddrl_repro::prelude::*;
+use proptest::prelude::*;
+
+fn arb_vec(len: usize) -> impl proptest::strategy::Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// softmax output is always a probability simplex point, regardless of
+    /// input scale.
+    #[test]
+    fn softmax_is_on_simplex(xs in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
+        let s = softmax(&xs);
+        prop_assert_eq!(s.len(), xs.len());
+        let sum: f32 = s.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// softmax is shift-invariant: softmax(x) == softmax(x + c).
+    #[test]
+    fn softmax_shift_invariant(xs in proptest::collection::vec(-5.0f32..5.0, 2..16), c in -10.0f32..10.0) {
+        let a = softmax(&xs);
+        let shifted: Vec<f32> = xs.iter().map(|&x| x + c).collect();
+        let b = softmax(&shifted);
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            prop_assert!((pa - pb).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: (A+B)C == AC + BC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..500) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng);
+        let c = Tensor::randn(&[5, 3], 0.0, 1.0, &mut rng);
+        let lhs = a.add(&b).matmul(&c);
+        let mut rhs = a.matmul(&c);
+        rhs.add_assign(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Transpose reverses matmul: (AB)^T == B^T A^T.
+    #[test]
+    fn matmul_transpose_law(seed in 0u64..500) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 2], 0.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Flat-parameter export/import is the identity on models.
+    #[test]
+    fn flat_params_roundtrip(seed in 0u64..500) {
+        let spec = ModelSpec::Mlp { in_dim: 6, hidden: vec![8, 8], out_dim: 4 };
+        let model = spec.build(seed);
+        let flat = model.flat_params();
+        let mut other = spec.build(seed.wrapping_add(1));
+        other.set_flat_params(&flat);
+        prop_assert_eq!(other.flat_params(), flat);
+    }
+
+    /// Weighted aggregation with simplex weights is a convex combination:
+    /// the result is bounded by the per-coordinate min/max of the inputs.
+    #[test]
+    fn aggregation_is_convex(
+        w1 in arb_vec(16),
+        w2 in arb_vec(16),
+        alpha in 0.0f32..1.0,
+    ) {
+        let alphas = vec![alpha, 1.0 - alpha];
+        let out = weighted_average(&[w1.as_slice(), w2.as_slice()], &alphas);
+        for ((o, a), b) in out.iter().zip(w1.iter()).zip(w2.iter()) {
+            let lo = a.min(*b) - 1e-4;
+            let hi = a.max(*b) + 1e-4;
+            prop_assert!((lo..=hi).contains(o), "{o} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// normalize_factors always lands on the simplex for positive inputs.
+    #[test]
+    fn normalize_factors_simplex(raw in proptest::collection::vec(0.001f32..1000.0, 1..20)) {
+        let alpha = normalize_factors(&raw);
+        let sum: f32 = alpha.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// The reward is monotone: uniformly lower losses never reduce it.
+    #[test]
+    fn reward_monotone_in_losses(
+        losses in proptest::collection::vec(0.1f32..5.0, 2..10),
+        drop in 0.01f32..0.09,
+    ) {
+        let better: Vec<f32> = losses.iter().map(|&l| l - drop).collect();
+        let r_before = reward_from_losses(&losses, 1.0);
+        let r_after = reward_from_losses(&better, 1.0);
+        prop_assert!(r_after >= r_before, "uniform improvement lowered reward");
+    }
+
+    /// Impact factors sampled from any valid (mu, sigma) action are a
+    /// probability distribution.
+    #[test]
+    fn sampled_impact_factors_valid(
+        mus in proptest::collection::vec(-1.0f32..1.0, 2..8),
+        seed in 0u64..300,
+    ) {
+        let k = mus.len();
+        let mut action = mus.clone();
+        action.extend(std::iter::repeat(0.05f32).take(k));
+        let mut rng = Rng64::new(seed);
+        let alpha = sample_impact_factors(&action, &mut rng);
+        prop_assert_eq!(alpha.len(), k);
+        let sum: f32 = alpha.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the partition invariants across all methods,
+//! client counts and seeds.
+
+use feddrl_repro::prelude::*;
+use proptest::prelude::*;
+// The glob imports above both export a `Strategy` trait (ours vs
+// proptest's); re-import proptest's unambiguously for method resolution.
+use proptest::strategy::Strategy as _;
+
+fn toy_dataset(seed: u64) -> Dataset {
+    SynthSpec {
+        train_size: 1000,
+        test_size: 100,
+        ..SynthSpec::mnist_like()
+    }
+    .generate(seed)
+    .0
+}
+
+fn arb_method() -> impl proptest::strategy::Strategy<Value = PartitionMethod> {
+    prop_oneof![
+        Just(PartitionMethod::Iid),
+        (1usize..=3, 0.5f64..2.0).prop_map(|(lpc, alpha)| PartitionMethod::Pareto {
+            labels_per_client: lpc,
+            alpha,
+        }),
+        (0.1f64..0.9, 2usize..=4).prop_map(|(delta, groups)| PartitionMethod::ClusteredEqual {
+            delta,
+            num_groups: groups,
+            labels_per_client: 2,
+        }),
+        (0.1f64..0.9, 2usize..=4, 0.5f64..2.0).prop_map(|(delta, groups, alpha)| {
+            PartitionMethod::ClusteredNonEqual {
+                delta,
+                num_groups: groups,
+                labels_per_client: 2,
+                alpha,
+            }
+        }),
+        (1usize..=3).prop_map(|spc| PartitionMethod::ShardsEqual {
+            shards_per_client: spc,
+        }),
+        Just(PartitionMethod::shards_non_equal()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any successful partition is a family of disjoint, in-bounds,
+    /// non-empty index sets.
+    #[test]
+    fn partitions_are_disjoint_covers(
+        method in arb_method(),
+        n_clients in 2usize..20,
+        seed in 0u64..1000,
+    ) {
+        let ds = toy_dataset(17);
+        let mut rng = Rng64::new(seed);
+        if let Ok(p) = method.partition(&ds, n_clients, &mut rng) {
+            prop_assert_eq!(p.n_clients(), n_clients);
+            let mut seen = vec![false; ds.len()];
+            for c in 0..n_clients {
+                prop_assert!(!p.client(c).is_empty());
+                for &i in p.client(c) {
+                    prop_assert!(i < ds.len());
+                    prop_assert!(!seen[i], "index {} assigned twice", i);
+                    seen[i] = true;
+                }
+            }
+        }
+    }
+
+    /// Partitioning is a pure function of (method, dataset, seed).
+    #[test]
+    fn partitions_are_deterministic(
+        method in arb_method(),
+        n_clients in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let ds = toy_dataset(18);
+        let a = method.partition(&ds, n_clients, &mut Rng64::new(seed));
+        let b = method.partition(&ds, n_clients, &mut Rng64::new(seed));
+        match (a, b) {
+            (Ok(pa), Ok(pb)) => prop_assert_eq!(pa.clients(), pb.clients()),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            _ => prop_assert!(false, "determinism violated: one Ok, one Err"),
+        }
+    }
+
+    /// Cluster methods always return a group per client, and group labels
+    /// never exceed num_groups.
+    #[test]
+    fn cluster_methods_expose_groups(
+        delta in 0.1f64..0.9,
+        groups in 2usize..=4,
+        seed in 0u64..500,
+    ) {
+        let ds = toy_dataset(19);
+        let method = PartitionMethod::ClusteredEqual {
+            delta,
+            num_groups: groups,
+            labels_per_client: 2,
+        };
+        if let Ok(p) = method.partition(&ds, 12, &mut Rng64::new(seed)) {
+            let g = p.groups().expect("cluster partition must expose groups");
+            prop_assert_eq!(g.len(), 12);
+            prop_assert!(g.iter().all(|&x| x < groups));
+        }
+    }
+
+    /// Skew statistics never contradict the structural method flags for
+    /// cluster skew: a method that cannot produce cluster skew must never
+    /// be detected as cluster-skewed.
+    #[test]
+    fn no_false_positive_cluster_skew(seed in 0u64..300) {
+        let ds = toy_dataset(20);
+        let mut rng = Rng64::new(seed);
+        let p = PartitionMethod::Iid.partition(&ds, 10, &mut rng).unwrap();
+        let stats = PartitionStats::compute(&p, &ds);
+        prop_assert!(!stats.has_cluster_skew());
+        prop_assert!(!stats.has_quantity_imbalance());
+    }
+
+    /// CE produces near-equal sizes for any delta (its defining property).
+    #[test]
+    fn ce_quantity_balance_holds(delta in 0.2f64..0.8, seed in 0u64..300) {
+        let ds = toy_dataset(21);
+        let mut rng = Rng64::new(seed);
+        if let Ok(p) = PartitionMethod::ce(delta).partition(&ds, 10, &mut rng) {
+            let stats = PartitionStats::compute(&p, &ds);
+            prop_assert!(
+                stats.quantity_ratio < 1.6,
+                "CE quantity ratio {} too high (sizes {:?})",
+                stats.quantity_ratio,
+                stats.sizes
+            );
+        }
+    }
+}

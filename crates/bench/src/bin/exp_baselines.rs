@@ -1,6 +1,6 @@
 //! Extended baseline comparison (paper §2.2.2's related-work landscape):
 //! every aggregation strategy in the library — FedAvg, FedProx, Uniform,
-//! LossProp (q-FFL/FedCav-style), FedAdp ([25]) and FedDRL — on one
+//! LossProp (q-FFL/FedCav-style), FedAdp (\[25\]) and FedDRL — on one
 //! cluster-skew block (mnist-like, CE 0.6, 10 clients).
 
 use feddrl::prelude::*;

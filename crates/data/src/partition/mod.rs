@@ -10,7 +10,7 @@
 //!   clients, equal samples per client;
 //! * **CN** — *Clustered-Non-Equal*: CE plus power-law quantity skew;
 //! * **Equal / Non-equal shards** — FedAvg's label-size-imbalance splits
-//!   ([17], §5.1);
+//!   (\[17\], §5.1);
 //! * **IID** — uniform reference split.
 //!
 //! A [`Partition`] is a list of disjoint index sets into one shared

@@ -8,7 +8,7 @@ use crate::strategy::{RoundContext, Strategy};
 use std::collections::HashMap;
 
 /// FedAdp-style gradient-angle adaptive weighting (Wu & Wang, IEEE TCCN
-/// 2021 — the paper's reference [25]).
+/// 2021 — the paper's reference \[25\]).
 ///
 /// Clients whose local update direction aligns with the aggregate update
 /// direction get amplified weights; misaligned ("conflicting") clients are

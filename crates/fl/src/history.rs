@@ -4,7 +4,6 @@
 
 use crate::metrics::{best_accuracy, ConvergenceStats};
 use serde::{Deserialize, Serialize};
-use std::io::Write;
 use std::path::Path;
 
 /// Per-round measurements.
@@ -90,9 +89,8 @@ impl RunHistory {
 
     /// Serialize to pretty JSON at `path` (parent directories must exist).
     pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
         let json = serde_json::to_string_pretty(self).expect("history serialization");
-        f.write_all(json.as_bytes())
+        std::fs::write(path, json)
     }
 
     /// Deserialize from a JSON file produced by [`RunHistory::save_json`].

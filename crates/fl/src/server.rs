@@ -29,7 +29,7 @@ pub enum Selection {
     /// Uniform sampling without replacement (the paper's setting).
     #[default]
     Uniform,
-    /// Power-of-choice ([3] in the paper): sample `candidates ≥ K`
+    /// Power-of-choice (\[3\] in the paper): sample `candidates ≥ K`
     /// clients uniformly, then keep the `K` with the highest last-known
     /// inference loss (unseen clients count as highest). Biases
     /// participation toward struggling clients.

@@ -7,7 +7,7 @@
 //! from "averaging weights" (model-size dependent).
 //!
 //! Built-in strategies: [`FedAvg`] (α ∝ n_k, paper Eq. 1), [`FedProx`]
-//! (FedAvg aggregation + proximal local solver, [12]) and [`Uniform`]
+//! (FedAvg aggregation + proximal local solver, \[12\]) and [`Uniform`]
 //! (α = 1/K ablation). FedDRL itself lives in the `feddrl` crate and plugs
 //! in through this same trait.
 
@@ -16,7 +16,7 @@ use crate::client::{ClientSummary, ClientUpdate};
 /// Everything a strategy may inspect about the current round beyond the
 /// scalar summaries: the global model broadcast at round start and the
 /// full client updates (including weight vectors), enabling
-/// gradient-geometry strategies like [`FedAdp`].
+/// gradient-geometry strategies like [`FedAdp`](crate::baselines::FedAdp).
 pub struct RoundContext<'a> {
     /// Communication round (0-based).
     pub round: usize,

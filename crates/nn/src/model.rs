@@ -139,7 +139,7 @@ impl Sequential {
     }
 
     /// Add the FedProx proximal gradient `μ·(w − w_ref)` to the accumulated
-    /// gradients (paper [12]; used when the local solver is FedProx).
+    /// gradients (paper \[12\]; used when the local solver is FedProx).
     ///
     /// # Panics
     /// Panics if `w_ref` length mismatches the parameter count.

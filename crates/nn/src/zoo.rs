@@ -26,7 +26,7 @@ pub enum ModelSpec {
         out_dim: usize,
     },
     /// The simple CNN used for MNIST/Fashion-MNIST in the paper (after
-    /// [25]): two 5×5 conv + 2×2 maxpool blocks, then a 512-unit dense
+    /// \[25\]): two 5×5 conv + 2×2 maxpool blocks, then a 512-unit dense
     /// head. Input is `1×28×28`.
     CnnMnist {
         /// Number of output classes.

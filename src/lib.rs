@@ -22,6 +22,30 @@ pub use feddrl_nn;
 pub use feddrl_sim;
 
 /// Everything, via the `feddrl` crate's prelude plus the sim helpers.
+///
+/// # Re-export policy
+///
+/// Each workspace crate owns a `prelude` that re-exports **only the types a
+/// downstream caller needs to drive that crate** (entry points, config
+/// structs, the handful of result types they pattern-match on) — never whole
+/// modules and never internals. Preludes compose transitively along the
+/// dependency chain (`feddrl::prelude` already pulls in the `fl`, `drl`,
+/// `data` and `nn` preludes), so this facade only has to merge the top of
+/// the chain: [`feddrl::prelude`] plus [`feddrl_sim::prelude`], which sits
+/// beside `feddrl` rather than beneath it.
+///
+/// Rules for growing it:
+///
+/// * a name goes into a crate's prelude the first time an example, test or
+///   bench outside that crate needs it — not before;
+/// * name collisions across crates are **not** tolerated here: if two crates
+///   export the same identifier, the facade must re-export one of them
+///   explicitly and the loser stays path-qualified (today there is exactly
+///   one glob-shadowing hazard, `Strategy`, which integration tests
+///   disambiguate with `use proptest::strategy::Strategy as _`);
+/// * removing anything from a prelude is a breaking change to every example
+///   and experiment binary, so prefer adding `#[doc(hidden)]` deprecation
+///   shims over deletion.
 pub mod prelude {
     pub use feddrl::prelude::*;
     pub use feddrl_sim::prelude::*;

@@ -1,0 +1,258 @@
+//! # criterion (offline shim)
+//!
+//! A minimal benchmark harness exposing the criterion API surface this
+//! workspace's `crates/bench/benches/*.rs` use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_with_input`, throughput,
+//! `Bencher::iter`), vendored because the build environment has no registry
+//! access (see `vendor/README.md`).
+//!
+//! Instead of criterion's statistical sampling it runs a short warm-up, then
+//! a fixed measurement window, and reports the median per-iteration time to
+//! stdout as `bench <group>/<id> ... <median> ns/iter (<iters> iters)`.
+//! That is deliberate: the point of the shim is that `cargo bench` compiles
+//! and produces comparable numbers offline, not publication-grade CIs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (callers may also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement window per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.measurement, None, &id.0, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration workload size for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its own iteration
+    /// count from the measurement window.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(
+            self.criterion.measurement,
+            self.throughput.clone(),
+            &label,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(
+            self.criterion.measurement,
+            self.throughput.clone(),
+            &label,
+            |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the benchmarked parameter, mirroring
+    /// `criterion::BenchmarkId::from_parameter`.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Build a `name/parameter` id.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Workload size descriptor for derived throughput rates.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; `iter` measures the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the harness-chosen number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(measurement: Duration, throughput: Option<Throughput>, label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: one iteration to estimate cost.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = (measurement.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Measure a few batches and keep the median per-iteration time.
+    let batches = 5usize;
+    let batch_iters = target.div_ceil(batches as u64).max(1);
+    let mut samples: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(", {:.1} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(", {:.1} MiB/s", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {label}: {median:.0} ns/iter ({batches}x{batch_iters} iters{rate})"
+    );
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 2 + 2));
+    }
+}

@@ -1,0 +1,84 @@
+//! # crossbeam (offline shim)
+//!
+//! Provides the scoped-thread API surface this workspace uses —
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); })` — backed by
+//! [`std::thread::scope`] (stable since Rust 1.63), because the build
+//! environment cannot fetch the real crate (see `vendor/README.md`).
+//!
+//! Divergence from real crossbeam: a panicking worker propagates its panic
+//! when the scope joins (std behavior) instead of surfacing it in the
+//! returned `Result`'s `Err` — so [`scope`] always returns `Ok` and callers'
+//! `.expect(...)` never observes an `Err`. The workspace only uses the
+//! `Result` for exactly such `.expect` calls, so behavior under panic is
+//! equivalent (the process still panics with the worker's payload).
+
+use std::marker::PhantomData;
+use std::thread as std_thread;
+
+/// Handle passed to the closure of [`scope`]; mirrors
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std_thread::Scope<'scope, 'env>,
+    _env: PhantomData<&'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives a scope handle argument
+    /// for signature compatibility with crossbeam (`|_| ...` at every call
+    /// site in this workspace); nested spawning through it is not supported
+    /// and the argument is the unit placeholder [`NestedScope`].
+    pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(NestedScope { _priv: () }))
+    }
+}
+
+/// Placeholder for the scope argument crossbeam passes to spawned closures.
+#[derive(Debug, Clone, Copy)]
+pub struct NestedScope {
+    _priv: (),
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. Mirrors `crossbeam::scope`; see the module docs for the (benign)
+/// panic-propagation divergence.
+pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std_thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            _env: PhantomData,
+        };
+        f(&wrapper)
+    }))
+}
+
+/// Scoped-thread module path compatibility (`crossbeam::thread::scope`).
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_share_borrows() {
+        let mut data = vec![0u32; 64];
+        let chunk = 16;
+        super::scope(|s| {
+            for (i, piece) in data.chunks_mut(chunk).enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in piece.iter_mut().enumerate() {
+                        *slot = (i * chunk + j) as u32;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+}

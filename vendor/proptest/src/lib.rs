@@ -1,0 +1,422 @@
+//! # proptest (offline shim)
+//!
+//! A deterministic, dependency-free re-implementation of the slice of
+//! proptest this workspace's property tests use, vendored because the build
+//! environment has no registry access (see `vendor/README.md`):
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`;
+//! * range strategies (`-10.0f32..10.0`, `1usize..=3`, ...), tuples of
+//!   strategies, [`strategy::Just`] and [`collection::vec`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! its generated inputs unreduced) and no persisted failure seeds — each test
+//! derives a fixed RNG seed from its module path and name, so runs are fully
+//! deterministic.
+
+/// Strategies for generating values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f` (mirrors
+        /// `proptest::strategy::Strategy::prop_map`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy so heterogeneous strategies producing the
+        /// same value type can be stored together (used by [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy (output of [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value (mirrors
+    /// `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (backs [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.usize_below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Types that can be drawn uniformly from a half-open or inclusive range.
+    pub trait SampleUniform: Copy {
+        /// Draw from `[lo, hi)`.
+        fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+        /// Draw from `[lo, hi]`.
+        fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty integer range");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+                fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "empty integer range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty float range");
+                    let v = lo + (rng.unit_f64() as $t) * (hi - lo);
+                    // Rounding in the narrower type can land exactly on `hi`;
+                    // keep the half-open contract.
+                    if v < hi { v } else { lo }
+                }
+                fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "empty float range");
+                    if lo == hi {
+                        return lo;
+                    }
+                    // Draw the unit from [0, 1] (both ends reachable) so the
+                    // documented closed-range contract holds, then clamp
+                    // against rounding overshoot.
+                    let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    let v = lo + (unit as $t) * (hi - lo);
+                    v.clamp(lo, hi)
+                }
+            }
+        )*};
+    }
+    impl_sample_float!(f32, f64);
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::{SampleUniform, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec()`]: an exact `usize` or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and whose
+    /// length falls in `size` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = usize::sample_inclusive(rng, self.size.min, self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test execution: configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Subset of `proptest::test_runner::Config` the workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator seeded from the test's name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary name (FNV-1a hash), so every test gets a
+        /// distinct but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be non-zero.
+        pub fn usize_below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests (shim of proptest's `proptest!` macro). Supports an
+/// optional leading `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items carrying their own
+/// attributes (including `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _ in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type (shim of
+/// proptest's `prop_oneof!`; all arms are equally weighted).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property (no shrinking: forwards to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (forwards to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.5f32..7.5, n in 1usize..=4) {
+            prop_assert!((-2.5..7.5).contains(&x));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(xs in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&v| v < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), (3u32..5).prop_map(|v| v)];
+        let mut rng = crate::test_runner::TestRng::from_name("oneof");
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && (seen[3] || seen[4]));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # rayon (offline shim)
+//!
+//! A tiny stand-in for rayon's fork-join primitives, vendored because the
+//! build environment has no registry access (see `vendor/README.md`). The
+//! seed workspace does its data-parallelism through `feddrl_nn::parallel`
+//! (crossbeam-scoped threads), so nothing currently depends on this crate —
+//! it exists so `[workspace.dependencies] rayon` resolves and future
+//! parallelism PRs have a place to grow the API (`par_iter` et al.) without
+//! re-plumbing manifests.
+
+use std::thread;
+
+/// Run two closures, potentially in parallel, returning both results.
+/// Mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: join worker panicked"))
+    })
+}
+
+/// Number of threads the shim will use for future parallel APIs; mirrors
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Prelude for drop-in `use rayon::prelude::*;` compatibility (currently
+/// empty: the workspace has no `par_iter` call sites yet).
+pub mod prelude {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

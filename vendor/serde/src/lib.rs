@@ -1,0 +1,446 @@
+//! # serde (offline shim)
+//!
+//! A minimal, API-compatible stand-in for the real `serde` crate, vendored
+//! because the build environment has **no access to any crates.io mirror**
+//! (see `vendor/README.md`). It provides exactly what this workspace uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits, re-implemented over a small
+//!   self-describing [`Value`] data model instead of serde's
+//!   serializer/deserializer visitors;
+//! * derive macros `#[derive(Serialize, Deserialize)]` (from the sibling
+//!   `serde_derive` shim) supporting structs, tuple structs and enums with
+//!   unit/tuple/struct variants, plus the `#[serde(default)]` field
+//!   attribute;
+//! * impls for the std types the workspace serializes: integers, floats,
+//!   `bool`, `String`, `Option<T>`, `Vec<T>`, fixed-size arrays, tuples and
+//!   maps.
+//!
+//! The sibling `serde_json` shim lowers [`Value`] to/from JSON text. Swapping
+//! these shims back for the real crates requires no source changes in the
+//! workspace: the derive spelling and the `serde_json::{to_string, from_str}`
+//! entry points are identical.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Self-describing intermediate representation produced by [`Serialize`] and
+/// consumed by [`Deserialize`].
+///
+/// Integers keep their own variants (rather than lowering to `f64`) so that
+/// full-range `u64` values — e.g. the xoshiro256++ RNG state — round-trip
+/// exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`. Also used for non-finite floats, mirroring serde_json.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (preferred for anything that fits).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A finite floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map entry list, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a map key (linear scan: maps here are small field lists).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Error produced by deserialization (and re-exported by `serde_json`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message, mirroring `serde::de::Error::custom`.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to the intermediate representation.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Convert from the intermediate representation.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = match *value {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    // Strict `<`: `u64::MAX as f64` rounds up to 2^64, which
+                    // would otherwise admit out-of-range floats and saturate.
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f < u64::MAX as f64 => {
+                        f as u64
+                    }
+                    _ => return Err(Error::custom(format!(
+                        "expected unsigned integer, got {value:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = match *value {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| {
+                        Error::custom(format!("integer {n} out of range for i64"))
+                    })?,
+                    // Strict upper `<`: `i64::MAX as f64` rounds up to 2^63.
+                    Value::F64(f) if f.fract() == 0.0
+                        && f >= i64::MIN as f64
+                        && f < i64::MAX as f64 => f as i64,
+                    _ => return Err(Error::custom(format!(
+                        "expected signed integer, got {value:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() { Value::F64(f) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match *value {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    // serde_json writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::custom(format!(
+                        "expected float, got {value:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom(format!("expected bool, got {value:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom(format!("expected string, got {value:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected single-char string"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {value:?}")))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {value:?}")))?;
+        if seq.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                seq.len()
+            )));
+        }
+        let items: Vec<T> = seq.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let seq = value.as_seq().ok_or_else(|| {
+                    Error::custom(format!("expected tuple sequence, got {value:?}"))
+                })?;
+                let expected = [$($idx,)+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expected}, got {}", seq.len())));
+                }
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom(format!("expected map, got {value:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Sort keys for deterministic output.
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom(format!("expected map, got {value:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrips_exactly() {
+        let big = u64::MAX - 7;
+        let v = big.serialize();
+        assert_eq!(u64::deserialize(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<f32> = None;
+        assert_eq!(none.serialize(), Value::Null);
+        assert_eq!(Option::<f32>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let a = [1u64, 2, 3, 4];
+        let v = a.serialize();
+        assert_eq!(<[u64; 4]>::deserialize(&v).unwrap(), a);
+        assert!(<[u64; 3]>::deserialize(&v).is_err());
+    }
+}

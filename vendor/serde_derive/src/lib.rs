@@ -1,0 +1,466 @@
+//! # serde_derive (offline shim)
+//!
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored `serde` shim. The build environment has no registry access,
+//! so `syn`/`quote` are unavailable; the derive input is parsed directly from
+//! the [`proc_macro::TokenStream`] and the impl is emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation);
+//! * the `#[serde(default)]` field attribute.
+//!
+//! Generics and other `#[serde(...)]` attributes are intentionally not
+//! supported and produce a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(&item, true)
+}
+
+/// Derive `serde::Deserialize` (shim) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(&item, false)
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consume attributes (`#[...]` groups) from the front of `tokens`,
+/// returning whether any of them was exactly `#[serde(default)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let text = g.stream().to_string();
+                let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+                if compact == "serde(default)" {
+                    has_default = true;
+                } else if compact.starts_with("serde(") {
+                    panic!(
+                        "serde_derive shim: unsupported serde attribute #[{text}] \
+                         (only #[serde(default)] is implemented; see vendor/serde_derive)"
+                    );
+                }
+            }
+            other => panic!("serde_derive shim: malformed attribute, found {other:?}"),
+        }
+    }
+    has_default
+}
+
+/// Consume an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Struct(Shape::Named(parse_named_fields(g.stream()))),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream()))),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: Kind::Struct(Shape::Unit),
+            },
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde_derive shim: cannot derive for `{kw}` items"),
+    }
+}
+
+/// Parse `name: Type, ...` field lists, recording `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let default = skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Skip one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Count the fields of a tuple struct/variant: top-level commas + 1.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut tokens);
+        skip_type(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_attrs(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(tt) = tokens.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn emit(item: &Item, serialize: bool) -> TokenStream {
+    let code = if serialize {
+        emit_serialize(item)
+    } else {
+        emit_deserialize(item)
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim: generated invalid code: {e:?}\n{code}"))
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        // Newtype variants use the value directly (real
+                        // serde's externally-tagged representation).
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::serialize(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let sers: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Seq(vec![{sers}]))]),",
+                                binds = binds.join(", "),
+                                sers = sers.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::serialize({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_ctor(type_path: &str, fields: &[Field], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.default {
+                format!(
+                    "{n}: match {map_expr}.get(\"{n}\") {{ \
+                     Some(v) => ::serde::Deserialize::deserialize(v)?, \
+                     None => ::core::default::Default::default() }},"
+                )
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::deserialize({map_expr}.get(\"{n}\")\
+                     .ok_or_else(|| ::serde::Error::custom(\
+                     \"missing field `{n}` in {type_path}\"))?)?,"
+                )
+            }
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join("\n"))
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("Ok({name})"),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = value.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected sequence for {name}\"))?;\n\
+                 if seq.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            format!(
+                "if value.as_map().is_none() {{ return Err(::serde::Error::custom(\
+                 \"expected map for {name}\")); }}\n\
+                 Ok({})",
+                named_fields_ctor(name, fields, "value")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&seq[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let seq = inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence for {name}::{vn}\"))?;\n\
+                                 if seq.len() != {n} {{ return Err(::serde::Error::custom(\
+                                 \"wrong arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({elems}))\n}}",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => Some(format!(
+                            "\"{vn}\" => {{\n\
+                             if inner.as_map().is_none() {{ return Err(::serde::Error::custom(\
+                             \"expected map for {name}::{vn}\")); }}\n\
+                             Ok({})\n}}",
+                            named_fields_ctor(&format!("{name}::{vn}"), fields, "inner")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(tag) = value.as_str() {{\n\
+                 match tag {{ {unit_arms}\n\
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown unit variant `{{other}}` for {name}\"))), }}\n\
+                 }}\n\
+                 let entries = value.as_map().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected variant tag for {name}\"))?;\n\
+                 if entries.len() != 1 {{ return Err(::serde::Error::custom(\
+                 \"expected single-key variant map for {name}\")); }}\n\
+                 let (tag, inner) = (&entries[0].0, &entries[0].1);\n\
+                 match tag.as_str() {{ {tagged_arms}\n\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))), }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables, clippy::len_zero)]\n\
+         fn deserialize(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -4,10 +4,10 @@
 //!
 //! Also prints the §3.5 communication-overhead table.
 
+use feddrl_bench::stage_timing::{time_aggregation, time_drl_inference};
 use feddrl_bench::{render_table, write_artifact, ExpOptions, Scale};
 use feddrl_nn::zoo::ModelSpec;
 use feddrl_sim::comm::CommModel;
-use feddrl_sim::timing::{time_aggregation, time_drl_inference};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -39,12 +39,23 @@ fn main() {
         rows.push(vec![
             name.to_string(),
             params.to_string(),
+            format!("{:.3}", drl.median_micros / 1000.0),
             format!("{:.3}", drl.mean_micros / 1000.0),
+            format!("{:.3}", agg.median_micros / 1000.0),
             format!("{:.3}", agg.mean_micros / 1000.0),
         ]);
     }
+    // Median leads: on shared CI machines the mean absorbs scheduler-noise
+    // outliers, and the paper's numbers are steady-state costs.
     let table = render_table(
-        &["model", "#params", "DRL (ms)", "Aggregation (ms)"],
+        &[
+            "model",
+            "#params",
+            "DRL median (ms)",
+            "DRL mean (ms)",
+            "Agg median (ms)",
+            "Agg mean (ms)",
+        ],
         &rows,
     );
     println!("Figure 9: average server computation time (K = {k})\n");

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod stage_timing;
+
 use feddrl::prelude::*;
 use std::io::Write;
 use std::path::PathBuf;
@@ -320,6 +322,7 @@ impl ExperimentSpec {
             seed: self.seed,
             log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
         }
     }
 

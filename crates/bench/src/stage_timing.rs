@@ -1,0 +1,92 @@
+//! Stage-specific timing drivers for Figure 9 (moved here from
+//! `feddrl_sim::timing` so the sim crate stays strategy-free and the
+//! federated simulator can depend on it).
+//!
+//! Both drivers run on real-size parameter vectors and report
+//! [`StageTiming`] with mean *and* median per-invocation wall-clock; use
+//! the median when comparing against the paper — shared CI machines skew
+//! the mean with scheduler noise.
+
+use feddrl::config::FedDrlConfig;
+use feddrl::strategy::FedDrl;
+use feddrl_fl::client::ClientSummary;
+use feddrl_fl::strategy::{normalize_factors, weighted_average, Strategy};
+use feddrl_nn::rng::Rng64;
+use feddrl_sim::timing::{measure, StageTiming};
+
+/// Time the DRL impact-factor computation (policy inference + Gaussian
+/// sampling + softmax) for `k` participating clients.
+pub fn time_drl_inference(k: usize, iters: usize) -> StageTiming {
+    let cfg = FedDrlConfig {
+        online_training: false,
+        ..Default::default()
+    };
+    let mut strategy = FedDrl::new(k, &cfg);
+    let summaries: Vec<ClientSummary> = (0..k)
+        .map(|i| ClientSummary {
+            client_id: i,
+            n_samples: 100 + i,
+            loss_before: 1.0 + i as f32 * 0.01,
+            loss_after: 0.5,
+        })
+        .collect();
+    let mut round = 0;
+    measure(
+        || {
+            let alpha = strategy.impact_factors(round, &summaries);
+            round += 1;
+            std::hint::black_box(alpha);
+        },
+        iters,
+    )
+}
+
+/// Time the weighted aggregation of `k` client models with `param_count`
+/// parameters each.
+pub fn time_aggregation(param_count: usize, k: usize, iters: usize) -> StageTiming {
+    let mut rng = Rng64::new(42);
+    let models: Vec<Vec<f32>> = (0..k)
+        .map(|_| {
+            let mut w = vec![0.0f32; param_count];
+            rng.fill_uniform(&mut w, -1.0, 1.0);
+            w
+        })
+        .collect();
+    let alphas = normalize_factors(&vec![1.0; k]);
+    measure(
+        || {
+            let refs: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+            let out = weighted_average(&refs, &alphas);
+            std::hint::black_box(out);
+        },
+        iters,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drl_inference_is_fast_and_model_size_independent() {
+        let t = time_drl_inference(10, 5);
+        // Paper reports ~3 ms; allow a generous envelope for CI machines.
+        assert!(
+            t.median_micros < 50_000.0,
+            "DRL inference too slow: {} µs",
+            t.median_micros
+        );
+    }
+
+    #[test]
+    fn aggregation_scales_with_model_size() {
+        let small = time_aggregation(10_000, 10, 5);
+        let large = time_aggregation(1_000_000, 10, 5);
+        assert!(
+            large.median_micros > small.median_micros * 3.0,
+            "aggregation cost did not scale: {} vs {} µs",
+            small.median_micros,
+            large.median_micros
+        );
+    }
+}

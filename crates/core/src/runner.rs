@@ -13,6 +13,8 @@ use feddrl_data::partition::Partition;
 use feddrl_fl::history::RunHistory;
 use feddrl_fl::server::{run_federated, FlConfig};
 #[cfg(test)]
+use feddrl_fl::executor::ExecutorConfig;
+#[cfg(test)]
 use feddrl_fl::server::Selection;
 use feddrl_nn::zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -107,6 +109,7 @@ mod tests {
             seed: 21,
             log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
         };
         (spec, train, test, partition, fl_cfg)
     }
@@ -132,6 +135,41 @@ mod tests {
             "FedDRL failed to learn at all: {}",
             run.history.best().best_accuracy
         );
+    }
+
+    #[test]
+    fn feddrl_runs_under_deadline_executor_with_dropouts() {
+        use feddrl_fl::executor::{HeteroConfig, LatePolicy};
+        use feddrl_sim::device::FleetConfig;
+
+        let (spec, train, test, partition, mut fl_cfg) = env();
+        fl_cfg.rounds = 5;
+        fl_cfg.executor = ExecutorConfig::Deadline(HeteroConfig {
+            fleet: FleetConfig {
+                compute_skew: 4.0,
+                dropout: 0.3,
+                ..Default::default()
+            },
+            deadline_s: None,
+            late_policy: LatePolicy::Drop,
+        });
+        let run = run_feddrl(&spec, &train, &test, &partition, &fl_cfg, &small_run_cfg());
+        assert_eq!(run.history.records.len(), 5);
+        assert!(
+            run.history.total_dropouts() > 0,
+            "30% dropout over 30 client-rounds drew nothing"
+        );
+        assert!(run.history.mean_participation() < 6.0);
+        assert!(run.history.total_sim_time_s() > 0.0);
+        // Short rounds still produce normalized factors for the survivors.
+        for r in &run.history.records {
+            let h = r.hetero.as_ref().expect("deadline run must record telemetry");
+            assert_eq!(h.aggregated(), r.impact_factors.len());
+            if !r.impact_factors.is_empty() {
+                let sum: f32 = r.impact_factors.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-4);
+            }
+        }
     }
 
     #[test]

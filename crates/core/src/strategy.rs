@@ -79,13 +79,47 @@ impl FedDrl {
     }
 }
 
+impl FedDrl {
+    /// The agent's designed-for participant count `K` (state is `3K`).
+    fn capacity(&self) -> usize {
+        self.agent.config().state_dim / 3
+    }
+
+    /// Lift an `m`-client state onto the agent's fixed `3K` observation.
+    ///
+    /// Heterogeneous rounds (dropouts, deadline cuts — see
+    /// `feddrl_fl::executor`) can report fewer than `K` clients. The loss
+    /// blocks are z-normalized (mean 0), so zero-padding the tail of each
+    /// block presents the missing clients as "average" placeholders, and
+    /// a zero sample-fraction marks them as contributing no data. For
+    /// `m == K` this is the identity, keeping full-participation rounds
+    /// bit-identical to the pre-heterogeneity behavior.
+    fn pad_state(&self, summaries: &[ClientSummary]) -> Vec<f32> {
+        let (m, k) = (summaries.len(), self.capacity());
+        let raw = build_state(summaries);
+        if m == k {
+            return raw;
+        }
+        let mut state = vec![0.0f32; 3 * k];
+        for block in 0..3 {
+            state[block * k..block * k + m].copy_from_slice(&raw[block * m..(block + 1) * m]);
+        }
+        state
+    }
+}
+
 impl Strategy for FedDrl {
     fn name(&self) -> &'static str {
         "FedDRL"
     }
 
     fn impact_factors(&mut self, _round: usize, summaries: &[ClientSummary]) -> Vec<f32> {
-        let state = build_state(summaries);
+        let (m, k) = (summaries.len(), self.capacity());
+        assert!(
+            m >= 1 && m <= k,
+            "FedDRL built for K = {k} clients got {m} summaries"
+        );
+        let state = self.pad_state(summaries);
 
         // Close the previous transition: this round's l_before losses are
         // the environment's feedback on the previous aggregation.
@@ -106,8 +140,17 @@ impl Strategy for FedDrl {
             }
         }
 
+        // The action holds K means then K std-devs; a short round samples
+        // factors from its first `m` of each.
         let action = self.agent.act(&state, self.explore);
-        let alpha = sample_impact_factors(&action, &mut self.rng);
+        let alpha = if m == k {
+            sample_impact_factors(&action, &mut self.rng)
+        } else {
+            let mut mu_sigma = Vec::with_capacity(2 * m);
+            mu_sigma.extend_from_slice(&action[..m]);
+            mu_sigma.extend_from_slice(&action[k..k + m]);
+            sample_impact_factors(&mu_sigma, &mut self.rng)
+        };
         self.pending = Some((state, action));
         alpha
     }
@@ -171,6 +214,43 @@ mod tests {
             rewards.last().unwrap() > rewards.first().unwrap(),
             "dropping losses must raise the reward: {rewards:?}"
         );
+    }
+
+    #[test]
+    fn short_rounds_reuse_the_fixed_size_agent() {
+        // A K=5 agent serving heterogeneous rounds of 5, 3, 1, 4 clients
+        // (dropouts/deadline cuts) must keep emitting simplex factors of
+        // the right arity and keep learning across the size changes.
+        let cfg = FedDrlConfig::default();
+        let mut strategy = FedDrl::new(5, &cfg);
+        for (round, m) in [5usize, 3, 1, 4, 5].into_iter().enumerate() {
+            let alpha = strategy.impact_factors(round, &summaries(m, round));
+            assert_eq!(alpha.len(), m);
+            let sum: f32 = alpha.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "round {round}: sum {sum}");
+        }
+        assert_eq!(strategy.rewards().len(), 4);
+        assert_eq!(strategy.agent().buffer.len(), 4);
+    }
+
+    #[test]
+    fn full_rounds_are_unchanged_by_padding_support() {
+        // The padded path must be a strict no-op at full participation:
+        // same seeds, same inputs => bit-identical factors.
+        let cfg = FedDrlConfig::default();
+        let mut a = FedDrl::new(4, &cfg);
+        let mut b = FedDrl::new(4, &cfg);
+        for round in 0..3 {
+            let s = summaries(4, round);
+            assert_eq!(a.impact_factors(round, &s), b.impact_factors(round, &s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "got 6 summaries")]
+    fn rejects_more_clients_than_capacity() {
+        let mut strategy = FedDrl::new(5, &FedDrlConfig::default());
+        let _ = strategy.impact_factors(0, &summaries(6, 0));
     }
 
     #[test]

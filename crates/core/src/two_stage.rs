@@ -18,6 +18,8 @@ use feddrl_data::partition::Partition;
 use feddrl_drl::ddpg::DdpgAgent;
 use feddrl_fl::server::{run_federated, FlConfig};
 #[cfg(test)]
+use feddrl_fl::executor::ExecutorConfig;
+#[cfg(test)]
 use feddrl_fl::server::Selection;
 use feddrl_nn::parallel::par_map;
 use feddrl_nn::zoo::ModelSpec;
@@ -150,6 +152,7 @@ mod tests {
             seed: 11,
             log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
         };
         (spec, train, test, partition, fl_cfg)
     }

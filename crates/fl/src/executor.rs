@@ -1,0 +1,532 @@
+//! Round executors: *which* sampled clients report back, and *when*.
+//!
+//! The paper's Algorithm 2 assumes the idealized synchronous setting —
+//! every sampled client trains and its update arrives instantly. Real
+//! federated deployments are dominated by device heterogeneity:
+//! stragglers, dropouts, and deadline-bounded rounds. [`RoundExecutor`]
+//! factors that concern out of the server loop:
+//!
+//! * [`IdealExecutor`] reproduces the paper's setting bit-for-bit (the
+//!   default; histories are byte-identical to the pre-abstraction loop);
+//! * [`DeadlineExecutor`] runs each round through the discrete-event
+//!   heterogeneity engine (`feddrl_sim::{device, event}`): every sampled
+//!   client gets a seeded [`DeviceProfile`](feddrl_sim::device::DeviceProfile),
+//!   may drop out, and its upload-completion time — local compute plus
+//!   model upload over its link — is scheduled on an [`EventQueue`]. Only
+//!   updates arriving before the round deadline are aggregated; late ones
+//!   are dropped or carried into the next round ([`LatePolicy`]).
+//!
+//! Determinism: dropout draws derive from `(seed, round, client id)` and
+//! device profiles from the fleet seed, so heterogeneity scenarios
+//! reproduce exactly, independent of thread scheduling.
+
+use crate::client::ClientUpdate;
+use crate::history::HeteroRoundRecord;
+use feddrl_sim::comm::CommModel;
+use feddrl_sim::device::{Fleet, FleetConfig};
+use feddrl_sim::event::{EventKind, EventQueue, VirtualClock};
+use feddrl_nn::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// What happens to an update that misses the round deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LatePolicy {
+    /// Late updates are discarded (the client's round was wasted).
+    #[default]
+    Drop,
+    /// Late updates are buffered and aggregated in a later round with
+    /// spare capacity (stale but not wasted — the FedAsync-style
+    /// compromise). At most `participants` updates are aggregated per
+    /// round, so a stale update waits until dropouts/stragglers leave
+    /// room; it is discarded if its client reports fresh first, or if the
+    /// queue outgrows `participants` (oldest evicted — unbounded staleness
+    /// would poison the aggregate).
+    CarryOver,
+}
+
+/// Deadline-bounded execution knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HeteroConfig {
+    /// Device-fleet generation parameters (one profile per client).
+    pub fleet: FleetConfig,
+    /// Round deadline in simulated seconds; `None` waits for every
+    /// non-dropped client (unbounded round).
+    #[serde(default)]
+    pub deadline_s: Option<f64>,
+    /// Fate of updates that miss the deadline.
+    #[serde(default)]
+    pub late_policy: LatePolicy,
+}
+
+/// Which execution model a federated run uses (a [`crate::server::FlConfig`]
+/// knob; `Ideal` is the paper's synchronous setting and the default).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum ExecutorConfig {
+    /// Every sampled client trains and reports instantly (Algorithm 2).
+    #[default]
+    Ideal,
+    /// Deadline-bounded rounds over a heterogeneous device fleet.
+    Deadline(HeteroConfig),
+}
+
+impl ExecutorConfig {
+    /// Build the executor for a run of `n_clients` total clients exchanging
+    /// a `param_count`-parameter model with `participants` clients per
+    /// round. `seed` salts the per-round dropout draws.
+    pub fn build(
+        &self,
+        n_clients: usize,
+        param_count: usize,
+        participants: usize,
+        seed: u64,
+    ) -> Box<dyn RoundExecutor> {
+        match self {
+            ExecutorConfig::Ideal => Box::new(IdealExecutor),
+            ExecutorConfig::Deadline(cfg) => Box::new(DeadlineExecutor::new(
+                cfg.clone(),
+                n_clients,
+                param_count,
+                participants,
+                seed,
+            )),
+        }
+    }
+}
+
+/// What a round executor hands back to the server loop.
+pub struct RoundOutcome {
+    /// Updates to aggregate this round, in deterministic order: carried-in
+    /// stale updates first (oldest information), then this round's
+    /// arrivals in sampling order. May be empty (everyone dropped or
+    /// missed the deadline) — the server then skips aggregation.
+    pub updates: Vec<ClientUpdate>,
+    /// Heterogeneity telemetry; `None` for the ideal executor.
+    pub hetero: Option<HeteroRoundRecord>,
+}
+
+/// The round-execution abstraction the server loop runs against.
+///
+/// `train` runs local training for a *subset* of the sampled clients and
+/// returns their updates in the given order; the executor decides which
+/// clients actually train (dropouts are decided before training, saving
+/// their wasted CPU) and which reports make it back in time.
+pub trait RoundExecutor: Send {
+    /// Execute round `round` for the sampled `selected` clients.
+    fn execute(
+        &mut self,
+        round: usize,
+        selected: &[usize],
+        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+    ) -> RoundOutcome;
+}
+
+/// The paper's idealized synchronous round: everyone trains, everyone
+/// reports, no virtual time passes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealExecutor;
+
+impl RoundExecutor for IdealExecutor {
+    fn execute(
+        &mut self,
+        _round: usize,
+        selected: &[usize],
+        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+    ) -> RoundOutcome {
+        RoundOutcome {
+            updates: train(selected),
+            hetero: None,
+        }
+    }
+}
+
+/// Salt for the per-round dropout RNG stream (distinct from client
+/// training `0xC11E` and selection streams).
+const DROPOUT_SALT: u64 = 0xD20_0FF;
+
+/// Deadline-bounded rounds over a seeded heterogeneous device fleet.
+pub struct DeadlineExecutor {
+    fleet: Fleet,
+    cfg: HeteroConfig,
+    upload_bytes: u64,
+    participants: usize,
+    seed: u64,
+    /// Late updates awaiting a later round (only under
+    /// [`LatePolicy::CarryOver`]).
+    carried: Vec<ClientUpdate>,
+}
+
+impl DeadlineExecutor {
+    /// Build the executor: generates the device fleet and derives the
+    /// per-client upload payload from the §3.5 communication model
+    /// (FedDRL traffic — model weights plus the two scalar losses).
+    ///
+    /// # Panics
+    /// Panics on a non-positive deadline or a degenerate fleet config.
+    pub fn new(
+        cfg: HeteroConfig,
+        n_clients: usize,
+        param_count: usize,
+        participants: usize,
+        seed: u64,
+    ) -> Self {
+        if let Some(d) = cfg.deadline_s {
+            assert!(
+                d.is_finite() && d > 0.0,
+                "round deadline must be positive and finite, got {d}"
+            );
+        }
+        assert!(participants > 0, "participants must be positive");
+        let fleet = Fleet::generate(n_clients, &cfg.fleet);
+        let k = participants as u64;
+        let traffic = CommModel::new(param_count.max(1) as u64, k).feddrl_round();
+        let upload_bytes = (traffic.uplink_models + traffic.uplink_metadata) / k;
+        Self {
+            fleet,
+            cfg,
+            upload_bytes,
+            participants,
+            seed,
+            carried: Vec::new(),
+        }
+    }
+
+    /// Per-client upload payload in bytes (model weights + metadata).
+    pub fn upload_bytes(&self) -> u64 {
+        self.upload_bytes
+    }
+
+    /// The generated device fleet.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+}
+
+impl RoundExecutor for DeadlineExecutor {
+    fn execute(
+        &mut self,
+        round: usize,
+        selected: &[usize],
+        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+    ) -> RoundOutcome {
+        let deadline = self.cfg.deadline_s.unwrap_or(f64::INFINITY);
+
+        // --- Dropouts, decided up front: a dropped client never trains
+        // (its device failed the round), so its CPU is not simulated.
+        // Likewise, a client whose deterministic completion time already
+        // exceeds the deadline is a foregone straggler: under `Drop` its
+        // update would be trained only to be discarded, so skip the
+        // training too (under `CarryOver` the update is still needed).
+        let dropout_rng = Rng64::new(self.seed ^ DROPOUT_SALT).derive(round as u64);
+        let mut alive = Vec::with_capacity(selected.len());
+        let mut dropouts = 0usize;
+        let mut foregone_stragglers = 0usize;
+        for &cid in selected {
+            let profile = self.fleet.profile(cid);
+            if profile.dropout > 0.0 && dropout_rng.derive(cid as u64).chance(profile.dropout) {
+                dropouts += 1;
+            } else if self.cfg.late_policy == LatePolicy::Drop
+                && profile.completion_time_s(self.upload_bytes) > deadline
+            {
+                foregone_stragglers += 1;
+            } else {
+                alive.push(cid);
+            }
+        }
+
+        let updates = train(&alive);
+
+        // --- Discrete-event round: schedule every surviving upload, then
+        // replay the timeline against the deadline.
+        let mut queue = EventQueue::new();
+        for u in &updates {
+            queue.schedule(
+                self.fleet.profile(u.client_id).completion_time_s(self.upload_bytes),
+                EventKind::UploadComplete {
+                    client_id: u.client_id,
+                },
+            );
+        }
+        if deadline.is_finite() {
+            // Scheduled *after* the uploads: the FIFO tie-break then counts
+            // an arrival at exactly the deadline as in time.
+            queue.schedule(deadline, EventKind::Deadline);
+        }
+        let mut clock = VirtualClock::new();
+        let mut arrived_ids = Vec::new();
+        let mut last_arrival_s = 0.0f64;
+        let mut deadline_fired = false;
+        while let Some(event) = queue.pop() {
+            clock.advance_to(event.time_s);
+            match event.kind {
+                EventKind::UploadComplete { client_id } if !deadline_fired => {
+                    arrived_ids.push(client_id);
+                    last_arrival_s = clock.now_s();
+                }
+                EventKind::UploadComplete { .. } => {} // straggler: drained below
+                EventKind::Deadline => deadline_fired = true,
+            }
+        }
+        let stragglers = foregone_stragglers + (updates.len() - arrived_ids.len());
+
+        // The server waits until the deadline whenever a sampled report is
+        // missing (it cannot know the client dropped); otherwise the round
+        // ends when the last expected upload lands. With an unbounded
+        // deadline, dropouts are assumed to notify failure, so the round
+        // still ends at the last arrival.
+        let sim_time_s = if deadline.is_finite() && (stragglers > 0 || dropouts > 0) {
+            deadline
+        } else {
+            last_arrival_s
+        };
+
+        // --- Split arrivals from stragglers, keeping sampling order (so an
+        // unbounded no-dropout round reduces exactly to the ideal one).
+        let mut arrived = Vec::with_capacity(arrived_ids.len());
+        let mut late = Vec::new();
+        for u in updates {
+            if arrived_ids.contains(&u.client_id) {
+                arrived.push(u);
+            } else {
+                late.push(u);
+            }
+        }
+
+        // --- Carry-in: stale updates fill the round's spare capacity,
+        // oldest first. A fresh arrival discards its client's stale copy;
+        // stale updates that find no capacity stay queued for a later,
+        // shorter round.
+        let mut aggregated = Vec::new();
+        let mut carried_in = 0usize;
+        let mut still_queued = Vec::new();
+        for stale in std::mem::take(&mut self.carried) {
+            if arrived.iter().any(|u| u.client_id == stale.client_id) {
+                continue; // superseded by this round's fresh report
+            }
+            if aggregated.len() + arrived.len() < self.participants {
+                aggregated.push(stale);
+                carried_in += 1;
+            } else {
+                still_queued.push(stale);
+            }
+        }
+        aggregated.extend(arrived);
+        self.carried = still_queued; // always empty under LatePolicy::Drop
+        if self.cfg.late_policy == LatePolicy::CarryOver {
+            // A newer late report supersedes its client's queued copy.
+            for u in late {
+                self.carried.retain(|s| s.client_id != u.client_id);
+                self.carried.push(u);
+            }
+            // Bound staleness: keep only the K most recent queued updates —
+            // an unboundedly stale update would poison the aggregate.
+            if self.carried.len() > self.participants {
+                let excess = self.carried.len() - self.participants;
+                self.carried.drain(..excess);
+            }
+        }
+
+        let hetero = HeteroRoundRecord {
+            sim_time_s,
+            dropouts,
+            stragglers,
+            carried_in,
+            aggregated_ids: aggregated.iter().map(|u| u.client_id).collect(),
+        };
+        RoundOutcome {
+            updates: aggregated,
+            hetero: Some(hetero),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A weightless update for client `cid` (executor logic never touches
+    /// the payload).
+    fn stub_update(cid: usize) -> ClientUpdate {
+        ClientUpdate {
+            client_id: cid,
+            weights: vec![0.0; 4],
+            n_samples: 10 + cid,
+            loss_before: 1.0,
+            loss_after: 0.5,
+        }
+    }
+
+    fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
+        ids.iter().map(|&c| stub_update(c)).collect()
+    }
+
+    fn skewed_cfg(deadline_s: Option<f64>, dropout: f64) -> HeteroConfig {
+        HeteroConfig {
+            fleet: FleetConfig {
+                compute_skew: 4.0,
+                bandwidth_skew: 2.0,
+                dropout,
+                ..Default::default()
+            },
+            deadline_s,
+            late_policy: LatePolicy::Drop,
+        }
+    }
+
+    #[test]
+    fn ideal_executor_is_a_passthrough() {
+        let selected = [3usize, 1, 4];
+        let out = IdealExecutor.execute(0, &selected, &stub_train);
+        assert!(out.hetero.is_none());
+        let ids: Vec<usize> = out.updates.iter().map(|u| u.client_id).collect();
+        assert_eq!(ids, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn unbounded_round_time_is_max_of_completions() {
+        let mut ex = DeadlineExecutor::new(skewed_cfg(None, 0.0), 8, 1000, 8, 7);
+        let selected: Vec<usize> = (0..8).collect();
+        let out = ex.execute(0, &selected, &stub_train);
+        let h = out.hetero.unwrap();
+        let expected = (0..8)
+            .map(|c| ex.fleet().profile(c).completion_time_s(ex.upload_bytes()))
+            .fold(0.0f64, f64::max);
+        assert!((h.sim_time_s - expected).abs() < 1e-12);
+        assert_eq!(h.stragglers, 0);
+        assert_eq!(h.dropouts, 0);
+        assert_eq!(h.aggregated(), 8);
+        assert_eq!(out.updates.len(), 8);
+    }
+
+    #[test]
+    fn tight_deadline_cuts_stragglers_and_caps_round_time() {
+        let cfg = skewed_cfg(None, 0.0);
+        let probe = DeadlineExecutor::new(cfg.clone(), 16, 1000, 16, 7);
+        // Deadline at the fleet median: roughly half the devices miss it.
+        let deadline = probe
+            .fleet()
+            .completion_percentile_s(probe.upload_bytes(), 0.5);
+        let mut ex = DeadlineExecutor::new(
+            HeteroConfig {
+                deadline_s: Some(deadline),
+                ..cfg
+            },
+            16,
+            1000,
+            16,
+            7,
+        );
+        let selected: Vec<usize> = (0..16).collect();
+        let out = ex.execute(0, &selected, &stub_train);
+        let h = out.hetero.unwrap();
+        assert!(h.stragglers > 0, "median deadline produced no stragglers");
+        assert!(h.aggregated() < 16);
+        assert_eq!(h.aggregated() + h.stragglers, 16);
+        assert_eq!(h.sim_time_s, deadline);
+        // Exactly the in-time devices arrived.
+        for u in &out.updates {
+            let t = ex.fleet().profile(u.client_id).completion_time_s(ex.upload_bytes());
+            assert!(t <= deadline, "straggler {t} leaked past deadline {deadline}");
+        }
+    }
+
+    #[test]
+    fn dropouts_are_deterministic_and_reduce_participation() {
+        let mk = || DeadlineExecutor::new(skewed_cfg(None, 0.5), 10, 500, 10, 21);
+        let selected: Vec<usize> = (0..10).collect();
+        let (mut a, mut b) = (mk(), mk());
+        let (oa, ob) = (
+            a.execute(3, &selected, &stub_train),
+            b.execute(3, &selected, &stub_train),
+        );
+        let (ha, hb) = (oa.hetero.unwrap(), ob.hetero.unwrap());
+        assert_eq!(ha, hb, "same seed must reproduce the same dropouts");
+        assert!(ha.dropouts > 0, "p=0.5 over 10 clients drew no dropout");
+        assert_eq!(ha.aggregated() + ha.dropouts, 10);
+        // A different round draws a different pattern eventually.
+        let oc = a.execute(4, &selected, &stub_train);
+        assert!(oc.hetero.unwrap().aggregated() <= 10);
+    }
+
+    #[test]
+    fn carry_over_reinjects_late_updates_next_round() {
+        let cfg = skewed_cfg(None, 0.0);
+        let probe = DeadlineExecutor::new(cfg.clone(), 12, 1000, 6, 7);
+        let deadline = probe
+            .fleet()
+            .completion_percentile_s(probe.upload_bytes(), 0.4);
+        let mut ex = DeadlineExecutor::new(
+            HeteroConfig {
+                deadline_s: Some(deadline),
+                late_policy: LatePolicy::CarryOver,
+                ..cfg
+            },
+            12,
+            1000,
+            6,
+            7,
+        );
+        // Round 0: slowest 6 clients — some miss the deadline.
+        let first: Vec<usize> = (0..6).collect();
+        let o0 = ex.execute(0, &first, &stub_train);
+        let h0 = o0.hetero.unwrap();
+        assert!(h0.stragglers > 0, "deadline cut nobody");
+        // Round 1: disjoint clients; the stale updates ride along.
+        let second: Vec<usize> = (6..12).collect();
+        let o1 = ex.execute(1, &second, &stub_train);
+        let h1 = o1.hetero.unwrap();
+        assert_eq!(h1.carried_in.min(1), 1, "no stale update carried in");
+        assert!(h1.aggregated() <= 6, "carry-over exceeded participant cap");
+        let carried_ids: Vec<usize> = o1
+            .updates
+            .iter()
+            .map(|u| u.client_id)
+            .filter(|c| *c < 6)
+            .collect();
+        assert_eq!(carried_ids.len(), h1.carried_in);
+    }
+
+    #[test]
+    fn queued_stale_update_waits_for_a_round_with_capacity() {
+        // Homogeneous fleet, deadline below everyone's completion time:
+        // every sampled client straggles and is queued under CarryOver.
+        let cfg = HeteroConfig {
+            fleet: FleetConfig::default(), // identical devices, ~10 s rounds
+            deadline_s: Some(1.0),
+            late_policy: LatePolicy::CarryOver,
+        };
+        let mut ex = DeadlineExecutor::new(cfg, 8, 1000, 2, 7);
+        // Round 0: clients 0, 1 straggle and are queued.
+        let o0 = ex.execute(0, &[0, 1], &stub_train);
+        assert_eq!(o0.hetero.unwrap().stragglers, 2);
+        assert!(o0.updates.is_empty());
+        // Round 1: clients 2, 3 also straggle — zero fresh arrivals, so
+        // the two queued updates finally fill the round's capacity.
+        let o1 = ex.execute(1, &[2, 3], &stub_train);
+        let h1 = o1.hetero.unwrap();
+        assert_eq!(h1.carried_in, 2);
+        assert_eq!(h1.aggregated_ids, vec![0, 1]);
+        // Round 2: the newer stale updates (2, 3) ride in next — nothing
+        // was silently discarded while capacity was available.
+        let o2 = ex.execute(2, &[4, 5], &stub_train);
+        assert_eq!(o2.hetero.unwrap().aggregated_ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn all_dropped_round_yields_no_updates() {
+        let mut cfg = skewed_cfg(Some(1e6), 0.0);
+        cfg.fleet.dropout = 0.999_999;
+        let mut ex = DeadlineExecutor::new(cfg, 5, 100, 5, 3);
+        let out = ex.execute(0, &[0, 1, 2, 3, 4], &stub_train);
+        let h = out.hetero.unwrap();
+        assert_eq!(h.dropouts, 5);
+        assert_eq!(h.aggregated(), 0);
+        assert!(out.updates.is_empty());
+        assert_eq!(h.sim_time_s, 1e6, "server waits out the deadline");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn rejects_non_positive_deadline() {
+        let _ = DeadlineExecutor::new(skewed_cfg(Some(0.0), 0.0), 4, 10, 4, 1);
+    }
+}

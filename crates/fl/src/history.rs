@@ -6,6 +6,35 @@ use crate::metrics::{best_accuracy, ConvergenceStats};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
+/// Heterogeneity telemetry for one deadline-bounded round (produced by
+/// `executor::DeadlineExecutor`; absent for the ideal executor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroRoundRecord {
+    /// Simulated wall-clock of the round in seconds (virtual time from
+    /// broadcast to the last accepted upload, or the deadline if the
+    /// server had to wait one out).
+    pub sim_time_s: f64,
+    /// Sampled clients that dropped out before reporting.
+    pub dropouts: usize,
+    /// Sampled clients whose report missed the round deadline.
+    pub stragglers: usize,
+    /// Stale updates carried in from earlier rounds and aggregated now.
+    pub carried_in: usize,
+    /// Ids of the clients whose updates were aggregated this round, in
+    /// aggregation order — i.e. aligned with the record's
+    /// `impact_factors`/`client_losses_before`. Unlike `selected` (the
+    /// *sampled* set), this can omit dropouts/stragglers and, under
+    /// carry-over, include clients sampled in an earlier round.
+    pub aggregated_ids: Vec<usize>,
+}
+
+impl HeteroRoundRecord {
+    /// Updates actually aggregated this round (arrivals + carried).
+    pub fn aggregated(&self) -> usize {
+        self.aggregated_ids.len()
+    }
+}
+
 /// Per-round measurements.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -28,6 +57,11 @@ pub struct RoundRecord {
     /// Wall-clock spent averaging weight vectors (µs) — Figure 9's
     /// "Aggregation".
     pub aggregate_micros: u64,
+    /// Heterogeneity telemetry; `None` under the ideal executor, and then
+    /// omitted from JSON so ideal histories stay byte-identical to the
+    /// pre-executor format.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hetero: Option<HeteroRoundRecord>,
 }
 
 /// A complete federated run.
@@ -73,6 +107,43 @@ impl RunHistory {
                 slice.iter().sum::<f32>() / slice.len() as f32
             })
             .collect()
+    }
+
+    /// Total simulated wall-clock over the run in seconds (0 for ideal
+    /// runs, where no virtual time passes).
+    pub fn total_sim_time_s(&self) -> f64 {
+        // Folded from +0.0: `Sum<f64>`'s identity is -0.0, which formats
+        // as "-0.00" for ideal (telemetry-free) histories.
+        self.records
+            .iter()
+            .filter_map(|r| r.hetero.as_ref().map(|h| h.sim_time_s))
+            .fold(0.0, |acc, t| acc + t)
+    }
+
+    /// Total deadline-missing clients over the run.
+    pub fn total_stragglers(&self) -> usize {
+        self.records
+            .iter()
+            .filter_map(|r| r.hetero.as_ref().map(|h| h.stragglers))
+            .sum()
+    }
+
+    /// Total dropped-out clients over the run.
+    pub fn total_dropouts(&self) -> usize {
+        self.records
+            .iter()
+            .filter_map(|r| r.hetero.as_ref().map(|h| h.dropouts))
+            .sum()
+    }
+
+    /// Mean number of updates aggregated per round — `participants` under
+    /// the ideal executor, less once dropouts/deadlines bite.
+    pub fn mean_participation(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.records.iter().map(|r| r.impact_factors.len()).sum();
+        total as f64 / self.records.len() as f64
     }
 
     /// CSV with one row per round: `round,accuracy,loss,strategy_us,agg_us`.
@@ -123,9 +194,24 @@ mod tests {
                     client_losses_before: vec![1.0, 2.0],
                     strategy_micros: 3,
                     aggregate_micros: 45,
+                    hetero: None,
                 })
                 .collect(),
         }
+    }
+
+    fn hetero_history() -> RunHistory {
+        let mut h = toy_history();
+        for (i, r) in h.records.iter_mut().enumerate() {
+            r.hetero = Some(HeteroRoundRecord {
+                sim_time_s: 10.0 + i as f64,
+                dropouts: 1,
+                stragglers: 2,
+                carried_in: 0,
+                aggregated_ids: vec![0, 1],
+            });
+        }
+        h
     }
 
     #[test]
@@ -158,6 +244,42 @@ mod tests {
         assert_eq!(lines.len(), 6);
         assert!(lines[0].starts_with("round,"));
         assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn ideal_records_serialize_without_hetero_key() {
+        let json = serde_json::to_string_pretty(&toy_history()).unwrap();
+        assert!(
+            !json.contains("hetero"),
+            "ideal history leaked a hetero key:\n{json}"
+        );
+        // And the key's absence deserializes back to None.
+        let back: RunHistory = serde_json::from_str(&json).unwrap();
+        assert!(back.records.iter().all(|r| r.hetero.is_none()));
+    }
+
+    #[test]
+    fn hetero_records_roundtrip() {
+        let h = hetero_history();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: RunHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records[2].hetero, h.records[2].hetero);
+    }
+
+    #[test]
+    fn hetero_totals_sum_over_rounds() {
+        let h = hetero_history();
+        assert!((h.total_sim_time_s() - (10.0 + 11.0 + 12.0 + 13.0 + 14.0)).abs() < 1e-9);
+        assert_eq!(h.total_stragglers(), 10);
+        assert_eq!(h.total_dropouts(), 5);
+        assert!((h.mean_participation() - 2.0).abs() < 1e-9);
+        let ideal = toy_history();
+        assert_eq!(ideal.total_sim_time_s(), 0.0);
+        assert!(
+            ideal.total_sim_time_s().is_sign_positive(),
+            "empty-sum must not leak IEEE -0.0 into reports"
+        );
+        assert_eq!(ideal.total_stragglers(), 0);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * [`strategy`] — the pluggable impact-factor abstraction with
 //!   [`strategy::FedAvg`], [`strategy::FedProx`] and a uniform ablation
 //!   baseline (FedDRL plugs in from the `feddrl` crate);
+//! * [`executor`] — the round-execution abstraction: the paper's ideal
+//!   synchronous setting, or deadline-bounded rounds over a heterogeneous
+//!   device fleet (stragglers, dropouts) driven by `feddrl_sim`'s
+//!   discrete-event engine;
 //! * [`server`] — the deterministic, crossbeam-parallel round loop with
 //!   per-stage server timing (Figure 9);
 //! * [`singleset`] — the centralized reference;
@@ -37,6 +41,7 @@
 
 pub mod baselines;
 pub mod client;
+pub mod executor;
 pub mod history;
 pub mod metrics;
 pub mod server;
@@ -46,7 +51,11 @@ pub mod strategy;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::client::{ClientSummary, ClientUpdate, LocalTrainConfig};
-    pub use crate::history::{RoundRecord, RunHistory};
+    pub use crate::executor::{
+        DeadlineExecutor, ExecutorConfig, HeteroConfig, IdealExecutor, LatePolicy, RoundExecutor,
+        RoundOutcome,
+    };
+    pub use crate::history::{HeteroRoundRecord, RoundRecord, RunHistory};
     pub use crate::metrics::{
         best_accuracy, evaluate, inference_loss, mean_var, rounds_to_target, ConvergenceStats,
     };

@@ -1,17 +1,26 @@
-//! The synchronous federated-learning server loop (paper Algorithm 2).
+//! The federated-learning server loop (paper Algorithm 2).
 //!
-//! Per communication round the server: samples `K` of `N` clients, trains
-//! them *in parallel* (one crossbeam task per client — the simulation
-//! analogue of the paper's distributed edge devices), asks the
-//! [`Strategy`] for impact factors, applies the weighted aggregation of
-//! Eq. 4, and evaluates the new global model. Timing of the two server-side
-//! stages is recorded separately to reproduce Figure 9.
+//! Per communication round the server: samples `K` of `N` clients, hands
+//! them to the configured [`RoundExecutor`](crate::executor::RoundExecutor)
+//! — which trains them *in
+//! parallel* (one crossbeam task per client) and decides which reports
+//! make it back, and when — then asks the [`Strategy`] for impact factors
+//! over the updates that arrived, applies the weighted aggregation of
+//! Eq. 4, and evaluates the new global model. Timing of the two
+//! server-side stages is recorded separately to reproduce Figure 9.
+//!
+//! With the default [`ExecutorConfig::Ideal`] every sampled client reports
+//! (the paper's synchronous setting, bit-identical to the pre-executor
+//! loop); [`ExecutorConfig::Deadline`] runs rounds through the
+//! discrete-event heterogeneity engine (stragglers, dropouts, deadlines —
+//! see [`crate::executor`]).
 //!
 //! Determinism: client-local randomness is derived from
 //! `(master seed, round, client id)`, so results are independent of thread
 //! scheduling.
 
 use crate::client::{run_local_round, ClientUpdate, LocalTrainConfig};
+use crate::executor::ExecutorConfig;
 use crate::history::{RoundRecord, RunHistory};
 use crate::metrics::evaluate;
 use crate::strategy::{normalize_factors, weighted_average, RoundContext, Strategy};
@@ -57,6 +66,10 @@ pub struct FlConfig {
     /// Client-selection policy (the paper uses uniform sampling).
     #[serde(default)]
     pub selection: Selection,
+    /// Round-execution model: ideal synchronous (default) or
+    /// deadline-bounded over a heterogeneous device fleet.
+    #[serde(default)]
+    pub executor: ExecutorConfig,
 }
 
 impl Default for FlConfig {
@@ -69,6 +82,7 @@ impl Default for FlConfig {
             seed: 0xFEDD,
             log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
         }
     }
 }
@@ -99,6 +113,9 @@ pub fn run_federated(
     let mut global = spec.build(master.next_u64());
     let mut local_cfg = cfg.local.clone();
     local_cfg.proximal_mu = strategy.proximal_mu();
+    let mut executor =
+        cfg.executor
+            .build(n_clients, global.param_count(), cfg.participants, cfg.seed);
 
     // Last-known per-client inference loss, for power-of-choice.
     let mut known_loss: Vec<Option<f32>> = vec![None; n_clients];
@@ -123,48 +140,63 @@ pub fn run_federated(
             }
         };
 
-        // --- Parallel local training: one task per participating client.
+        // --- Round execution: the executor trains the (non-dropped)
+        // clients in parallel — one crossbeam task each — and returns the
+        // updates that made it back in time.
         let global_flat = global.flat_params();
-        let updates: Vec<ClientUpdate> = par_map(&selected, |_, &client_id| {
-            let mut model = global.clone();
-            model.set_flat_params(&global_flat);
-            let mut rng = Rng64::new(cfg.seed ^ 0xC11E)
-                .derive(round as u64)
-                .derive(client_id as u64);
-            run_local_round(
-                model,
-                train,
-                partition.client(client_id),
-                client_id,
-                &local_cfg,
-                &mut rng,
-            )
-        });
+        let train_subset = |ids: &[usize]| -> Vec<ClientUpdate> {
+            par_map(ids, |_, &client_id| {
+                // The clone already carries the broadcast params exactly
+                // (`global` does not change mid-round).
+                let model = global.clone();
+                let mut rng = Rng64::new(cfg.seed ^ 0xC11E)
+                    .derive(round as u64)
+                    .derive(client_id as u64);
+                run_local_round(
+                    model,
+                    train,
+                    partition.client(client_id),
+                    client_id,
+                    &local_cfg,
+                    &mut rng,
+                )
+            })
+        };
+        let outcome = executor.execute(round, &selected, &train_subset);
+        let updates = outcome.updates;
 
         // --- Impact factors (the strategy's decision; DRL inference for
-        // FedDRL) — timed separately for Figure 9.
-        let t0 = Instant::now();
-        let raw = strategy.impact_factors_ctx(&RoundContext {
-            round,
-            global_weights: &global_flat,
-            updates: &updates,
-        });
-        let strategy_micros = t0.elapsed().as_micros() as u64;
-        assert_eq!(
-            raw.len(),
-            updates.len(),
-            "strategy returned {} factors for {} clients",
-            raw.len(),
-            updates.len()
-        );
-        let alphas = normalize_factors(&raw);
+        // FedDRL) — timed separately for Figure 9. A round where nothing
+        // arrived (everyone dropped or missed the deadline) leaves the
+        // global model untouched and the strategy un-consulted.
+        let (alphas, strategy_micros, aggregate_micros) = if updates.is_empty() {
+            (Vec::new(), 0, 0)
+        } else {
+            let t0 = Instant::now();
+            let raw = strategy.impact_factors_ctx(&RoundContext {
+                round,
+                global_weights: &global_flat,
+                updates: &updates,
+            });
+            let strategy_micros = t0.elapsed().as_micros() as u64;
+            assert_eq!(
+                raw.len(),
+                updates.len(),
+                "strategy returned {} factors for {} clients",
+                raw.len(),
+                updates.len()
+            );
+            let alphas = normalize_factors(&raw);
 
-        // --- Weighted aggregation (Eq. 4).
-        let t1 = Instant::now();
-        let weight_refs: Vec<&[f32]> = updates.iter().map(|u| u.weights.as_slice()).collect();
-        let new_global = weighted_average(&weight_refs, &alphas);
-        let aggregate_micros = t1.elapsed().as_micros() as u64;
-        global.set_flat_params(&new_global);
+            // --- Weighted aggregation (Eq. 4).
+            let t1 = Instant::now();
+            let weight_refs: Vec<&[f32]> =
+                updates.iter().map(|u| u.weights.as_slice()).collect();
+            let new_global = weighted_average(&weight_refs, &alphas);
+            let aggregate_micros = t1.elapsed().as_micros() as u64;
+            global.set_flat_params(&new_global);
+            (alphas, strategy_micros, aggregate_micros)
+        };
 
         for u in &updates {
             known_loss[u.client_id] = Some(u.loss_before);
@@ -181,6 +213,7 @@ pub fn run_federated(
             client_losses_before: updates.iter().map(|u| u.loss_before).collect(),
             strategy_micros,
             aggregate_micros,
+            hetero: outcome.hetero,
         };
         if cfg.log_every > 0 && round % cfg.log_every == 0 {
             eprintln!(
@@ -243,6 +276,7 @@ mod tests {
             seed: 77,
             log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
         }
     }
 

@@ -72,6 +72,7 @@ pub fn run_singleset(
             client_losses_before: Vec::new(),
             strategy_micros: 0,
             aggregate_micros: 0,
+            hetero: None,
         });
     }
     RunHistory {

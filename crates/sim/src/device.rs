@@ -1,0 +1,263 @@
+//! Seeded per-client device profiles (compute speed, network, dropout).
+//!
+//! Real federated deployments are dominated by device heterogeneity: some
+//! clients train on flagship phones over Wi-Fi, others on throttled
+//! hardware behind slow uplinks, and a fraction silently churns every
+//! round (see the non-IID FL survey arXiv:2401.00809). [`Fleet`] generates
+//! a deterministic population of [`DeviceProfile`]s from a single seed, so
+//! entire heterogeneity scenarios reproduce bit-for-bit, like every other
+//! random stream in this workspace.
+
+use feddrl_nn::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// One client's (simulated) device characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Wall-clock seconds this device needs for one local training round.
+    pub compute_s: f64,
+    /// Uplink bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Fixed per-upload latency in seconds (connection setup, RTT).
+    pub latency_s: f64,
+    /// Per-round probability that this client drops out of a round it was
+    /// sampled for (in `[0, 1)`).
+    pub dropout: f64,
+}
+
+impl DeviceProfile {
+    /// Virtual time from round start until this device's update has fully
+    /// arrived at the server: local compute, then upload of
+    /// `upload_bytes` over its link.
+    pub fn completion_time_s(&self, upload_bytes: u64) -> f64 {
+        self.compute_s + self.latency_s + upload_bytes as f64 / self.bandwidth_bps
+    }
+}
+
+/// Knobs for generating a device fleet.
+///
+/// Skew factors are log-uniform spreads: a device's compute time is
+/// `compute_s * m` with `m` drawn uniformly in log-space from
+/// `[1/compute_skew, compute_skew]` (and likewise for bandwidth), so
+/// `skew = 1` yields a homogeneous fleet and `skew = 4` a 16× spread
+/// between the fastest and slowest device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Reference local-round compute time in seconds.
+    pub compute_s: f64,
+    /// Log-uniform compute-time spread (`>= 1`; 1 = homogeneous).
+    pub compute_skew: f64,
+    /// Reference uplink bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Log-uniform bandwidth spread (`>= 1`; 1 = homogeneous).
+    pub bandwidth_skew: f64,
+    /// Fixed per-upload latency in seconds.
+    pub latency_s: f64,
+    /// Per-round dropout probability shared by every device (in `[0, 1)`).
+    pub dropout: f64,
+    /// Seed for the fleet draw; profiles derive per client index, so
+    /// client `i`'s device is independent of the fleet size.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    /// Mid-range phone over residential broadband: 10 s local rounds,
+    /// 1 MB/s uplink, 50 ms latency, homogeneous, no dropout.
+    fn default() -> Self {
+        Self {
+            compute_s: 10.0,
+            compute_skew: 1.0,
+            bandwidth_bps: 1e6,
+            bandwidth_skew: 1.0,
+            latency_s: 0.05,
+            dropout: 0.0,
+            seed: 0xDE1CE,
+        }
+    }
+}
+
+/// A generated population of device profiles, indexed by client id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    profiles: Vec<DeviceProfile>,
+}
+
+impl Fleet {
+    /// Deterministically generate `n` device profiles.
+    ///
+    /// # Panics
+    /// Panics on a degenerate config: `n == 0`, non-positive reference
+    /// compute/bandwidth, skews below 1, negative latency, or a dropout
+    /// probability outside `[0, 1)` (a certain dropout would make every
+    /// round empty).
+    pub fn generate(n: usize, cfg: &FleetConfig) -> Self {
+        assert!(n > 0, "fleet needs at least one device");
+        assert!(
+            cfg.compute_s > 0.0 && cfg.bandwidth_bps > 0.0,
+            "compute_s and bandwidth_bps must be positive"
+        );
+        assert!(
+            cfg.compute_skew >= 1.0 && cfg.bandwidth_skew >= 1.0,
+            "skew factors must be >= 1 (1 = homogeneous)"
+        );
+        assert!(cfg.latency_s >= 0.0, "latency must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&cfg.dropout),
+            "dropout probability must be in [0, 1), got {}",
+            cfg.dropout
+        );
+        let master = Rng64::new(cfg.seed);
+        let profiles = (0..n)
+            .map(|i| {
+                let mut rng = master.derive(i as u64);
+                // skew^u with u ~ U(-1, 1): log-uniform in [1/skew, skew].
+                let cm = cfg.compute_skew.powf(rng.uniform(-1.0, 1.0) as f64);
+                let bm = cfg.bandwidth_skew.powf(rng.uniform(-1.0, 1.0) as f64);
+                DeviceProfile {
+                    compute_s: cfg.compute_s * cm,
+                    bandwidth_bps: cfg.bandwidth_bps * bm,
+                    latency_s: cfg.latency_s,
+                    dropout: cfg.dropout,
+                }
+            })
+            .collect();
+        Self { profiles }
+    }
+
+    /// Profile of client `client_id`.
+    ///
+    /// # Panics
+    /// Panics if `client_id` is out of range.
+    pub fn profile(&self, client_id: usize) -> &DeviceProfile {
+        &self.profiles[client_id]
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the fleet is empty (never true for generated fleets).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The `pct`-percentile (in `[0, 1]`) of the fleet's completion times
+    /// for an `upload_bytes` payload — a principled way to pick a round
+    /// deadline ("wait for the fastest 70%").
+    pub fn completion_percentile_s(&self, upload_bytes: u64, pct: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&pct), "percentile must be in [0, 1]");
+        let mut times: Vec<f64> = self
+            .profiles
+            .iter()
+            .map(|p| p.completion_time_s(upload_bytes))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let idx = ((times.len() - 1) as f64 * pct).round() as usize;
+        times[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FleetConfig {
+            compute_skew: 3.0,
+            bandwidth_skew: 2.0,
+            ..Default::default()
+        };
+        let a = Fleet::generate(12, &cfg);
+        let b = Fleet::generate(12, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_are_stable_under_fleet_growth() {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            ..Default::default()
+        };
+        let small = Fleet::generate(5, &cfg);
+        let big = Fleet::generate(50, &cfg);
+        for i in 0..5 {
+            assert_eq!(small.profile(i), big.profile(i));
+        }
+    }
+
+    #[test]
+    fn homogeneous_fleet_has_identical_devices() {
+        let fleet = Fleet::generate(8, &FleetConfig::default());
+        let first = *fleet.profile(0);
+        for i in 1..8 {
+            assert_eq!(*fleet.profile(i), first);
+        }
+        assert_eq!(first.compute_s, 10.0);
+    }
+
+    #[test]
+    fn skew_spreads_within_bounds() {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            bandwidth_skew: 4.0,
+            ..Default::default()
+        };
+        let fleet = Fleet::generate(64, &cfg);
+        let (mut min_c, mut max_c) = (f64::INFINITY, 0.0f64);
+        for i in 0..fleet.len() {
+            let p = fleet.profile(i);
+            assert!(p.compute_s >= 10.0 / 4.0 && p.compute_s <= 10.0 * 4.0);
+            assert!(p.bandwidth_bps >= 1e6 / 4.0 && p.bandwidth_bps <= 1e6 * 4.0);
+            min_c = min_c.min(p.compute_s);
+            max_c = max_c.max(p.compute_s);
+        }
+        assert!(
+            max_c / min_c > 2.0,
+            "skew 4 fleet too uniform: {min_c}..{max_c}"
+        );
+    }
+
+    #[test]
+    fn completion_time_decomposes() {
+        let p = DeviceProfile {
+            compute_s: 10.0,
+            bandwidth_bps: 1e6,
+            latency_s: 0.5,
+            dropout: 0.0,
+        };
+        // 2 MB at 1 MB/s = 2 s of upload.
+        assert!((p.completion_time_s(2_000_000) - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_brackets_extremes() {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            ..Default::default()
+        };
+        let fleet = Fleet::generate(32, &cfg);
+        let lo = fleet.completion_percentile_s(1_000, 0.0);
+        let mid = fleet.completion_percentile_s(1_000, 0.5);
+        let hi = fleet.completion_percentile_s(1_000, 1.0);
+        assert!(lo <= mid && mid <= hi);
+        assert!(hi > lo, "skewed fleet must spread percentiles");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_certain_dropout() {
+        let cfg = FleetConfig {
+            dropout: 1.0,
+            ..Default::default()
+        };
+        let _ = Fleet::generate(4, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn rejects_empty_fleet() {
+        let _ = Fleet::generate(0, &FleetConfig::default());
+    }
+}

@@ -1,0 +1,225 @@
+//! Discrete-event core: a virtual clock and a deterministic event queue.
+//!
+//! The heterogeneity engine models a federated round as a sequence of
+//! timestamped events on a *virtual* timeline (client uploads completing,
+//! the server's deadline firing), fully decoupled from wall-clock time.
+//! [`EventQueue`] pops events in nondecreasing virtual-time order with a
+//! FIFO tie-break, so simulations are bit-reproducible regardless of host
+//! scheduling — the same guarantee the rest of the reproduction makes for
+//! its RNG streams.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A client's locally-trained model finished uploading.
+    UploadComplete {
+        /// Federation-wide client index.
+        client_id: usize,
+    },
+    /// The server's round deadline fired.
+    Deadline,
+}
+
+/// A scheduled event on the virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Virtual time of the event, in simulated seconds.
+    pub time_s: f64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// Heap entry; ordered so the `BinaryHeap` max-heap pops the *earliest*
+/// time first, breaking ties by insertion order (FIFO).
+struct Entry {
+    time_s: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on both keys: earliest time wins, then lowest seq.
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of virtual-time events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at virtual time `time_s`.
+    ///
+    /// # Panics
+    /// Panics if `time_s` is negative or not finite — an event "at NaN"
+    /// would silently corrupt the heap order.
+    pub fn schedule(&mut self, time_s: f64, kind: EventKind) {
+        assert!(
+            time_s.is_finite() && time_s >= 0.0,
+            "event time must be finite and non-negative, got {time_s}"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time_s, seq, kind });
+    }
+
+    /// Pop the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|e| Event {
+            time_s: e.time_s,
+            kind: e.kind,
+        })
+    }
+
+    /// Virtual time of the next event without removing it.
+    pub fn peek_time_s(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time_s)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Monotone virtual clock (simulated seconds since round start).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock {
+    now_s: f64,
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advance to `t` seconds.
+    ///
+    /// # Panics
+    /// Panics if `t` would move the clock backwards — a discrete-event
+    /// simulation consuming an out-of-order event is a logic error.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(
+            t.is_finite() && t >= self.now_s,
+            "virtual clock cannot move backwards ({} -> {t})",
+            self.now_s
+        );
+        self.now_s = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_nondecreasing_time_order() {
+        let mut q = EventQueue::new();
+        for (i, t) in [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().enumerate() {
+            q.schedule(t, EventKind::UploadComplete { client_id: i });
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some(e) = q.pop() {
+            assert!(e.time_s >= last, "queue popped out of order");
+            last = e.time_s;
+        }
+        assert_eq!(last, 5.0);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..8 {
+            q.schedule(1.0, EventKind::UploadComplete { client_id: i });
+        }
+        q.schedule(1.0, EventKind::Deadline);
+        for i in 0..8 {
+            assert_eq!(
+                q.pop().unwrap().kind,
+                EventKind::UploadComplete { client_id: i },
+                "FIFO tie-break violated"
+            );
+        }
+        assert_eq!(q.pop().unwrap().kind, EventKind::Deadline);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, EventKind::Deadline);
+        q.schedule(0.5, EventKind::UploadComplete { client_id: 3 });
+        assert_eq!(q.peek_time_s(), Some(0.5));
+        assert_eq!(q.len(), 2);
+        let e = q.pop().unwrap();
+        assert_eq!(e.time_s, 0.5);
+        assert_eq!(e.kind, EventKind::UploadComplete { client_id: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan_time() {
+        EventQueue::new().schedule(f64::NAN, EventKind::Deadline);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_time() {
+        EventQueue::new().schedule(-1.0, EventKind::Deadline);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_s(), 0.0);
+        c.advance_to(1.5);
+        c.advance_to(1.5); // same instant is fine
+        c.advance_to(7.0);
+        assert_eq!(c.now_s(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn clock_rejects_rewind() {
+        let mut c = VirtualClock::new();
+        c.advance_to(3.0);
+        c.advance_to(2.0);
+    }
+}

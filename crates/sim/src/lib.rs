@@ -1,21 +1,34 @@
-//! # feddrl-sim — overhead models for the FedDRL reproduction
+//! # feddrl-sim — system models for the FedDRL reproduction
 //!
-//! Quantifies the paper's §3.5 practicality claims:
+//! Quantifies the paper's §3.5 practicality claims and models the device
+//! heterogeneity real federated deployments face:
 //!
 //! * [`comm`] — analytic per-round communication traffic for
 //!   FedAvg/FedProx/FedDRL, showing FedDRL's extra cost is two floats per
 //!   client per round;
-//! * [`timing`] — wall-clock measurement of the two server-side stages
-//!   (DRL impact-factor inference vs weighted aggregation) that Figure 9
-//!   compares across model sizes.
+//! * [`timing`] — wall-clock measurement of server-side stages (Figure 9);
+//! * [`device`] — seeded per-client device profiles: compute speed,
+//!   uplink bandwidth/latency, dropout probability;
+//! * [`event`] — the discrete-event core (virtual clock + deterministic
+//!   event queue) that schedules upload completions against round
+//!   deadlines.
+//!
+//! The device and event modules form the *heterogeneity engine* the
+//! federated simulator's deadline-bounded round executor
+//! (`feddrl_fl::executor`) is built on: `feddrl_fl` depends on this crate,
+//! so everything here is strategy-agnostic by design.
 
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod device;
+pub mod event;
 pub mod timing;
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::comm::{CommModel, RoundTraffic};
-    pub use crate::timing::{measure, time_aggregation, time_drl_inference, StageTiming};
+    pub use crate::device::{DeviceProfile, Fleet, FleetConfig};
+    pub use crate::event::{Event, EventKind, EventQueue, VirtualClock};
+    pub use crate::timing::{measure, StageTiming};
 }

@@ -1,16 +1,13 @@
-//! Server-side computation timing (paper §5.3, Figure 9).
+//! Wall-clock stage measurement (paper §5.3, Figure 9).
 //!
 //! Figure 9 compares the server's two per-round costs: computing the DRL
 //! impact factors ("DRL", ~3 ms, model-independent) and performing the
-//! weighted aggregation ("Aggregation", model-size dependent: ~45 ms for
-//! VGG-11 vs ~3 ms for the small CNN). These helpers measure both stages
-//! in isolation on real-size parameter vectors.
+//! weighted aggregation ("Aggregation", model-size dependent). [`measure`]
+//! is the generic harness; the stage-specific drivers
+//! (`time_drl_inference`, `time_aggregation`) live in `feddrl_bench` with
+//! the rest of the experiment machinery, keeping this crate free of
+//! strategy dependencies so the federated simulator can build on it.
 
-use feddrl::config::FedDrlConfig;
-use feddrl::strategy::FedDrl;
-use feddrl_fl::client::ClientSummary;
-use feddrl_fl::strategy::{normalize_factors, weighted_average, Strategy};
-use feddrl_nn::rng::Rng64;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -19,71 +16,37 @@ use std::time::Instant;
 pub struct StageTiming {
     /// Mean wall-clock per invocation, microseconds.
     pub mean_micros: f64,
+    /// Median wall-clock per invocation, microseconds. Robust to the
+    /// scheduler-noise outliers that skew the mean on shared CI machines;
+    /// prefer it when comparing against the paper's numbers.
+    pub median_micros: f64,
     /// Invocations measured (after one warmup).
     pub iters: usize,
 }
 
-/// Measure `f` over `iters` invocations (plus one untimed warmup).
+/// Measure `f` over `iters` invocations (plus one untimed warmup), timing
+/// each invocation individually so both mean and median are available.
 pub fn measure(mut f: impl FnMut(), iters: usize) -> StageTiming {
     assert!(iters > 0, "need at least one iteration");
     f(); // warmup
-    let t0 = Instant::now();
+    let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
+        let t0 = Instant::now();
         f();
+        samples.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
     }
-    StageTiming {
-        mean_micros: t0.elapsed().as_micros() as f64 / iters as f64,
-        iters,
-    }
-}
-
-/// Time the DRL impact-factor computation (policy inference + Gaussian
-/// sampling + softmax) for `k` participating clients.
-pub fn time_drl_inference(k: usize, iters: usize) -> StageTiming {
-    let cfg = FedDrlConfig {
-        online_training: false,
-        ..Default::default()
+    let mean_micros = samples.iter().sum::<f64>() / iters as f64;
+    samples.sort_by(f64::total_cmp);
+    let median_micros = if iters % 2 == 1 {
+        samples[iters / 2]
+    } else {
+        (samples[iters / 2 - 1] + samples[iters / 2]) / 2.0
     };
-    let mut strategy = FedDrl::new(k, &cfg);
-    let summaries: Vec<ClientSummary> = (0..k)
-        .map(|i| ClientSummary {
-            client_id: i,
-            n_samples: 100 + i,
-            loss_before: 1.0 + i as f32 * 0.01,
-            loss_after: 0.5,
-        })
-        .collect();
-    let mut round = 0;
-    measure(
-        || {
-            let alpha = strategy.impact_factors(round, &summaries);
-            round += 1;
-            std::hint::black_box(alpha);
-        },
+    StageTiming {
+        mean_micros,
+        median_micros,
         iters,
-    )
-}
-
-/// Time the weighted aggregation of `k` client models with `param_count`
-/// parameters each.
-pub fn time_aggregation(param_count: usize, k: usize, iters: usize) -> StageTiming {
-    let mut rng = Rng64::new(42);
-    let models: Vec<Vec<f32>> = (0..k)
-        .map(|_| {
-            let mut w = vec![0.0f32; param_count];
-            rng.fill_uniform(&mut w, -1.0, 1.0);
-            w
-        })
-        .collect();
-    let alphas = normalize_factors(&vec![1.0; k]);
-    measure(
-        || {
-            let refs: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
-            let out = weighted_average(&refs, &alphas);
-            std::hint::black_box(out);
-        },
-        iters,
-    )
+    }
 }
 
 #[cfg(test)]
@@ -97,29 +60,36 @@ mod tests {
         assert_eq!(calls, 6); // warmup + 5
         assert_eq!(t.iters, 5);
         assert!(t.mean_micros >= 0.0);
+        assert!(t.median_micros >= 0.0);
     }
 
     #[test]
-    fn drl_inference_is_fast_and_model_size_independent() {
-        let t = time_drl_inference(10, 5);
-        // Paper reports ~3 ms; allow a generous envelope for CI machines.
+    fn median_resists_a_single_outlier() {
+        // One invocation sleeps; four are near-instant. The mean absorbs
+        // the sleep, the median must not.
+        let mut call = 0;
+        let t = measure(
+            || {
+                call += 1;
+                if call == 3 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            },
+            5,
+        );
         assert!(
-            t.mean_micros < 50_000.0,
-            "DRL inference too slow: {} µs",
+            t.median_micros < t.mean_micros / 2.0,
+            "median {} should sit far below outlier-skewed mean {}",
+            t.median_micros,
             t.mean_micros
         );
     }
 
     #[test]
-    fn aggregation_scales_with_model_size() {
-        let small = time_aggregation(10_000, 10, 5);
-        let large = time_aggregation(1_000_000, 10, 5);
-        assert!(
-            large.mean_micros > small.mean_micros * 3.0,
-            "aggregation cost did not scale: {} vs {} µs",
-            small.mean_micros,
-            large.mean_micros
-        );
+    fn even_iteration_counts_average_the_middle_pair() {
+        let t = measure(|| std::hint::black_box(()), 4);
+        assert_eq!(t.iters, 4);
+        assert!(t.median_micros.is_finite());
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn main() {
         seed: 6,
         log_every: 0,
         selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
     };
 
     // 1. Pre-train an agent with the two-stage procedure.

@@ -55,6 +55,7 @@ fn main() {
         seed: 31,
         log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
     };
 
     let fedavg = run_federated(&model, &train, &test, &partition, &mut FedAvg, &fl_cfg);

@@ -50,6 +50,7 @@ fn main() {
         seed: 17,
         log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
     };
 
     for delta in [0.2f64, 0.6] {

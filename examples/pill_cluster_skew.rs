@@ -54,6 +54,7 @@ fn main() {
         seed: 3,
         log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
     };
 
     let single = run_singleset(

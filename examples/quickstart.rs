@@ -50,6 +50,7 @@ fn main() {
         seed: 2022,
         log_every: 10,
         selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
     };
 
     // 4. Train FedAvg and FedDRL on identical data and seeds.

@@ -10,7 +10,9 @@
 //! * [`feddrl_data`] — synthetic federated datasets and non-IID
 //!   partitioners (including the paper's novel cluster-skew CE/CN);
 //! * [`feddrl_nn`] — the pure-Rust deep-learning substrate;
-//! * [`feddrl_sim`] — communication/timing overhead models.
+//! * [`feddrl_sim`] — communication/timing overhead models plus the
+//!   discrete-event heterogeneity engine (device fleets, virtual clock,
+//!   event queue) behind `feddrl_fl`'s deadline-bounded round executor.
 
 #![warn(missing_docs)]
 
@@ -31,8 +33,10 @@ pub use feddrl_sim;
 /// modules and never internals. Preludes compose transitively along the
 /// dependency chain (`feddrl::prelude` already pulls in the `fl`, `drl`,
 /// `data` and `nn` preludes), so this facade only has to merge the top of
-/// the chain: [`feddrl::prelude`] plus [`feddrl_sim::prelude`], which sits
-/// beside `feddrl` rather than beneath it.
+/// the chain: [`feddrl::prelude`] plus [`feddrl_sim::prelude`] — `sim`
+/// sits beneath `fl` (the deadline executor builds on its device/event
+/// engine) but its prelude is not re-exported along the chain, so the
+/// facade merges it explicitly.
 ///
 /// Rules for growing it:
 ///

@@ -83,6 +83,7 @@ fn two_stage_produces_trained_main_agent() {
         seed: 77,
         log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
     };
     let mut feddrl_cfg = FedDrlConfig::default();
     feddrl_cfg.ddpg.hidden = 32;

@@ -38,6 +38,7 @@ fn fl_cfg(rounds: usize, participants: usize, seed: u64) -> FlConfig {
         seed,
         log_every: 0,
             selection: Selection::Uniform,
+            executor: ExecutorConfig::Ideal,
     }
 }
 

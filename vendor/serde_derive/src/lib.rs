@@ -10,7 +10,10 @@
 //! * structs with named fields, tuple structs, unit structs;
 //! * enums with unit, tuple and struct variants (externally tagged, like
 //!   serde's default representation);
-//! * the `#[serde(default)]` field attribute.
+//! * the `#[serde(default)]` field attribute;
+//! * the `#[serde(skip_serializing_if = "path")]` field attribute (named
+//!   fields only). Like real serde, a skipped field should also carry
+//!   `default` so the omitted key deserializes back.
 //!
 //! Generics and other `#[serde(...)]` attributes are intentionally not
 //! supported and produce a compile error naming this file.
@@ -34,6 +37,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     default: bool,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`.
+    skip_ser_if: Option<String>,
 }
 
 enum Shape {
@@ -61,10 +66,17 @@ struct Item {
 // Parsing
 // ---------------------------------------------------------------------------
 
+/// Recognized `#[serde(...)]` field attributes.
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_ser_if: Option<String>,
+}
+
 /// Consume attributes (`#[...]` groups) from the front of `tokens`,
-/// returning whether any of them was exactly `#[serde(default)]`.
-fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
-    let mut has_default = false;
+/// collecting the supported `#[serde(...)]` field options.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while let Some(TokenTree::Punct(p)) = tokens.peek() {
         if p.as_char() != '#' {
             break;
@@ -74,19 +86,35 @@ fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>)
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
                 let text = g.stream().to_string();
                 let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
-                if compact == "serde(default)" {
-                    has_default = true;
-                } else if compact.starts_with("serde(") {
-                    panic!(
-                        "serde_derive shim: unsupported serde attribute #[{text}] \
-                         (only #[serde(default)] is implemented; see vendor/serde_derive)"
-                    );
+                if let Some(body) = compact
+                    .strip_prefix("serde(")
+                    .and_then(|s| s.strip_suffix(')'))
+                {
+                    // Paths and predicates contain no commas, so a flat
+                    // split covers every supported combination.
+                    for part in body.split(',') {
+                        if part == "default" {
+                            attrs.default = true;
+                        } else if let Some(pred) = part
+                            .strip_prefix("skip_serializing_if=\"")
+                            .and_then(|s| s.strip_suffix('"'))
+                        {
+                            attrs.skip_ser_if = Some(pred.to_string());
+                        } else {
+                            panic!(
+                                "serde_derive shim: unsupported serde attribute #[{text}] \
+                                 (only #[serde(default)] and \
+                                 #[serde(skip_serializing_if = \"path\")] are implemented; \
+                                 see vendor/serde_derive)"
+                            );
+                        }
+                    }
                 }
             }
             other => panic!("serde_derive shim: malformed attribute, found {other:?}"),
         }
     }
-    has_default
+    attrs
 }
 
 /// Consume an optional visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -152,7 +180,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         if tokens.peek().is_none() {
             break;
         }
-        let default = skip_attrs(&mut tokens);
+        let attrs = skip_attrs(&mut tokens);
         if tokens.peek().is_none() {
             break;
         }
@@ -166,7 +194,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}"),
         }
         skip_type(&mut tokens);
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip_ser_if: attrs.skip_ser_if,
+        });
     }
     fields
 }
@@ -274,18 +306,7 @@ fn emit_serialize(item: &Item) -> String {
                 .collect();
             format!("::serde::Value::Seq(vec![{}])", items.join(", "))
         }
-        Kind::Struct(Shape::Named(fields)) => {
-            let entries: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n}))",
-                        n = f.name
-                    )
-                })
-                .collect();
-            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
-        }
+        Kind::Struct(Shape::Named(fields)) => named_fields_map(fields, "&self."),
         Kind::Enum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
@@ -317,20 +338,11 @@ fn emit_serialize(item: &Item) -> String {
                         Shape::Named(fields) => {
                             let binds: Vec<String> =
                                 fields.iter().map(|f| f.name.clone()).collect();
-                            let entries: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "(\"{n}\".to_string(), ::serde::Serialize::serialize({n}))",
-                                        n = f.name
-                                    )
-                                })
-                                .collect();
                             format!(
                                 "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
-                                 \"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),",
+                                 \"{vn}\".to_string(), {inner})]),",
                                 binds = binds.join(", "),
-                                entries = entries.join(", ")
+                                inner = named_fields_map(fields, "")
                             )
                         }
                     }
@@ -344,6 +356,45 @@ fn emit_serialize(item: &Item) -> String {
          fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
          }}"
     )
+}
+
+/// Emit the `::serde::Value::Map` expression for a named-field list.
+/// `access` prefixes each field name (`"&self."` in struct impls, `""` for
+/// enum-variant pattern bindings, which are already references).
+fn named_fields_map(fields: &[Field], access: &str) -> String {
+    if fields.iter().all(|f| f.skip_ser_if.is_none()) {
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(\"{n}\".to_string(), ::serde::Serialize::serialize({access}{n}))",
+                    n = f.name
+                )
+            })
+            .collect();
+        return format!("::serde::Value::Map(vec![{}])", entries.join(", "));
+    }
+    // At least one conditional field: build the map imperatively so skipped
+    // entries never materialize (keeps byte-stable output for defaults).
+    let mut stmts = String::from(
+        "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
+    );
+    for f in fields {
+        let n = &f.name;
+        let push = format!(
+            "entries.push((\"{n}\".to_string(), ::serde::Serialize::serialize({access}{n})));"
+        );
+        match &f.skip_ser_if {
+            // UFCS call: `pred` takes the field by reference, and both
+            // `&self.field` and pattern bindings coerce to `&T`.
+            Some(pred) => stmts.push_str(&format!("if !{pred}({access}{n}) {{ {push} }}\n")),
+            None => {
+                stmts.push_str(&push);
+                stmts.push('\n');
+            }
+        }
+    }
+    format!("::serde::Value::Map({{ {stmts} entries }})")
 }
 
 fn named_fields_ctor(type_path: &str, fields: &[Field], map_expr: &str) -> String {

@@ -31,7 +31,13 @@ fn main() {
         Box::new(FedAdp::default()),
     ];
     for strategy in strategies.iter_mut() {
-        let h = run_federated(&model, &train, &test, &partition, strategy.as_mut(), &fl_cfg);
+        let h = SessionBuilder::new(&model, &train, &test, &partition, strategy.as_mut())
+            .config(&fl_cfg)
+            .dataset_name(exp.dataset.name())
+            .build()
+            .expect("valid baseline config")
+            .run()
+            .expect("baseline run");
         println!("{}: best {:.2}%", h.method, h.best().best_accuracy * 100.0);
         push_row(&h);
     }

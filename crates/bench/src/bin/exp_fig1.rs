@@ -37,7 +37,7 @@ fn main() {
     let groups = partition.groups().expect("cluster partition has groups");
     let names = ["diabetes", "hypertension", "others"];
     let mut rows = Vec::new();
-    for g in 0..3 {
+    for (g, name) in names.iter().enumerate() {
         let members: Vec<usize> = (0..100).filter(|&c| groups[c] == g).collect();
         let pills: std::collections::BTreeSet<usize> = members
             .iter()
@@ -45,7 +45,7 @@ fn main() {
             .collect();
         let samples: usize = members.iter().map(|&c| partition.client(c).len()).sum();
         rows.push(vec![
-            names[g].to_string(),
+            name.to_string(),
             members.len().to_string(),
             pills.len().to_string(),
             samples.to_string(),

@@ -23,11 +23,14 @@ fn main() {
                 .iter()
                 .map(|h| h.smoothed_accuracies(smooth))
                 .collect();
-            for round in 0..exp.rounds {
-                csv.push_str(&format!(
-                    "{round},{:.4},{:.4},{:.4}\n",
-                    series[0][round], series[1][round], series[2][round]
-                ));
+            for (round, ((a, p), d)) in series[0]
+                .iter()
+                .zip(&series[1])
+                .zip(&series[2])
+                .enumerate()
+                .take(exp.rounds)
+            {
+                csv.push_str(&format!("{round},{a:.4},{p:.4},{d:.4}\n"));
             }
             let name = format!("fig5_{}_{}.csv", dataset.name(), code);
             write_artifact(&opts.out_path(&name), &csv);

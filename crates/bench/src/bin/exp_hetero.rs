@@ -133,15 +133,30 @@ fn run_cell(
             late_policy: LatePolicy::Drop,
         });
     }
-    let mut history = match method {
+    match method {
         MethodKind::FedAvg => {
-            run_federated(model, train, test, partition, &mut FedAvg, &fl_cfg)
+            let mut strategy = FedAvg;
+            SessionBuilder::new(model, train, test, partition, &mut strategy)
+                .config(&fl_cfg)
+                .dataset_name(exp.dataset.name())
+                .build()
+                .unwrap_or_else(|e| panic!("invalid sweep cell: {e}"))
+                .run()
+                .unwrap_or_else(|e| panic!("sweep cell failed: {e}"))
         }
         MethodKind::FedDrl => {
-            run_feddrl(model, train, test, partition, &fl_cfg, &exp.feddrl_config()).history
+            try_run_feddrl(
+                model,
+                train,
+                test,
+                partition,
+                &fl_cfg,
+                &exp.feddrl_config(),
+                exp.dataset.name(),
+            )
+            .unwrap_or_else(|e| panic!("sweep cell failed: {e}"))
+            .history
         }
         other => panic!("exp_hetero does not sweep {}", other.name()),
-    };
-    history.dataset = exp.dataset.name().to_string();
-    history
+    }
 }

@@ -45,8 +45,8 @@ fn main() {
                         .expect("save history");
                     // SingleSet ignores the partition; no need to re-run it.
                     if *method == MethodKind::SingleSet {
-                        for rest in (pi + 1)..partitions.len() {
-                            acc[mi][rest] = best;
+                        for rest in acc[mi].iter_mut().skip(pi + 1) {
+                            *rest = best;
                         }
                         while row.len() < partitions.len() + 1 {
                             row.push(format!("{best:.2}"));
@@ -59,9 +59,9 @@ fn main() {
             // impr.(a): vs best baseline; impr.(b): vs worst baseline.
             let mut impr_a = vec!["impr.(a)".to_string()];
             let mut impr_b = vec!["impr.(b)".to_string()];
-            for pi in 0..partitions.len() {
-                let baselines = [acc[1][pi], acc[2][pi]]; // FedAvg, FedProx
-                let (a, b) = improvements(acc[3][pi], &baselines);
+            // FedAvg and FedProx are the baselines FedDRL is scored against.
+            for ((&avg, &prox), &drl) in acc[1].iter().zip(&acc[2]).zip(&acc[3]) {
+                let (a, b) = improvements(drl, &[avg, prox]);
                 impr_a.push(format!("{a:+.2}%"));
                 impr_b.push(format!("{b:+.2}%"));
             }

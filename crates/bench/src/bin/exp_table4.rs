@@ -35,8 +35,8 @@ fn main() {
             rows.push(row);
         }
         let mut impr = vec!["impr.(a)".to_string()];
-        for pi in 0..2 {
-            let (a, _) = improvements(acc[3][pi], &[acc[1][pi], acc[2][pi]]);
+        for ((&avg, &prox), &drl) in acc[1].iter().zip(&acc[2]).zip(&acc[3]) {
+            let (a, _) = improvements(drl, &[avg, prox]);
             impr.push(format!("{a:+.2}%"));
         }
         rows.push(impr);

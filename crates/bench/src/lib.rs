@@ -354,45 +354,43 @@ impl ExperimentSpec {
     /// Run one method on this experiment.
     pub fn run_method(&self, method: MethodKind, scale: Scale) -> RunHistory {
         let (train, test, partition, model) = self.materialize(scale);
-        let mut history = match method {
+        let name = self.dataset.name();
+        let federated = |strategy: &mut dyn Strategy| -> RunHistory {
+            SessionBuilder::new(&model, &train, &test, &partition, strategy)
+                .config(&self.fl_config())
+                .dataset_name(name)
+                .build()
+                .unwrap_or_else(|e| panic!("invalid experiment config: {e}"))
+                .run()
+                .unwrap_or_else(|e| panic!("federated run failed: {e}"))
+        };
+        match method {
             MethodKind::SingleSet => {
                 let cfg = SingleSetConfig {
                     epochs: scale.singleset_epochs(),
                     seed: self.seed,
                     ..Default::default()
                 };
-                run_singleset(&model, &train, &test, &cfg)
+                let mut history = run_singleset(&model, &train, &test, &cfg);
+                history.dataset = name.to_string();
+                history
             }
-            MethodKind::FedAvg => run_federated(
-                &model,
-                &train,
-                &test,
-                &partition,
-                &mut FedAvg,
-                &self.fl_config(),
-            ),
-            MethodKind::FedProx => run_federated(
-                &model,
-                &train,
-                &test,
-                &partition,
-                &mut FedProx::default(),
-                &self.fl_config(),
-            ),
+            MethodKind::FedAvg => federated(&mut FedAvg),
+            MethodKind::FedProx => federated(&mut FedProx::default()),
             MethodKind::FedDrl => {
-                run_feddrl(
+                try_run_feddrl(
                     &model,
                     &train,
                     &test,
                     &partition,
                     &self.fl_config(),
                     &self.feddrl_config(),
+                    name,
                 )
+                .unwrap_or_else(|e| panic!("FedDRL run failed: {e}"))
                 .history
             }
-        };
-        history.dataset = self.dataset.name().to_string();
-        history
+        }
     }
 }
 
@@ -454,6 +452,40 @@ pub fn improvements(feddrl: f32, baselines: &[f32]) -> (f32, f32) {
     )
 }
 
+/// Load a previously-saved table3-style history for `(exp, method)` if one
+/// exists with at least `exp.rounds` records (truncating to the requested
+/// horizon), otherwise run the method fresh. Lets the figure binaries
+/// reuse `exp_table3`'s artifacts instead of re-running 30+ federated
+/// trainings.
+pub fn load_or_run(
+    opts: &ExpOptions,
+    exp: &ExperimentSpec,
+    method: MethodKind,
+    scale: Scale,
+) -> RunHistory {
+    let fname = format!(
+        "table3_{}_{}_{}_{}.json",
+        exp.dataset.name(),
+        exp.partition_code,
+        exp.n_clients,
+        method.name()
+    );
+    let path = opts.out_dir.join(&fname);
+    if path.exists() {
+        if let Ok(mut h) = RunHistory::load_json(&path) {
+            if h.records.len() >= exp.rounds
+                && h.participants == exp.participants
+                && h.seed == exp.seed
+            {
+                h.records.truncate(exp.rounds);
+                eprintln!("reusing {}", path.display());
+                return h;
+            }
+        }
+    }
+    exp.run_method(method, scale)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,38 +533,4 @@ mod tests {
         assert_eq!(h.dataset, "mnist-like");
         assert_eq!(h.partition, "CE");
     }
-}
-
-/// Load a previously-saved table3-style history for `(exp, method)` if one
-/// exists with at least `exp.rounds` records (truncating to the requested
-/// horizon), otherwise run the method fresh. Lets the figure binaries
-/// reuse `exp_table3`'s artifacts instead of re-running 30+ federated
-/// trainings.
-pub fn load_or_run(
-    opts: &ExpOptions,
-    exp: &ExperimentSpec,
-    method: MethodKind,
-    scale: Scale,
-) -> RunHistory {
-    let fname = format!(
-        "table3_{}_{}_{}_{}.json",
-        exp.dataset.name(),
-        exp.partition_code,
-        exp.n_clients,
-        method.name()
-    );
-    let path = opts.out_dir.join(&fname);
-    if path.exists() {
-        if let Ok(mut h) = RunHistory::load_json(&path) {
-            if h.records.len() >= exp.rounds
-                && h.participants == exp.participants
-                && h.seed == exp.seed
-            {
-                h.records.truncate(exp.rounds);
-                eprintln!("reusing {}", path.display());
-                return h;
-            }
-        }
-    }
-    exp.run_method(method, scale)
 }

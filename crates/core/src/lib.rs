@@ -47,7 +47,7 @@ pub mod two_stage;
 /// preludes they are used with.
 pub mod prelude {
     pub use crate::config::FedDrlConfig;
-    pub use crate::runner::{run_feddrl, FedDrlRun, FedDrlRunConfig};
+    pub use crate::runner::{run_feddrl, try_run_feddrl, FedDrlRun, FedDrlRunConfig};
     pub use crate::state::build_state;
     pub use crate::strategy::FedDrl;
     pub use crate::two_stage::{two_stage_train, TwoStageConfig, TwoStageReport};

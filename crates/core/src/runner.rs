@@ -10,8 +10,10 @@ use crate::strategy::FedDrl;
 use crate::two_stage::{two_stage_train, TwoStageConfig, TwoStageReport};
 use feddrl_data::dataset::Dataset;
 use feddrl_data::partition::Partition;
+use feddrl_fl::error::FlError;
 use feddrl_fl::history::RunHistory;
-use feddrl_fl::server::{run_federated, FlConfig};
+use feddrl_fl::server::FlConfig;
+use feddrl_fl::session::SessionBuilder;
 #[cfg(test)]
 use feddrl_fl::executor::ExecutorConfig;
 #[cfg(test)]
@@ -20,21 +22,12 @@ use feddrl_nn::zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
 
 /// How the FedDRL agent is obtained for a measured run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FedDrlRunConfig {
     /// Strategy/agent settings.
     pub feddrl: FedDrlConfig,
     /// Optional two-stage pre-training before the measured run.
     pub two_stage: Option<TwoStageConfig>,
-}
-
-impl Default for FedDrlRunConfig {
-    fn default() -> Self {
-        Self {
-            feddrl: FedDrlConfig::default(),
-            two_stage: None,
-        }
-    }
 }
 
 /// Result of [`run_feddrl`].
@@ -49,14 +42,24 @@ pub struct FedDrlRun {
 
 /// Run FedDRL end to end: (optional) two-stage pre-training, then the
 /// measured federated training.
-pub fn run_feddrl(
+///
+/// # Errors
+/// Returns the [`FlError`] the session builder reports for a degenerate
+/// `fl_cfg` (`K = 0`, `K > N`, zero rounds, bad deadline/fleet) — before
+/// any pre-training compute is spent.
+pub fn try_run_feddrl(
     spec: &ModelSpec,
     train: &Dataset,
     test: &Dataset,
     partition: &Partition,
     fl_cfg: &FlConfig,
     run_cfg: &FedDrlRunConfig,
-) -> FedDrlRun {
+    dataset_name: &str,
+) -> Result<FedDrlRun, FlError> {
+    // Validate the orchestration config up front: two-stage pre-training
+    // is expensive, it reuses (a clone of) the same config, and the DRL
+    // agent itself cannot be sized from a degenerate `participants`.
+    fl_cfg.validate(partition.n_clients())?;
     let (mut strategy, report) = match &run_cfg.two_stage {
         Some(ts) => {
             let (agent, report) =
@@ -65,12 +68,34 @@ pub fn run_feddrl(
         }
         None => (FedDrl::new(fl_cfg.participants, &run_cfg.feddrl), None),
     };
-    let history = run_federated(spec, train, test, partition, &mut strategy, fl_cfg);
-    FedDrlRun {
+    let history = SessionBuilder::new(spec, train, test, partition, &mut strategy)
+        .config(fl_cfg)
+        .dataset_name(dataset_name)
+        .build()?
+        .run()?;
+    Ok(FedDrlRun {
         history,
         two_stage_report: report,
         rewards: strategy.rewards().to_vec(),
-    }
+    })
+}
+
+/// Run FedDRL end to end: (optional) two-stage pre-training, then the
+/// measured federated training. Convenience wrapper over
+/// [`try_run_feddrl`] with an unnamed dataset.
+///
+/// # Panics
+/// Panics on the configuration errors [`try_run_feddrl`] reports.
+pub fn run_feddrl(
+    spec: &ModelSpec,
+    train: &Dataset,
+    test: &Dataset,
+    partition: &Partition,
+    fl_cfg: &FlConfig,
+    run_cfg: &FedDrlRunConfig,
+) -> FedDrlRun {
+    try_run_feddrl(spec, train, test, partition, fl_cfg, run_cfg, "")
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

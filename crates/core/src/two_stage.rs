@@ -16,7 +16,8 @@ use crate::strategy::FedDrl;
 use feddrl_data::dataset::Dataset;
 use feddrl_data::partition::Partition;
 use feddrl_drl::ddpg::DdpgAgent;
-use feddrl_fl::server::{run_federated, FlConfig};
+use feddrl_fl::server::FlConfig;
+use feddrl_fl::session::SessionBuilder;
 #[cfg(test)]
 use feddrl_fl::executor::ExecutorConfig;
 #[cfg(test)]
@@ -87,7 +88,12 @@ pub fn two_stage_train(
         let mut worker_fl = fl_cfg.clone();
         worker_fl.rounds = ts_cfg.online_rounds;
         worker_fl.seed = fl_cfg.seed ^ (0x3333 * (w as u64 + 1));
-        let _ = run_federated(spec, train, test, partition, &mut strategy, &worker_fl);
+        let _ = SessionBuilder::new(spec, train, test, partition, &mut strategy)
+            .config(&worker_fl)
+            .build()
+            .unwrap_or_else(|e| panic!("worker {w}: {e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("worker {w}: {e}"));
         strategy.into_agent()
     });
 

@@ -98,8 +98,8 @@ pub(super) fn split(
     // equal demand — this is what lets CE deliver *equal* sample counts
     // from finite per-label pools.
     let mut client_labels: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
-    for g in 0..num_groups {
-        let mut ring = clusters[g].clone();
+    for (g, cluster) in clusters.iter().enumerate().take(num_groups) {
+        let mut ring = cluster.clone();
         rng.shuffle(&mut ring);
         let l = ring.len();
         let mut cursor = 0usize;
@@ -357,7 +357,7 @@ mod tests {
         // client per minor group.
         let (_, groups) = split(&ds, 10, 1.0, 3, 2, None, &mut rng).unwrap();
         for g in 0..3 {
-            assert!(groups.iter().any(|&x| x == g), "group {g} empty");
+            assert!(groups.contains(&g), "group {g} empty");
         }
     }
 }

@@ -372,7 +372,7 @@ pub(crate) fn allocate_proportional(pool_len: usize, want: &[f64]) -> Vec<usize>
         .iter()
         .map(|w| ((w / total_w) * pool_len as f64).floor() as usize)
         .collect();
-    let mut used: usize = alloc.iter().sum();
+    let used: usize = alloc.iter().sum();
     // Hand out the remainder to the largest fractional parts (stable order).
     let mut order: Vec<usize> = (0..want.len()).collect();
     order.sort_by(|&a, &b| {
@@ -380,12 +380,9 @@ pub(crate) fn allocate_proportional(pool_len: usize, want: &[f64]) -> Vec<usize>
         let fb = (want[b] / total_w) * pool_len as f64 - alloc[b] as f64;
         fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
     });
-    for &j in &order {
-        if used >= pool_len {
-            break;
-        }
+    let spare = pool_len.saturating_sub(used);
+    for &j in order.iter().take(spare) {
         alloc[j] += 1;
-        used += 1;
     }
     alloc
 }

@@ -83,8 +83,8 @@ pub(super) fn split_non_equal(
         .collect();
     let mut out = vec![Vec::new(); n_clients];
     let mut cursor = 0;
-    for c in 0..n_clients {
-        out[c].append(&mut shards[order[cursor]]);
+    for client in out.iter_mut().take(n_clients) {
+        client.append(&mut shards[order[cursor]]);
         cursor += 1;
     }
     'outer: for c in 0..n_clients {

@@ -146,7 +146,7 @@ fn components(label_matrix: &[Vec<usize>]) -> usize {
     }
     let n_labels = label_matrix[0].len();
     let mut parent: Vec<usize> = (0..n_clients).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];

@@ -97,7 +97,7 @@ impl DdpgConfig {
     pub fn validate(&self) {
         assert!(self.state_dim > 0, "state_dim must be positive");
         assert!(
-            self.action_dim > 0 && self.action_dim % 2 == 0,
+            self.action_dim > 0 && self.action_dim.is_multiple_of(2),
             "action_dim must be positive and even (means + std-devs), got {}",
             self.action_dim
         );

@@ -339,9 +339,9 @@ impl DdpgAgent {
         // Critic gradients from this pass are scratch; drop them.
         self.value.zero_grad();
         let mut grad_raw = Tensor::zeros(&[b, ad]);
-        for r in 0..b {
+        for (r, cache) in caches.iter().enumerate().take(b) {
             let g_action = &grad_input.row(r)[sd..];
-            let g_raw = self.head_backward(&caches[r], g_action);
+            let g_raw = self.head_backward(cache, g_action);
             grad_raw.row_mut(r).copy_from_slice(&g_raw);
         }
         self.policy.zero_grad();
@@ -423,7 +423,7 @@ impl DdpgAgent {
 /// `z_k ~ N(μ_k, σ_k)` (paper Eq. 5).
 pub fn sample_impact_factors(mu_sigma: &[f32], rng: &mut Rng64) -> Vec<f32> {
     assert!(
-        mu_sigma.len() >= 2 && mu_sigma.len() % 2 == 0,
+        mu_sigma.len() >= 2 && mu_sigma.len().is_multiple_of(2),
         "action must hold K means + K std-devs"
     );
     let k = mu_sigma.len() / 2;

@@ -1,0 +1,104 @@
+//! Typed errors for federated orchestration.
+//!
+//! [`SessionBuilder::build`](crate::session::SessionBuilder::build) turns
+//! every configuration mistake the old `run_federated` free function used
+//! to panic on — `K > N`, zero rounds or participants, a degenerate
+//! deadline or fleet — into an [`FlError`] the caller can match on
+//! *before* any training compute is spent. The compatibility wrapper
+//! [`run_federated`](crate::server::run_federated) converts them back into
+//! panics with the historical messages, so existing `should_panic` tests
+//! and scripts keep their behavior.
+
+use std::fmt;
+
+/// Everything that can go wrong while configuring or driving a federated
+/// [`Session`](crate::session::Session).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// `rounds == 0`: the run would record nothing.
+    ZeroRounds,
+    /// `participants == 0`: no client could ever be sampled.
+    ZeroParticipants,
+    /// `participants > n_clients`: sampling without replacement is
+    /// impossible.
+    ParticipantsExceedClients {
+        /// Requested participants per round `K`.
+        participants: usize,
+        /// Clients available in the partition `N`.
+        n_clients: usize,
+    },
+    /// A deadline-bounded executor was configured with a non-positive or
+    /// non-finite round deadline.
+    InvalidDeadline {
+        /// The rejected deadline in simulated seconds.
+        deadline_s: f64,
+    },
+    /// The device-fleet configuration is degenerate (non-positive compute
+    /// or bandwidth, skew below 1, negative latency, or certain dropout).
+    InvalidFleet {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A [`SelectionPolicy`](crate::selection::SelectionPolicy) returned an
+    /// invalid sample: wrong cardinality, duplicate ids, or ids outside
+    /// `[0, N)`. Only user-defined policies can trigger this — the
+    /// built-ins are total over valid contexts.
+    InvalidSelection {
+        /// Round in which the policy misbehaved.
+        round: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The first three messages reproduce the historical panic strings
+        // of `run_federated` verbatim: downstream `should_panic(expected)`
+        // tests match on substrings of them.
+        match self {
+            FlError::ZeroRounds => write!(f, "rounds must be positive"),
+            FlError::ZeroParticipants => write!(f, "participants must be positive"),
+            FlError::ParticipantsExceedClients {
+                participants,
+                n_clients,
+            } => write!(f, "K = {participants} exceeds N = {n_clients}"),
+            FlError::InvalidDeadline { deadline_s } => write!(
+                f,
+                "round deadline must be positive and finite, got {deadline_s}"
+            ),
+            FlError::InvalidFleet { reason } => write!(f, "invalid fleet config: {reason}"),
+            FlError::InvalidSelection { round, reason } => write!(
+                f,
+                "round {round}: selection policy returned an invalid sample: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_preserve_historical_panic_strings() {
+        assert_eq!(FlError::ZeroRounds.to_string(), "rounds must be positive");
+        assert_eq!(
+            FlError::ZeroParticipants.to_string(),
+            "participants must be positive"
+        );
+        let e = FlError::ParticipantsExceedClients {
+            participants: 7,
+            n_clients: 6,
+        };
+        assert!(e.to_string().contains("exceeds N"));
+    }
+
+    #[test]
+    fn is_an_error_type() {
+        let e: Box<dyn std::error::Error> = Box::new(FlError::ZeroRounds);
+        assert!(e.to_string().contains("rounds"));
+    }
+}

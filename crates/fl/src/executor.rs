@@ -58,6 +58,29 @@ pub struct HeteroConfig {
     pub late_policy: LatePolicy,
 }
 
+impl HeteroConfig {
+    /// Check every invariant the deadline executor enforces — the single
+    /// source of truth shared by [`DeadlineExecutor::new`] (which panics
+    /// on violation) and
+    /// [`FlConfig::validate`](crate::server::FlConfig::validate) (which
+    /// surfaces it as a typed error before any compute is spent).
+    ///
+    /// # Errors
+    /// [`FlError::InvalidDeadline`](crate::error::FlError::InvalidDeadline)
+    /// or [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet).
+    pub fn validate(&self) -> Result<(), crate::error::FlError> {
+        use crate::error::FlError;
+        if let Some(d) = self.deadline_s {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(FlError::InvalidDeadline { deadline_s: d });
+            }
+        }
+        self.fleet
+            .validate()
+            .map_err(|reason| FlError::InvalidFleet { reason })
+    }
+}
+
 /// Which execution model a federated run uses (a [`crate::server::FlConfig`]
 /// knob; `Ideal` is the paper's synchronous setting and the default).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -118,6 +141,27 @@ pub trait RoundExecutor: Send {
         selected: &[usize],
         train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
     ) -> RoundOutcome;
+
+    /// The device fleet this executor simulates, if any — what
+    /// heterogeneity-aware [`SelectionPolicy`](crate::selection::SelectionPolicy)s
+    /// base their completion-time estimates on. `None` for executors
+    /// without a device model (the ideal one).
+    fn fleet(&self) -> Option<&Fleet> {
+        None
+    }
+
+    /// Per-client upload payload in bytes (0 when there is no
+    /// communication model); combined with
+    /// [`RoundExecutor::fleet`] it prices a client's predicted arrival.
+    fn upload_bytes(&self) -> u64 {
+        0
+    }
+
+    /// The round deadline in simulated seconds, if this executor bounds
+    /// rounds — lets selection policies avoid clients that would be cut.
+    fn deadline_s(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The paper's idealized synchronous round: everyone trains, everyone
@@ -169,11 +213,8 @@ impl DeadlineExecutor {
         participants: usize,
         seed: u64,
     ) -> Self {
-        if let Some(d) = cfg.deadline_s {
-            assert!(
-                d.is_finite() && d > 0.0,
-                "round deadline must be positive and finite, got {d}"
-            );
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
         }
         assert!(participants > 0, "participants must be positive");
         let fleet = Fleet::generate(n_clients, &cfg.fleet);
@@ -202,6 +243,18 @@ impl DeadlineExecutor {
 }
 
 impl RoundExecutor for DeadlineExecutor {
+    fn fleet(&self) -> Option<&Fleet> {
+        Some(&self.fleet)
+    }
+
+    fn upload_bytes(&self) -> u64 {
+        self.upload_bytes
+    }
+
+    fn deadline_s(&self) -> Option<f64> {
+        self.cfg.deadline_s
+    }
+
     fn execute(
         &mut self,
         round: usize,

@@ -8,12 +8,22 @@
 //! * [`strategy`] — the pluggable impact-factor abstraction with
 //!   [`strategy::FedAvg`], [`strategy::FedProx`] and a uniform ablation
 //!   baseline (FedDRL plugs in from the `feddrl` crate);
+//! * [`selection`] — the pluggable client-selection abstraction (uniform,
+//!   power-of-choice, bandwidth-aware, or bring-your-own policy observing
+//!   per-client losses, participation counts and device profiles);
 //! * [`executor`] — the round-execution abstraction: the paper's ideal
 //!   synchronous setting, or deadline-bounded rounds over a heterogeneous
 //!   device fleet (stragglers, dropouts) driven by `feddrl_sim`'s
 //!   discrete-event engine;
-//! * [`server`] — the deterministic, crossbeam-parallel round loop with
-//!   per-stage server timing (Figure 9);
+//! * [`session`] — the deterministic, crossbeam-parallel round loop as a
+//!   driveable object: [`session::SessionBuilder`] validates the assembled
+//!   components into a [`session::Session`] run whole ([`session::Session::run`])
+//!   or one round at a time ([`session::Session::step`]), with
+//!   [`session::RoundObserver`] hooks per round;
+//! * [`server`] — the serializable [`server::FlConfig`] plus the
+//!   paper-faithful [`server::run_federated`] compatibility wrapper;
+//! * [`error`] — the typed [`error::FlError`] every orchestration entry
+//!   point reports instead of panicking;
 //! * [`singleset`] — the centralized reference;
 //! * [`metrics`] / [`history`] — evaluation and per-round records feeding
 //!   every figure of the paper.
@@ -31,9 +41,16 @@
 //!     .partition(&train, 4, &mut Rng64::new(2)).unwrap();
 //! let spec = ModelSpec::Mlp { in_dim: train.feature_dim(),
 //!     hidden: vec![16], out_dim: train.num_classes() };
-//! let cfg = FlConfig { rounds: 2, participants: 4, ..Default::default() };
-//! let history = run_federated(&spec, &train, &test, &partition,
-//!     &mut FedAvg, &cfg);
+//! let mut strategy = FedAvg;
+//! let history = SessionBuilder::new(&spec, &train, &test, &partition,
+//!         &mut strategy)
+//!     .rounds(2)
+//!     .participants(4)
+//!     .dataset_name("mnist-like")
+//!     .build()
+//!     .expect("valid config")
+//!     .run()
+//!     .expect("federated run");
 //! assert_eq!(history.records.len(), 2);
 //! ```
 
@@ -41,16 +58,20 @@
 
 pub mod baselines;
 pub mod client;
+pub mod error;
 pub mod executor;
 pub mod history;
 pub mod metrics;
+pub mod selection;
 pub mod server;
+pub mod session;
 pub mod singleset;
 pub mod strategy;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::client::{ClientSummary, ClientUpdate, LocalTrainConfig};
+    pub use crate::error::FlError;
     pub use crate::executor::{
         DeadlineExecutor, ExecutorConfig, HeteroConfig, IdealExecutor, LatePolicy, RoundExecutor,
         RoundOutcome,
@@ -59,7 +80,14 @@ pub mod prelude {
     pub use crate::metrics::{
         best_accuracy, evaluate, inference_loss, mean_var, rounds_to_target, ConvergenceStats,
     };
-    pub use crate::server::{run_federated, FlConfig, Selection};
+    pub use crate::selection::{
+        BandwidthAwareSelection, PowerOfChoiceSelection, Selection, SelectionContext,
+        SelectionPolicy, UniformSelection,
+    };
+    pub use crate::server::{run_federated, FlConfig};
+    pub use crate::session::{
+        EarlyStop, ProgressLogger, RoundControl, RoundObserver, Session, SessionBuilder,
+    };
     pub use crate::singleset::{run_singleset, SingleSetConfig};
     pub use crate::baselines::{FedAdp, LossProportional};
     pub use crate::strategy::{

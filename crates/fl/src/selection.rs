@@ -1,0 +1,335 @@
+//! Pluggable client-selection policies.
+//!
+//! The paper samples `K` of `N` clients uniformly every round (Algorithm
+//! 2, line 3). That choice is a *policy*, and policies beyond uniform —
+//! power-of-choice biased sampling (\[3\] in the paper), bandwidth-aware
+//! selection that avoids clients a deadline would cut anyway — need
+//! per-client state the server accumulates across rounds. This module
+//! promotes selection to a first-class abstraction mirroring
+//! [`ExecutorConfig`](crate::executor::ExecutorConfig): the serializable
+//! [`Selection`] enum stays in the config layer and [`Selection::build`]s
+//! a boxed [`SelectionPolicy`]; the policy is consulted once per round
+//! with a [`SelectionContext`] carrying everything the server knows —
+//! round number, last-known per-client losses, participation counts, and
+//! (under the deadline executor) the device fleet's completion-time
+//! estimates.
+//!
+//! Determinism: a policy receives a per-round RNG derived from
+//! `(master seed, round)` — the same stream the inline selection match
+//! historically used — so built-in policies reproduce old histories
+//! bit-for-bit and every policy is deterministic under a fixed seed.
+
+use feddrl_nn::rng::Rng64;
+use feddrl_sim::device::Fleet;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Client-selection policy for each round (config-layer representation;
+/// [`Selection::build`] produces the executable [`SelectionPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Selection {
+    /// Uniform sampling without replacement (the paper's setting).
+    #[default]
+    Uniform,
+    /// Power-of-choice (\[3\] in the paper): sample `candidates ≥ K`
+    /// clients uniformly, then keep the `K` with the highest last-known
+    /// inference loss (unseen clients count as highest). Biases
+    /// participation toward struggling clients.
+    PowerOfChoice {
+        /// Candidate pool size `d` (clamped to `[K, N]`).
+        candidates: usize,
+    },
+    /// Bandwidth-aware power-of-choice: sample `candidates ≥ K` clients
+    /// uniformly, then keep the `K` with the highest loss *per predicted
+    /// second* — last-known inference loss divided by the device's
+    /// estimated upload-completion time, with clients predicted to miss
+    /// the round deadline ranked last. Stops the server from sampling
+    /// clients it would only cut at the deadline (see
+    /// [`BandwidthAwareSelection`]).
+    BandwidthAware {
+        /// Candidate pool size `d` (clamped to `[K, N]`).
+        candidates: usize,
+    },
+}
+
+impl Selection {
+    /// Build the executable policy for this config (mirrors
+    /// [`ExecutorConfig::build`](crate::executor::ExecutorConfig::build)).
+    pub fn build(&self) -> Box<dyn SelectionPolicy> {
+        match *self {
+            Selection::Uniform => Box::new(UniformSelection),
+            Selection::PowerOfChoice { candidates } => {
+                Box::new(PowerOfChoiceSelection { candidates })
+            }
+            Selection::BandwidthAware { candidates } => {
+                Box::new(BandwidthAwareSelection { candidates })
+            }
+        }
+    }
+}
+
+/// Everything the server knows when it asks a policy for this round's
+/// participants.
+pub struct SelectionContext<'a> {
+    /// Communication round (0-based).
+    pub round: usize,
+    /// Total clients `N` in the federation.
+    pub n_clients: usize,
+    /// Clients to select `K` (the policy must return exactly this many
+    /// distinct ids in `[0, N)`).
+    pub participants: usize,
+    /// Last-known inference loss per client (`None` until a client's first
+    /// report arrives), indexed by client id.
+    pub known_loss: &'a [Option<f32>],
+    /// How many rounds each client has been *selected* for so far,
+    /// indexed by client id (fairness-aware policies can rebalance on it).
+    pub participation: &'a [usize],
+    /// Device profiles when the run uses a heterogeneity-aware executor;
+    /// `None` under the ideal executor.
+    pub fleet: Option<&'a Fleet>,
+    /// Per-client upload payload in bytes (0 under the ideal executor);
+    /// feed it to [`DeviceProfile::completion_time_s`](feddrl_sim::device::DeviceProfile::completion_time_s).
+    pub upload_bytes: u64,
+    /// The executor's round deadline in simulated seconds, if bounded.
+    pub deadline_s: Option<f64>,
+}
+
+impl SelectionContext<'_> {
+    /// Predicted virtual time until `client_id`'s update would arrive at
+    /// the server (local compute + upload); `None` when the run has no
+    /// device fleet (ideal executor).
+    pub fn predicted_completion_s(&self, client_id: usize) -> Option<f64> {
+        self.fleet
+            .map(|f| f.profile(client_id).completion_time_s(self.upload_bytes))
+    }
+}
+
+/// A pluggable per-round client-selection policy.
+///
+/// `select` must return exactly `ctx.participants` *distinct* client ids in
+/// `[0, ctx.n_clients)`; the session validates the sample and surfaces a
+/// violation as [`FlError::InvalidSelection`](crate::error::FlError::InvalidSelection).
+/// All randomness must come from the provided `rng` (derived from the
+/// master seed and the round number) so runs stay reproducible.
+pub trait SelectionPolicy: Send {
+    /// Display name for logs and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Choose this round's participants.
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng64) -> Vec<usize>;
+}
+
+/// Uniform sampling without replacement (the paper's setting).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformSelection;
+
+impl SelectionPolicy for UniformSelection {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng64) -> Vec<usize> {
+        rng.sample_indices(ctx.n_clients, ctx.participants)
+    }
+}
+
+/// Power-of-choice biased sampling (\[3\] in the paper): an oversampled
+/// candidate pool is thinned to the `K` highest-loss clients.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOfChoiceSelection {
+    /// Candidate pool size `d` (clamped to `[K, N]`).
+    pub candidates: usize,
+}
+
+impl SelectionPolicy for PowerOfChoiceSelection {
+    fn name(&self) -> &'static str {
+        "power-of-choice"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng64) -> Vec<usize> {
+        let d = self.candidates.clamp(ctx.participants, ctx.n_clients);
+        let mut pool = rng.sample_indices(ctx.n_clients, d);
+        // Highest last-known loss first; never-seen clients first of all so
+        // everyone is eventually profiled.
+        pool.sort_by(|&a, &b| {
+            let la = ctx.known_loss[a].unwrap_or(f32::INFINITY);
+            let lb = ctx.known_loss[b].unwrap_or(f32::INFINITY);
+            lb.partial_cmp(&la).unwrap_or(Ordering::Equal)
+        });
+        pool.truncate(ctx.participants);
+        pool
+    }
+}
+
+/// Bandwidth-aware power-of-choice (the ROADMAP's straggler-avoiding
+/// policy): candidates are ranked by *loss per predicted second* —
+/// `known_loss / completion_time` — so a struggling client on a fast link
+/// outranks an equally struggling client the round deadline would cut
+/// anyway. Clients whose predicted completion exceeds the deadline score
+/// zero and are kept only when the pool has nothing better, which is what
+/// turns sampled-then-cut stragglers into useful participants.
+///
+/// Unseen clients are scored with an optimistic loss prior (the highest
+/// loss observed so far, or 1.0 before any report) so fast unseen devices
+/// are profiled early; slow unseen devices stay down-ranked by their
+/// predicted completion time. Without a device fleet (ideal executor) the
+/// policy degrades gracefully to pure loss-biased power-of-choice.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthAwareSelection {
+    /// Candidate pool size `d` (clamped to `[K, N]`).
+    pub candidates: usize,
+}
+
+impl SelectionPolicy for BandwidthAwareSelection {
+    fn name(&self) -> &'static str {
+        "bandwidth-aware"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng64) -> Vec<usize> {
+        let d = self.candidates.clamp(ctx.participants, ctx.n_clients);
+        let pool = rng.sample_indices(ctx.n_clients, d);
+        let prior = ctx
+            .known_loss
+            .iter()
+            .filter_map(|l| *l)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let prior = if prior.is_finite() { prior } else { 1.0 };
+        let score = |c: usize| -> f64 {
+            let loss = f64::from(ctx.known_loss[c].unwrap_or(prior));
+            match ctx.predicted_completion_s(c) {
+                // No fleet: pure loss-biased power-of-choice.
+                None => loss,
+                Some(t) => {
+                    if ctx.deadline_s.is_some_and(|dl| t > dl) {
+                        0.0 // predicted straggler: sampled only as a last resort
+                    } else {
+                        loss / t.max(1e-9)
+                    }
+                }
+            }
+        };
+        let mut scored: Vec<(usize, f64)> = pool.into_iter().map(|c| (c, score(c))).collect();
+        // Stable sort: ties keep the uniformly-sampled pool order, so the
+        // policy stays deterministic under a fixed seed.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        scored.truncate(ctx.participants);
+        scored.into_iter().map(|(c, _)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feddrl_sim::device::FleetConfig;
+
+    fn ctx_parts(n: usize) -> (Vec<Option<f32>>, Vec<usize>) {
+        ((0..n).map(|i| Some(1.0 + i as f32)).collect(), vec![0; n])
+    }
+
+    fn base_ctx<'a>(
+        n: usize,
+        k: usize,
+        known_loss: &'a [Option<f32>],
+        participation: &'a [usize],
+    ) -> SelectionContext<'a> {
+        SelectionContext {
+            round: 0,
+            n_clients: n,
+            participants: k,
+            known_loss,
+            participation,
+            fleet: None,
+            upload_bytes: 0,
+            deadline_s: None,
+        }
+    }
+
+    fn assert_valid_sample(sample: &[usize], n: usize, k: usize) {
+        assert_eq!(sample.len(), k);
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), k, "duplicate client selected");
+        assert!(sorted.iter().all(|&c| c < n));
+    }
+
+    #[test]
+    fn config_builds_matching_policy() {
+        assert_eq!(Selection::Uniform.build().name(), "uniform");
+        assert_eq!(
+            Selection::PowerOfChoice { candidates: 8 }.build().name(),
+            "power-of-choice"
+        );
+        assert_eq!(
+            Selection::BandwidthAware { candidates: 8 }.build().name(),
+            "bandwidth-aware"
+        );
+    }
+
+    #[test]
+    fn uniform_matches_raw_sample_indices() {
+        let (loss, part) = ctx_parts(10);
+        let ctx = base_ctx(10, 4, &loss, &part);
+        let picked = UniformSelection.select(&ctx, &mut Rng64::new(3).derive(0));
+        let expected = Rng64::new(3).derive(0).sample_indices(10, 4);
+        assert_eq!(picked, expected);
+        assert_valid_sample(&picked, 10, 4);
+    }
+
+    #[test]
+    fn power_of_choice_prefers_unseen_then_lossy() {
+        let mut loss: Vec<Option<f32>> = (0..6).map(|i| Some(i as f32)).collect();
+        loss[2] = None; // unseen outranks every known loss
+        let part = vec![0; 6];
+        let ctx = base_ctx(6, 2, &loss, &part);
+        // Full pool: the choice is purely loss-ranked.
+        let mut policy = PowerOfChoiceSelection { candidates: 6 };
+        let picked = policy.select(&ctx, &mut Rng64::new(1));
+        assert_valid_sample(&picked, 6, 2);
+        assert!(picked.contains(&2), "unseen client not profiled first");
+        assert!(picked.contains(&5), "highest-loss client not kept");
+    }
+
+    #[test]
+    fn bandwidth_aware_downranks_slow_and_doomed_clients() {
+        let (loss, part) = ctx_parts(8);
+        let fleet = Fleet::generate(
+            8,
+            &FleetConfig {
+                compute_skew: 6.0,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let upload = 1_000_000;
+        let deadline = fleet.completion_percentile_s(upload, 0.5);
+        let ctx = SelectionContext {
+            fleet: Some(&fleet),
+            upload_bytes: upload,
+            deadline_s: Some(deadline),
+            ..base_ctx(8, 3, &loss, &part)
+        };
+        let mut policy = BandwidthAwareSelection { candidates: 8 };
+        let picked = policy.select(&ctx, &mut Rng64::new(5));
+        assert_valid_sample(&picked, 8, 3);
+        for &c in &picked {
+            let t = ctx.predicted_completion_s(c).unwrap();
+            assert!(
+                t <= deadline,
+                "policy kept a predicted straggler ({t:.1}s > {deadline:.1}s) \
+                 with in-time candidates available"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_aware_without_fleet_is_loss_biased() {
+        let (loss, part) = ctx_parts(10);
+        let ctx = base_ctx(10, 3, &loss, &part);
+        let mut policy = BandwidthAwareSelection { candidates: 10 };
+        let picked = policy.select(&ctx, &mut Rng64::new(2));
+        // Losses rise with the id, the pool is the whole fleet: the three
+        // highest ids must win.
+        assert_eq!({ let mut p = picked; p.sort_unstable(); p }, vec![7, 8, 9]);
+    }
+}

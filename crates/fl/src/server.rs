@@ -1,52 +1,27 @@
-//! The federated-learning server loop (paper Algorithm 2).
+//! The federated-learning server configuration and the paper-faithful
+//! entry point.
 //!
-//! Per communication round the server: samples `K` of `N` clients, hands
-//! them to the configured [`RoundExecutor`](crate::executor::RoundExecutor)
-//! — which trains them *in
-//! parallel* (one crossbeam task per client) and decides which reports
-//! make it back, and when — then asks the [`Strategy`] for impact factors
-//! over the updates that arrived, applies the weighted aggregation of
-//! Eq. 4, and evaluates the new global model. Timing of the two
-//! server-side stages is recorded separately to reproduce Figure 9.
-//!
-//! With the default [`ExecutorConfig::Ideal`] every sampled client reports
-//! (the paper's synchronous setting, bit-identical to the pre-executor
-//! loop); [`ExecutorConfig::Deadline`] runs rounds through the
-//! discrete-event heterogeneity engine (stragglers, dropouts, deadlines —
-//! see [`crate::executor`]).
-//!
-//! Determinism: client-local randomness is derived from
-//! `(master seed, round, client id)`, so results are independent of thread
-//! scheduling.
+//! The round loop itself lives in [`crate::session`] (the Algorithm 2
+//! orchestration as a driveable [`Session`]); this module keeps the
+//! serializable [`FlConfig`] knob bundle and [`run_federated`] — the
+//! original free-function API, retained as a thin compatibility wrapper
+//! over [`SessionBuilder`]. The wrapper is the *paper-faithful* entry
+//! point: with default components its histories are byte-identical to the
+//! pre-session loop (enforced by the committed golden fixture
+//! `tests/golden/ideal_history.json`).
 
-use crate::client::{run_local_round, ClientUpdate, LocalTrainConfig};
 use crate::executor::ExecutorConfig;
-use crate::history::{RoundRecord, RunHistory};
-use crate::metrics::evaluate;
-use crate::strategy::{normalize_factors, weighted_average, RoundContext, Strategy};
+use crate::history::RunHistory;
+use crate::session::{Session, SessionBuilder};
+use crate::strategy::Strategy;
 use feddrl_data::dataset::Dataset;
 use feddrl_data::partition::Partition;
-use feddrl_nn::parallel::par_map;
-use feddrl_nn::rng::Rng64;
 use feddrl_nn::zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
-/// Client-selection policy for each round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
-pub enum Selection {
-    /// Uniform sampling without replacement (the paper's setting).
-    #[default]
-    Uniform,
-    /// Power-of-choice (\[3\] in the paper): sample `candidates ≥ K`
-    /// clients uniformly, then keep the `K` with the highest last-known
-    /// inference loss (unseen clients count as highest). Biases
-    /// participation toward struggling clients.
-    PowerOfChoice {
-        /// Candidate pool size `d` (clamped to `[K, N]`).
-        candidates: usize,
-    },
-}
+pub use crate::selection::Selection;
+
+use crate::client::LocalTrainConfig;
 
 /// Federated orchestration parameters (paper §4.1.2 defaults).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,7 +36,9 @@ pub struct FlConfig {
     pub eval_batch: usize,
     /// Master seed; everything else derives from it.
     pub seed: u64,
-    /// Print progress to stderr every `log_every` rounds (0 = silent).
+    /// Print progress to stderr every `log_every` rounds (0 = silent);
+    /// implemented as an auto-installed
+    /// [`ProgressLogger`](crate::session::ProgressLogger) observer.
     pub log_every: usize,
     /// Client-selection policy (the paper uses uniform sampling).
     #[serde(default)]
@@ -87,11 +64,49 @@ impl Default for FlConfig {
     }
 }
 
+impl FlConfig {
+    /// Check this configuration against a federation of `n_clients` —
+    /// exactly the validation [`SessionBuilder::build`] performs, exposed
+    /// separately so callers can reject a degenerate config *before*
+    /// constructing models, fleets, or pre-training pipelines.
+    ///
+    /// # Errors
+    /// The same [`FlError`](crate::error::FlError) variants
+    /// [`SessionBuilder::build`] reports.
+    pub fn validate(&self, n_clients: usize) -> Result<(), crate::error::FlError> {
+        use crate::error::FlError;
+        if self.participants == 0 {
+            return Err(FlError::ZeroParticipants);
+        }
+        if self.participants > n_clients {
+            return Err(FlError::ParticipantsExceedClients {
+                participants: self.participants,
+                n_clients,
+            });
+        }
+        if self.rounds == 0 {
+            return Err(FlError::ZeroRounds);
+        }
+        if let ExecutorConfig::Deadline(h) = &self.executor {
+            h.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Run one complete federated training with the given strategy.
 ///
+/// Compatibility wrapper over [`SessionBuilder`]: builds a session with
+/// default components and drives it to completion. New code should use the
+/// builder directly — it returns typed [`FlError`](crate::error::FlError)s,
+/// supports custom selection policies and observers, records a dataset
+/// name, and can be driven one round at a time via
+/// [`Session::step`].
+///
 /// # Panics
-/// Panics if `participants` exceeds the partition's client count or is
-/// zero, mirroring the typed errors the partitioners raise at their layer.
+/// Panics on the configuration errors the builder reports (`K = 0`,
+/// `K > N`, zero rounds, degenerate deadline/fleet), with the historical
+/// messages, and on strategy-contract violations mid-run.
 pub fn run_federated(
     spec: &ModelSpec,
     train: &Dataset,
@@ -100,149 +115,21 @@ pub fn run_federated(
     strategy: &mut dyn Strategy,
     cfg: &FlConfig,
 ) -> RunHistory {
-    let n_clients = partition.n_clients();
-    assert!(cfg.participants > 0, "participants must be positive");
-    assert!(
-        cfg.participants <= n_clients,
-        "K = {} exceeds N = {n_clients}",
-        cfg.participants
-    );
-    assert!(cfg.rounds > 0, "rounds must be positive");
-
-    let mut master = Rng64::new(cfg.seed);
-    let mut global = spec.build(master.next_u64());
-    let mut local_cfg = cfg.local.clone();
-    local_cfg.proximal_mu = strategy.proximal_mu();
-    let mut executor =
-        cfg.executor
-            .build(n_clients, global.param_count(), cfg.participants, cfg.seed);
-
-    // Last-known per-client inference loss, for power-of-choice.
-    let mut known_loss: Vec<Option<f32>> = vec![None; n_clients];
-    let mut records = Vec::with_capacity(cfg.rounds);
-    for round in 0..cfg.rounds {
-        // --- Client selection (Algorithm 2; uniform by default).
-        let mut select_rng = master.derive(round as u64);
-        let selected = match cfg.selection {
-            Selection::Uniform => select_rng.sample_indices(n_clients, cfg.participants),
-            Selection::PowerOfChoice { candidates } => {
-                let d = candidates.clamp(cfg.participants, n_clients);
-                let mut pool = select_rng.sample_indices(n_clients, d);
-                // Highest last-known loss first; never-seen clients first
-                // of all so everyone is eventually profiled.
-                pool.sort_by(|&a, &b| {
-                    let la = known_loss[a].unwrap_or(f32::INFINITY);
-                    let lb = known_loss[b].unwrap_or(f32::INFINITY);
-                    lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
-                });
-                pool.truncate(cfg.participants);
-                pool
-            }
-        };
-
-        // --- Round execution: the executor trains the (non-dropped)
-        // clients in parallel — one crossbeam task each — and returns the
-        // updates that made it back in time.
-        let global_flat = global.flat_params();
-        let train_subset = |ids: &[usize]| -> Vec<ClientUpdate> {
-            par_map(ids, |_, &client_id| {
-                // The clone already carries the broadcast params exactly
-                // (`global` does not change mid-round).
-                let model = global.clone();
-                let mut rng = Rng64::new(cfg.seed ^ 0xC11E)
-                    .derive(round as u64)
-                    .derive(client_id as u64);
-                run_local_round(
-                    model,
-                    train,
-                    partition.client(client_id),
-                    client_id,
-                    &local_cfg,
-                    &mut rng,
-                )
-            })
-        };
-        let outcome = executor.execute(round, &selected, &train_subset);
-        let updates = outcome.updates;
-
-        // --- Impact factors (the strategy's decision; DRL inference for
-        // FedDRL) — timed separately for Figure 9. A round where nothing
-        // arrived (everyone dropped or missed the deadline) leaves the
-        // global model untouched and the strategy un-consulted.
-        let (alphas, strategy_micros, aggregate_micros) = if updates.is_empty() {
-            (Vec::new(), 0, 0)
-        } else {
-            let t0 = Instant::now();
-            let raw = strategy.impact_factors_ctx(&RoundContext {
-                round,
-                global_weights: &global_flat,
-                updates: &updates,
-            });
-            let strategy_micros = t0.elapsed().as_micros() as u64;
-            assert_eq!(
-                raw.len(),
-                updates.len(),
-                "strategy returned {} factors for {} clients",
-                raw.len(),
-                updates.len()
-            );
-            let alphas = normalize_factors(&raw);
-
-            // --- Weighted aggregation (Eq. 4).
-            let t1 = Instant::now();
-            let weight_refs: Vec<&[f32]> =
-                updates.iter().map(|u| u.weights.as_slice()).collect();
-            let new_global = weighted_average(&weight_refs, &alphas);
-            let aggregate_micros = t1.elapsed().as_micros() as u64;
-            global.set_flat_params(&new_global);
-            (alphas, strategy_micros, aggregate_micros)
-        };
-
-        for u in &updates {
-            known_loss[u.client_id] = Some(u.loss_before);
-        }
-
-        // --- Evaluation.
-        let (test_accuracy, test_loss) = evaluate(&mut global, test, cfg.eval_batch);
-        let record = RoundRecord {
-            round,
-            test_accuracy,
-            test_loss,
-            selected: selected.clone(),
-            impact_factors: alphas,
-            client_losses_before: updates.iter().map(|u| u.loss_before).collect(),
-            strategy_micros,
-            aggregate_micros,
-            hetero: outcome.hetero,
-        };
-        if cfg.log_every > 0 && round % cfg.log_every == 0 {
-            eprintln!(
-                "[{}] round {round:>4}: acc {:.4} loss {:.4}",
-                strategy.name(),
-                test_accuracy,
-                test_loss
-            );
-        }
-        records.push(record);
-    }
-
-    RunHistory {
-        method: strategy.name().to_string(),
-        dataset: String::new(),
-        partition: partition.method().code().to_string(),
-        n_clients,
-        participants: cfg.participants,
-        seed: cfg.seed,
-        records,
-    }
+    let session: Session<'_> = SessionBuilder::new(spec, train, test, partition, strategy)
+        .config(cfg)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    session.run().unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::LocalTrainConfig;
     use crate::strategy::{FedAvg, FedProx, Uniform};
     use feddrl_data::partition::PartitionMethod;
     use feddrl_data::synth::SynthSpec;
+    use feddrl_nn::rng::Rng64;
 
     fn quick_setup() -> (ModelSpec, Dataset, Dataset, Partition) {
         let spec_ds = SynthSpec {
@@ -365,6 +252,22 @@ mod tests {
         assert_eq!(seen.len(), 6, "power-of-choice starved some clients");
         // Still learns.
         assert!(h.best().best_accuracy > 0.5);
+    }
+
+    #[test]
+    fn bandwidth_aware_runs_through_the_config_layer() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut cfg = quick_cfg(4);
+        cfg.participants = 3;
+        cfg.selection = Selection::BandwidthAware { candidates: 5 };
+        let h = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
+        for r in &h.records {
+            assert_eq!(r.selected.len(), 3);
+        }
+        // Serializable like every other config knob.
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FlConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.selection, cfg.selection);
     }
 
     #[test]

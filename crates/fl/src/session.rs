@@ -1,0 +1,736 @@
+//! Session-based federated orchestration: the paper's Algorithm 2 as a
+//! driveable object.
+//!
+//! [`SessionBuilder`] assembles a federated run from its components —
+//! model spec, datasets, partition, strategy, executor, selection policy,
+//! observers — validating the configuration up front and returning typed
+//! [`FlError`]s instead of panicking mid-run. The built [`Session`] can be
+//! driven to completion with [`Session::run`] or one communication round
+//! at a time with [`Session::step`] (for interleaving with checkpointing,
+//! hyper-parameter control, or an external event loop); both paths produce
+//! identical [`RunHistory`]s.
+//!
+//! Per round the session: asks the [`SelectionPolicy`] for `K` of `N`
+//! clients (feeding it per-client losses, participation counts and the
+//! executor's device fleet), hands them to the configured
+//! [`RoundExecutor`] — which trains them
+//! *in parallel* (one crossbeam task per client) and decides which reports
+//! make it back, and when — then asks the [`Strategy`] for impact factors
+//! over the updates that arrived, applies the weighted aggregation of
+//! Eq. 4, evaluates the new global model, and notifies every
+//! [`RoundObserver`]. Timing of the two server-side stages is recorded
+//! separately to reproduce Figure 9.
+//!
+//! Determinism: client-local randomness is derived from
+//! `(master seed, round, client id)`, so results are independent of thread
+//! scheduling, and a default-component session is byte-identical to the
+//! historical `run_federated` loop (enforced by the committed golden
+//! fixture).
+
+use crate::client::{run_local_round, ClientUpdate};
+use crate::error::FlError;
+use crate::executor::{ExecutorConfig, RoundExecutor};
+use crate::history::{RoundRecord, RunHistory};
+use crate::metrics::evaluate;
+use crate::selection::{Selection, SelectionContext, SelectionPolicy};
+use crate::server::FlConfig;
+use crate::strategy::{normalize_factors, weighted_average, RoundContext, Strategy};
+use feddrl_data::dataset::Dataset;
+use feddrl_data::partition::Partition;
+use feddrl_nn::model::Sequential;
+use feddrl_nn::parallel::par_map;
+use feddrl_nn::rng::Rng64;
+use feddrl_nn::zoo::ModelSpec;
+use std::time::Instant;
+
+/// What an observer tells the session after seeing a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundControl {
+    /// Keep training.
+    Continue,
+    /// Stop the run after this round (its record is kept). Any observer
+    /// returning `Stop` stops the session.
+    Stop,
+}
+
+/// An on-round-end hook: receives every completed [`RoundRecord`] and may
+/// stop the run early. Replaces the old hardcoded `log_every` stderr
+/// print (now the [`ProgressLogger`] built-in) and enables
+/// early-stopping / checkpointing / live-metrics observers without
+/// touching the round loop.
+pub trait RoundObserver: Send {
+    /// Called once per completed round with its full record.
+    fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl;
+}
+
+/// Prints `[method] round    N: acc A loss L` to stderr every `every`
+/// rounds — the built-in that preserves `FlConfig::log_every` behavior
+/// (the builder installs one automatically when `log_every > 0`).
+pub struct ProgressLogger {
+    every: usize,
+    method: String,
+}
+
+impl ProgressLogger {
+    /// Log every `every` rounds under the `method` tag (0 never logs).
+    pub fn new(every: usize, method: impl Into<String>) -> Self {
+        Self {
+            every,
+            method: method.into(),
+        }
+    }
+}
+
+impl RoundObserver for ProgressLogger {
+    fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl {
+        if self.every > 0 && record.round.is_multiple_of(self.every) {
+            eprintln!(
+                "[{}] round {:>4}: acc {:.4} loss {:.4}",
+                self.method, record.round, record.test_accuracy, record.test_loss
+            );
+        }
+        RoundControl::Continue
+    }
+}
+
+/// Stops the run once test accuracy reaches a target (a budget saver for
+/// sweeps that only ask "how many rounds to X%").
+pub struct EarlyStop {
+    /// Stop as soon as `test_accuracy >= target_accuracy`.
+    pub target_accuracy: f32,
+}
+
+impl RoundObserver for EarlyStop {
+    fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl {
+        if record.test_accuracy >= self.target_accuracy {
+            RoundControl::Stop
+        } else {
+            RoundControl::Continue
+        }
+    }
+}
+
+/// Builder for a federated [`Session`].
+///
+/// The five required components (model spec, train/test sets, partition,
+/// strategy) come in through [`SessionBuilder::new`]; everything else has
+/// the paper's defaults and is overridden fluently. [`SessionBuilder::build`]
+/// validates the assembled configuration and returns typed [`FlError`]s
+/// for the mistakes the old free function panicked on.
+///
+/// ```
+/// use feddrl_fl::prelude::*;
+/// use feddrl_data::prelude::*;
+/// use feddrl_nn::prelude::*;
+///
+/// let (train, test) = SynthSpec { train_size: 600, test_size: 200,
+///     ..SynthSpec::mnist_like() }.generate(1);
+/// let partition = PartitionMethod::Iid
+///     .partition(&train, 4, &mut Rng64::new(2)).unwrap();
+/// let spec = ModelSpec::Mlp { in_dim: train.feature_dim(),
+///     hidden: vec![16], out_dim: train.num_classes() };
+/// let mut strategy = FedAvg;
+/// let history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+///     .rounds(2)
+///     .participants(4)
+///     .dataset_name("mnist-like")
+///     .build()
+///     .unwrap()
+///     .run()
+///     .unwrap();
+/// assert_eq!(history.records.len(), 2);
+/// assert_eq!(history.dataset, "mnist-like");
+/// ```
+pub struct SessionBuilder<'a> {
+    spec: &'a ModelSpec,
+    train: &'a Dataset,
+    test: &'a Dataset,
+    partition: &'a Partition,
+    strategy: &'a mut dyn Strategy,
+    cfg: FlConfig,
+    dataset_name: String,
+    policy: Option<Box<dyn SelectionPolicy>>,
+    observers: Vec<Box<dyn RoundObserver>>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Start a builder from the five required components, with
+    /// [`FlConfig::default`] for everything else.
+    pub fn new(
+        spec: &'a ModelSpec,
+        train: &'a Dataset,
+        test: &'a Dataset,
+        partition: &'a Partition,
+        strategy: &'a mut dyn Strategy,
+    ) -> Self {
+        Self {
+            spec,
+            train,
+            test,
+            partition,
+            strategy,
+            cfg: FlConfig::default(),
+            dataset_name: String::new(),
+            policy: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Replace the whole orchestration config at once (the serializable
+    /// form used by experiment harnesses and the compat wrapper).
+    pub fn config(mut self, cfg: &FlConfig) -> Self {
+        self.cfg = cfg.clone();
+        self
+    }
+
+    /// Communication rounds `T`.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.cfg.rounds = rounds;
+        self
+    }
+
+    /// Participating clients per round `K`.
+    pub fn participants(mut self, participants: usize) -> Self {
+        self.cfg.participants = participants;
+        self
+    }
+
+    /// Local solver settings.
+    pub fn local(mut self, local: crate::client::LocalTrainConfig) -> Self {
+        self.cfg.local = local;
+        self
+    }
+
+    /// Evaluation batch size.
+    pub fn eval_batch(mut self, eval_batch: usize) -> Self {
+        self.cfg.eval_batch = eval_batch;
+        self
+    }
+
+    /// Master seed; every random stream of the run derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Print progress to stderr every `log_every` rounds (0 = silent);
+    /// implemented as an auto-installed [`ProgressLogger`] observer.
+    pub fn log_every(mut self, log_every: usize) -> Self {
+        self.cfg.log_every = log_every;
+        self
+    }
+
+    /// Config-level selection policy (built via [`Selection::build`];
+    /// a [`SessionBuilder::selection_policy`] override wins over this).
+    pub fn selection(mut self, selection: Selection) -> Self {
+        self.cfg.selection = selection;
+        self
+    }
+
+    /// Plug in a custom [`SelectionPolicy`] instance, overriding the
+    /// config-level [`Selection`].
+    pub fn selection_policy(mut self, policy: Box<dyn SelectionPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Round-execution model (ideal synchronous or deadline-bounded).
+    pub fn executor(mut self, executor: ExecutorConfig) -> Self {
+        self.cfg.executor = executor;
+        self
+    }
+
+    /// Register an on-round-end observer (called in registration order,
+    /// after the `log_every` logger if one is installed).
+    pub fn observer(mut self, observer: Box<dyn RoundObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Dataset name recorded in the resulting [`RunHistory`] (defaults to
+    /// empty, matching the historical `run_federated` output).
+    pub fn dataset_name(mut self, name: impl Into<String>) -> Self {
+        self.dataset_name = name.into();
+        self
+    }
+
+    /// Validate the assembled configuration and build the [`Session`].
+    ///
+    /// # Errors
+    /// * [`FlError::ZeroRounds`] / [`FlError::ZeroParticipants`] on empty
+    ///   run dimensions;
+    /// * [`FlError::ParticipantsExceedClients`] when `K > N`;
+    /// * [`FlError::InvalidDeadline`] / [`FlError::InvalidFleet`] when a
+    ///   deadline executor is configured with a degenerate heterogeneity
+    ///   model.
+    pub fn build(self) -> Result<Session<'a>, FlError> {
+        let n_clients = self.partition.n_clients();
+        let cfg = &self.cfg;
+        cfg.validate(n_clients)?;
+
+        // Assembly order mirrors the historical loop exactly so the RNG
+        // streams (and therefore the histories) stay byte-identical.
+        let mut master = Rng64::new(cfg.seed);
+        let global = self.spec.build(master.next_u64());
+        let mut local_cfg = cfg.local.clone();
+        local_cfg.proximal_mu = self.strategy.proximal_mu();
+        let executor =
+            cfg.executor
+                .build(n_clients, global.param_count(), cfg.participants, cfg.seed);
+        let policy = match self.policy {
+            Some(p) => p,
+            None => cfg.selection.build(),
+        };
+        let mut observers = Vec::new();
+        if cfg.log_every > 0 {
+            observers.push(Box::new(ProgressLogger::new(
+                cfg.log_every,
+                self.strategy.name(),
+            )) as Box<dyn RoundObserver>);
+        }
+        observers.extend(self.observers);
+
+        let method = self.strategy.name().to_string();
+        let rounds = cfg.rounds;
+        Ok(Session {
+            train: self.train,
+            test: self.test,
+            partition: self.partition,
+            strategy: self.strategy,
+            cfg: self.cfg,
+            dataset_name: self.dataset_name,
+            method,
+            n_clients,
+            master,
+            global,
+            local_cfg,
+            executor,
+            policy,
+            observers,
+            known_loss: vec![None; n_clients],
+            participation: vec![0; n_clients],
+            records: Vec::with_capacity(rounds),
+            round: 0,
+            stopped: false,
+        })
+    }
+}
+
+/// A validated, in-progress federated run. Created by
+/// [`SessionBuilder::build`]; driven by [`Session::run`] or
+/// [`Session::step`].
+pub struct Session<'a> {
+    train: &'a Dataset,
+    test: &'a Dataset,
+    partition: &'a Partition,
+    strategy: &'a mut dyn Strategy,
+    cfg: FlConfig,
+    dataset_name: String,
+    method: String,
+    n_clients: usize,
+    master: Rng64,
+    global: Sequential,
+    local_cfg: crate::client::LocalTrainConfig,
+    executor: Box<dyn RoundExecutor>,
+    policy: Box<dyn SelectionPolicy>,
+    observers: Vec<Box<dyn RoundObserver>>,
+    known_loss: Vec<Option<f32>>,
+    participation: Vec<usize>,
+    records: Vec<RoundRecord>,
+    round: usize,
+    stopped: bool,
+}
+
+impl<'a> Session<'a> {
+    /// Rounds completed so far.
+    pub fn rounds_completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the session has finished (all rounds done, or an observer
+    /// stopped it). [`Session::step`] on a finished session is a no-op
+    /// returning `Ok(None)`.
+    pub fn is_finished(&self) -> bool {
+        self.stopped || self.round >= self.cfg.rounds
+    }
+
+    /// The per-round records produced so far.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Flat parameters of the current global model (e.g. for external
+    /// checkpointing between [`Session::step`] calls).
+    pub fn global_params(&self) -> Vec<f32> {
+        self.global.flat_params()
+    }
+
+    /// Execute one communication round; `Ok(None)` once the session is
+    /// finished.
+    ///
+    /// # Errors
+    /// [`FlError::InvalidSelection`] when a (user-provided) selection
+    /// policy returns a sample that is not exactly `K` distinct in-range
+    /// client ids.
+    pub fn step(&mut self) -> Result<Option<&RoundRecord>, FlError> {
+        if self.is_finished() {
+            return Ok(None);
+        }
+        let round = self.round;
+
+        // --- Client selection (Algorithm 2; uniform by default). The
+        // policy draws from the per-round stream `(master seed, round)`.
+        let mut select_rng = self.master.derive(round as u64);
+        let selected = {
+            let ctx = SelectionContext {
+                round,
+                n_clients: self.n_clients,
+                participants: self.cfg.participants,
+                known_loss: &self.known_loss,
+                participation: &self.participation,
+                fleet: self.executor.fleet(),
+                upload_bytes: self.executor.upload_bytes(),
+                deadline_s: self.executor.deadline_s(),
+            };
+            self.policy.select(&ctx, &mut select_rng)
+        };
+        validate_selection(&selected, self.n_clients, self.cfg.participants, round)?;
+        for &c in &selected {
+            self.participation[c] += 1;
+        }
+
+        // --- Round execution: the executor trains the (non-dropped)
+        // clients in parallel — one crossbeam task each — and returns the
+        // updates that made it back in time.
+        let global_flat = self.global.flat_params();
+        let global = &self.global;
+        let train_set = self.train;
+        let partition = self.partition;
+        let local_cfg = &self.local_cfg;
+        let seed = self.cfg.seed;
+        let train_subset = |ids: &[usize]| -> Vec<ClientUpdate> {
+            par_map(ids, |_, &client_id| {
+                // The clone already carries the broadcast params exactly
+                // (`global` does not change mid-round).
+                let model = global.clone();
+                let mut rng = Rng64::new(seed ^ 0xC11E)
+                    .derive(round as u64)
+                    .derive(client_id as u64);
+                run_local_round(
+                    model,
+                    train_set,
+                    partition.client(client_id),
+                    client_id,
+                    local_cfg,
+                    &mut rng,
+                )
+            })
+        };
+        let outcome = self.executor.execute(round, &selected, &train_subset);
+        let updates = outcome.updates;
+
+        // --- Impact factors (the strategy's decision; DRL inference for
+        // FedDRL) — timed separately for Figure 9. A round where nothing
+        // arrived (everyone dropped or missed the deadline) leaves the
+        // global model untouched and the strategy un-consulted.
+        let (alphas, strategy_micros, aggregate_micros) = if updates.is_empty() {
+            (Vec::new(), 0, 0)
+        } else {
+            let t0 = Instant::now();
+            let raw = self.strategy.impact_factors_ctx(&RoundContext {
+                round,
+                global_weights: &global_flat,
+                updates: &updates,
+            });
+            let strategy_micros = t0.elapsed().as_micros() as u64;
+            assert_eq!(
+                raw.len(),
+                updates.len(),
+                "strategy returned {} factors for {} clients",
+                raw.len(),
+                updates.len()
+            );
+            let alphas = normalize_factors(&raw);
+
+            // --- Weighted aggregation (Eq. 4).
+            let t1 = Instant::now();
+            let weight_refs: Vec<&[f32]> = updates.iter().map(|u| u.weights.as_slice()).collect();
+            let new_global = weighted_average(&weight_refs, &alphas);
+            let aggregate_micros = t1.elapsed().as_micros() as u64;
+            self.global.set_flat_params(&new_global);
+            (alphas, strategy_micros, aggregate_micros)
+        };
+
+        for u in &updates {
+            self.known_loss[u.client_id] = Some(u.loss_before);
+        }
+
+        // --- Evaluation.
+        let (test_accuracy, test_loss) = evaluate(&mut self.global, self.test, self.cfg.eval_batch);
+        let record = RoundRecord {
+            round,
+            test_accuracy,
+            test_loss,
+            selected,
+            impact_factors: alphas,
+            client_losses_before: updates.iter().map(|u| u.loss_before).collect(),
+            strategy_micros,
+            aggregate_micros,
+            hetero: outcome.hetero,
+        };
+        self.records.push(record);
+        self.round += 1;
+
+        // --- Observers (the logger first, then user hooks, in order).
+        let record = self.records.last().expect("record just pushed");
+        for obs in &mut self.observers {
+            if obs.on_round_end(record) == RoundControl::Stop {
+                self.stopped = true;
+            }
+        }
+        Ok(Some(record))
+    }
+
+    /// Drive the remaining rounds to completion and return the history.
+    ///
+    /// # Errors
+    /// Propagates the first [`FlError`] from [`Session::step`] — and,
+    /// having consumed the session, drops the rounds completed before the
+    /// failure. Only a misbehaving user-provided [`SelectionPolicy`] can
+    /// fail mid-run (built-ins are total, and config errors are caught at
+    /// [`SessionBuilder::build`]); when driving such a policy and partial
+    /// results matter, loop [`Session::step`] yourself and recover the
+    /// completed rounds with [`Session::into_history`].
+    pub fn run(mut self) -> Result<RunHistory, FlError> {
+        while self.step()?.is_some() {}
+        Ok(self.into_history())
+    }
+
+    /// Finish the session, consuming it into its [`RunHistory`] (what
+    /// [`Session::run`] returns; use directly when driving via
+    /// [`Session::step`]).
+    pub fn into_history(self) -> RunHistory {
+        RunHistory {
+            method: self.method,
+            dataset: self.dataset_name,
+            partition: self.partition.method().code().to_string(),
+            n_clients: self.n_clients,
+            participants: self.cfg.participants,
+            seed: self.cfg.seed,
+            records: self.records,
+        }
+    }
+}
+
+/// Check a policy's sample: exactly `k` distinct ids in `[0, n)`.
+fn validate_selection(
+    selected: &[usize],
+    n_clients: usize,
+    participants: usize,
+    round: usize,
+) -> Result<(), FlError> {
+    let invalid = |reason: String| FlError::InvalidSelection { round, reason };
+    if selected.len() != participants {
+        return Err(invalid(format!(
+            "expected {participants} clients, got {}",
+            selected.len()
+        )));
+    }
+    let mut seen = vec![false; n_clients];
+    for &c in selected {
+        if c >= n_clients {
+            return Err(invalid(format!("client id {c} out of range (N = {n_clients})")));
+        }
+        if seen[c] {
+            return Err(invalid(format!("client id {c} selected twice")));
+        }
+        seen[c] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::HeteroConfig;
+    use crate::strategy::FedAvg;
+    use feddrl_data::partition::PartitionMethod;
+    use feddrl_data::synth::SynthSpec;
+    use feddrl_sim::device::FleetConfig;
+
+    fn quick_setup() -> (ModelSpec, Dataset, Dataset, Partition) {
+        let (train, test) = SynthSpec {
+            train_size: 800,
+            test_size: 200,
+            ..SynthSpec::mnist_like()
+        }
+        .generate(5);
+        let partition = PartitionMethod::Iid
+            .partition(&train, 6, &mut Rng64::new(9))
+            .unwrap();
+        let spec = ModelSpec::Mlp {
+            in_dim: train.feature_dim(),
+            hidden: vec![16],
+            out_dim: train.num_classes(),
+        };
+        (spec, train, test, partition)
+    }
+
+    fn quick_builder<'a>(
+        spec: &'a ModelSpec,
+        train: &'a Dataset,
+        test: &'a Dataset,
+        partition: &'a Partition,
+        strategy: &'a mut dyn Strategy,
+    ) -> SessionBuilder<'a> {
+        SessionBuilder::new(spec, train, test, partition, strategy)
+            .rounds(2)
+            .participants(4)
+            .local(crate::client::LocalTrainConfig {
+                epochs: 1,
+                batch_size: 16,
+                lr: 0.05,
+                ..Default::default()
+            })
+            .eval_batch(64)
+            .seed(13)
+    }
+
+    #[test]
+    fn build_rejects_degenerate_configs_with_typed_errors() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .participants(0)
+            .build()
+            .err();
+        assert_eq!(err, Some(FlError::ZeroParticipants));
+
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .participants(7)
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(FlError::ParticipantsExceedClients {
+                participants: 7,
+                n_clients: 6
+            })
+        );
+
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .rounds(0)
+            .build()
+            .err();
+        assert_eq!(err, Some(FlError::ZeroRounds));
+
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .executor(ExecutorConfig::Deadline(HeteroConfig {
+                deadline_s: Some(0.0),
+                ..Default::default()
+            }))
+            .build()
+            .err();
+        assert_eq!(err, Some(FlError::InvalidDeadline { deadline_s: 0.0 }));
+
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .executor(ExecutorConfig::Deadline(HeteroConfig {
+                fleet: FleetConfig {
+                    dropout: 1.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }))
+            .build()
+            .err();
+        assert!(matches!(err, Some(FlError::InvalidFleet { .. })));
+    }
+
+    #[test]
+    fn dataset_name_is_recorded() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut s = FedAvg;
+        let history = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .dataset_name("mnist-like")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(history.dataset, "mnist-like");
+        assert_eq!(history.records.len(), 2);
+    }
+
+    #[test]
+    fn session_tracks_participation_counts() {
+        let (spec, train, test, partition) = quick_setup();
+        struct Probe {
+            seen_participation: Vec<usize>,
+        }
+        impl SelectionPolicy for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng64) -> Vec<usize> {
+                self.seen_participation = ctx.participation.to_vec();
+                rng.sample_indices(ctx.n_clients, ctx.participants)
+            }
+        }
+        let mut s = FedAvg;
+        let mut session = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .participants(6)
+            .selection_policy(Box::new(Probe {
+                seen_participation: Vec::new(),
+            }))
+            .build()
+            .unwrap();
+        let _ = session.step().unwrap();
+        let _ = session.step().unwrap();
+        // Full participation (K = N = 6): after round 0 everyone has been
+        // selected once, which is what the policy must observe in round 1.
+        assert_eq!(session.rounds_completed(), 2);
+        assert!(session.is_finished());
+        assert_eq!(session.participation, vec![2; 6]);
+    }
+
+    #[test]
+    fn early_stop_observer_truncates_the_run() {
+        let (spec, train, test, partition) = quick_setup();
+        let mut s = FedAvg;
+        let history = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .rounds(10)
+            .observer(Box::new(EarlyStop {
+                target_accuracy: 0.0, // any accuracy satisfies it
+            }))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(history.records.len(), 1, "EarlyStop failed to stop round 0");
+    }
+
+    #[test]
+    fn misbehaving_policy_surfaces_invalid_selection() {
+        let (spec, train, test, partition) = quick_setup();
+        struct Dup;
+        impl SelectionPolicy for Dup {
+            fn name(&self) -> &'static str {
+                "dup"
+            }
+            fn select(&mut self, ctx: &SelectionContext<'_>, _rng: &mut Rng64) -> Vec<usize> {
+                vec![0; ctx.participants]
+            }
+        }
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .selection_policy(Box::new(Dup))
+            .build()
+            .unwrap()
+            .run()
+            .err();
+        assert!(matches!(err, Some(FlError::InvalidSelection { round: 0, .. })));
+    }
+}

@@ -127,10 +127,8 @@ pub(crate) fn grad_check_params(
     let _ = layer.backward(&seed);
     let analytic: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.data().to_vec()).collect();
     let eps = 1e-2f32;
-    let n_params = layer.params().len();
-    for p_idx in 0..n_params {
-        let numel = layer.params()[p_idx].numel();
-        for i in 0..numel {
+    for (p_idx, param_grads) in analytic.iter().enumerate() {
+        for (i, &a) in param_grads.iter().enumerate() {
             let orig = layer.params()[p_idx].data()[i];
             layer.params_mut()[p_idx].data_mut()[i] = orig + eps;
             let lp = layer.forward(x, true).dot(&seed);
@@ -138,7 +136,6 @@ pub(crate) fn grad_check_params(
             let lm = layer.forward(x, true).dot(&seed);
             layer.params_mut()[p_idx].data_mut()[i] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            let a = analytic[p_idx][i];
             assert!(
                 (numeric - a).abs() <= tol * (1.0 + numeric.abs().max(a.abs())),
                 "param {p_idx} grad mismatch at {i}: numeric {numeric} vs analytic {a}"

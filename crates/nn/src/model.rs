@@ -154,7 +154,7 @@ impl Sequential {
             // params() and grads() are index-aligned; walk them pairwise.
             let params: Vec<Vec<f32>> =
                 layer.params().iter().map(|p| p.data().to_vec()).collect();
-            for (g, p) in layer.grads_mut().into_iter().zip(params.into_iter()) {
+            for (g, p) in layer.grads_mut().into_iter().zip(params) {
                 for (i, gv) in g.data_mut().iter_mut().enumerate() {
                     *gv += mu * (p[i] - w_ref[offset + i]);
                 }
@@ -302,8 +302,8 @@ mod tests {
         for i in 0..90 {
             let class = i % 3;
             let center = [(class as f32) * 4.0 - 4.0; 4];
-            for d in 0..4 {
-                xs.push(center[d] + rng.normal_f32(0.0, 0.3));
+            for c in center {
+                xs.push(c + rng.normal_f32(0.0, 0.3));
             }
             labels.push(class);
         }

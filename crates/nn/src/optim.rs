@@ -71,7 +71,7 @@ impl Sgd {
             for (pi, (p, g)) in layer
                 .params_mut()
                 .into_iter()
-                .zip(grads.into_iter())
+                .zip(grads)
                 .enumerate()
             {
                 if use_momentum {

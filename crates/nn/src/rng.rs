@@ -332,7 +332,7 @@ mod tests {
         let mut rng = Rng64::new(17);
         let sample = rng.sample_indices(50, 20);
         assert_eq!(sample.len(), 20);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for &i in &sample {
             assert!(i < 50);
             assert!(!seen[i], "duplicate index {i}");

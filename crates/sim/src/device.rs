@@ -76,6 +76,34 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// Check every invariant [`Fleet::generate`] enforces, as a result —
+    /// the single source of truth for what makes a fleet config valid
+    /// (callers wanting typed errors wrap the message; `generate` panics
+    /// with it).
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.compute_s > 0.0 && self.bandwidth_bps > 0.0) {
+            return Err("compute_s and bandwidth_bps must be positive".into());
+        }
+        if !(self.compute_skew >= 1.0 && self.bandwidth_skew >= 1.0) {
+            return Err("skew factors must be >= 1 (1 = homogeneous)".into());
+        }
+        if self.latency_s < 0.0 {
+            return Err("latency must be non-negative".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(format!(
+                "dropout probability must be in [0, 1), got {}",
+                self.dropout
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A generated population of device profiles, indexed by client id.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fleet {
@@ -92,20 +120,9 @@ impl Fleet {
     /// round empty).
     pub fn generate(n: usize, cfg: &FleetConfig) -> Self {
         assert!(n > 0, "fleet needs at least one device");
-        assert!(
-            cfg.compute_s > 0.0 && cfg.bandwidth_bps > 0.0,
-            "compute_s and bandwidth_bps must be positive"
-        );
-        assert!(
-            cfg.compute_skew >= 1.0 && cfg.bandwidth_skew >= 1.0,
-            "skew factors must be >= 1 (1 = homogeneous)"
-        );
-        assert!(cfg.latency_s >= 0.0, "latency must be non-negative");
-        assert!(
-            (0.0..1.0).contains(&cfg.dropout),
-            "dropout probability must be in [0, 1), got {}",
-            cfg.dropout
-        );
+        if let Err(reason) = cfg.validate() {
+            panic!("{reason}");
+        }
         let master = Rng64::new(cfg.seed);
         let profiles = (0..n)
             .map(|i| {

@@ -77,9 +77,21 @@ fn main() {
     );
     println!("restored agent acts identically on a probe state");
 
-    // 4. Warm-start aggregation on the measured run.
+    // 4. Warm-start aggregation on the measured run, driven one round at
+    //    a time via `Session::step` so the agent could be re-checkpointed
+    //    between rounds (here: after round 5).
     let mut strategy = FedDrl::from_agent(restored, &feddrl_cfg);
-    let history = run_federated(&model, &train, &test, &partition, &mut strategy, &fl_cfg);
+    let mut session = SessionBuilder::new(&model, &train, &test, &partition, &mut strategy)
+        .config(&fl_cfg)
+        .dataset_name("mnist-like")
+        .build()
+        .expect("valid federated config");
+    while let Some(record) = session.step().expect("round") {
+        if record.round == 5 {
+            println!("  (round 5 checkpoint hook would persist the agent here)");
+        }
+    }
+    let history = session.into_history();
     println!(
         "warm-started FedDRL: best accuracy {:.2}% (round {})",
         history.best().best_accuracy * 100.0,

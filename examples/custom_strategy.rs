@@ -58,17 +58,27 @@ fn main() {
             executor: ExecutorConfig::Ideal,
     };
 
-    let fedavg = run_federated(&model, &train, &test, &partition, &mut FedAvg, &fl_cfg);
-    let mut loss_aware = LossAware { temperature: 0.5 };
-    let custom = run_federated(&model, &train, &test, &partition, &mut loss_aware, &fl_cfg);
-    let feddrl = run_feddrl(
+    let run = |strategy: &mut dyn Strategy| {
+        SessionBuilder::new(&model, &train, &test, &partition, strategy)
+            .config(&fl_cfg)
+            .dataset_name("fashion-like")
+            .build()
+            .expect("valid federated config")
+            .run()
+            .expect("federated run")
+    };
+    let fedavg = run(&mut FedAvg);
+    let custom = run(&mut LossAware { temperature: 0.5 });
+    let feddrl = try_run_feddrl(
         &model,
         &train,
         &test,
         &partition,
         &fl_cfg,
         &FedDrlRunConfig::default(),
-    );
+        "fashion-like",
+    )
+    .expect("FedDRL run");
 
     println!("fashion-like, CN(0.6), 10 clients, {} rounds:", fl_cfg.rounds);
     for h in [&fedavg, &custom, &feddrl.history] {

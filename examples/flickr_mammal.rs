@@ -69,15 +69,24 @@ fn main() {
             stats.label_sharing_components, stats.quantity_ratio
         );
 
-        let fedavg = run_federated(&model, &train, &test, &partition, &mut FedAvg, &fl_cfg);
-        let feddrl = run_feddrl(
+        let mut fedavg_strategy = FedAvg;
+        let fedavg = SessionBuilder::new(&model, &train, &test, &partition, &mut fedavg_strategy)
+            .config(&fl_cfg)
+            .dataset_name("flickr-mammal-like")
+            .build()
+            .expect("valid federated config")
+            .run()
+            .expect("FedAvg run");
+        let feddrl = try_run_feddrl(
             &model,
             &train,
             &test,
             &partition,
             &fl_cfg,
             &FedDrlRunConfig::default(),
-        );
+            "flickr-mammal-like",
+        )
+        .expect("FedDRL run");
         println!(
             "  FedAvg best {:.2}% | FedDRL best {:.2}%",
             fedavg.best().best_accuracy * 100.0,

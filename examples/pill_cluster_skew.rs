@@ -66,23 +66,27 @@ fn main() {
             ..Default::default()
         },
     );
-    let fedavg = run_federated(&model, &train, &test, &partition, &mut FedAvg, &fl_cfg);
-    let fedprox = run_federated(
-        &model,
-        &train,
-        &test,
-        &partition,
-        &mut FedProx::default(),
-        &fl_cfg,
-    );
-    let feddrl = run_feddrl(
+    let run = |strategy: &mut dyn Strategy| {
+        SessionBuilder::new(&model, &train, &test, &partition, strategy)
+            .config(&fl_cfg)
+            .dataset_name("pill-like")
+            .build()
+            .expect("valid federated config")
+            .run()
+            .expect("federated run")
+    };
+    let fedavg = run(&mut FedAvg);
+    let fedprox = run(&mut FedProx::default());
+    let feddrl = try_run_feddrl(
         &model,
         &train,
         &test,
         &partition,
         &fl_cfg,
         &FedDrlRunConfig::default(),
-    );
+        "pill-like",
+    )
+    .expect("FedDRL run");
 
     println!("\nbest top-1 accuracy on the pill federation:");
     for h in [&single, &fedavg, &fedprox, &feddrl.history] {

@@ -53,16 +53,27 @@ fn main() {
         executor: ExecutorConfig::Ideal,
     };
 
-    // 4. Train FedAvg and FedDRL on identical data and seeds.
-    let fedavg = run_federated(&model, &train, &test, &partition, &mut FedAvg, &fl_cfg);
-    let feddrl = run_feddrl(
+    // 4. Train FedAvg and FedDRL on identical data and seeds. Runs are
+    //    assembled with the session builder: invalid configs surface as
+    //    typed `FlError`s here instead of panics mid-run.
+    let mut fedavg_strategy = FedAvg;
+    let fedavg = SessionBuilder::new(&model, &train, &test, &partition, &mut fedavg_strategy)
+        .config(&fl_cfg)
+        .dataset_name("mnist-like")
+        .build()
+        .expect("valid federated config")
+        .run()
+        .expect("FedAvg run");
+    let feddrl = try_run_feddrl(
         &model,
         &train,
         &test,
         &partition,
         &fl_cfg,
         &FedDrlRunConfig::default(),
-    );
+        "mnist-like",
+    )
+    .expect("FedDRL run");
 
     // 5. Report.
     println!("\nround  FedAvg  FedDRL");

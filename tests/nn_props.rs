@@ -118,7 +118,7 @@ proptest! {
     ) {
         let k = mus.len();
         let mut action = mus.clone();
-        action.extend(std::iter::repeat(0.05f32).take(k));
+        action.extend(std::iter::repeat_n(0.05f32, k));
         let mut rng = Rng64::new(seed);
         let alpha = sample_impact_factors(&action, &mut rng);
         prop_assert_eq!(alpha.len(), k);

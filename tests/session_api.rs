@@ -1,0 +1,260 @@
+//! Integration contract of the session-based orchestration API.
+//!
+//! Three promises from the redesign, checked at the workspace boundary:
+//! (1) a `SessionBuilder` with default components reproduces the committed
+//! golden fixture byte-for-byte (the compat `run_federated` path is
+//! checked separately in `server_props`); (2) driving a session one round
+//! at a time via `step()` yields the same history as `run()`; (3)
+//! degenerate configurations surface as typed `FlError`s from the builder
+//! instead of panics mid-run, through every entry layer (fl and core).
+
+use feddrl_repro::prelude::*;
+
+/// The golden fixture's environment (must match `server_props`).
+fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
+    let (train, test) = SynthSpec {
+        train_size: 600,
+        test_size: 150,
+        ..SynthSpec::mnist_like()
+    }
+    .generate(5);
+    let partition = PartitionMethod::ce(0.6)
+        .partition(&train, 6, &mut Rng64::new(9))
+        .unwrap();
+    let spec = ModelSpec::Mlp {
+        in_dim: train.feature_dim(),
+        hidden: vec![16],
+        out_dim: train.num_classes(),
+    };
+    let cfg = FlConfig {
+        rounds: 3,
+        participants: 5,
+        local: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+            ..Default::default()
+        },
+        eval_batch: 64,
+        seed: 77,
+        log_every: 0,
+        selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
+    };
+    (spec, train, test, partition, cfg)
+}
+
+/// Zero the only nondeterministic fields (wall-clock stage timings) so
+/// histories can be compared byte-for-byte.
+fn scrub_timings(history: &mut RunHistory) {
+    for r in &mut history.records {
+        r.strategy_micros = 0;
+        r.aggregate_micros = 0;
+    }
+}
+
+fn scrubbed_json(mut history: RunHistory) -> String {
+    scrub_timings(&mut history);
+    serde_json::to_string_pretty(&history).expect("serialize history") + "\n"
+}
+
+/// A default-component `SessionBuilder` is byte-identical to the
+/// pre-session loop: same golden fixture as the `run_federated` path.
+#[test]
+fn session_builder_defaults_match_golden_fixture() {
+    let (spec, train, test, partition, cfg) = golden_setup();
+    let mut strategy = FedAvg;
+    let history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+        .config(&cfg)
+        .build()
+        .expect("golden config is valid")
+        .run()
+        .expect("golden run");
+    let json = scrubbed_json(history);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/ideal_history.json");
+    let golden = std::fs::read_to_string(path).expect("read golden fixture");
+    assert_eq!(
+        json, golden,
+        "SessionBuilder with default components diverged from the golden fixture"
+    );
+}
+
+/// `step()`-driven sessions produce exactly the history `run()` does —
+/// for the ideal executor and for a heterogeneous deadline-bounded one
+/// with a non-default selection policy.
+#[test]
+fn step_by_step_equals_run() {
+    let (spec, train, test, partition, base_cfg) = golden_setup();
+    let hetero = ExecutorConfig::Deadline(HeteroConfig {
+        fleet: FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.2,
+            ..Default::default()
+        },
+        deadline_s: Some(30.0),
+        late_policy: LatePolicy::CarryOver,
+    });
+    let variants: [(Selection, ExecutorConfig); 2] = [
+        (Selection::Uniform, ExecutorConfig::Ideal),
+        (Selection::BandwidthAware { candidates: 6 }, hetero),
+    ];
+    for (selection, executor) in variants {
+        let mut cfg = base_cfg.clone();
+        cfg.selection = selection;
+        cfg.executor = executor;
+
+        let mut s1 = FedAvg;
+        let whole = SessionBuilder::new(&spec, &train, &test, &partition, &mut s1)
+            .config(&cfg)
+            .dataset_name("mnist-like")
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("run");
+
+        let mut s2 = FedAvg;
+        let mut session = SessionBuilder::new(&spec, &train, &test, &partition, &mut s2)
+            .config(&cfg)
+            .dataset_name("mnist-like")
+            .build()
+            .expect("valid config");
+        let mut steps = 0;
+        while let Some(record) = session.step().expect("step") {
+            assert_eq!(record.round, steps, "step returned the wrong round");
+            steps += 1;
+            assert_eq!(session.rounds_completed(), steps);
+        }
+        assert!(session.is_finished());
+        assert!(
+            session.step().expect("idempotent step").is_none(),
+            "step on a finished session must be a no-op"
+        );
+        let stepped = session.into_history();
+
+        assert_eq!(steps, cfg.rounds);
+        assert_eq!(scrubbed_json(whole), scrubbed_json(stepped));
+    }
+}
+
+/// Degenerate configs come back as typed errors from the builder — no
+/// training compute is spent, nothing panics.
+#[test]
+fn builder_reports_typed_errors() {
+    let (spec, train, test, partition, cfg) = golden_setup();
+
+    let cases: [(FlConfig, FlError); 3] = [
+        (
+            FlConfig {
+                participants: 0,
+                ..cfg.clone()
+            },
+            FlError::ZeroParticipants,
+        ),
+        (
+            FlConfig {
+                participants: 7,
+                ..cfg.clone()
+            },
+            FlError::ParticipantsExceedClients {
+                participants: 7,
+                n_clients: 6,
+            },
+        ),
+        (
+            FlConfig {
+                rounds: 0,
+                ..cfg.clone()
+            },
+            FlError::ZeroRounds,
+        ),
+    ];
+    for (bad_cfg, expected) in cases {
+        let mut strategy = FedAvg;
+        let err = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+            .config(&bad_cfg)
+            .build()
+            .err()
+            .expect("degenerate config must not build");
+        assert_eq!(err, expected);
+    }
+
+    // The deadline executor's knobs are validated too.
+    let mut strategy = FedAvg;
+    let err = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+        .config(&cfg)
+        .executor(ExecutorConfig::Deadline(HeteroConfig {
+            deadline_s: Some(f64::NAN),
+            ..Default::default()
+        }))
+        .build()
+        .err()
+        .expect("NaN deadline must not build");
+    assert!(matches!(err, FlError::InvalidDeadline { .. }));
+}
+
+/// The core-crate entry point surfaces the same typed errors before any
+/// (expensive) two-stage pre-training starts.
+#[test]
+fn try_run_feddrl_propagates_builder_errors() {
+    let (spec, train, test, partition, mut cfg) = golden_setup();
+    cfg.participants = 99;
+    let err = try_run_feddrl(
+        &spec,
+        &train,
+        &test,
+        &partition,
+        &cfg,
+        &FedDrlRunConfig::default(),
+        "mnist-like",
+    )
+    .err()
+    .expect("K > N must not run");
+    assert_eq!(
+        err,
+        FlError::ParticipantsExceedClients {
+            participants: 99,
+            n_clients: 6
+        }
+    );
+}
+
+/// Observers see every round in order, and any `Stop` vote ends the run
+/// with the stopping round's record kept.
+#[test]
+fn observers_see_every_round_and_can_stop() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Counter {
+        rounds_seen: Arc<AtomicUsize>,
+        stop_after: usize,
+    }
+    impl RoundObserver for Counter {
+        fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl {
+            let seen = self.rounds_seen.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(record.round, seen, "observer saw rounds out of order");
+            if record.round + 1 >= self.stop_after {
+                RoundControl::Stop
+            } else {
+                RoundControl::Continue
+            }
+        }
+    }
+
+    let (spec, train, test, partition, mut cfg) = golden_setup();
+    cfg.rounds = 10;
+    let seen = Arc::new(AtomicUsize::new(0));
+    let mut strategy = FedAvg;
+    let history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+        .config(&cfg)
+        .observer(Box::new(Counter {
+            rounds_seen: Arc::clone(&seen),
+            stop_after: 2,
+        }))
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("run");
+    assert_eq!(history.records.len(), 2, "Stop vote ignored");
+    assert_eq!(seen.load(Ordering::SeqCst), 2);
+}

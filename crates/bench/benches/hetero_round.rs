@@ -3,11 +3,17 @@
 //! `event_queue/*` measures the discrete-event core in isolation
 //! (schedule + drain of n upload-completion events); `deadline_round/*`
 //! measures a full `DeadlineExecutor::execute` over pre-trained updates —
-//! the per-round overhead the engine adds on top of local training.
+//! the per-round overhead the engine adds on top of local training;
+//! `buffered_round/*` does the same for the asynchronous
+//! `BufferedExecutor`, whose event queue persists across rounds (in-flight
+//! bookkeeping plus the partial drain to a filled buffer).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use feddrl_fl::client::ClientUpdate;
-use feddrl_fl::executor::{DeadlineExecutor, HeteroConfig, LatePolicy, RoundExecutor};
+use feddrl_fl::executor::{
+    BufferedConfig, BufferedExecutor, DeadlineExecutor, HeteroConfig, LatePolicy, RoundExecutor,
+    StalenessDiscount,
+};
 use feddrl_nn::rng::Rng64;
 use feddrl_sim::device::FleetConfig;
 use feddrl_sim::event::{EventKind, EventQueue};
@@ -22,7 +28,7 @@ fn bench_event_queue(c: &mut Criterion) {
             b.iter(|| {
                 let mut q = EventQueue::new();
                 for (i, &t) in times.iter().enumerate() {
-                    q.schedule(t, EventKind::UploadComplete { client_id: i });
+                    q.schedule(t, EventKind::UploadComplete { client_id: i, version: i % 8 });
                 }
                 let mut last = 0.0f64;
                 while let Some(e) = q.pop() {
@@ -47,19 +53,12 @@ fn bench_deadline_round(c: &mut Criterion) {
             },
             deadline_s: Some(60.0),
             late_policy: LatePolicy::CarryOver,
+            staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
         };
         let mut ex = DeadlineExecutor::new(cfg, k, 100_000, k, 7);
         let selected: Vec<usize> = (0..k).collect();
         // Pre-built updates: the bench isolates the engine, not training.
-        let updates: Vec<ClientUpdate> = (0..k)
-            .map(|client_id| ClientUpdate {
-                client_id,
-                weights: vec![0.0; 64],
-                n_samples: 100,
-                loss_before: 1.0,
-                loss_after: 0.5,
-            })
-            .collect();
+        let updates: Vec<ClientUpdate> = (0..k).map(stub_update).collect();
         let train = |ids: &[usize]| -> Vec<ClientUpdate> {
             ids.iter().map(|&i| updates[i].clone()).collect()
         };
@@ -76,5 +75,54 @@ fn bench_deadline_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_deadline_round);
+fn stub_update(client_id: usize) -> ClientUpdate {
+    ClientUpdate {
+        client_id,
+        weights: vec![0.0; 64],
+        n_samples: 100,
+        loss_before: 1.0,
+        loss_after: 0.5,
+        staleness: 0,
+    }
+}
+
+fn bench_buffered_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffered_round");
+    for k in [10usize, 100] {
+        let cfg = BufferedConfig {
+            fleet: FleetConfig {
+                compute_skew: 4.0,
+                bandwidth_skew: 2.0,
+                dropout: 0.1,
+                ..Default::default()
+            },
+            buffer_size: k / 2,
+            staleness: StalenessDiscount::Polynomial { alpha: 0.5 },
+            ..Default::default()
+        };
+        let mut ex = BufferedExecutor::new(cfg, k, 100_000, k, 7);
+        let selected: Vec<usize> = (0..k).collect();
+        let updates: Vec<ClientUpdate> = (0..k).map(stub_update).collect();
+        let train = |ids: &[usize]| -> Vec<ClientUpdate> {
+            ids.iter().map(|&i| updates[i].clone()).collect()
+        };
+        let mut round = 0usize;
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("execute", k), &k, |b, _| {
+            b.iter(|| {
+                let out = ex.execute(round, &selected, &train);
+                round += 1;
+                std::hint::black_box(out.hetero)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_deadline_round,
+    bench_buffered_round
+);
 criterion_main!(benches);

@@ -131,6 +131,7 @@ fn run_cell(
             fleet: fleet.clone(),
             deadline_s: deadline,
             late_policy: LatePolicy::Drop,
+            ..Default::default()
         });
     }
     match method {

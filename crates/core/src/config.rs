@@ -18,6 +18,14 @@ pub struct FedDrlConfig {
     /// Train the agent online after every stored transition (the paper's
     /// "side thread"; disable for a frozen, pre-trained policy).
     pub online_training: bool,
+    /// Append a fourth per-client block to the observation — each update's
+    /// staleness in model versions, squashed into `[0, 1)` — so the agent
+    /// can learn to down-weight updates that carried over rounds or aged
+    /// in an asynchronous buffer. Off (the paper's `3K` state) by default:
+    /// enabling it changes the policy-network input width, so it is a
+    /// deliberate opt-in, never a silent drift of synchronous runs.
+    #[serde(default)]
+    pub observe_staleness: bool,
     /// Seed for the strategy's impact-factor sampling.
     pub seed: u64,
 }
@@ -29,18 +37,30 @@ impl Default for FedDrlConfig {
             reward_lambda: 1.0,
             explore: true,
             online_training: true,
+            observe_staleness: false,
             seed: 0xFED_D41,
         }
     }
 }
 
 impl FedDrlConfig {
-    /// DDPG config resized for `k` participating clients (state `3k`,
-    /// action `2k`, per §3.3).
+    /// Per-client blocks of the observation vector: the paper's three
+    /// (`l_before`, `l_after`, sample fraction) plus one staleness block
+    /// when [`FedDrlConfig::observe_staleness`] is set.
+    pub fn state_blocks(&self) -> usize {
+        if self.observe_staleness {
+            4
+        } else {
+            3
+        }
+    }
+
+    /// DDPG config resized for `k` participating clients (state `3k` —
+    /// `4k` with staleness observation — and action `2k`, per §3.3).
     pub fn ddpg_for(&self, k: usize) -> DdpgConfig {
         assert!(k > 0, "FedDRL needs at least one participating client");
         DdpgConfig {
-            state_dim: 3 * k,
+            state_dim: self.state_blocks() * k,
             action_dim: 2 * k,
             ..self.ddpg.clone()
         }
@@ -59,6 +79,24 @@ mod tests {
         assert_eq!(d.action_dim, 14);
         assert_eq!(d.hidden, cfg.ddpg.hidden);
         assert_eq!(d.gamma, cfg.ddpg.gamma);
+    }
+
+    #[test]
+    fn staleness_observation_widens_state_only() {
+        let cfg = FedDrlConfig {
+            observe_staleness: true,
+            ..Default::default()
+        };
+        assert_eq!(cfg.state_blocks(), 4);
+        let d = cfg.ddpg_for(7);
+        assert_eq!(d.state_dim, 28, "staleness adds one K-block to the state");
+        assert_eq!(d.action_dim, 14, "the action stays 2K");
+        // The flag is serde-defaulted so existing configs load unchanged.
+        let back: FedDrlConfig = serde_json::from_str(
+            &serde_json::to_string(&FedDrlConfig::default()).unwrap(),
+        )
+        .unwrap();
+        assert!(!back.observe_staleness);
     }
 
     #[test]

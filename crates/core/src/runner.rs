@@ -177,6 +177,7 @@ mod tests {
             },
             deadline_s: None,
             late_policy: LatePolicy::Drop,
+            ..Default::default()
         });
         let run = run_feddrl(&spec, &train, &test, &partition, &fl_cfg, &small_run_cfg());
         assert_eq!(run.history.records.len(), 5);
@@ -195,6 +196,45 @@ mod tests {
                 assert!((sum - 1.0).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn feddrl_observes_staleness_under_buffered_executor() {
+        use feddrl_fl::executor::{BufferedConfig, StalenessDiscount};
+        use feddrl_sim::device::FleetConfig;
+
+        let (spec, train, test, partition, mut fl_cfg) = env();
+        fl_cfg.rounds = 6;
+        fl_cfg.executor = ExecutorConfig::Buffered(BufferedConfig {
+            fleet: FleetConfig {
+                compute_skew: 6.0,
+                ..Default::default()
+            },
+            buffer_size: 3,
+            staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
+            ..Default::default()
+        });
+        let mut cfg = small_run_cfg();
+        cfg.feddrl.observe_staleness = true;
+        let run = run_feddrl(&spec, &train, &test, &partition, &fl_cfg, &cfg);
+        assert_eq!(run.history.records.len(), 6);
+        for r in &run.history.records {
+            let h = r.hetero.as_ref().expect("buffered run must record telemetry");
+            assert!(
+                r.impact_factors.is_empty() || r.impact_factors.len() == 3,
+                "aggregations must hold exactly the buffer size"
+            );
+            assert_eq!(h.staleness.len(), r.impact_factors.len());
+            if !r.impact_factors.is_empty() {
+                let sum: f32 = r.impact_factors.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-4);
+            }
+        }
+        assert!(
+            run.history.mean_staleness() > 0.0,
+            "a 6x-skewed fleet with a small buffer must aggregate stale updates"
+        );
+        assert!(run.history.total_sim_time_s() > 0.0);
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! counts in the thousands destabilize DDPG, so we z-normalize each loss
 //! block and convert counts to fractions — a monotone, information-
 //! preserving transform (DESIGN.md §3.1).
+//!
+//! Beyond the paper, [`build_state_with_staleness`] appends a fourth
+//! `K`-vector — each update's staleness in model versions, squashed into
+//! `[0, 1)` by [`staleness_feature`] — for runs under carry-over or
+//! buffered asynchronous executors, where the agent should be able to
+//! learn staleness-aware impact factors. A fresh update contributes `0`,
+//! so the block degenerates to zeros in any synchronous setting.
 
 use feddrl_fl::client::ClientSummary;
 
@@ -63,6 +70,36 @@ pub fn build_state(summaries: &[ClientSummary]) -> Vec<f32> {
     }
     z_normalize(&mut state[..k]);
     z_normalize(&mut state[k..2 * k]);
+    state
+}
+
+/// Squash a staleness count into `[0, 1)`: `s / (1 + s)`. Exactly `0` for
+/// a fresh update, approaching `1` for arbitrarily stale ones — bounded,
+/// so a pathological straggler cannot blow up the observation scale.
+pub fn staleness_feature(staleness: usize) -> f32 {
+    staleness as f32 / (1.0 + staleness as f32)
+}
+
+/// Build the `4K` state vector: [`build_state`]'s three blocks plus one
+/// block of [`staleness_feature`]s, in the same client order. An empty
+/// `staleness` slice means "all fresh" (a zero block).
+///
+/// # Panics
+/// Panics if `staleness` is non-empty with a length different from
+/// `summaries`, or on [`build_state`]'s conditions.
+pub fn build_state_with_staleness(summaries: &[ClientSummary], staleness: &[usize]) -> Vec<f32> {
+    assert!(
+        staleness.is_empty() || staleness.len() == summaries.len(),
+        "{} staleness entries for {} summaries",
+        staleness.len(),
+        summaries.len()
+    );
+    let mut state = build_state(summaries);
+    if staleness.is_empty() {
+        state.extend(std::iter::repeat_n(0.0, summaries.len()));
+    } else {
+        state.extend(staleness.iter().map(|&s| staleness_feature(s)));
+    }
     state
 }
 
@@ -124,6 +161,39 @@ mod tests {
         let a = build_state(&[summary(9, 10, 1.0, 0.0), summary(2, 30, 5.0, 0.0)]);
         // First position belongs to client 9 (lower loss → negative z).
         assert!(a[0] < a[1]);
+    }
+
+    #[test]
+    fn staleness_feature_is_bounded_and_monotone() {
+        assert_eq!(staleness_feature(0), 0.0);
+        let mut prev = -1.0f32;
+        for s in 0..100 {
+            let f = staleness_feature(s);
+            assert!((0.0..1.0).contains(&f));
+            assert!(f > prev);
+            prev = f;
+        }
+        assert!((staleness_feature(1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staleness_block_appends_without_touching_the_3k_prefix() {
+        let sums = [summary(0, 10, 1.0, 0.5), summary(1, 30, 2.0, 0.7)];
+        let base = build_state(&sums);
+        let with = build_state_with_staleness(&sums, &[2, 0]);
+        assert_eq!(with.len(), 8);
+        assert_eq!(&with[..6], &base[..], "3K prefix must be unchanged");
+        assert!((with[6] - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(with[7], 0.0);
+        // Empty staleness means an all-fresh (zero) block.
+        let fresh = build_state_with_staleness(&sums, &[]);
+        assert_eq!(&fresh[6..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness entries")]
+    fn rejects_misaligned_staleness() {
+        let _ = build_state_with_staleness(&[summary(0, 10, 1.0, 0.5)], &[1, 2]);
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //! action.
 
 use crate::config::FedDrlConfig;
-use crate::state::build_state;
+use crate::state::{build_state, build_state_with_staleness};
 use feddrl_drl::buffer::Experience;
 use feddrl_drl::ddpg::{sample_impact_factors, DdpgAgent, TrainStats};
 use feddrl_drl::reward::reward_from_losses;
 use feddrl_fl::client::ClientSummary;
-use feddrl_fl::strategy::Strategy;
+use feddrl_fl::strategy::{RoundContext, Strategy};
 use feddrl_nn::rng::Rng64;
 
 /// Deep-reinforcement-learning-based adaptive aggregation.
@@ -23,6 +23,9 @@ pub struct FedDrl {
     lambda: f32,
     explore: bool,
     online_training: bool,
+    /// Observe per-update staleness as a fourth state block (see
+    /// [`FedDrlConfig::observe_staleness`]).
+    observe_staleness: bool,
     /// `(state, action)` of the previous round, awaiting its reward.
     pending: Option<(Vec<f32>, Vec<f32>)>,
     rng: Rng64,
@@ -44,6 +47,7 @@ impl FedDrl {
             lambda: cfg.reward_lambda,
             explore: cfg.explore,
             online_training: cfg.online_training,
+            observe_staleness: cfg.observe_staleness,
             pending: None,
             train_stats: Vec::new(),
             rewards: Vec::new(),
@@ -80,46 +84,66 @@ impl FedDrl {
 }
 
 impl FedDrl {
-    /// The agent's designed-for participant count `K` (state is `3K`).
-    fn capacity(&self) -> usize {
-        self.agent.config().state_dim / 3
+    /// Per-client state blocks: the paper's 3, or 4 with staleness.
+    fn blocks(&self) -> usize {
+        if self.observe_staleness {
+            4
+        } else {
+            3
+        }
     }
 
-    /// Lift an `m`-client state onto the agent's fixed `3K` observation.
+    /// The agent's designed-for participant count `K` (state is `3K`, or
+    /// `4K` with staleness observation).
+    fn capacity(&self) -> usize {
+        self.agent.config().state_dim / self.blocks()
+    }
+
+    /// Lift an `m`-client state onto the agent's fixed per-block-`K`
+    /// observation.
     ///
     /// Heterogeneous rounds (dropouts, deadline cuts — see
     /// `feddrl_fl::executor`) can report fewer than `K` clients. The loss
     /// blocks are z-normalized (mean 0), so zero-padding the tail of each
     /// block presents the missing clients as "average" placeholders, and
-    /// a zero sample-fraction marks them as contributing no data. For
-    /// `m == K` this is the identity, keeping full-participation rounds
-    /// bit-identical to the pre-heterogeneity behavior.
-    fn pad_state(&self, summaries: &[ClientSummary]) -> Vec<f32> {
-        let (m, k) = (summaries.len(), self.capacity());
-        let raw = build_state(summaries);
+    /// a zero sample-fraction marks them as contributing no data (a zero
+    /// staleness feature likewise reads as "fresh"). For `m == K` this is
+    /// the identity, keeping full-participation rounds bit-identical to
+    /// the pre-heterogeneity behavior.
+    fn pad_state(&self, summaries: &[ClientSummary], staleness: &[usize]) -> Vec<f32> {
+        let (m, k, blocks) = (summaries.len(), self.capacity(), self.blocks());
+        let raw = if self.observe_staleness {
+            build_state_with_staleness(summaries, staleness)
+        } else {
+            build_state(summaries)
+        };
         if m == k {
             return raw;
         }
-        let mut state = vec![0.0f32; 3 * k];
-        for block in 0..3 {
+        let mut state = vec![0.0f32; blocks * k];
+        for block in 0..blocks {
             state[block * k..block * k + m].copy_from_slice(&raw[block * m..(block + 1) * m]);
         }
         state
     }
-}
 
-impl Strategy for FedDrl {
-    fn name(&self) -> &'static str {
-        "FedDRL"
-    }
-
-    fn impact_factors(&mut self, _round: usize, summaries: &[ClientSummary]) -> Vec<f32> {
+    /// [`Strategy::impact_factors`] with per-update staleness (model
+    /// versions behind, aligned with `summaries`; empty means all fresh).
+    /// The staleness only enters the DRL state when
+    /// [`FedDrlConfig::observe_staleness`] is set — otherwise this is
+    /// exactly the 3-block paper path, bit for bit.
+    pub fn impact_factors_with_staleness(
+        &mut self,
+        _round: usize,
+        summaries: &[ClientSummary],
+        staleness: &[usize],
+    ) -> Vec<f32> {
         let (m, k) = (summaries.len(), self.capacity());
         assert!(
             m >= 1 && m <= k,
             "FedDRL built for K = {k} clients got {m} summaries"
         );
-        let state = self.pad_state(summaries);
+        let state = self.pad_state(summaries, staleness);
 
         // Close the previous transition: this round's l_before losses are
         // the environment's feedback on the previous aggregation.
@@ -153,6 +177,22 @@ impl Strategy for FedDrl {
         };
         self.pending = Some((state, action));
         alpha
+    }
+}
+
+impl Strategy for FedDrl {
+    fn name(&self) -> &'static str {
+        "FedDRL"
+    }
+
+    fn impact_factors(&mut self, round: usize, summaries: &[ClientSummary]) -> Vec<f32> {
+        self.impact_factors_with_staleness(round, summaries, &[])
+    }
+
+    fn impact_factors_ctx(&mut self, ctx: &RoundContext<'_>) -> Vec<f32> {
+        let summaries: Vec<ClientSummary> = ctx.updates.iter().map(|u| u.summary()).collect();
+        let staleness: Vec<usize> = ctx.updates.iter().map(|u| u.staleness).collect();
+        self.impact_factors_with_staleness(ctx.round, &summaries, &staleness)
     }
 }
 
@@ -244,6 +284,63 @@ mod tests {
             let s = summaries(4, round);
             assert_eq!(a.impact_factors(round, &s), b.impact_factors(round, &s));
         }
+    }
+
+    #[test]
+    fn staleness_is_ignored_unless_observed() {
+        // Default config: the staleness argument must be a strict no-op —
+        // same agent seeds, same summaries, bit-identical factors whether
+        // the updates are fresh or ancient.
+        let cfg = FedDrlConfig::default();
+        let mut a = FedDrl::new(4, &cfg);
+        let mut b = FedDrl::new(4, &cfg);
+        for round in 0..3 {
+            let s = summaries(4, round);
+            let fa = a.impact_factors(round, &s);
+            let fb = b.impact_factors_with_staleness(round, &s, &[5, 0, 2, 9]);
+            assert_eq!(fa, fb, "round {round}: unobserved staleness leaked into the policy");
+        }
+    }
+
+    #[test]
+    fn observed_staleness_enters_the_state_and_changes_the_action() {
+        let cfg = FedDrlConfig {
+            observe_staleness: true,
+            explore: false,
+            ..Default::default()
+        };
+        let mut a = FedDrl::new(4, &cfg);
+        let mut b = FedDrl::new(4, &cfg);
+        let s = summaries(4, 0);
+        // All-fresh explicit vs implicit must agree...
+        let fa = a.impact_factors_with_staleness(0, &s, &[0, 0, 0, 0]);
+        let fb = b.impact_factors_with_staleness(0, &s, &[]);
+        assert_eq!(fa, fb, "explicit zero staleness must equal the all-fresh path");
+        // ...and a stale update must actually perturb the observation.
+        let mut c = FedDrl::new(4, &cfg);
+        let fc = c.impact_factors_with_staleness(0, &s, &[4, 0, 0, 0]);
+        assert_eq!(fc.len(), 4);
+        assert_ne!(fa, fc, "observed staleness did not reach the policy");
+    }
+
+    #[test]
+    fn staleness_observing_agent_handles_short_rounds() {
+        // 4-block padding: a K=5 staleness-observing agent serving short
+        // heterogeneous rounds keeps emitting simplex factors.
+        let cfg = FedDrlConfig {
+            observe_staleness: true,
+            ..Default::default()
+        };
+        let mut strategy = FedDrl::new(5, &cfg);
+        assert_eq!(strategy.agent().config().state_dim, 20);
+        for (round, m) in [5usize, 3, 1, 4].into_iter().enumerate() {
+            let stale: Vec<usize> = (0..m).map(|i| i % 3).collect();
+            let alpha = strategy.impact_factors_with_staleness(round, &summaries(m, round), &stale);
+            assert_eq!(alpha.len(), m);
+            let sum: f32 = alpha.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "round {round}: sum {sum}");
+        }
+        assert_eq!(strategy.rewards().len(), 3);
     }
 
     #[test]

@@ -138,6 +138,7 @@ mod tests {
             n_samples: n,
             loss_before: loss,
             loss_after: loss * 0.5,
+            staleness: 0,
         }
     }
 

@@ -62,6 +62,12 @@ pub struct ClientUpdate {
     /// Inference loss of the *locally trained* model at the end of the
     /// round.
     pub loss_after: f32,
+    /// Model versions the update is behind at aggregation time: 0 for a
+    /// fresh report (every synchronous round), positive for updates
+    /// carried across rounds or buffered by an asynchronous executor. Set
+    /// by the executor, never by the client — a client cannot know how
+    /// many aggregations happened while it was training.
+    pub staleness: usize,
 }
 
 impl ClientUpdate {
@@ -144,6 +150,7 @@ pub fn run_local_round(
         n_samples: indices.len(),
         loss_before,
         loss_after,
+        staleness: 0,
     }
 }
 

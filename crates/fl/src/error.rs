@@ -3,7 +3,8 @@
 //! [`SessionBuilder::build`](crate::session::SessionBuilder::build) turns
 //! every configuration mistake the old `run_federated` free function used
 //! to panic on — `K > N`, zero rounds or participants, a degenerate
-//! deadline or fleet — into an [`FlError`] the caller can match on
+//! deadline, fleet, aggregation buffer or staleness discount — into an
+//! [`FlError`] the caller can match on
 //! *before* any training compute is spent. The compatibility wrapper
 //! [`run_federated`](crate::server::run_federated) converts them back into
 //! panics with the historical messages, so existing `should_panic` tests
@@ -39,6 +40,28 @@ pub enum FlError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A buffered executor was configured with `buffer_size == 0`:
+    /// aggregation would never fire.
+    ZeroBuffer,
+    /// A buffered executor's `buffer_size` exceeds the participants
+    /// sampled per round: the buffer could starve the opening rounds.
+    BufferExceedsParticipants {
+        /// Requested aggregation buffer size `m`.
+        buffer_size: usize,
+        /// Participants dispatched per round `K`.
+        participants: usize,
+    },
+    /// A staleness discount with invalid parameters (e.g. a non-finite or
+    /// negative polynomial exponent).
+    InvalidDiscount {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A buffered executor's server mixing rate is outside `(0, 1]`.
+    InvalidServerMix {
+        /// The rejected mixing rate `η`.
+        server_mix: f64,
+    },
     /// A [`SelectionPolicy`](crate::selection::SelectionPolicy) returned an
     /// invalid sample: wrong cardinality, duplicate ids, or ids outside
     /// `[0, N)`. Only user-defined policies can trigger this — the
@@ -68,6 +91,21 @@ impl fmt::Display for FlError {
                 "round deadline must be positive and finite, got {deadline_s}"
             ),
             FlError::InvalidFleet { reason } => write!(f, "invalid fleet config: {reason}"),
+            FlError::ZeroBuffer => write!(f, "aggregation buffer must be positive"),
+            FlError::BufferExceedsParticipants {
+                buffer_size,
+                participants,
+            } => write!(
+                f,
+                "aggregation buffer m = {buffer_size} exceeds participants K = {participants}"
+            ),
+            FlError::InvalidDiscount { reason } => {
+                write!(f, "invalid staleness discount: {reason}")
+            }
+            FlError::InvalidServerMix { server_mix } => write!(
+                f,
+                "server mixing rate must be in (0, 1], got {server_mix}"
+            ),
             FlError::InvalidSelection { round, reason } => write!(
                 f,
                 "round {round}: selection policy returned an invalid sample: {reason}"
@@ -94,6 +132,23 @@ mod tests {
             n_clients: 6,
         };
         assert!(e.to_string().contains("exceeds N"));
+    }
+
+    #[test]
+    fn buffered_messages_name_the_offending_knob() {
+        assert_eq!(
+            FlError::ZeroBuffer.to_string(),
+            "aggregation buffer must be positive"
+        );
+        let e = FlError::BufferExceedsParticipants {
+            buffer_size: 8,
+            participants: 5,
+        };
+        assert!(e.to_string().contains("m = 8 exceeds participants K = 5"));
+        let e = FlError::InvalidDiscount {
+            reason: "bad alpha".into(),
+        };
+        assert!(e.to_string().contains("staleness discount: bad alpha"));
     }
 
     #[test]

@@ -14,7 +14,14 @@
 //!   may drop out, and its upload-completion time — local compute plus
 //!   model upload over its link — is scheduled on an [`EventQueue`]. Only
 //!   updates arriving before the round deadline are aggregated; late ones
-//!   are dropped or carried into the next round ([`LatePolicy`]).
+//!   are dropped or carried into the next round ([`LatePolicy`]);
+//! * [`BufferedExecutor`] drops the round barrier entirely
+//!   (FedAsync/FedBuff-style): the virtual clock and event queue persist
+//!   across rounds, sampled clients start training immediately against
+//!   the current model version, and the server aggregates as soon as
+//!   `m = buffer_size` updates have arrived — a slow device's update lands
+//!   in a *later* aggregation, `s` model versions stale, and its impact
+//!   factor is scaled by a configurable [`StalenessDiscount`].
 //!
 //! Determinism: dropout draws derive from `(seed, round, client id)` and
 //! device profiles from the fleet seed, so heterogeneity scenarios
@@ -27,6 +34,81 @@ use feddrl_sim::device::{Fleet, FleetConfig};
 use feddrl_sim::event::{EventKind, EventQueue, VirtualClock};
 use feddrl_nn::rng::Rng64;
 use serde::{Deserialize, Serialize};
+
+/// How an update's impact factor is scaled by its staleness `s` — the
+/// number of model versions aggregated between the version the update was
+/// trained against and the version it is aggregated into.
+///
+/// Applied by the session loop to the strategy's *raw* factors before
+/// simplex normalization, so a discount redistributes weight toward
+/// fresher updates rather than shrinking the aggregate. Every function is
+/// exactly `1` at `s = 0`, which keeps fresh-only rounds bit-identical to
+/// an undiscounted run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum StalenessDiscount {
+    /// No discount: stale updates aggregate at full weight.
+    #[default]
+    None,
+    /// FedAsync's polynomial decay `(1 + s)^{-alpha}`: smooth, never zero,
+    /// `alpha` controls how hard staleness is punished (`alpha = 0` is a
+    /// no-op, `alpha = 1` is the `1/(1+s)` aging suggested in the survey
+    /// literature).
+    Polynomial {
+        /// Decay exponent (finite, non-negative).
+        alpha: f64,
+    },
+    /// Hinged decay: full weight up to `cutoff` versions of slack, then
+    /// `1/(1 + s - cutoff)` beyond it — tolerate mild staleness, punish
+    /// the long tail. Never zero, so a round of all-stale updates still
+    /// normalizes onto the simplex.
+    Hinge {
+        /// Staleness up to which an update keeps full weight.
+        cutoff: usize,
+    },
+}
+
+impl StalenessDiscount {
+    /// The multiplicative weight for an update `staleness` versions behind.
+    /// Always in `(0, 1]`, and exactly `1.0` at zero staleness. The lower
+    /// end is clamped to `f32::MIN_POSITIVE`: an aggressive polynomial
+    /// exponent must never underflow to an exact zero, or an all-stale
+    /// aggregation would zero every factor and fail simplex normalization
+    /// mid-run on a configuration the builder accepted.
+    pub fn factor(&self, staleness: usize) -> f32 {
+        let raw = match *self {
+            StalenessDiscount::None => return 1.0,
+            StalenessDiscount::Polynomial { alpha } => {
+                (1.0 + staleness as f64).powf(-alpha) as f32
+            }
+            StalenessDiscount::Hinge { cutoff } => {
+                if staleness <= cutoff {
+                    1.0
+                } else {
+                    (1.0 / (1.0 + (staleness - cutoff) as f64)) as f32
+                }
+            }
+        };
+        raw.max(f32::MIN_POSITIVE)
+    }
+
+    /// Check the discount's parameters.
+    ///
+    /// # Errors
+    /// [`FlError::InvalidDiscount`](crate::error::FlError::InvalidDiscount)
+    /// on a non-finite or negative polynomial exponent.
+    pub fn validate(&self) -> Result<(), crate::error::FlError> {
+        if let StalenessDiscount::Polynomial { alpha } = *self {
+            if !(alpha.is_finite() && alpha >= 0.0) {
+                return Err(crate::error::FlError::InvalidDiscount {
+                    reason: format!(
+                        "polynomial exponent must be finite and non-negative, got {alpha}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// What happens to an update that misses the round deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -56,6 +138,11 @@ pub struct HeteroConfig {
     /// Fate of updates that miss the deadline.
     #[serde(default)]
     pub late_policy: LatePolicy,
+    /// Discount aging carried-over updates by the rounds they waited
+    /// (meaningful under [`LatePolicy::CarryOver`]; the default `None`
+    /// reinjects them at full weight, the pre-discount behavior).
+    #[serde(default)]
+    pub staleness: StalenessDiscount,
 }
 
 impl HeteroConfig {
@@ -75,6 +162,75 @@ impl HeteroConfig {
                 return Err(FlError::InvalidDeadline { deadline_s: d });
             }
         }
+        self.staleness.validate()?;
+        self.fleet
+            .validate()
+            .map_err(|reason| FlError::InvalidFleet { reason })
+    }
+}
+
+/// Buffered asynchronous execution knobs (FedAsync/FedBuff-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferedConfig {
+    /// Device-fleet generation parameters (one profile per client).
+    pub fleet: FleetConfig,
+    /// Updates the server waits for before aggregating (`m`). Must be in
+    /// `[1, participants]`: zero would never aggregate, and a buffer
+    /// larger than the per-round dispatch width starves the first rounds.
+    pub buffer_size: usize,
+    /// Impact-factor discount applied per update by its staleness.
+    #[serde(default)]
+    pub staleness: StalenessDiscount,
+    /// Server mixing rate `η ∈ (0, 1]`: the new global model is
+    /// `(1 − η)·w + η·Σ αₖ wₖ` — the FedAsync/FedBuff server step that
+    /// keeps a small buffer from fully overwriting the global with a few
+    /// clients' (possibly stale, non-IID) models. `None` means `η = 1`,
+    /// the paper's pure Eq. 4 replacement.
+    #[serde(default)]
+    pub server_mix: Option<f64>,
+}
+
+impl Default for BufferedConfig {
+    /// Homogeneous default fleet, buffer of 1 (pure FedAsync), no
+    /// discount.
+    fn default() -> Self {
+        Self {
+            fleet: FleetConfig::default(),
+            buffer_size: 1,
+            staleness: StalenessDiscount::None,
+            server_mix: None,
+        }
+    }
+}
+
+impl BufferedConfig {
+    /// Check every invariant the buffered executor enforces — shared by
+    /// [`BufferedExecutor::new`] (which panics on violation) and
+    /// [`FlConfig::validate`](crate::server::FlConfig::validate) (which
+    /// surfaces it as a typed error before any compute is spent).
+    ///
+    /// # Errors
+    /// [`FlError::ZeroBuffer`](crate::error::FlError::ZeroBuffer),
+    /// [`FlError::BufferExceedsParticipants`](crate::error::FlError::BufferExceedsParticipants),
+    /// [`FlError::InvalidDiscount`](crate::error::FlError::InvalidDiscount)
+    /// or [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet).
+    pub fn validate(&self, participants: usize) -> Result<(), crate::error::FlError> {
+        use crate::error::FlError;
+        if self.buffer_size == 0 {
+            return Err(FlError::ZeroBuffer);
+        }
+        if self.buffer_size > participants {
+            return Err(FlError::BufferExceedsParticipants {
+                buffer_size: self.buffer_size,
+                participants,
+            });
+        }
+        if let Some(eta) = self.server_mix {
+            if !(eta.is_finite() && 0.0 < eta && eta <= 1.0) {
+                return Err(FlError::InvalidServerMix { server_mix: eta });
+            }
+        }
+        self.staleness.validate()?;
         self.fleet
             .validate()
             .map_err(|reason| FlError::InvalidFleet { reason })
@@ -90,6 +246,10 @@ pub enum ExecutorConfig {
     Ideal,
     /// Deadline-bounded rounds over a heterogeneous device fleet.
     Deadline(HeteroConfig),
+    /// Buffered asynchronous aggregation: no round barrier, the server
+    /// aggregates whenever `buffer_size` updates have arrived, stale
+    /// updates discounted by [`StalenessDiscount`].
+    Buffered(BufferedConfig),
 }
 
 impl ExecutorConfig {
@@ -106,6 +266,13 @@ impl ExecutorConfig {
         match self {
             ExecutorConfig::Ideal => Box::new(IdealExecutor),
             ExecutorConfig::Deadline(cfg) => Box::new(DeadlineExecutor::new(
+                cfg.clone(),
+                n_clients,
+                param_count,
+                participants,
+                seed,
+            )),
+            ExecutorConfig::Buffered(cfg) => Box::new(BufferedExecutor::new(
                 cfg.clone(),
                 n_clients,
                 param_count,
@@ -162,6 +329,23 @@ pub trait RoundExecutor: Send {
     fn deadline_s(&self) -> Option<f64> {
         None
     }
+
+    /// How the session loop should discount a stale update's impact factor
+    /// (the factor for an update `s` versions behind is multiplied by
+    /// [`StalenessDiscount::factor`]`(s)` before simplex normalization).
+    /// `None` — the default — leaves factors untouched, so executors that
+    /// only ever report fresh updates keep the historical byte-identical
+    /// path.
+    fn staleness_discount(&self) -> StalenessDiscount {
+        StalenessDiscount::None
+    }
+
+    /// Server mixing rate `η ∈ (0, 1]` the session applies at aggregation:
+    /// `w ← (1 − η)·w + η·Σ αₖ wₖ`. The default `1.0` is the paper's pure
+    /// Eq. 4 replacement and leaves the historical code path untouched.
+    fn server_mix(&self) -> f64 {
+        1.0
+    }
 }
 
 /// The paper's idealized synchronous round: everyone trains, everyone
@@ -194,9 +378,16 @@ pub struct DeadlineExecutor {
     upload_bytes: u64,
     participants: usize,
     seed: u64,
-    /// Late updates awaiting a later round (only under
-    /// [`LatePolicy::CarryOver`]).
-    carried: Vec<ClientUpdate>,
+    /// Global-model versions produced so far: incremented only when a
+    /// round actually aggregates something, so staleness counts *model
+    /// versions* an update is behind, not calendar rounds (an empty round
+    /// leaves the global — and therefore every queued update's freshness —
+    /// untouched).
+    version: usize,
+    /// Late updates awaiting a later round, each paired with the model
+    /// version it was trained against — the carry-in ages it by the
+    /// difference (only under [`LatePolicy::CarryOver`]).
+    carried: Vec<(ClientUpdate, usize)>,
 }
 
 impl DeadlineExecutor {
@@ -227,6 +418,7 @@ impl DeadlineExecutor {
             upload_bytes,
             participants,
             seed,
+            version: 0,
             carried: Vec::new(),
         }
     }
@@ -253,6 +445,10 @@ impl RoundExecutor for DeadlineExecutor {
 
     fn deadline_s(&self) -> Option<f64> {
         self.cfg.deadline_s
+    }
+
+    fn staleness_discount(&self) -> StalenessDiscount {
+        self.cfg.staleness
     }
 
     fn execute(
@@ -296,6 +492,10 @@ impl RoundExecutor for DeadlineExecutor {
                 self.fleet.profile(u.client_id).completion_time_s(self.upload_bytes),
                 EventKind::UploadComplete {
                     client_id: u.client_id,
+                    // The model version these uploads trained against —
+                    // advanced per aggregation, not per round, matching
+                    // the field's documented meaning.
+                    version: self.version,
                 },
             );
         }
@@ -311,7 +511,7 @@ impl RoundExecutor for DeadlineExecutor {
         while let Some(event) = queue.pop() {
             clock.advance_to(event.time_s);
             match event.kind {
-                EventKind::UploadComplete { client_id } if !deadline_fired => {
+                EventKind::UploadComplete { client_id, .. } if !deadline_fired => {
                     arrived_ids.push(client_id);
                     last_arrival_s = clock.now_s();
                 }
@@ -345,21 +545,23 @@ impl RoundExecutor for DeadlineExecutor {
         }
 
         // --- Carry-in: stale updates fill the round's spare capacity,
-        // oldest first. A fresh arrival discards its client's stale copy;
-        // stale updates that find no capacity stay queued for a later,
-        // shorter round.
+        // oldest first, each aged by the rounds it waited (`staleness`
+        // drives the session's impact-factor discount). A fresh arrival
+        // discards its client's stale copy; stale updates that find no
+        // capacity stay queued for a later, shorter round.
         let mut aggregated = Vec::new();
         let mut carried_in = 0usize;
         let mut still_queued = Vec::new();
-        for stale in std::mem::take(&mut self.carried) {
+        for (mut stale, trained_version) in std::mem::take(&mut self.carried) {
             if arrived.iter().any(|u| u.client_id == stale.client_id) {
                 continue; // superseded by this round's fresh report
             }
             if aggregated.len() + arrived.len() < self.participants {
+                stale.staleness = self.version - trained_version;
                 aggregated.push(stale);
                 carried_in += 1;
             } else {
-                still_queued.push(stale);
+                still_queued.push((stale, trained_version));
             }
         }
         aggregated.extend(arrived);
@@ -367,8 +569,8 @@ impl RoundExecutor for DeadlineExecutor {
         if self.cfg.late_policy == LatePolicy::CarryOver {
             // A newer late report supersedes its client's queued copy.
             for u in late {
-                self.carried.retain(|s| s.client_id != u.client_id);
-                self.carried.push(u);
+                self.carried.retain(|(s, _)| s.client_id != u.client_id);
+                self.carried.push((u, self.version));
             }
             // Bound staleness: keep only the K most recent queued updates —
             // an unboundedly stale update would poison the aggregate.
@@ -378,11 +580,231 @@ impl RoundExecutor for DeadlineExecutor {
             }
         }
 
+        // Per-update ages, recorded only when something stale was
+        // aggregated (all-fresh rounds keep the pre-staleness JSON shape).
+        let staleness = if carried_in > 0 {
+            aggregated.iter().map(|u| u.staleness).collect()
+        } else {
+            Vec::new()
+        };
+        if !aggregated.is_empty() {
+            self.version += 1; // the session will produce a new global
+        }
         let hetero = HeteroRoundRecord {
             sim_time_s,
             dropouts,
             stragglers,
             carried_in,
+            busy: 0,
+            buffered: 0,
+            staleness,
+            aggregated_ids: aggregated.iter().map(|u| u.client_id).collect(),
+        };
+        RoundOutcome {
+            updates: aggregated,
+            hetero: Some(hetero),
+        }
+    }
+}
+
+/// Buffered asynchronous aggregation over a seeded heterogeneous fleet
+/// (FedAsync/FedBuff-style): no round barrier, persistent virtual time.
+///
+/// Unlike the round-scoped executors, the [`VirtualClock`] and
+/// [`EventQueue`] live across `execute` calls. Each call dispatches the
+/// newly sampled clients (they train against the *current* model version,
+/// i.e. the current round) and schedules their upload completions, then
+/// pops arrivals — which may include uploads dispatched in earlier rounds
+/// — until the buffer holds exactly `buffer_size` updates. Those updates
+/// are aggregated, each carrying `staleness = current version − trained
+/// version`, where the version counter advances only on actual
+/// aggregations (an empty round leaves the global untouched and ages
+/// nothing); if the buffer cannot fill, *nothing* is aggregated and the
+/// partial buffer persists, so every aggregation combines exactly
+/// `buffer_size` updates. A sampled client whose previous upload is still
+/// in flight *or parked in the buffer* is skipped for the round (its
+/// device is busy / its report is unconsumed) — no aggregation ever
+/// double-counts one client's data.
+pub struct BufferedExecutor {
+    fleet: Fleet,
+    cfg: BufferedConfig,
+    upload_bytes: u64,
+    seed: u64,
+    /// Virtual time since the start of the *run* (not the round).
+    clock: VirtualClock,
+    /// Pending upload completions, across model versions.
+    queue: EventQueue,
+    /// Global-model versions produced so far (aggregations completed) —
+    /// what dispatches are stamped with and staleness is measured
+    /// against.
+    version: usize,
+    /// Dispatched updates whose uploads have not completed yet, each with
+    /// the model version it trains against.
+    in_flight: Vec<(ClientUpdate, usize)>,
+    /// Arrived updates awaiting the buffer to fill, in arrival order,
+    /// each with the model version it was trained against. Never holds
+    /// `buffer_size` or more entries between rounds.
+    buffer: Vec<(ClientUpdate, usize)>,
+}
+
+impl BufferedExecutor {
+    /// Build the executor: generates the device fleet and derives the
+    /// per-client upload payload from the §3.5 communication model, like
+    /// [`DeadlineExecutor::new`].
+    ///
+    /// # Panics
+    /// Panics on a config [`BufferedConfig::validate`] rejects (zero or
+    /// over-wide buffer, invalid discount, degenerate fleet).
+    pub fn new(
+        cfg: BufferedConfig,
+        n_clients: usize,
+        param_count: usize,
+        participants: usize,
+        seed: u64,
+    ) -> Self {
+        if let Err(e) = cfg.validate(participants) {
+            panic!("{e}");
+        }
+        let fleet = Fleet::generate(n_clients, &cfg.fleet);
+        let k = participants as u64;
+        let traffic = CommModel::new(param_count.max(1) as u64, k).feddrl_round();
+        let upload_bytes = (traffic.uplink_models + traffic.uplink_metadata) / k;
+        Self {
+            fleet,
+            cfg,
+            upload_bytes,
+            seed,
+            clock: VirtualClock::new(),
+            queue: EventQueue::new(),
+            version: 0,
+            in_flight: Vec::new(),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Per-client upload payload in bytes (model weights + metadata).
+    pub fn upload_bytes(&self) -> u64 {
+        self.upload_bytes
+    }
+
+    /// The generated device fleet.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Updates dispatched but not yet arrived at the server.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Arrived updates waiting for the buffer to fill.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl RoundExecutor for BufferedExecutor {
+    fn fleet(&self) -> Option<&Fleet> {
+        Some(&self.fleet)
+    }
+
+    fn upload_bytes(&self) -> u64 {
+        self.upload_bytes
+    }
+
+    fn staleness_discount(&self) -> StalenessDiscount {
+        self.cfg.staleness
+    }
+
+    fn server_mix(&self) -> f64 {
+        self.cfg.server_mix.unwrap_or(1.0)
+    }
+
+    fn execute(
+        &mut self,
+        round: usize,
+        selected: &[usize],
+        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+    ) -> RoundOutcome {
+        let round_start_s = self.clock.now_s();
+
+        // --- Dispatch: skip busy devices (still uploading an earlier
+        // version, or with an unconsumed report parked in the buffer —
+        // redispatching those would let one client fill several slots of
+        // a single aggregation) and per-round seeded dropouts, then start
+        // everyone else training against the current model version.
+        let dropout_rng = Rng64::new(self.seed ^ DROPOUT_SALT).derive(round as u64);
+        let mut alive = Vec::with_capacity(selected.len());
+        let mut dropouts = 0usize;
+        let mut busy = 0usize;
+        for &cid in selected {
+            let profile = self.fleet.profile(cid);
+            if self.in_flight.iter().any(|(u, _)| u.client_id == cid)
+                || self.buffer.iter().any(|(u, _)| u.client_id == cid)
+            {
+                busy += 1;
+            } else if profile.dropout > 0.0 && dropout_rng.derive(cid as u64).chance(profile.dropout)
+            {
+                dropouts += 1;
+            } else {
+                alive.push(cid);
+            }
+        }
+        let version = self.version;
+        for u in train(&alive) {
+            let arrival_s = self.clock.now_s()
+                + self.fleet.profile(u.client_id).completion_time_s(self.upload_bytes);
+            self.queue.schedule(
+                arrival_s,
+                EventKind::UploadComplete {
+                    client_id: u.client_id,
+                    version,
+                },
+            );
+            self.in_flight.push((u, version));
+        }
+
+        // --- Drain arrivals (possibly from earlier versions) until the
+        // buffer fills; stop immediately at `buffer_size` so later
+        // arrivals stay queued for the next aggregation.
+        while self.buffer.len() < self.cfg.buffer_size {
+            let Some(event) = self.queue.pop() else { break };
+            self.clock.advance_to(event.time_s);
+            let EventKind::UploadComplete { client_id, version } = event.kind else {
+                unreachable!("buffered executor schedules no deadline events");
+            };
+            let idx = self
+                .in_flight
+                .iter()
+                .position(|(u, v)| u.client_id == client_id && *v == version)
+                .expect("upload event without a matching in-flight update");
+            self.buffer.push(self.in_flight.swap_remove(idx));
+        }
+
+        // --- Aggregate exactly `buffer_size` updates, or nothing: a
+        // partial buffer persists (the server keeps waiting while the
+        // session records an empty round). Aggregating bumps the model
+        // version — an empty round does not, so freshness is measured in
+        // actual global-model steps.
+        let mut aggregated = Vec::new();
+        let mut staleness = Vec::new();
+        if self.buffer.len() == self.cfg.buffer_size {
+            for (mut u, trained_version) in self.buffer.drain(..) {
+                u.staleness = self.version - trained_version;
+                staleness.push(u.staleness);
+                aggregated.push(u);
+            }
+            self.version += 1;
+        }
+
+        let hetero = HeteroRoundRecord {
+            sim_time_s: self.clock.now_s() - round_start_s,
+            dropouts,
+            stragglers: 0,
+            carried_in: 0,
+            busy,
+            buffered: self.buffer.len(),
+            staleness,
             aggregated_ids: aggregated.iter().map(|u| u.client_id).collect(),
         };
         RoundOutcome {
@@ -405,6 +827,7 @@ mod tests {
             n_samples: 10 + cid,
             loss_before: 1.0,
             loss_after: 0.5,
+            staleness: 0,
         }
     }
 
@@ -422,6 +845,7 @@ mod tests {
             },
             deadline_s,
             late_policy: LatePolicy::Drop,
+            staleness: StalenessDiscount::None,
         }
     }
 
@@ -546,6 +970,7 @@ mod tests {
             fleet: FleetConfig::default(), // identical devices, ~10 s rounds
             deadline_s: Some(1.0),
             late_policy: LatePolicy::CarryOver,
+            staleness: StalenessDiscount::None,
         };
         let mut ex = DeadlineExecutor::new(cfg, 8, 1000, 2, 7);
         // Round 0: clients 0, 1 straggle and are queued.
@@ -581,5 +1006,219 @@ mod tests {
     #[should_panic(expected = "deadline must be positive")]
     fn rejects_non_positive_deadline() {
         let _ = DeadlineExecutor::new(skewed_cfg(Some(0.0), 0.0), 4, 10, 4, 1);
+    }
+
+    #[test]
+    fn discount_is_one_at_zero_staleness_and_monotone() {
+        let discounts = [
+            StalenessDiscount::None,
+            StalenessDiscount::Polynomial { alpha: 0.5 },
+            StalenessDiscount::Polynomial { alpha: 2.0 },
+            StalenessDiscount::Hinge { cutoff: 2 },
+        ];
+        for d in discounts {
+            assert_eq!(d.factor(0), 1.0, "{d:?} not exactly 1 at s = 0");
+            let mut prev = 1.0f32;
+            for s in 1..20 {
+                let f = d.factor(s);
+                assert!(f > 0.0, "{d:?} hit zero at s = {s}");
+                assert!(f <= prev, "{d:?} not non-increasing at s = {s}");
+                prev = f;
+            }
+        }
+        assert!((StalenessDiscount::Polynomial { alpha: 1.0 }.factor(2) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(StalenessDiscount::Hinge { cutoff: 2 }.factor(2), 1.0);
+        assert!((StalenessDiscount::Hinge { cutoff: 2 }.factor(3) - 0.5).abs() < 1e-6);
+        // An aggressive exponent underflows f32 but must clamp above zero:
+        // an all-stale aggregation still normalizes onto the simplex.
+        let harsh = StalenessDiscount::Polynomial { alpha: 100.0 };
+        assert!(harsh.factor(2) > 0.0, "discount underflowed to exact zero");
+        let alphas = crate::strategy::normalize_factors(&[harsh.factor(2), harsh.factor(2)]);
+        assert_eq!(alphas, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn discount_validation_rejects_bad_polynomial() {
+        for alpha in [f64::NAN, f64::INFINITY, -0.5] {
+            let err = StalenessDiscount::Polynomial { alpha }.validate().err();
+            assert!(
+                matches!(err, Some(crate::error::FlError::InvalidDiscount { .. })),
+                "alpha = {alpha} accepted"
+            );
+        }
+        StalenessDiscount::Polynomial { alpha: 0.0 }.validate().unwrap();
+        StalenessDiscount::Hinge { cutoff: 0 }.validate().unwrap();
+        StalenessDiscount::None.validate().unwrap();
+    }
+
+    /// Regression for the ROADMAP staleness-weighting item: a carried
+    /// update two rounds stale must contribute *less* to the aggregate
+    /// than a fresh arrival of equal raw weight.
+    #[test]
+    fn carried_update_two_rounds_stale_is_discounted_below_fresh() {
+        let base = skewed_cfg(None, 0.0);
+        let probe = DeadlineExecutor::new(base.clone(), 16, 1000, 2, 7);
+        let deadline = probe
+            .fleet()
+            .completion_percentile_s(probe.upload_bytes(), 0.5);
+        let mut ex = DeadlineExecutor::new(
+            HeteroConfig {
+                deadline_s: Some(deadline),
+                late_policy: LatePolicy::CarryOver,
+                staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
+                ..base
+            },
+            16,
+            1000,
+            2,
+            7,
+        );
+        let in_time = |ex: &DeadlineExecutor, c: usize| {
+            ex.fleet().profile(c).completion_time_s(ex.upload_bytes()) <= deadline
+        };
+        let fast: Vec<usize> = (0..16).filter(|&c| in_time(&ex, c)).collect();
+        let slow: Vec<usize> = (0..16).filter(|&c| !in_time(&ex, c)).collect();
+        assert!(fast.len() >= 3 && slow.len() >= 2, "median deadline must split the fleet");
+
+        // Round 0: two stragglers get queued, trained against model
+        // version 0 (nothing aggregates, so the version stays 0).
+        let o0 = ex.execute(0, &[slow[0], slow[1]], &stub_train);
+        assert_eq!(o0.hetero.unwrap().stragglers, 2);
+        assert!(o0.updates.is_empty());
+        // Rounds 1 and 2: two fresh arrivals each fill the capacity — the
+        // stale updates wait while the global advances to version 2.
+        for round in [1, 2] {
+            let o = ex.execute(round, &[fast[0], fast[1]], &stub_train);
+            assert_eq!(o.hetero.unwrap().carried_in, 0);
+        }
+        // Round 3: one fresh arrival leaves one slot; the oldest stale
+        // update rides in, now two model versions behind.
+        let o3 = ex.execute(3, &[fast[2]], &stub_train);
+        let h3 = o3.hetero.unwrap();
+        assert_eq!(h3.carried_in, 1);
+        assert_eq!(o3.updates.len(), 2);
+        let stale = &o3.updates[0];
+        let fresh = &o3.updates[1];
+        assert_eq!((stale.client_id, stale.staleness), (slow[0], 2));
+        assert_eq!(fresh.staleness, 0);
+        assert_eq!(h3.staleness, vec![2, 0]);
+
+        // Apply the discount exactly the way the session loop does: equal
+        // raw factors end up tilted toward the fresh update.
+        let d = ex.staleness_discount();
+        let discounted = [d.factor(stale.staleness), d.factor(fresh.staleness)];
+        let alphas = crate::strategy::normalize_factors(&discounted);
+        assert!(
+            alphas[0] < alphas[1],
+            "2-round-stale update ({}) not discounted below fresh ({})",
+            alphas[0],
+            alphas[1]
+        );
+        assert!((alphas[0] - 0.25).abs() < 1e-6, "1/(1+2) vs 1 should normalize to 1/4");
+    }
+
+    fn buffered_cfg(skew: f64, m: usize) -> BufferedConfig {
+        BufferedConfig {
+            fleet: FleetConfig {
+                compute_skew: skew,
+                ..Default::default()
+            },
+            buffer_size: m,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_buffer_on_homogeneous_fleet_behaves_synchronously() {
+        let mut ex = BufferedExecutor::new(buffered_cfg(1.0, 4), 8, 1000, 4, 7);
+        let step = ex.fleet().profile(0).completion_time_s(ex.upload_bytes());
+        for round in 0..3 {
+            let selected = [0usize, 3, 1, 2];
+            let out = ex.execute(round, &selected, &stub_train);
+            let h = out.hetero.unwrap();
+            let ids: Vec<usize> = out.updates.iter().map(|u| u.client_id).collect();
+            assert_eq!(ids, vec![0, 3, 1, 2], "round {round}: not sampling order");
+            assert!(out.updates.iter().all(|u| u.staleness == 0));
+            assert_eq!(h.staleness, vec![0; 4]);
+            assert_eq!(h.busy, 0);
+            assert_eq!(h.buffered, 0);
+            assert!((h.sim_time_s - step).abs() < 1e-9, "round {round} time");
+        }
+        assert_eq!(ex.in_flight(), 0);
+    }
+
+    #[test]
+    fn small_buffer_aggregates_fastest_arrivals_and_marks_staleness() {
+        let mut ex = BufferedExecutor::new(buffered_cfg(8.0, 2), 4, 1000, 4, 7);
+        let completion =
+            |ex: &BufferedExecutor, c: usize| ex.fleet().profile(c).completion_time_s(ex.upload_bytes());
+        let mut order: Vec<usize> = (0..4).collect();
+        order.sort_by(|&a, &b| completion(&ex, a).total_cmp(&completion(&ex, b)));
+
+        let out = ex.execute(0, &[0, 1, 2, 3], &stub_train);
+        let h = out.hetero.unwrap();
+        let ids: Vec<usize> = out.updates.iter().map(|u| u.client_id).collect();
+        assert_eq!(ids, order[..2].to_vec(), "buffer must fill with the fastest uploads");
+        assert!((h.sim_time_s - completion(&ex, order[1])).abs() < 1e-9);
+        assert_eq!(ex.in_flight(), 2, "slow updates stay in flight");
+
+        // Next round redispatches only idle devices; the leftover uploads
+        // from version 0 fill the buffer with positive staleness.
+        let out1 = ex.execute(1, &[0, 1, 2, 3], &stub_train);
+        let h1 = out1.hetero.unwrap();
+        assert_eq!(h1.busy, 2, "in-flight devices must be skipped");
+        assert_eq!(out1.updates.len(), 2);
+        assert!(
+            out1.updates.iter().any(|u| u.staleness > 0),
+            "a version-0 upload aggregated at version 1 must be stale"
+        );
+        assert_eq!(
+            h1.staleness,
+            out1.updates.iter().map(|u| u.staleness).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_buffered_aggregation_has_exactly_buffer_size_updates() {
+        let mut cfg = buffered_cfg(4.0, 3);
+        cfg.fleet.dropout = 0.4;
+        let mut ex = BufferedExecutor::new(cfg, 10, 500, 5, 21);
+        let mut dispatched = 0usize;
+        let mut aggregated = 0usize;
+        let mut nonempty = 0usize;
+        for round in 0..12 {
+            let selected: Vec<usize> = (0..10).filter(|c| (c + round) % 2 == 0).collect();
+            let out = ex.execute(round, &selected, &stub_train);
+            let h = out.hetero.unwrap();
+            dispatched += selected.len() - h.dropouts - h.busy;
+            assert!(
+                out.updates.is_empty() || out.updates.len() == 3,
+                "round {round}: aggregation of {} != buffer size",
+                out.updates.len()
+            );
+            if !out.updates.is_empty() {
+                nonempty += 1;
+            }
+            aggregated += out.updates.len();
+        }
+        assert!(nonempty > 0, "no aggregation ever fired");
+        assert_eq!(aggregated, 3 * nonempty);
+        assert_eq!(
+            dispatched,
+            aggregated + ex.in_flight() + ex.buffered(),
+            "dispatch accounting must close"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must be positive")]
+    fn buffered_rejects_zero_buffer() {
+        let _ = BufferedExecutor::new(buffered_cfg(1.0, 0), 4, 10, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds participants")]
+    fn buffered_rejects_buffer_wider_than_participants() {
+        let _ = BufferedExecutor::new(buffered_cfg(1.0, 5), 8, 10, 4, 1);
     }
 }

@@ -6,13 +6,22 @@ use crate::metrics::{best_accuracy, ConvergenceStats};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// Heterogeneity telemetry for one deadline-bounded round (produced by
-/// `executor::DeadlineExecutor`; absent for the ideal executor).
+/// Predicate for `skip_serializing_if`: counters that are only meaningful
+/// for some executors stay out of the JSON when zero, so histories from
+/// older executors keep their exact shape.
+fn usize_is_zero(n: &usize) -> bool {
+    *n == 0
+}
+
+/// Heterogeneity telemetry for one round (produced by
+/// `executor::DeadlineExecutor` and `executor::BufferedExecutor`; absent
+/// for the ideal executor).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HeteroRoundRecord {
     /// Simulated wall-clock of the round in seconds (virtual time from
     /// broadcast to the last accepted upload, or the deadline if the
-    /// server had to wait one out).
+    /// server had to wait one out; for the buffered executor, the slice of
+    /// the persistent virtual timeline this aggregation consumed).
     pub sim_time_s: f64,
     /// Sampled clients that dropped out before reporting.
     pub dropouts: usize,
@@ -20,6 +29,21 @@ pub struct HeteroRoundRecord {
     pub stragglers: usize,
     /// Stale updates carried in from earlier rounds and aggregated now.
     pub carried_in: usize,
+    /// Sampled clients skipped because their device was still training or
+    /// uploading an earlier model version (buffered executor only; omitted
+    /// from JSON when zero so deadline/ideal histories keep their shape).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub busy: usize,
+    /// Updates that had arrived but were still waiting for the
+    /// aggregation buffer to fill when the round ended (buffered executor
+    /// only; omitted from JSON when zero).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub buffered: usize,
+    /// Per-update staleness in model versions, aligned with
+    /// `aggregated_ids` (omitted from JSON when empty — an all-fresh
+    /// round under a round-barrier executor records nothing here).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub staleness: Vec<usize>,
     /// Ids of the clients whose updates were aggregated this round, in
     /// aggregation order — i.e. aligned with the record's
     /// `impact_factors`/`client_losses_before`. Unlike `selected` (the
@@ -136,6 +160,38 @@ impl RunHistory {
             .sum()
     }
 
+    /// Mean staleness over every aggregated update that recorded one
+    /// (0 when the run never aggregated a stale update).
+    pub fn mean_staleness(&self) -> f64 {
+        let (mut total, mut count) = (0usize, 0usize);
+        for r in &self.records {
+            if let Some(h) = &r.hetero {
+                total += h.staleness.iter().sum::<usize>();
+                count += h.staleness.len();
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// Simulated seconds until test accuracy first reaches `target` —
+    /// the wall-clock-to-accuracy metric asynchronous executors are
+    /// compared on. `None` if the run never got there (including ideal
+    /// runs, where no virtual time passes).
+    pub fn sim_time_to_accuracy_s(&self, target: f32) -> Option<f64> {
+        let mut elapsed = 0.0f64;
+        for r in &self.records {
+            elapsed += r.hetero.as_ref().map_or(0.0, |h| h.sim_time_s);
+            if r.test_accuracy >= target {
+                return Some(elapsed);
+            }
+        }
+        None
+    }
+
     /// Mean number of updates aggregated per round — `participants` under
     /// the ideal executor, less once dropouts/deadlines bite.
     pub fn mean_participation(&self) -> f64 {
@@ -208,6 +264,9 @@ mod tests {
                 dropouts: 1,
                 stragglers: 2,
                 carried_in: 0,
+                busy: 0,
+                buffered: 0,
+                staleness: Vec::new(),
                 aggregated_ids: vec![0, 1],
             });
         }
@@ -280,6 +339,52 @@ mod tests {
             "empty-sum must not leak IEEE -0.0 into reports"
         );
         assert_eq!(ideal.total_stragglers(), 0);
+    }
+
+    #[test]
+    fn fresh_hetero_records_omit_async_keys() {
+        // A deadline-style record (no busy/buffered/staleness activity)
+        // keeps the exact pre-async JSON shape...
+        let json = serde_json::to_string(&hetero_history()).unwrap();
+        assert!(!json.contains("busy"), "zero busy leaked: {json}");
+        assert!(!json.contains("buffered"), "zero buffered leaked: {json}");
+        assert!(!json.contains("staleness"), "empty staleness leaked: {json}");
+        // ...and the omitted keys deserialize back to their defaults.
+        let back: RunHistory = serde_json::from_str(&json).unwrap();
+        let h = back.records[0].hetero.as_ref().unwrap();
+        assert_eq!((h.busy, h.buffered), (0, 0));
+        assert!(h.staleness.is_empty());
+    }
+
+    #[test]
+    fn async_hetero_fields_roundtrip() {
+        let mut h = hetero_history();
+        let rec = h.records[1].hetero.as_mut().unwrap();
+        rec.busy = 2;
+        rec.buffered = 1;
+        rec.staleness = vec![3, 0];
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.contains("busy") && json.contains("staleness"));
+        let back: RunHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records[1].hetero, h.records[1].hetero);
+    }
+
+    #[test]
+    fn mean_staleness_averages_recorded_updates_only() {
+        let mut h = hetero_history();
+        assert_eq!(h.mean_staleness(), 0.0);
+        h.records[0].hetero.as_mut().unwrap().staleness = vec![2, 0];
+        h.records[1].hetero.as_mut().unwrap().staleness = vec![4];
+        assert!((h.mean_staleness() - 2.0).abs() < 1e-9); // (2+0+4)/3
+    }
+
+    #[test]
+    fn sim_time_to_accuracy_accumulates_until_target() {
+        let h = hetero_history(); // accuracies 0.1..0.5, times 10..14
+        // 0.3 is first reached at round 2: 10 + 11 + 12 seconds elapsed.
+        assert_eq!(h.sim_time_to_accuracy_s(0.3), Some(33.0));
+        assert_eq!(h.sim_time_to_accuracy_s(0.9), None);
+        assert_eq!(toy_history().sim_time_to_accuracy_s(0.3), Some(0.0));
     }
 
     #[test]

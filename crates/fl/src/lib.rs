@@ -12,8 +12,10 @@
 //!   power-of-choice, bandwidth-aware, or bring-your-own policy observing
 //!   per-client losses, participation counts and device profiles);
 //! * [`executor`] — the round-execution abstraction: the paper's ideal
-//!   synchronous setting, or deadline-bounded rounds over a heterogeneous
-//!   device fleet (stragglers, dropouts) driven by `feddrl_sim`'s
+//!   synchronous setting, deadline-bounded rounds over a heterogeneous
+//!   device fleet (stragglers, dropouts), or buffered asynchronous
+//!   aggregation with staleness-discounted impact factors
+//!   (FedAsync/FedBuff-style), all driven by `feddrl_sim`'s
 //!   discrete-event engine;
 //! * [`session`] — the deterministic, crossbeam-parallel round loop as a
 //!   driveable object: [`session::SessionBuilder`] validates the assembled
@@ -73,8 +75,8 @@ pub mod prelude {
     pub use crate::client::{ClientSummary, ClientUpdate, LocalTrainConfig};
     pub use crate::error::FlError;
     pub use crate::executor::{
-        DeadlineExecutor, ExecutorConfig, HeteroConfig, IdealExecutor, LatePolicy, RoundExecutor,
-        RoundOutcome,
+        BufferedConfig, BufferedExecutor, DeadlineExecutor, ExecutorConfig, HeteroConfig,
+        IdealExecutor, LatePolicy, RoundExecutor, RoundOutcome, StalenessDiscount,
     };
     pub use crate::history::{HeteroRoundRecord, RoundRecord, RunHistory};
     pub use crate::metrics::{

@@ -43,8 +43,9 @@ pub struct FlConfig {
     /// Client-selection policy (the paper uses uniform sampling).
     #[serde(default)]
     pub selection: Selection,
-    /// Round-execution model: ideal synchronous (default) or
-    /// deadline-bounded over a heterogeneous device fleet.
+    /// Round-execution model: ideal synchronous (default),
+    /// deadline-bounded over a heterogeneous device fleet, or buffered
+    /// asynchronous aggregation with staleness discounting.
     #[serde(default)]
     pub executor: ExecutorConfig,
 }
@@ -87,8 +88,10 @@ impl FlConfig {
         if self.rounds == 0 {
             return Err(FlError::ZeroRounds);
         }
-        if let ExecutorConfig::Deadline(h) = &self.executor {
-            h.validate()?;
+        match &self.executor {
+            ExecutorConfig::Ideal => {}
+            ExecutorConfig::Deadline(h) => h.validate()?,
+            ExecutorConfig::Buffered(b) => b.validate(self.participants)?,
         }
         Ok(())
     }

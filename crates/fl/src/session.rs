@@ -234,7 +234,8 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
-    /// Round-execution model (ideal synchronous or deadline-bounded).
+    /// Round-execution model (ideal synchronous, deadline-bounded, or
+    /// buffered asynchronous).
     pub fn executor(mut self, executor: ExecutorConfig) -> Self {
         self.cfg.executor = executor;
         self
@@ -262,7 +263,10 @@ impl<'a> SessionBuilder<'a> {
     /// * [`FlError::ParticipantsExceedClients`] when `K > N`;
     /// * [`FlError::InvalidDeadline`] / [`FlError::InvalidFleet`] when a
     ///   deadline executor is configured with a degenerate heterogeneity
-    ///   model.
+    ///   model;
+    /// * [`FlError::ZeroBuffer`] / [`FlError::BufferExceedsParticipants`] /
+    ///   [`FlError::InvalidDiscount`] when a buffered executor's
+    ///   aggregation buffer or staleness discount is degenerate.
     pub fn build(self) -> Result<Session<'a>, FlError> {
         let n_clients = self.partition.n_clients();
         let cfg = &self.cfg;
@@ -450,12 +454,36 @@ impl<'a> Session<'a> {
                 raw.len(),
                 updates.len()
             );
+            // Staleness discounting (asynchronous/carry-over executors):
+            // scale each raw factor by the executor's discount for that
+            // update's age, *before* simplex normalization, so weight is
+            // redistributed toward fresher updates. `None` (every fresh-
+            // only executor) leaves the historical code path untouched.
+            let discount = self.executor.staleness_discount();
+            let raw = if discount == crate::executor::StalenessDiscount::None {
+                raw
+            } else {
+                raw.iter()
+                    .zip(updates.iter())
+                    .map(|(&f, u)| f * discount.factor(u.staleness))
+                    .collect()
+            };
             let alphas = normalize_factors(&raw);
 
-            // --- Weighted aggregation (Eq. 4).
+            // --- Weighted aggregation (Eq. 4), optionally blended into
+            // the current global at the executor's server mixing rate
+            // (`η = 1`, every round-barrier executor, is the paper's pure
+            // replacement and skips the blend entirely).
             let t1 = Instant::now();
             let weight_refs: Vec<&[f32]> = updates.iter().map(|u| u.weights.as_slice()).collect();
-            let new_global = weighted_average(&weight_refs, &alphas);
+            let mut new_global = weighted_average(&weight_refs, &alphas);
+            let eta = self.executor.server_mix();
+            if eta < 1.0 {
+                let eta = eta as f32;
+                for (w, &g) in new_global.iter_mut().zip(global_flat.iter()) {
+                    *w = (1.0 - eta) * g + eta * *w;
+                }
+            }
             let aggregate_micros = t1.elapsed().as_micros() as u64;
             self.global.set_flat_params(&new_global);
             (alphas, strategy_micros, aggregate_micros)

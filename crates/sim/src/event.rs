@@ -7,6 +7,15 @@
 //! FIFO tie-break, so simulations are bit-reproducible regardless of host
 //! scheduling — the same guarantee the rest of the reproduction makes for
 //! its RNG streams.
+//!
+//! Asynchronous (buffered) aggregation keeps *multiple model versions* in
+//! flight at once: a slow client may still be uploading an update trained
+//! against version `v` while the server has already aggregated versions
+//! `v+1..`. Each upload event therefore records the `version` it was
+//! trained against ([`EventKind::UploadComplete`]), so a consumer popping
+//! the event can compute the update's staleness (current version minus
+//! trained version) without any side tables — the queue itself is the
+//! version bookkeeping.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -18,6 +27,12 @@ pub enum EventKind {
     UploadComplete {
         /// Federation-wide client index.
         client_id: usize,
+        /// Global-model version (round for round-based executors) the
+        /// uploaded update was trained against. A synchronous executor
+        /// drains its queue every round, so the version equals the current
+        /// round; a buffered executor keeps events from several versions
+        /// in flight and derives staleness from this field at pop time.
+        version: usize,
     },
     /// The server's round deadline fired.
     Deadline,
@@ -153,7 +168,7 @@ mod tests {
     fn pops_in_nondecreasing_time_order() {
         let mut q = EventQueue::new();
         for (i, t) in [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().enumerate() {
-            q.schedule(t, EventKind::UploadComplete { client_id: i });
+            q.schedule(t, EventKind::UploadComplete { client_id: i, version: 0 });
         }
         let mut last = f64::NEG_INFINITY;
         while let Some(e) = q.pop() {
@@ -166,14 +181,16 @@ mod tests {
     #[test]
     fn equal_times_pop_fifo() {
         let mut q = EventQueue::new();
+        // Interleave model versions: FIFO must follow insertion order, not
+        // the version an upload was trained against.
         for i in 0..8 {
-            q.schedule(1.0, EventKind::UploadComplete { client_id: i });
+            q.schedule(1.0, EventKind::UploadComplete { client_id: i, version: i % 3 });
         }
         q.schedule(1.0, EventKind::Deadline);
         for i in 0..8 {
             assert_eq!(
                 q.pop().unwrap().kind,
-                EventKind::UploadComplete { client_id: i },
+                EventKind::UploadComplete { client_id: i, version: i % 3 },
                 "FIFO tie-break violated"
             );
         }
@@ -185,12 +202,12 @@ mod tests {
     fn peek_matches_next_pop() {
         let mut q = EventQueue::new();
         q.schedule(2.5, EventKind::Deadline);
-        q.schedule(0.5, EventKind::UploadComplete { client_id: 3 });
+        q.schedule(0.5, EventKind::UploadComplete { client_id: 3, version: 7 });
         assert_eq!(q.peek_time_s(), Some(0.5));
         assert_eq!(q.len(), 2);
         let e = q.pop().unwrap();
         assert_eq!(e.time_s, 0.5);
-        assert_eq!(e.kind, EventKind::UploadComplete { client_id: 3 });
+        assert_eq!(e.kind, EventKind::UploadComplete { client_id: 3, version: 7 });
     }
 
     #[test]

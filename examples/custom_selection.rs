@@ -104,6 +104,7 @@ fn main() {
         },
         deadline_s: Some(14.0),
         late_policy: LatePolicy::Drop,
+        ..Default::default()
     });
     for (label, selection) in [
         ("uniform", Selection::Uniform),

@@ -138,6 +138,7 @@ fn stragglers_under(policy: &mut dyn SelectionPolicy, rounds: usize) -> usize {
         },
         deadline_s: None, // placed below from the fleet's 50th percentile
         late_policy: LatePolicy::Drop,
+        ..Default::default()
     };
     let probe = DeadlineExecutor::new(cfg.clone(), N, 60_000, K, 9);
     let deadline = probe
@@ -161,6 +162,7 @@ fn stragglers_under(policy: &mut dyn SelectionPolicy, rounds: usize) -> usize {
                 n_samples: 10,
                 loss_before: 1.0,
                 loss_after: 0.5,
+                staleness: 0,
             })
             .collect()
     };

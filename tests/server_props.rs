@@ -7,8 +7,10 @@
 //! unbounded deadline with zero dropout reduces the deadline executor to
 //! the ideal one, and (3) impact factors stay on the simplex under
 //! arbitrary dropout/deadline patterns. The event-queue laws (nondecreasing
-//! pop order; round time = max, not sum, of completions) are checked on
-//! randomized inputs.
+//! pop order, also under schedule/pop interleavings across multiple model
+//! versions with FIFO tie-break; round time = max, not sum, of completions)
+//! are checked on randomized inputs. The buffered asynchronous executor has
+//! its own suite in `tests/async_props.rs`.
 
 use feddrl_repro::prelude::*;
 use proptest::prelude::*;
@@ -152,6 +154,7 @@ proptest! {
             fleet,
             deadline_s: None,
             late_policy: LatePolicy::Drop,
+            ..Default::default()
         });
         let hetero = run_federated(
             &spec, &train, &test, &partition, &mut FedAvg, &tiny_cfg(hetero_cfg),
@@ -199,6 +202,7 @@ proptest! {
             fleet,
             deadline_s: Some(deadline),
             late_policy: LatePolicy::Drop,
+            ..Default::default()
         }));
         let history = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
         for r in &history.records {
@@ -234,7 +238,7 @@ proptest! {
     ) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
-            q.schedule(t, EventKind::UploadComplete { client_id: i });
+            q.schedule(t, EventKind::UploadComplete { client_id: i, version: 0 });
         }
         prop_assert_eq!(q.len(), times.len());
         let mut last = f64::NEG_INFINITY;
@@ -250,6 +254,76 @@ proptest! {
         prop_assert_eq!(popped, times.len());
     }
 
+    /// Interleaved `schedule`/`pop` across multiple in-flight model
+    /// versions (the buffered executor's access pattern) preserves the
+    /// total order: pop times never decrease even as new events are
+    /// scheduled between pops, equal-time events pop FIFO regardless of
+    /// the version they carry, and every popped event returns exactly the
+    /// `(time, version)` it was scheduled with — so staleness derived at
+    /// pop time (`current version − trained version`) is never negative.
+    #[test]
+    fn interleaved_multi_version_pops_preserve_total_order_and_fifo(
+        steps in proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..50.0, 0..6), 0usize..8),
+            1..24,
+        ),
+    ) {
+        let mut q = EventQueue::new();
+        let mut now = 0.0f64;
+        let mut inserted = 0usize;
+        // Per insertion id: the (time, version) it was scheduled with.
+        let mut meta: Vec<(f64, usize)> = Vec::new();
+        // Pop log: (time, insertion id).
+        let mut popped: Vec<(f64, usize)> = Vec::new();
+        let check_pop = |e: Event,
+                         now: &mut f64,
+                         current_version: Option<usize>,
+                         meta: &[(f64, usize)],
+                         popped: &mut Vec<(f64, usize)>| {
+            assert!(e.time_s >= *now, "pop {} rewound past {}", e.time_s, *now);
+            *now = e.time_s;
+            let EventKind::UploadComplete { client_id, version } = e.kind else {
+                panic!("unexpected event kind");
+            };
+            assert_eq!(
+                meta[client_id],
+                (e.time_s, version),
+                "event lost its scheduled time/version"
+            );
+            if let Some(v) = current_version {
+                assert!(v >= version, "negative staleness: popped v{version} at v{v}");
+            }
+            popped.push((e.time_s, client_id));
+        };
+        for (version, (deltas, pops)) in steps.iter().enumerate() {
+            // Model version `version`: dispatch a batch of uploads that
+            // complete `delta` seconds from the current virtual time...
+            for &delta in deltas {
+                let t = now + delta;
+                q.schedule(t, EventKind::UploadComplete { client_id: inserted, version });
+                meta.push((t, version));
+                inserted += 1;
+            }
+            // ...then consume a few arrivals, advancing the clock.
+            for _ in 0..*pops {
+                let Some(e) = q.pop() else { break };
+                check_pop(e, &mut now, Some(version), &meta, &mut popped);
+            }
+        }
+        while let Some(e) = q.pop() {
+            check_pop(e, &mut now, None, &meta, &mut popped);
+        }
+        prop_assert_eq!(popped.len(), inserted, "events were lost");
+        // Total order with FIFO tie-break: nondecreasing times, and equal
+        // times pop in insertion order.
+        for w in popped.windows(2) {
+            prop_assert!(
+                w[1].0 > w[0].0 || (w[1].0 == w[0].0 && w[1].1 > w[0].1),
+                "order violated: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+
     /// The simulated round time of an unbounded round equals the *max*
     /// (not the sum) of the surviving clients' completion times.
     #[test]
@@ -261,6 +335,7 @@ proptest! {
             fleet,
             deadline_s: None,
             late_policy: LatePolicy::Drop,
+            ..Default::default()
         };
         let mut ex = DeadlineExecutor::new(cfg, k, 50_000, k, 17);
         let selected: Vec<usize> = (0..k).collect();
@@ -272,6 +347,7 @@ proptest! {
                     n_samples: 10,
                     loss_before: 1.0,
                     loss_after: 0.5,
+                    staleness: 0,
                 })
                 .collect()
         };

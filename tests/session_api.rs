@@ -80,8 +80,11 @@ fn session_builder_defaults_match_golden_fixture() {
 }
 
 /// `step()`-driven sessions produce exactly the history `run()` does —
-/// for the ideal executor and for a heterogeneous deadline-bounded one
-/// with a non-default selection policy.
+/// for the ideal executor, for a heterogeneous deadline-bounded one with
+/// a non-default selection policy, and for the buffered asynchronous
+/// executor (whose virtual clock and in-flight state persist *across*
+/// `step()` calls — the equivalence proves that state is carried, not
+/// reset per round).
 #[test]
 fn step_by_step_equals_run() {
     let (spec, train, test, partition, base_cfg) = golden_setup();
@@ -93,10 +96,22 @@ fn step_by_step_equals_run() {
         },
         deadline_s: Some(30.0),
         late_policy: LatePolicy::CarryOver,
+        ..Default::default()
     });
-    let variants: [(Selection, ExecutorConfig); 2] = [
+    let buffered = ExecutorConfig::Buffered(BufferedConfig {
+        fleet: FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.1,
+            ..Default::default()
+        },
+        buffer_size: 2,
+        staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
+        server_mix: Some(0.5),
+    });
+    let variants: [(Selection, ExecutorConfig); 3] = [
         (Selection::Uniform, ExecutorConfig::Ideal),
         (Selection::BandwidthAware { candidates: 6 }, hetero),
+        (Selection::Uniform, buffered),
     ];
     for (selection, executor) in variants {
         let mut cfg = base_cfg.clone();
@@ -190,6 +205,59 @@ fn builder_reports_typed_errors() {
         .err()
         .expect("NaN deadline must not build");
     assert!(matches!(err, FlError::InvalidDeadline { .. }));
+}
+
+/// The buffered executor's knobs surface as the new typed errors — from
+/// the builder, before any compute is spent.
+#[test]
+fn builder_rejects_degenerate_buffered_configs() {
+    let (spec, train, test, partition, cfg) = golden_setup();
+    let buffered = |buffer_size, staleness, server_mix| {
+        ExecutorConfig::Buffered(BufferedConfig {
+            fleet: FleetConfig::default(),
+            buffer_size,
+            staleness,
+            server_mix,
+        })
+    };
+    type ErrCheck = fn(&FlError) -> bool;
+    let cases: [(ExecutorConfig, ErrCheck); 4] = [
+        (buffered(0, StalenessDiscount::None, None), |e| {
+            matches!(e, FlError::ZeroBuffer)
+        }),
+        // golden_setup has K = 5 participants.
+        (buffered(6, StalenessDiscount::None, None), |e| {
+            matches!(
+                e,
+                FlError::BufferExceedsParticipants {
+                    buffer_size: 6,
+                    participants: 5
+                }
+            )
+        }),
+        (
+            buffered(2, StalenessDiscount::Polynomial { alpha: f64::NAN }, None),
+            |e| matches!(e, FlError::InvalidDiscount { .. }),
+        ),
+        (buffered(2, StalenessDiscount::None, Some(0.0)), |e| {
+            matches!(e, FlError::InvalidServerMix { .. })
+        }),
+    ];
+    for (executor, expect) in cases {
+        let mut strategy = FedAvg;
+        let err = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+            .config(&cfg)
+            .executor(executor.clone())
+            .build()
+            .err()
+            .unwrap_or_else(|| panic!("{executor:?} must not build"));
+        assert!(expect(&err), "{executor:?} produced unexpected error {err}");
+        // FlConfig::validate reports the same error without a builder.
+        let mut direct = cfg.clone();
+        direct.executor = executor;
+        let direct_err = direct.validate(partition.n_clients()).err().unwrap();
+        assert_eq!(direct_err, err);
+    }
 }
 
 /// The core-crate entry point surfaces the same typed errors before any

@@ -50,11 +50,26 @@ fn bench_aggregation(c: &mut Criterion) {
     group.sample_size(10);
     let k = 10;
     let sizes = [
-        ("mlp", ModelSpec::Mlp { in_dim: 64, hidden: vec![128], out_dim: 100 }
+        (
+            "mlp",
+            ModelSpec::Mlp {
+                in_dim: 64,
+                hidden: vec![128],
+                out_dim: 100,
+            }
             .build(1)
-            .param_count()),
-        ("cnn_mnist", ModelSpec::CnnMnist { num_classes: 10 }.build(1).param_count()),
-        ("vgg11", ModelSpec::Vgg11 { num_classes: 100 }.build(1).param_count()),
+            .param_count(),
+        ),
+        (
+            "cnn_mnist",
+            ModelSpec::CnnMnist { num_classes: 10 }
+                .build(1)
+                .param_count(),
+        ),
+        (
+            "vgg11",
+            ModelSpec::Vgg11 { num_classes: 100 }.build(1).param_count(),
+        ),
     ];
     for (name, params) in sizes {
         let mut rng = Rng64::new(7);

@@ -28,7 +28,13 @@ fn bench_event_queue(c: &mut Criterion) {
             b.iter(|| {
                 let mut q = EventQueue::new();
                 for (i, &t) in times.iter().enumerate() {
-                    q.schedule(t, EventKind::UploadComplete { client_id: i, version: i % 8 });
+                    q.schedule(
+                        t,
+                        EventKind::UploadComplete {
+                            client_id: i,
+                            version: i % 8,
+                        },
+                    );
                 }
                 let mut last = 0.0f64;
                 while let Some(e) = q.pop() {

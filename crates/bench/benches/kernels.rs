@@ -64,5 +64,10 @@ fn bench_client_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax_rows, bench_client_round);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax_rows,
+    bench_client_round
+);
 criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion harness for the reliability model and the async-aware
+//! selection policies.
+//!
+//! `fleet_generate/*` prices the per-device reliability draw (three
+//! log-uniform exponents per profile) against fleet size — generation sits
+//! on every executor construction, so it must stay linear and cheap.
+//! `selection/*` measures one `select` call per policy over a large
+//! candidate pool with full telemetry visible: the per-round cost a
+//! smarter policy adds on top of uniform sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use feddrl_fl::executor::ClientReliability;
+use feddrl_fl::selection::{Selection, SelectionContext};
+use feddrl_nn::rng::Rng64;
+use feddrl_sim::device::{DropoutCorrelation, Fleet, FleetConfig, ReliabilityConfig};
+
+fn bench_fleet_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_generate");
+    for n in [100usize, 10_000] {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            bandwidth_skew: 2.0,
+            dropout: 0.2,
+            reliability: ReliabilityConfig {
+                dropout_skew: 3.0,
+                correlation: DropoutCorrelation::SpeedCorrelated { strength: 0.8 },
+            },
+            ..Default::default()
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("speed_correlated", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(Fleet::generate(n, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    const N: usize = 2048;
+    const K: usize = 64;
+    const D: usize = 256;
+
+    let fleet = Fleet::generate(
+        N,
+        &FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.2,
+            reliability: ReliabilityConfig {
+                dropout_skew: 3.0,
+                correlation: DropoutCorrelation::SpeedCorrelated { strength: 1.0 },
+            },
+            ..Default::default()
+        },
+    );
+    let mut rng = Rng64::new(17);
+    let known_loss: Vec<Option<f32>> = (0..N)
+        .map(|_| rng.chance(0.8).then(|| rng.uniform(0.1, 3.0)))
+        .collect();
+    let participation: Vec<usize> = (0..N).map(|_| rng.below(50)).collect();
+    let reliability: Vec<ClientReliability> = (0..N)
+        .map(|_| {
+            let dropouts = rng.below(10);
+            let dispatches = rng.below(40);
+            ClientReliability {
+                dropouts,
+                dispatches,
+                aggregated: dispatches,
+                staleness_sum: rng.below(5) * dispatches,
+            }
+        })
+        .collect();
+    let in_flight = rng.sample_indices(N, N / 4);
+
+    for (label, selection) in [
+        ("uniform", Selection::Uniform),
+        (
+            "power_of_choice",
+            Selection::PowerOfChoice { candidates: D },
+        ),
+        (
+            "bandwidth_aware",
+            Selection::BandwidthAware { candidates: D },
+        ),
+        (
+            "reliability_aware",
+            Selection::ReliabilityAware { candidates: D },
+        ),
+        (
+            "staleness_balanced",
+            Selection::StalenessBalanced { candidates: D },
+        ),
+    ] {
+        let mut policy = selection.build();
+        let mut round = 0usize;
+        group.throughput(Throughput::Elements(K as u64));
+        group.bench_function(BenchmarkId::new("select", label), |b| {
+            b.iter(|| {
+                let ctx = SelectionContext {
+                    round,
+                    n_clients: N,
+                    participants: K,
+                    known_loss: &known_loss,
+                    participation: &participation,
+                    fleet: Some(&fleet),
+                    upload_bytes: 1_000_000,
+                    deadline_s: None,
+                    in_flight: &in_flight,
+                    reliability: Some(&reliability),
+                };
+                let picked = policy.select(&ctx, &mut Rng64::new(7).derive(round as u64));
+                round += 1;
+                std::hint::black_box(picked)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_generate, bench_selection);
+criterion_main!(benches);

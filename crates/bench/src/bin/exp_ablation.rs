@@ -49,7 +49,12 @@ fn main() {
     let exp = ExperimentSpec::new(DatasetKind::MnistLike, "CE", 10, &opts);
     let mut rows = Vec::new();
 
-    rows.push(run_variant(&exp, opts.scale, "baseline (lambda=1, beta=0.2, TD, online)", |_| {}));
+    rows.push(run_variant(
+        &exp,
+        opts.scale,
+        "baseline (lambda=1, beta=0.2, TD, online)",
+        |_| {},
+    ));
     for lambda in [0.0f32, 2.0] {
         rows.push(run_variant(
             &exp,
@@ -69,20 +74,28 @@ fn main() {
     rows.push(run_variant(&exp, opts.scale, "uniform replay", |c| {
         c.feddrl.ddpg.prioritized_replay = false;
     }));
-    rows.push(run_variant(&exp, opts.scale, "two-stage pretraining (m=2)", |c| {
-        c.two_stage = Some(TwoStageConfig {
-            workers: 2,
-            online_rounds: (exp.rounds / 2).max(2),
-            offline_updates: 20,
-            seed: exp.seed ^ 0x25,
-        });
-    }));
+    rows.push(run_variant(
+        &exp,
+        opts.scale,
+        "two-stage pretraining (m=2)",
+        |c| {
+            c.two_stage = Some(TwoStageConfig {
+                workers: 2,
+                online_rounds: (exp.rounds / 2).max(2),
+                offline_updates: 20,
+                seed: exp.seed ^ 0x25,
+            });
+        },
+    ));
 
     let table = render_table(
         &["variant", "best acc (%)", "best round", "tail reward"],
         &rows,
     );
-    println!("\nAblation study (mnist-like, CE 0.6, 10 clients, rounds = {})\n", exp.rounds);
+    println!(
+        "\nAblation study (mnist-like, CE 0.6, 10 clients, rounds = {})\n",
+        exp.rounds
+    );
     println!("{table}");
     write_artifact(&opts.out_path("ablation.txt"), &table);
 }

@@ -22,6 +22,7 @@
 use feddrl::prelude::*;
 use feddrl_bench::{
     render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind,
+    SimTimeBudget,
 };
 use feddrl_sim::prelude::*;
 
@@ -152,15 +153,7 @@ fn main() {
         let history = run_cell(&exp, &env, MethodKind::FedDrl, &exec, observe, None);
         let method = if observe { "FedDRL+stale" } else { "FedDRL" };
         push_row(
-            &mut rows,
-            &mut csv,
-            method,
-            "buffered",
-            4.0,
-            "5",
-            "poly(1)",
-            &history,
-            None,
+            &mut rows, &mut csv, method, "buffered", 4.0, "5", "poly(1)", &history, None,
         );
     }
 
@@ -244,24 +237,6 @@ fn push_row(
     ));
 }
 
-/// Stops a run once its cumulative simulated wall-clock crosses a budget
-/// — the equal-virtual-time harness buffered cells are compared under.
-struct SimTimeBudget {
-    budget_s: f64,
-    elapsed_s: f64,
-}
-
-impl RoundObserver for SimTimeBudget {
-    fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl {
-        self.elapsed_s += record.hetero.as_ref().map_or(0.0, |h| h.sim_time_s);
-        if self.elapsed_s >= self.budget_s {
-            RoundControl::Stop
-        } else {
-            RoundControl::Continue
-        }
-    }
-}
-
 fn run_cell(
     exp: &ExperimentSpec,
     env: &(Dataset, Dataset, Partition, ModelSpec),
@@ -289,10 +264,7 @@ fn run_cell(
                 .config(&fl_cfg)
                 .dataset_name(exp.dataset.name());
             if let Some(budget_s) = sim_budget_s {
-                builder = builder.observer(Box::new(SimTimeBudget {
-                    budget_s,
-                    elapsed_s: 0.0,
-                }));
+                builder = builder.observer(Box::new(SimTimeBudget { budget_s }));
             }
             builder
                 .build()
@@ -301,6 +273,13 @@ fn run_cell(
                 .unwrap_or_else(|e| panic!("sweep cell failed: {e}"))
         }
         MethodKind::FedDrl => {
+            // `try_run_feddrl` has no observer hook, so a simulated-time
+            // budget cannot be enforced on this arm — fail loudly rather
+            // than silently break an equal-time comparison.
+            assert!(
+                sim_budget_s.is_none(),
+                "FedDRL cells do not support a sim-time budget"
+            );
             let mut run_cfg = exp.feddrl_config();
             run_cfg.feddrl.observe_staleness = observe_staleness;
             try_run_feddrl(

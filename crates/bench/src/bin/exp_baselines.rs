@@ -4,7 +4,9 @@
 //! cluster-skew block (mnist-like, CE 0.6, 10 clients).
 
 use feddrl::prelude::*;
-use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind};
+use feddrl_bench::{
+    render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind,
+};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -42,7 +44,11 @@ fn main() {
         push_row(&h);
     }
     let drl = exp.run_method(MethodKind::FedDrl, opts.scale);
-    println!("{}: best {:.2}%", drl.method, drl.best().best_accuracy * 100.0);
+    println!(
+        "{}: best {:.2}%",
+        drl.method,
+        drl.best().best_accuracy * 100.0
+    );
     push_row(&drl);
 
     let table = render_table(

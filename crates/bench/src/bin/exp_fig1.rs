@@ -51,9 +51,18 @@ fn main() {
             samples.to_string(),
         ]);
     }
-    let table = render_table(&["disease group", "#patients", "#distinct pills", "#samples"], &rows);
+    let table = render_table(
+        &["disease group", "#patients", "#distinct pills", "#samples"],
+        &rows,
+    );
     println!("{table}");
-    assert!(stats.has_cluster_skew(), "pill scenario must be cluster-skewed");
-    println!("cluster-skew detected: {} disjoint label-sharing groups", stats.label_sharing_components);
+    assert!(
+        stats.has_cluster_skew(),
+        "pill scenario must be cluster-skewed"
+    );
+    println!(
+        "cluster-skew detected: {} disjoint label-sharing groups",
+        stats.label_sharing_components
+    );
     write_artifact(&opts.out_path("fig1_pill_groups.txt"), &table);
 }

@@ -3,7 +3,9 @@
 //! per the paper's protocol) for each dataset × partition block.
 
 use feddrl::prelude::*;
-use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind};
+use feddrl_bench::{
+    render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, MethodKind,
+};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -39,7 +41,13 @@ fn main() {
         }
     }
     let table = render_table(
-        &["block", "target acc", "FedAvg (vs DRL)", "FedProx (vs DRL)", "FedDRL"],
+        &[
+            "block",
+            "target acc",
+            "FedAvg (vs DRL)",
+            "FedProx (vs DRL)",
+            "FedDRL",
+        ],
         &rows,
     );
     println!("Figure 10: rounds to reach the target accuracy (10 clients)\n");

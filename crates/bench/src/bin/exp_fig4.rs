@@ -6,7 +6,9 @@ use feddrl_bench::{write_artifact, DatasetKind, ExpOptions};
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let (train, _) = DatasetKind::MnistLike.synth_spec(opts.scale).generate(opts.seed);
+    let (train, _) = DatasetKind::MnistLike
+        .synth_spec(opts.scale)
+        .generate(opts.seed);
     let mut all = String::new();
     for code in ["PA", "CE", "CN"] {
         let method = DatasetKind::MnistLike.partition_method(code, 0.6);

@@ -17,7 +17,11 @@ fn main() {
                 .iter()
                 .map(|m| feddrl_bench::load_or_run(&opts, &exp, *m, opts.scale))
                 .collect();
-            let smooth = if dataset == DatasetKind::FashionLike { 10 } else { 1 };
+            let smooth = if dataset == DatasetKind::FashionLike {
+                10
+            } else {
+                1
+            };
             let mut csv = String::from("round,FedAvg,FedProx,FedDRL\n");
             let series: Vec<Vec<f32>> = histories
                 .iter()

@@ -28,8 +28,9 @@ fn main() {
         let (avg_fedavg, var_fedavg) = loss_stats(&histories[0]);
         let (avg_fedprox, var_fedprox) = loss_stats(&histories[1]);
         let (avg_feddrl, var_feddrl) = loss_stats(&histories[2]);
-        let mut csv =
-            String::from("round,avg_fedavg_norm,avg_fedprox_norm,var_fedavg_norm,var_fedprox_norm\n");
+        let mut csv = String::from(
+            "round,avg_fedavg_norm,avg_fedprox_norm,var_fedavg_norm,var_fedprox_norm\n",
+        );
         for round in 0..exp.rounds {
             let na = avg_feddrl[round].max(1e-8);
             let nv = var_feddrl[round].max(1e-8);

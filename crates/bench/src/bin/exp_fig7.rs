@@ -24,7 +24,10 @@ fn main() {
             row.push(format!("{best:.2}"));
             accs.push(best);
         }
-        csv.push_str(&format!("{k},{:.2},{:.2},{:.2}\n", accs[0], accs[1], accs[2]));
+        csv.push_str(&format!(
+            "{k},{:.2},{:.2},{:.2}\n",
+            accs[0], accs[1], accs[2]
+        ));
         rows.push(row);
     }
     let table = render_table(&["K", "FedAvg", "FedProx", "FedDRL"], &rows);

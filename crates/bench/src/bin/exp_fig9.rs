@@ -19,7 +19,9 @@ fn main() {
 
     // Real parameter counts from the model zoo.
     let vgg_params = ModelSpec::Vgg11 { num_classes: 100 }.build(1).param_count();
-    let cnn_params = ModelSpec::CnnMnist { num_classes: 10 }.build(1).param_count();
+    let cnn_params = ModelSpec::CnnMnist { num_classes: 10 }
+        .build(1)
+        .param_count();
     let mlp_params = ModelSpec::Mlp {
         in_dim: 64,
         hidden: vec![128],
@@ -65,7 +67,11 @@ fn main() {
 
     // §3.5 communication overhead.
     let mut comm_rows = Vec::new();
-    for (name, params) in [("VGG-11", vgg_params), ("CNN", cnn_params), ("MLP", mlp_params)] {
+    for (name, params) in [
+        ("VGG-11", vgg_params),
+        ("CNN", cnn_params),
+        ("MLP", mlp_params),
+    ] {
         let m = CommModel::new(params as u64, k as u64);
         comm_rows.push(vec![
             name.to_string(),
@@ -75,7 +81,12 @@ fn main() {
         ]);
     }
     let comm_table = render_table(
-        &["model", "FedAvg bytes/round", "FedDRL bytes/round", "overhead ratio"],
+        &[
+            "model",
+            "FedAvg bytes/round",
+            "FedDRL bytes/round",
+            "overhead ratio",
+        ],
         &comm_rows,
     );
     println!("sec 3.5: communication overhead of FedDRL vs FedAvg\n");

@@ -53,8 +53,7 @@ fn main() {
                 // Wait for the fastest ~70% of devices (a no-op when
                 // skew = 1: every device finishes at the same instant).
                 let deadline = bounded.then(|| {
-                    Fleet::generate(n_clients, &fleet)
-                        .completion_percentile_s(upload_bytes, 0.7)
+                    Fleet::generate(n_clients, &fleet).completion_percentile_s(upload_bytes, 0.7)
                 });
                 for method in [MethodKind::FedAvg, MethodKind::FedDrl] {
                     let history = run_cell(&exp, &env, method, &fleet, deadline);

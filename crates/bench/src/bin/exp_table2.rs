@@ -8,12 +8,18 @@ use feddrl::prelude::*;
 use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions};
 
 fn mark(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let (train, _) = DatasetKind::MnistLike.synth_spec(opts.scale).generate(opts.seed);
+    let (train, _) = DatasetKind::MnistLike
+        .synth_spec(opts.scale)
+        .generate(opts.seed);
     let mut rows = Vec::new();
     for (code, remark) in [
         ("PA", "#samples follows a power law [13]"),

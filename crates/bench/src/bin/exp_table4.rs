@@ -20,8 +20,7 @@ fn main() {
         for (mi, method) in MethodKind::all().iter().enumerate() {
             let mut row = vec![method.name().to_string()];
             for (pi, code) in ["Equal", "Non-equal"].iter().enumerate() {
-                let exp =
-                    ExperimentSpec::new(DatasetKind::Cifar100Like, code, n_clients, &opts);
+                let exp = ExperimentSpec::new(DatasetKind::Cifar100Like, code, n_clients, &opts);
                 let history = exp.run_method(*method, opts.scale);
                 let best = history.best().best_accuracy * 100.0;
                 acc[mi][pi] = best;

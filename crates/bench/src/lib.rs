@@ -394,6 +394,28 @@ impl ExperimentSpec {
     }
 }
 
+/// Stops a run once its cumulative simulated wall-clock crosses a budget
+/// — the equal-virtual-time harness asynchronous sweep cells are compared
+/// under (`exp_async`, `exp_reliability`): every cell may aggregate as
+/// often as it likes but gets the same amount of simulated time. The
+/// session maintains the cumulative clock in its
+/// [`RoundSignals`], so the observer is
+/// a pure threshold check.
+pub struct SimTimeBudget {
+    /// Budget in simulated seconds.
+    pub budget_s: f64,
+}
+
+impl RoundObserver for SimTimeBudget {
+    fn on_round_end(&mut self, signals: &RoundSignals<'_>) -> RoundControl {
+        if signals.sim_time_s >= self.budget_s {
+            RoundControl::Stop
+        } else {
+            RoundControl::Continue
+        }
+    }
+}
+
 /// Render an aligned plain-text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -92,10 +92,9 @@ mod tests {
         assert_eq!(d.state_dim, 28, "staleness adds one K-block to the state");
         assert_eq!(d.action_dim, 14, "the action stays 2K");
         // The flag is serde-defaulted so existing configs load unchanged.
-        let back: FedDrlConfig = serde_json::from_str(
-            &serde_json::to_string(&FedDrlConfig::default()).unwrap(),
-        )
-        .unwrap();
+        let back: FedDrlConfig =
+            serde_json::from_str(&serde_json::to_string(&FedDrlConfig::default()).unwrap())
+                .unwrap();
         assert!(!back.observe_staleness);
     }
 

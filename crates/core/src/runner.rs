@@ -11,13 +11,13 @@ use crate::two_stage::{two_stage_train, TwoStageConfig, TwoStageReport};
 use feddrl_data::dataset::Dataset;
 use feddrl_data::partition::Partition;
 use feddrl_fl::error::FlError;
-use feddrl_fl::history::RunHistory;
-use feddrl_fl::server::FlConfig;
-use feddrl_fl::session::SessionBuilder;
 #[cfg(test)]
 use feddrl_fl::executor::ExecutorConfig;
+use feddrl_fl::history::RunHistory;
+use feddrl_fl::server::FlConfig;
 #[cfg(test)]
 use feddrl_fl::server::Selection;
+use feddrl_fl::session::SessionBuilder;
 use feddrl_nn::zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
 
@@ -189,7 +189,10 @@ mod tests {
         assert!(run.history.total_sim_time_s() > 0.0);
         // Short rounds still produce normalized factors for the survivors.
         for r in &run.history.records {
-            let h = r.hetero.as_ref().expect("deadline run must record telemetry");
+            let h = r
+                .hetero
+                .as_ref()
+                .expect("deadline run must record telemetry");
             assert_eq!(h.aggregated(), r.impact_factors.len());
             if !r.impact_factors.is_empty() {
                 let sum: f32 = r.impact_factors.iter().sum();
@@ -219,7 +222,10 @@ mod tests {
         let run = run_feddrl(&spec, &train, &test, &partition, &fl_cfg, &cfg);
         assert_eq!(run.history.records.len(), 6);
         for r in &run.history.records {
-            let h = r.hetero.as_ref().expect("buffered run must record telemetry");
+            let h = r
+                .hetero
+                .as_ref()
+                .expect("buffered run must record telemetry");
             assert!(
                 r.impact_factors.is_empty() || r.impact_factors.len() == 3,
                 "aggregations must hold exactly the buffer size"

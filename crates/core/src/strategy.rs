@@ -298,7 +298,10 @@ mod tests {
             let s = summaries(4, round);
             let fa = a.impact_factors(round, &s);
             let fb = b.impact_factors_with_staleness(round, &s, &[5, 0, 2, 9]);
-            assert_eq!(fa, fb, "round {round}: unobserved staleness leaked into the policy");
+            assert_eq!(
+                fa, fb,
+                "round {round}: unobserved staleness leaked into the policy"
+            );
         }
     }
 
@@ -315,7 +318,10 @@ mod tests {
         // All-fresh explicit vs implicit must agree...
         let fa = a.impact_factors_with_staleness(0, &s, &[0, 0, 0, 0]);
         let fb = b.impact_factors_with_staleness(0, &s, &[]);
-        assert_eq!(fa, fb, "explicit zero staleness must equal the all-fresh path");
+        assert_eq!(
+            fa, fb,
+            "explicit zero staleness must equal the all-fresh path"
+        );
         // ...and a stale update must actually perturb the observation.
         let mut c = FedDrl::new(4, &cfg);
         let fc = c.impact_factors_with_staleness(0, &s, &[4, 0, 0, 0]);

@@ -16,12 +16,12 @@ use crate::strategy::FedDrl;
 use feddrl_data::dataset::Dataset;
 use feddrl_data::partition::Partition;
 use feddrl_drl::ddpg::DdpgAgent;
-use feddrl_fl::server::FlConfig;
-use feddrl_fl::session::SessionBuilder;
 #[cfg(test)]
 use feddrl_fl::executor::ExecutorConfig;
+use feddrl_fl::server::FlConfig;
 #[cfg(test)]
 use feddrl_fl::server::Selection;
+use feddrl_fl::session::SessionBuilder;
 use feddrl_nn::parallel::par_map;
 use feddrl_nn::zoo::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -74,7 +74,10 @@ pub fn two_stage_train(
     ts_cfg: &TwoStageConfig,
 ) -> (DdpgAgent, TwoStageReport) {
     assert!(ts_cfg.workers > 0, "need at least one worker");
-    assert!(ts_cfg.online_rounds >= 2, "workers need >= 2 rounds to record a transition");
+    assert!(
+        ts_cfg.online_rounds >= 2,
+        "workers need >= 2 rounds to record a transition"
+    );
 
     // --- Stage 1: online workers.
     let worker_ids: Vec<usize> = (0..ts_cfg.workers).collect();
@@ -181,8 +184,15 @@ mod tests {
             offline_updates: 3,
             seed: 5,
         };
-        let (main, report) =
-            two_stage_train(&spec, &train, &test, &partition, &fl_cfg, &small_feddrl(), &ts);
+        let (main, report) = two_stage_train(
+            &spec,
+            &train,
+            &test,
+            &partition,
+            &fl_cfg,
+            &small_feddrl(),
+            &ts,
+        );
         // Each worker records rounds−1 transitions.
         assert_eq!(report.worker_experiences, vec![3, 3]);
         assert_eq!(report.merged_experiences, 6);
@@ -199,8 +209,15 @@ mod tests {
             offline_updates: 1,
             seed: 6,
         };
-        let (main, _) =
-            two_stage_train(&spec, &train, &test, &partition, &fl_cfg, &small_feddrl(), &ts);
+        let (main, _) = two_stage_train(
+            &spec,
+            &train,
+            &test,
+            &partition,
+            &fl_cfg,
+            &small_feddrl(),
+            &ts,
+        );
         // The two workers' experiences must not be identical: compare the
         // stored rewards pairwise.
         let rewards: Vec<f32> = main.buffer.iter().map(|e| e.reward).collect();

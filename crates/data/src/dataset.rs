@@ -88,7 +88,11 @@ impl Dataset {
         let mut out = Tensor::zeros(&[indices.len(), d]);
         let mut labels = Vec::with_capacity(indices.len());
         for (r, &i) in indices.iter().enumerate() {
-            assert!(i < self.len(), "gather index {i} out of bounds ({})", self.len());
+            assert!(
+                i < self.len(),
+                "gather index {i} out of bounds ({})",
+                self.len()
+            );
             out.row_mut(r).copy_from_slice(self.features.row(i));
             labels.push(self.labels[i]);
         }

@@ -77,8 +77,8 @@ pub(super) fn split(
 
     // ---- Client groups: main group gets round(δ·N) (at least 1), the
     // rest split evenly.
-    let main_size = ((delta * n_clients as f64).round() as usize)
-        .clamp(1, n_clients - (num_groups - 1));
+    let main_size =
+        ((delta * n_clients as f64).round() as usize).clamp(1, n_clients - (num_groups - 1));
     let rest = n_clients - main_size;
     let minor = num_groups - 1;
     let mut groups = vec![0usize; n_clients];
@@ -223,9 +223,7 @@ pub(super) fn split(
             let donor = (0..n_clients)
                 .filter(|&d| out[d].len() > 1)
                 .max_by_key(|&d| out[d].len())
-                .ok_or_else(|| {
-                    PartitionError::BadParameter("no donor sample available".into())
-                })?;
+                .ok_or_else(|| PartitionError::BadParameter("no donor sample available".into()))?;
             let sample = out[donor].pop().expect("donor checked non-empty");
             out[c].push(sample);
         }

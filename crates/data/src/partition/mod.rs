@@ -427,7 +427,11 @@ mod tests {
             // validate() ran inside partition(); re-check coverage bound.
             let total: usize = p.sizes().iter().sum();
             assert!(total <= ds.len());
-            assert!(total >= ds.len() / 2, "{}: wasted too many samples", m.code());
+            assert!(
+                total >= ds.len() / 2,
+                "{}: wasted too many samples",
+                m.code()
+            );
         }
     }
 

@@ -99,9 +99,7 @@ pub(super) fn split(
             let donor = (0..n_clients)
                 .filter(|&d| out[d].len() > 1)
                 .max_by_key(|&d| out[d].len())
-                .ok_or_else(|| {
-                    PartitionError::BadParameter("no donor sample available".into())
-                })?;
+                .ok_or_else(|| PartitionError::BadParameter("no donor sample available".into()))?;
             let sample = out[donor].pop().expect("donor checked non-empty");
             out[c].push(sample);
         }
@@ -144,10 +142,7 @@ mod tests {
         let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
         let max = *sizes.iter().max().unwrap() as f64;
         let min = *sizes.iter().min().unwrap() as f64;
-        assert!(
-            max / min > 1.5,
-            "power-law split too balanced: {sizes:?}"
-        );
+        assert!(max / min > 1.5, "power-law split too balanced: {sizes:?}");
     }
 
     #[test]

@@ -244,11 +244,7 @@ mod tests {
         ];
         assert_eq!(components(&m), 2);
         // A bridge client merges them.
-        let m2 = vec![
-            vec![5, 5, 0, 0],
-            vec![0, 1, 1, 0],
-            vec![0, 0, 5, 5],
-        ];
+        let m2 = vec![vec![5, 5, 0, 0], vec![0, 1, 1, 0], vec![0, 0, 5, 5]];
         assert_eq!(components(&m2), 1);
     }
 

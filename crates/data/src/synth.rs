@@ -163,21 +163,18 @@ impl SynthSpec {
         let protos: Vec<Vec<Tensor>> = (0..self.num_classes)
             .map(|_| {
                 (0..self.modes_per_class)
-                    .map(|_| {
-                        Tensor::randn(&[self.feature_dim], 0.0, self.proto_scale, &mut rng)
-                    })
+                    .map(|_| Tensor::randn(&[self.feature_dim], 0.0, self.proto_scale, &mut rng))
                     .collect()
             })
             .collect();
 
-        let sample_into =
-            |label: usize, rng: &mut Rng64, row: &mut [f32]| {
-                let mode = rng.below(self.modes_per_class);
-                let proto = &protos[label][mode];
-                for (v, &p) in row.iter_mut().zip(proto.data().iter()) {
-                    *v = p + rng.normal_f32(0.0, self.noise_std);
-                }
-            };
+        let sample_into = |label: usize, rng: &mut Rng64, row: &mut [f32]| {
+            let mode = rng.below(self.modes_per_class);
+            let proto = &protos[label][mode];
+            for (v, &p) in row.iter_mut().zip(proto.data().iter()) {
+                *v = p + rng.normal_f32(0.0, self.noise_std);
+            }
+        };
 
         // Training set follows the popularity profile.
         let counts = self.train_label_counts();

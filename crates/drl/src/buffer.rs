@@ -113,7 +113,9 @@ impl ReplayBuffer {
                 .partial_cmp(&priorities[a])
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let weights: Vec<f64> = (0..order.len()).map(|rank| 1.0 / (rank + 1) as f64).collect();
+        let weights: Vec<f64> = (0..order.len())
+            .map(|rank| 1.0 / (rank + 1) as f64)
+            .collect();
         (0..batch)
             .map(|_| {
                 let rank = rng.weighted_index(&weights);

@@ -103,12 +103,17 @@ impl DdpgConfig {
         );
         assert!(self.policy_layers >= 2, "policy needs >= 2 layers");
         assert!(self.hidden > 0, "hidden width must be positive");
-        assert!((0.0..1.0).contains(&self.gamma) || self.gamma == 1.0 - f32::EPSILON,
-            "gamma must be in [0,1), got {}", self.gamma);
+        assert!(
+            (0.0..1.0).contains(&self.gamma) || self.gamma == 1.0 - f32::EPSILON,
+            "gamma must be in [0,1), got {}",
+            self.gamma
+        );
         assert!((0.0..=1.0).contains(&self.tau), "tau must be in [0,1]");
         assert!(self.batch_size > 0, "batch_size must be positive");
-        assert!(self.buffer_capacity >= self.batch_size,
-            "buffer capacity smaller than batch size");
+        assert!(
+            self.buffer_capacity >= self.batch_size,
+            "buffer capacity smaller than batch size"
+        );
         assert!(
             self.exploration_decay > 0.0 && self.exploration_decay <= 1.0,
             "exploration_decay must be in (0,1], got {}",
@@ -130,8 +135,14 @@ impl DdpgConfig {
                 (self.value_hidden_layers + 1).to_string(),
             ),
             ("Hidden layer size".into(), self.hidden.to_string()),
-            ("pi-network learning rate".into(), format!("{}", self.policy_lr)),
-            ("Q-network learning rate".into(), format!("{}", self.value_lr)),
+            (
+                "pi-network learning rate".into(),
+                format!("{}", self.policy_lr),
+            ),
+            (
+                "Q-network learning rate".into(),
+                format!("{}", self.value_lr),
+            ),
             (
                 "Experience buffer size".into(),
                 self.buffer_capacity.to_string(),
@@ -184,7 +195,9 @@ mod tests {
     fn table1_rows_cover_all_hyperparameters() {
         let rows = DdpgConfig::default().table1_rows();
         assert_eq!(rows.len(), 8);
-        assert!(rows.iter().any(|(k, v)| k.contains("buffer") && v == "100000"));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k.contains("buffer") && v == "100000"));
     }
 
     #[test]

@@ -15,9 +15,9 @@ use crate::config::DdpgConfig;
 use feddrl_nn::init::Init;
 use feddrl_nn::layers::{Activation, Dense};
 use feddrl_nn::model::Sequential;
+use feddrl_nn::optim::Sgd;
 use feddrl_nn::rng::Rng64;
 use feddrl_nn::tensor::{softmax, Tensor};
-use feddrl_nn::optim::Sgd;
 
 /// Floor added to `|μ|` in the σ head so exploration never fully collapses.
 const SIGMA_FLOOR: f32 = 1e-3;
@@ -245,9 +245,7 @@ impl DdpgAgent {
         let q_next = Self::q_batch(&mut self.value_target, &next_states, &next_actions);
         let q_cur = Self::q_batch(&mut self.value, &states, &actions);
         (0..n)
-            .map(|r| {
-                (rewards[r] + self.cfg.gamma * q_next.data()[r] - q_cur.data()[r]).abs()
-            })
+            .map(|r| (rewards[r] + self.cfg.gamma * q_next.data()[r] - q_cur.data()[r]).abs())
             .collect()
     }
 

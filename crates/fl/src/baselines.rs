@@ -168,7 +168,10 @@ mod tests {
     fn fedadp_smooths_angles_across_rounds() {
         let mut adp = FedAdp::default();
         let global = vec![0.0f32; 2];
-        let aligned = vec![update(0, 10, vec![1.0, 0.0], 1.0), update(1, 10, vec![1.0, 0.1], 1.0)];
+        let aligned = vec![
+            update(0, 10, vec![1.0, 0.0], 1.0),
+            update(1, 10, vec![1.0, 0.1], 1.0),
+        ];
         let ctx = RoundContext {
             round: 0,
             global_weights: &global,
@@ -183,7 +186,10 @@ mod tests {
         });
         let second = adp.smoothed[&0];
         assert_eq!(second.1, 2, "participation count not tracked");
-        assert!((second.0 - first.0).abs() < 1e-5, "identical geometry should keep the smoothed angle");
+        assert!(
+            (second.0 - first.0).abs() < 1e-5,
+            "identical geometry should keep the smoothed angle"
+        );
     }
 
     #[test]
@@ -204,7 +210,10 @@ mod tests {
             },
         ];
         let alpha = normalize_factors(&s.impact_factors(0, &sums));
-        assert!((alpha[1] - 0.8).abs() < 1e-5, "expected 4:1 split, got {alpha:?}");
+        assert!(
+            (alpha[1] - 0.8).abs() < 1e-5,
+            "expected 4:1 split, got {alpha:?}"
+        );
     }
 
     #[test]

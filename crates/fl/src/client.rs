@@ -216,8 +216,14 @@ mod tests {
             proximal_mu: Some(0.5),
             ..plain_cfg.clone()
         };
-        let plain =
-            run_local_round(model.clone(), &train, &indices, 0, &plain_cfg, &mut Rng64::new(4));
+        let plain = run_local_round(
+            model.clone(),
+            &train,
+            &indices,
+            0,
+            &plain_cfg,
+            &mut Rng64::new(4),
+        );
         let prox = run_local_round(model, &train, &indices, 0, &prox_cfg, &mut Rng64::new(4));
         let dist = |w: &[f32]| -> f32 {
             w.iter()

@@ -40,6 +40,14 @@ pub enum FlError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// The fleet's per-device reliability model is degenerate: a dropout
+    /// spread below 1, a speed-correlation strength outside `[0, 1]`, or
+    /// a `dropout * dropout_skew` product that would push some device's
+    /// rate to a certainty.
+    InvalidReliability {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
     /// A buffered executor was configured with `buffer_size == 0`:
     /// aggregation would never fire.
     ZeroBuffer,
@@ -91,6 +99,9 @@ impl fmt::Display for FlError {
                 "round deadline must be positive and finite, got {deadline_s}"
             ),
             FlError::InvalidFleet { reason } => write!(f, "invalid fleet config: {reason}"),
+            FlError::InvalidReliability { reason } => {
+                write!(f, "invalid reliability model: {reason}")
+            }
             FlError::ZeroBuffer => write!(f, "aggregation buffer must be positive"),
             FlError::BufferExceedsParticipants {
                 buffer_size,
@@ -102,10 +113,9 @@ impl fmt::Display for FlError {
             FlError::InvalidDiscount { reason } => {
                 write!(f, "invalid staleness discount: {reason}")
             }
-            FlError::InvalidServerMix { server_mix } => write!(
-                f,
-                "server mixing rate must be in (0, 1], got {server_mix}"
-            ),
+            FlError::InvalidServerMix { server_mix } => {
+                write!(f, "server mixing rate must be in (0, 1], got {server_mix}")
+            }
             FlError::InvalidSelection { round, reason } => write!(
                 f,
                 "round {round}: selection policy returned an invalid sample: {reason}"
@@ -149,6 +159,10 @@ mod tests {
             reason: "bad alpha".into(),
         };
         assert!(e.to_string().contains("staleness discount: bad alpha"));
+        let e = FlError::InvalidReliability {
+            reason: "strength must be in [0, 1], got 2".into(),
+        };
+        assert!(e.to_string().contains("reliability model: strength"));
     }
 
     #[test]

@@ -29,10 +29,10 @@
 
 use crate::client::ClientUpdate;
 use crate::history::HeteroRoundRecord;
+use feddrl_nn::rng::Rng64;
 use feddrl_sim::comm::CommModel;
 use feddrl_sim::device::{Fleet, FleetConfig};
 use feddrl_sim::event::{EventKind, EventQueue, VirtualClock};
-use feddrl_nn::rng::Rng64;
 use serde::{Deserialize, Serialize};
 
 /// How an update's impact factor is scaled by its staleness `s` — the
@@ -77,9 +77,7 @@ impl StalenessDiscount {
     pub fn factor(&self, staleness: usize) -> f32 {
         let raw = match *self {
             StalenessDiscount::None => return 1.0,
-            StalenessDiscount::Polynomial { alpha } => {
-                (1.0 + staleness as f64).powf(-alpha) as f32
-            }
+            StalenessDiscount::Polynomial { alpha } => (1.0 + staleness as f64).powf(-alpha) as f32,
             StalenessDiscount::Hinge { cutoff } => {
                 if staleness <= cutoff {
                     1.0
@@ -153,8 +151,9 @@ impl HeteroConfig {
     /// surfaces it as a typed error before any compute is spent).
     ///
     /// # Errors
-    /// [`FlError::InvalidDeadline`](crate::error::FlError::InvalidDeadline)
-    /// or [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet).
+    /// [`FlError::InvalidDeadline`](crate::error::FlError::InvalidDeadline),
+    /// [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet) or
+    /// [`FlError::InvalidReliability`](crate::error::FlError::InvalidReliability).
     pub fn validate(&self) -> Result<(), crate::error::FlError> {
         use crate::error::FlError;
         if let Some(d) = self.deadline_s {
@@ -163,10 +162,20 @@ impl HeteroConfig {
             }
         }
         self.staleness.validate()?;
-        self.fleet
-            .validate()
-            .map_err(|reason| FlError::InvalidFleet { reason })
+        validate_fleet(&self.fleet)
     }
+}
+
+/// Shared fleet validation mapping the two halves of
+/// [`FleetConfig::validate`] to their distinct typed errors.
+fn validate_fleet(fleet: &FleetConfig) -> Result<(), crate::error::FlError> {
+    use crate::error::FlError;
+    fleet
+        .validate_base()
+        .map_err(|reason| FlError::InvalidFleet { reason })?;
+    fleet
+        .validate_reliability()
+        .map_err(|reason| FlError::InvalidReliability { reason })
 }
 
 /// Buffered asynchronous execution knobs (FedAsync/FedBuff-style).
@@ -212,8 +221,9 @@ impl BufferedConfig {
     /// # Errors
     /// [`FlError::ZeroBuffer`](crate::error::FlError::ZeroBuffer),
     /// [`FlError::BufferExceedsParticipants`](crate::error::FlError::BufferExceedsParticipants),
-    /// [`FlError::InvalidDiscount`](crate::error::FlError::InvalidDiscount)
-    /// or [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet).
+    /// [`FlError::InvalidDiscount`](crate::error::FlError::InvalidDiscount),
+    /// [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet) or
+    /// [`FlError::InvalidReliability`](crate::error::FlError::InvalidReliability).
     pub fn validate(&self, participants: usize) -> Result<(), crate::error::FlError> {
         use crate::error::FlError;
         if self.buffer_size == 0 {
@@ -231,9 +241,7 @@ impl BufferedConfig {
             }
         }
         self.staleness.validate()?;
-        self.fleet
-            .validate()
-            .map_err(|reason| FlError::InvalidFleet { reason })
+        validate_fleet(&self.fleet)
     }
 }
 
@@ -279,6 +287,49 @@ impl ExecutorConfig {
                 participants,
                 seed,
             )),
+        }
+    }
+}
+
+/// Per-client reliability telemetry a heterogeneity-aware executor
+/// accumulates over a run — the *observed* counterpart to the fleet's
+/// configured [`DeviceProfile`](feddrl_sim::device::DeviceProfile) rates,
+/// which selection policies are not allowed to read directly (a real
+/// server never knows a device's true failure probability, only what it
+/// has seen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientReliability {
+    /// Times this client was sampled and its device failed the round
+    /// before training.
+    pub dropouts: usize,
+    /// Times this client was sampled and actually dispatched to train.
+    pub dispatches: usize,
+    /// Updates from this client the server has aggregated.
+    pub aggregated: usize,
+    /// Total staleness (in model versions) over its aggregated updates.
+    pub staleness_sum: usize,
+}
+
+impl ClientReliability {
+    /// Observed dropout frequency: failures over times the server tried
+    /// this client (0 while the client is unobserved).
+    pub fn dropout_rate(&self) -> f64 {
+        let tried = self.dropouts + self.dispatches;
+        if tried == 0 {
+            0.0
+        } else {
+            self.dropouts as f64 / tried as f64
+        }
+    }
+
+    /// Mean staleness over this client's aggregated updates (0 while none
+    /// arrived) — chronically high values mark the slow devices an
+    /// async-aware policy should dispatch while they are idle.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.aggregated == 0 {
+            0.0
+        } else {
+            self.staleness_sum as f64 / self.aggregated as f64
         }
     }
 }
@@ -346,6 +397,26 @@ pub trait RoundExecutor: Send {
     fn server_mix(&self) -> f64 {
         1.0
     }
+
+    /// Clients whose dispatched update is still on its way to the server
+    /// — training, uploading, or parked in an unconsumed server-side
+    /// queue. Sampling them again either wastes the slot (the buffered
+    /// executor skips busy devices at dispatch) or supersedes — discards
+    /// — the queued stale update (the deadline executor's carry-over), so
+    /// async-aware selection policies rank them last. Executors that end
+    /// every round with nothing pending keep the empty default.
+    fn in_flight_clients(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Per-client reliability telemetry observed so far, indexed by
+    /// client id — dropout counts and staleness history a
+    /// [`SelectionPolicy`](crate::selection::SelectionPolicy) can learn
+    /// from. `None` for executors without a device model (the ideal one
+    /// never drops anyone).
+    fn reliability(&self) -> Option<&[ClientReliability]> {
+        None
+    }
 }
 
 /// The paper's idealized synchronous round: everyone trains, everyone
@@ -388,6 +459,9 @@ pub struct DeadlineExecutor {
     /// version it was trained against — the carry-in ages it by the
     /// difference (only under [`LatePolicy::CarryOver`]).
     carried: Vec<(ClientUpdate, usize)>,
+    /// Observed per-client reliability telemetry (dropouts, dispatches,
+    /// aggregated updates and their staleness), indexed by client id.
+    stats: Vec<ClientReliability>,
 }
 
 impl DeadlineExecutor {
@@ -420,6 +494,7 @@ impl DeadlineExecutor {
             seed,
             version: 0,
             carried: Vec::new(),
+            stats: vec![ClientReliability::default(); n_clients],
         }
     }
 
@@ -451,6 +526,18 @@ impl RoundExecutor for DeadlineExecutor {
         self.cfg.staleness
     }
 
+    fn reliability(&self) -> Option<&[ClientReliability]> {
+        Some(&self.stats)
+    }
+
+    fn in_flight_clients(&self) -> Vec<usize> {
+        // Under `LatePolicy::CarryOver` a straggler's late update waits in
+        // the carried queue between rounds; re-dispatching its client
+        // would supersede (discard) that queued work, so selection
+        // policies should treat it as pending. Always empty under `Drop`.
+        self.carried.iter().map(|(u, _)| u.client_id).collect()
+    }
+
     fn execute(
         &mut self,
         round: usize,
@@ -473,12 +560,14 @@ impl RoundExecutor for DeadlineExecutor {
             let profile = self.fleet.profile(cid);
             if profile.dropout > 0.0 && dropout_rng.derive(cid as u64).chance(profile.dropout) {
                 dropouts += 1;
+                self.stats[cid].dropouts += 1;
             } else if self.cfg.late_policy == LatePolicy::Drop
                 && profile.completion_time_s(self.upload_bytes) > deadline
             {
                 foregone_stragglers += 1;
             } else {
                 alive.push(cid);
+                self.stats[cid].dispatches += 1;
             }
         }
 
@@ -489,7 +578,9 @@ impl RoundExecutor for DeadlineExecutor {
         let mut queue = EventQueue::new();
         for u in &updates {
             queue.schedule(
-                self.fleet.profile(u.client_id).completion_time_s(self.upload_bytes),
+                self.fleet
+                    .profile(u.client_id)
+                    .completion_time_s(self.upload_bytes),
                 EventKind::UploadComplete {
                     client_id: u.client_id,
                     // The model version these uploads trained against —
@@ -587,6 +678,10 @@ impl RoundExecutor for DeadlineExecutor {
         } else {
             Vec::new()
         };
+        for u in &aggregated {
+            self.stats[u.client_id].aggregated += 1;
+            self.stats[u.client_id].staleness_sum += u.staleness;
+        }
         if !aggregated.is_empty() {
             self.version += 1; // the session will produce a new global
         }
@@ -645,6 +740,9 @@ pub struct BufferedExecutor {
     /// each with the model version it was trained against. Never holds
     /// `buffer_size` or more entries between rounds.
     buffer: Vec<(ClientUpdate, usize)>,
+    /// Observed per-client reliability telemetry (dropouts, dispatches,
+    /// aggregated updates and their staleness), indexed by client id.
+    stats: Vec<ClientReliability>,
 }
 
 impl BufferedExecutor {
@@ -679,6 +777,7 @@ impl BufferedExecutor {
             version: 0,
             in_flight: Vec::new(),
             buffer: Vec::new(),
+            stats: vec![ClientReliability::default(); n_clients],
         }
     }
 
@@ -720,6 +819,21 @@ impl RoundExecutor for BufferedExecutor {
         self.cfg.server_mix.unwrap_or(1.0)
     }
 
+    fn in_flight_clients(&self) -> Vec<usize> {
+        // Read straight off the live event state: uploads still traveling
+        // plus reports parked in the partial buffer — both make their
+        // client "busy" at the next dispatch.
+        self.in_flight
+            .iter()
+            .chain(self.buffer.iter())
+            .map(|(u, _)| u.client_id)
+            .collect()
+    }
+
+    fn reliability(&self) -> Option<&[ClientReliability]> {
+        Some(&self.stats)
+    }
+
     fn execute(
         &mut self,
         round: usize,
@@ -743,17 +857,23 @@ impl RoundExecutor for BufferedExecutor {
                 || self.buffer.iter().any(|(u, _)| u.client_id == cid)
             {
                 busy += 1;
-            } else if profile.dropout > 0.0 && dropout_rng.derive(cid as u64).chance(profile.dropout)
+            } else if profile.dropout > 0.0
+                && dropout_rng.derive(cid as u64).chance(profile.dropout)
             {
                 dropouts += 1;
+                self.stats[cid].dropouts += 1;
             } else {
                 alive.push(cid);
+                self.stats[cid].dispatches += 1;
             }
         }
         let version = self.version;
         for u in train(&alive) {
             let arrival_s = self.clock.now_s()
-                + self.fleet.profile(u.client_id).completion_time_s(self.upload_bytes);
+                + self
+                    .fleet
+                    .profile(u.client_id)
+                    .completion_time_s(self.upload_bytes);
             self.queue.schedule(
                 arrival_s,
                 EventKind::UploadComplete {
@@ -792,6 +912,8 @@ impl RoundExecutor for BufferedExecutor {
             for (mut u, trained_version) in self.buffer.drain(..) {
                 u.staleness = self.version - trained_version;
                 staleness.push(u.staleness);
+                self.stats[u.client_id].aggregated += 1;
+                self.stats[u.client_id].staleness_sum += u.staleness;
                 aggregated.push(u);
             }
             self.version += 1;
@@ -901,8 +1023,14 @@ mod tests {
         assert_eq!(h.sim_time_s, deadline);
         // Exactly the in-time devices arrived.
         for u in &out.updates {
-            let t = ex.fleet().profile(u.client_id).completion_time_s(ex.upload_bytes());
-            assert!(t <= deadline, "straggler {t} leaked past deadline {deadline}");
+            let t = ex
+                .fleet()
+                .profile(u.client_id)
+                .completion_time_s(ex.upload_bytes());
+            assert!(
+                t <= deadline,
+                "straggler {t} leaked past deadline {deadline}"
+            );
         }
     }
 
@@ -977,12 +1105,21 @@ mod tests {
         let o0 = ex.execute(0, &[0, 1], &stub_train);
         assert_eq!(o0.hetero.unwrap().stragglers, 2);
         assert!(o0.updates.is_empty());
+        // Their late updates now wait server-side: selection policies
+        // must see them as pending so re-dispatch (which would supersede
+        // the queued work) is a last resort.
+        assert_eq!(RoundExecutor::in_flight_clients(&ex), vec![0, 1]);
         // Round 1: clients 2, 3 also straggle — zero fresh arrivals, so
         // the two queued updates finally fill the round's capacity.
         let o1 = ex.execute(1, &[2, 3], &stub_train);
         let h1 = o1.hetero.unwrap();
         assert_eq!(h1.carried_in, 2);
         assert_eq!(h1.aggregated_ids, vec![0, 1]);
+        assert_eq!(
+            RoundExecutor::in_flight_clients(&ex),
+            vec![2, 3],
+            "consumed carried updates must leave the pending set"
+        );
         // Round 2: the newer stale updates (2, 3) ride in next — nothing
         // was silently discarded while capacity was available.
         let o2 = ex.execute(2, &[4, 5], &stub_train);
@@ -1046,7 +1183,9 @@ mod tests {
                 "alpha = {alpha} accepted"
             );
         }
-        StalenessDiscount::Polynomial { alpha: 0.0 }.validate().unwrap();
+        StalenessDiscount::Polynomial { alpha: 0.0 }
+            .validate()
+            .unwrap();
         StalenessDiscount::Hinge { cutoff: 0 }.validate().unwrap();
         StalenessDiscount::None.validate().unwrap();
     }
@@ -1078,7 +1217,10 @@ mod tests {
         };
         let fast: Vec<usize> = (0..16).filter(|&c| in_time(&ex, c)).collect();
         let slow: Vec<usize> = (0..16).filter(|&c| !in_time(&ex, c)).collect();
-        assert!(fast.len() >= 3 && slow.len() >= 2, "median deadline must split the fleet");
+        assert!(
+            fast.len() >= 3 && slow.len() >= 2,
+            "median deadline must split the fleet"
+        );
 
         // Round 0: two stragglers get queued, trained against model
         // version 0 (nothing aggregates, so the version stays 0).
@@ -1114,7 +1256,10 @@ mod tests {
             alphas[0],
             alphas[1]
         );
-        assert!((alphas[0] - 0.25).abs() < 1e-6, "1/(1+2) vs 1 should normalize to 1/4");
+        assert!(
+            (alphas[0] - 0.25).abs() < 1e-6,
+            "1/(1+2) vs 1 should normalize to 1/4"
+        );
     }
 
     fn buffered_cfg(skew: f64, m: usize) -> BufferedConfig {
@@ -1150,15 +1295,20 @@ mod tests {
     #[test]
     fn small_buffer_aggregates_fastest_arrivals_and_marks_staleness() {
         let mut ex = BufferedExecutor::new(buffered_cfg(8.0, 2), 4, 1000, 4, 7);
-        let completion =
-            |ex: &BufferedExecutor, c: usize| ex.fleet().profile(c).completion_time_s(ex.upload_bytes());
+        let completion = |ex: &BufferedExecutor, c: usize| {
+            ex.fleet().profile(c).completion_time_s(ex.upload_bytes())
+        };
         let mut order: Vec<usize> = (0..4).collect();
         order.sort_by(|&a, &b| completion(&ex, a).total_cmp(&completion(&ex, b)));
 
         let out = ex.execute(0, &[0, 1, 2, 3], &stub_train);
         let h = out.hetero.unwrap();
         let ids: Vec<usize> = out.updates.iter().map(|u| u.client_id).collect();
-        assert_eq!(ids, order[..2].to_vec(), "buffer must fill with the fastest uploads");
+        assert_eq!(
+            ids,
+            order[..2].to_vec(),
+            "buffer must fill with the fastest uploads"
+        );
         assert!((h.sim_time_s - completion(&ex, order[1])).abs() < 1e-9);
         assert_eq!(ex.in_flight(), 2, "slow updates stay in flight");
 
@@ -1208,6 +1358,87 @@ mod tests {
             aggregated + ex.in_flight() + ex.buffered(),
             "dispatch accounting must close"
         );
+    }
+
+    #[test]
+    fn ideal_executor_reports_no_reliability_telemetry() {
+        let ex = IdealExecutor;
+        assert!(RoundExecutor::reliability(&ex).is_none());
+        assert!(RoundExecutor::in_flight_clients(&ex).is_empty());
+    }
+
+    #[test]
+    fn deadline_telemetry_accounts_for_every_sample() {
+        let mut ex = DeadlineExecutor::new(skewed_cfg(None, 0.4), 10, 500, 10, 21);
+        let selected: Vec<usize> = (0..10).collect();
+        let mut total_dropouts = 0;
+        for round in 0..20 {
+            let out = ex.execute(round, &selected, &stub_train);
+            total_dropouts += out.hetero.unwrap().dropouts;
+        }
+        let stats = RoundExecutor::reliability(&ex).expect("deadline executor records telemetry");
+        assert_eq!(stats.len(), 10);
+        let mut dropouts = 0;
+        for (cid, s) in stats.iter().enumerate() {
+            // Unbounded deadline: every sample either drops or trains.
+            assert_eq!(s.dropouts + s.dispatches, 20, "client {cid} samples lost");
+            assert_eq!(s.aggregated, s.dispatches, "client {cid} updates lost");
+            assert!((0.0..=1.0).contains(&s.dropout_rate()));
+            dropouts += s.dropouts;
+        }
+        assert_eq!(
+            dropouts, total_dropouts,
+            "per-client dropouts disagree with telemetry"
+        );
+        // p = 0.4 over 200 samples: the observed rates must spread around
+        // the configured one rather than collapse to 0 or 1.
+        let mean_rate: f64 = stats.iter().map(|s| s.dropout_rate()).sum::<f64>() / 10.0;
+        assert!(
+            (0.15..0.65).contains(&mean_rate),
+            "implausible mean rate {mean_rate}"
+        );
+        // Round-barrier executor: nothing is ever in flight between rounds.
+        assert!(RoundExecutor::in_flight_clients(&ex).is_empty());
+    }
+
+    #[test]
+    fn buffered_in_flight_accessor_reads_the_live_queue() {
+        let mut ex = BufferedExecutor::new(buffered_cfg(8.0, 2), 4, 1000, 4, 7);
+        let out = ex.execute(0, &[0, 1, 2, 3], &stub_train);
+        assert_eq!(out.updates.len(), 2);
+        let in_flight = RoundExecutor::in_flight_clients(&ex);
+        assert_eq!(in_flight.len(), ex.in_flight() + ex.buffered());
+        // The two slow uploads still traveling are exactly the sampled
+        // clients whose updates did not aggregate.
+        let aggregated: Vec<usize> = out.updates.iter().map(|u| u.client_id).collect();
+        for cid in 0..4usize {
+            assert_eq!(
+                in_flight.contains(&cid),
+                !aggregated.contains(&cid),
+                "client {cid} in-flight state wrong"
+            );
+        }
+        // Telemetry: everyone was dispatched once, the fast pair aggregated.
+        let stats = RoundExecutor::reliability(&ex).unwrap();
+        for (cid, s) in stats.iter().enumerate() {
+            assert_eq!(s.dispatches, 1);
+            assert_eq!(s.aggregated, usize::from(aggregated.contains(&cid)));
+        }
+    }
+
+    #[test]
+    fn reliability_rates_default_to_zero_when_unobserved() {
+        let s = ClientReliability::default();
+        assert_eq!(s.dropout_rate(), 0.0);
+        assert_eq!(s.mean_staleness(), 0.0);
+        let s = ClientReliability {
+            dropouts: 3,
+            dispatches: 1,
+            aggregated: 2,
+            staleness_sum: 5,
+        };
+        assert!((s.dropout_rate() - 0.75).abs() < 1e-12);
+        assert!((s.mean_staleness() - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -204,7 +204,8 @@ impl RunHistory {
 
     /// CSV with one row per round: `round,accuracy,loss,strategy_us,agg_us`.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("round,test_accuracy,test_loss,strategy_micros,aggregate_micros\n");
+        let mut out =
+            String::from("round,test_accuracy,test_loss,strategy_micros,aggregate_micros\n");
         for r in &self.records {
             out.push_str(&format!(
                 "{},{:.6},{:.6},{},{}\n",
@@ -348,7 +349,10 @@ mod tests {
         let json = serde_json::to_string(&hetero_history()).unwrap();
         assert!(!json.contains("busy"), "zero busy leaked: {json}");
         assert!(!json.contains("buffered"), "zero buffered leaked: {json}");
-        assert!(!json.contains("staleness"), "empty staleness leaked: {json}");
+        assert!(
+            !json.contains("staleness"),
+            "empty staleness leaked: {json}"
+        );
         // ...and the omitted keys deserialize back to their defaults.
         let back: RunHistory = serde_json::from_str(&json).unwrap();
         let h = back.records[0].hetero.as_ref().unwrap();
@@ -381,7 +385,7 @@ mod tests {
     #[test]
     fn sim_time_to_accuracy_accumulates_until_target() {
         let h = hetero_history(); // accuracies 0.1..0.5, times 10..14
-        // 0.3 is first reached at round 2: 10 + 11 + 12 seconds elapsed.
+                                  // 0.3 is first reached at round 2: 10 + 11 + 12 seconds elapsed.
         assert_eq!(h.sim_time_to_accuracy_s(0.3), Some(33.0));
         assert_eq!(h.sim_time_to_accuracy_s(0.9), None);
         assert_eq!(toy_history().sim_time_to_accuracy_s(0.3), Some(0.0));

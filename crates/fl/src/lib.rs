@@ -9,8 +9,10 @@
 //!   [`strategy::FedAvg`], [`strategy::FedProx`] and a uniform ablation
 //!   baseline (FedDRL plugs in from the `feddrl` crate);
 //! * [`selection`] — the pluggable client-selection abstraction (uniform,
-//!   power-of-choice, bandwidth-aware, or bring-your-own policy observing
-//!   per-client losses, participation counts and device profiles);
+//!   power-of-choice, bandwidth-aware, reliability-aware,
+//!   staleness-balanced, or bring-your-own policy observing per-client
+//!   losses, participation counts, device profiles, the executor's live
+//!   in-flight set, and observed dropout/staleness telemetry);
 //! * [`executor`] — the round-execution abstraction: the paper's ideal
 //!   synchronous setting, deadline-bounded rounds over a heterogeneous
 //!   device fleet (stragglers, dropouts), or buffered asynchronous
@@ -72,26 +74,27 @@ pub mod strategy;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::baselines::{FedAdp, LossProportional};
     pub use crate::client::{ClientSummary, ClientUpdate, LocalTrainConfig};
     pub use crate::error::FlError;
     pub use crate::executor::{
-        BufferedConfig, BufferedExecutor, DeadlineExecutor, ExecutorConfig, HeteroConfig,
-        IdealExecutor, LatePolicy, RoundExecutor, RoundOutcome, StalenessDiscount,
+        BufferedConfig, BufferedExecutor, ClientReliability, DeadlineExecutor, ExecutorConfig,
+        HeteroConfig, IdealExecutor, LatePolicy, RoundExecutor, RoundOutcome, StalenessDiscount,
     };
     pub use crate::history::{HeteroRoundRecord, RoundRecord, RunHistory};
     pub use crate::metrics::{
         best_accuracy, evaluate, inference_loss, mean_var, rounds_to_target, ConvergenceStats,
     };
     pub use crate::selection::{
-        BandwidthAwareSelection, PowerOfChoiceSelection, Selection, SelectionContext,
-        SelectionPolicy, UniformSelection,
+        BandwidthAwareSelection, PowerOfChoiceSelection, ReliabilityAwareSelection, Selection,
+        SelectionContext, SelectionPolicy, StalenessBalancedSelection, UniformSelection,
     };
     pub use crate::server::{run_federated, FlConfig};
     pub use crate::session::{
-        EarlyStop, ProgressLogger, RoundControl, RoundObserver, Session, SessionBuilder,
+        EarlyStop, ProgressLogger, RoundControl, RoundObserver, RoundSignals, Session,
+        SessionBuilder,
     };
     pub use crate::singleset::{run_singleset, SingleSetConfig};
-    pub use crate::baselines::{FedAdp, LossProportional};
     pub use crate::strategy::{
         normalize_factors, weighted_average, FedAvg, FedProx, RoundContext, Strategy, Uniform,
     };

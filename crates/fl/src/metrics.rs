@@ -120,7 +120,10 @@ mod tests {
         let indices: Vec<usize> = (0..333).collect();
         let a = inference_loss(&mut model, &train, &indices, 7);
         let b = inference_loss(&mut model, &train, &indices, 333);
-        assert!((a - b).abs() < 1e-4, "batching changed the loss: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-4,
+            "batching changed the loss: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! historically used — so built-in policies reproduce old histories
 //! bit-for-bit and every policy is deterministic under a fixed seed.
 
+use crate::executor::ClientReliability;
 use feddrl_nn::rng::Rng64;
 use feddrl_sim::device::Fleet;
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,25 @@ pub enum Selection {
         /// Candidate pool size `d` (clamped to `[K, N]`).
         candidates: usize,
     },
+    /// Reliability-aware power-of-choice: candidates are ranked by
+    /// *expected* utility — last-known loss times the observed probability
+    /// of actually reporting back — so a slot is never knowingly wasted on
+    /// a chronically flaky device unless it is informative enough to be
+    /// worth the gamble (see [`ReliabilityAwareSelection`]).
+    ReliabilityAware {
+        /// Candidate pool size `d` (clamped to `[K, N]`).
+        candidates: usize,
+    },
+    /// Staleness-balancing selection for asynchronous executors: idle slow
+    /// devices — whose updates arrive chronically stale and would
+    /// otherwise be crowded out by the fast-client skew — are oversampled,
+    /// and clients with an update already in flight are ranked last (the
+    /// executor would skip them as busy, wasting the slot; see
+    /// [`StalenessBalancedSelection`]).
+    StalenessBalanced {
+        /// Candidate pool size `d` (clamped to `[K, N]`).
+        candidates: usize,
+    },
 }
 
 impl Selection {
@@ -63,6 +83,12 @@ impl Selection {
             }
             Selection::BandwidthAware { candidates } => {
                 Box::new(BandwidthAwareSelection { candidates })
+            }
+            Selection::ReliabilityAware { candidates } => {
+                Box::new(ReliabilityAwareSelection { candidates })
+            }
+            Selection::StalenessBalanced { candidates } => {
+                Box::new(StalenessBalancedSelection { candidates })
             }
         }
     }
@@ -92,6 +118,18 @@ pub struct SelectionContext<'a> {
     pub upload_bytes: u64,
     /// The executor's round deadline in simulated seconds, if bounded.
     pub deadline_s: Option<f64>,
+    /// Clients whose dispatched update is still on its way to the server
+    /// (training, uploading, or parked in an unconsumed aggregation
+    /// buffer) — sampling them again wastes the slot, because the
+    /// executor skips busy devices at dispatch. Empty under round-barrier
+    /// executors, which end every round with nothing in flight.
+    pub in_flight: &'a [usize],
+    /// Per-client *observed* reliability telemetry — dropout counts and
+    /// staleness history the executor accumulated so far, indexed by
+    /// client id. `None` for executors without a device model. Policies
+    /// see only what the server has witnessed, never the fleet's true
+    /// failure probabilities.
+    pub reliability: Option<&'a [ClientReliability]>,
 }
 
 impl SelectionContext<'_> {
@@ -101,6 +139,26 @@ impl SelectionContext<'_> {
     pub fn predicted_completion_s(&self, client_id: usize) -> Option<f64> {
         self.fleet
             .map(|f| f.profile(client_id).completion_time_s(self.upload_bytes))
+    }
+
+    /// Whether `client_id` has an update in flight (the executor would
+    /// skip it as busy this round).
+    pub fn is_in_flight(&self, client_id: usize) -> bool {
+        self.in_flight.contains(&client_id)
+    }
+
+    /// Observed dropout frequency of `client_id` (0 while the client has
+    /// never been tried, or when the executor records no telemetry).
+    pub fn observed_dropout_rate(&self, client_id: usize) -> f64 {
+        self.reliability
+            .map_or(0.0, |stats| stats[client_id].dropout_rate())
+    }
+
+    /// Mean observed staleness of `client_id`'s aggregated updates (0
+    /// while none arrived, or without telemetry).
+    pub fn observed_staleness(&self, client_id: usize) -> f64 {
+        self.reliability
+            .map_or(0.0, |stats| stats[client_id].mean_staleness())
     }
 }
 
@@ -217,6 +275,139 @@ impl SelectionPolicy for BandwidthAwareSelection {
     }
 }
 
+/// Reliability-aware power-of-choice (the ROADMAP's dropout-avoiding
+/// policy): candidates are ranked by *expected utility* — last-known loss
+/// times the observed probability of reporting back — so the policy
+/// debiases toward flaky-but-informative clients instead of either
+/// wasting slots on chronic dropouts or starving them entirely.
+///
+/// The report probability is estimated from the executor's telemetry with
+/// an optimistic add-one prior, `1 - dropouts / (tried + 1)`: an
+/// untried client scores at full loss (so everyone is profiled), and a
+/// single observed failure cannot blacklist a device. Clients with an
+/// update already in flight are ranked behind every idle candidate — the
+/// executor would skip them as busy, wasting the slot. Without telemetry
+/// (ideal executor) the policy degrades to pure loss-biased
+/// power-of-choice.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilityAwareSelection {
+    /// Candidate pool size `d` (clamped to `[K, N]`).
+    pub candidates: usize,
+}
+
+/// Observed report probability with the add-one prior (see
+/// [`ReliabilityAwareSelection`]).
+fn report_probability(ctx: &SelectionContext<'_>, client_id: usize) -> f64 {
+    match ctx.reliability {
+        None => 1.0,
+        Some(stats) => {
+            let s = &stats[client_id];
+            1.0 - s.dropouts as f64 / (s.dropouts + s.dispatches + 1) as f64
+        }
+    }
+}
+
+/// Sort `pool` viable-before-unviable, then by `score` descending;
+/// stable, so ties keep the uniformly-sampled pool order and the result
+/// is deterministic under a fixed seed. Returns the first `k`.
+///
+/// Unviable — kept only when the pool has nothing better — means busy
+/// (an update in flight: the executor would skip the dispatch) or a
+/// predicted straggler under a bounded deadline (the same last-resort
+/// rule [`BandwidthAwareSelection`] applies). The straggler tier matters
+/// doubly for telemetry-driven policies: under [`LatePolicy::Drop`] a
+/// predicted straggler is skipped *before* dispatch, so it never enters
+/// the observed dropout counts or loss table — without this tier it
+/// would keep its optimistic unobserved score and win a wasted slot
+/// every single round.
+///
+/// [`LatePolicy::Drop`]: crate::executor::LatePolicy::Drop
+fn rank_and_take(
+    pool: Vec<usize>,
+    ctx: &SelectionContext<'_>,
+    k: usize,
+    score: impl Fn(usize) -> f64,
+) -> Vec<usize> {
+    // Index the in-flight set once: a per-candidate `is_in_flight` scan
+    // is quadratic over wide pools with many updates in the air.
+    let mut busy = vec![false; ctx.n_clients];
+    for &c in ctx.in_flight {
+        busy[c] = true;
+    }
+    let doomed = |c: usize| -> bool {
+        match (ctx.deadline_s, ctx.predicted_completion_s(c)) {
+            (Some(dl), Some(t)) => t > dl,
+            _ => false,
+        }
+    };
+    let mut scored: Vec<(usize, bool, f64)> = pool
+        .into_iter()
+        .map(|c| (c, busy[c] || doomed(c), score(c)))
+        .collect();
+    scored.sort_by(|a, b| {
+        a.1.cmp(&b.1)
+            .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(Ordering::Equal))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(c, _, _)| c).collect()
+}
+
+impl SelectionPolicy for ReliabilityAwareSelection {
+    fn name(&self) -> &'static str {
+        "reliability-aware"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng64) -> Vec<usize> {
+        let d = self.candidates.clamp(ctx.participants, ctx.n_clients);
+        let pool = rng.sample_indices(ctx.n_clients, d);
+        let prior = ctx
+            .known_loss
+            .iter()
+            .filter_map(|l| *l)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let prior = if prior.is_finite() { prior } else { 1.0 };
+        rank_and_take(pool, ctx, ctx.participants, |c| {
+            let loss = f64::from(ctx.known_loss[c].unwrap_or(prior));
+            loss * report_probability(ctx, c)
+        })
+    }
+}
+
+/// Staleness-balancing selection (the ROADMAP's async-aware policy): the
+/// buffered executor's fast-client skew means slow devices contribute
+/// rarely and, when they do, chronically stale — on non-IID data their
+/// distributions are then underrepresented in the global model. This
+/// policy oversamples *idle slow* devices, scoring each idle candidate by
+/// `(1 + mean observed staleness) · predicted completion time` — a slow
+/// device is dispatched the moment it goes idle (keeping it continuously
+/// training, which is the only way to raise its update frequency), while
+/// fast devices can catch up in any later round. Clients with an update
+/// in flight rank behind every idle candidate: the executor would skip
+/// them as busy, wasting the slot.
+///
+/// Without a fleet or telemetry every score ties and the stable ranking
+/// preserves the uniformly-sampled pool order — a graceful degradation to
+/// uniform sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct StalenessBalancedSelection {
+    /// Candidate pool size `d` (clamped to `[K, N]`).
+    pub candidates: usize,
+}
+
+impl SelectionPolicy for StalenessBalancedSelection {
+    fn name(&self) -> &'static str {
+        "staleness-balanced"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng64) -> Vec<usize> {
+        let d = self.candidates.clamp(ctx.participants, ctx.n_clients);
+        let pool = rng.sample_indices(ctx.n_clients, d);
+        rank_and_take(pool, ctx, ctx.participants, |c| {
+            (1.0 + ctx.observed_staleness(c)) * ctx.predicted_completion_s(c).unwrap_or(1.0)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +432,8 @@ mod tests {
             fleet: None,
             upload_bytes: 0,
             deadline_s: None,
+            in_flight: &[],
+            reliability: None,
         }
     }
 
@@ -263,6 +456,16 @@ mod tests {
         assert_eq!(
             Selection::BandwidthAware { candidates: 8 }.build().name(),
             "bandwidth-aware"
+        );
+        assert_eq!(
+            Selection::ReliabilityAware { candidates: 8 }.build().name(),
+            "reliability-aware"
+        );
+        assert_eq!(
+            Selection::StalenessBalanced { candidates: 8 }
+                .build()
+                .name(),
+            "staleness-balanced"
         );
     }
 
@@ -330,6 +533,197 @@ mod tests {
         let picked = policy.select(&ctx, &mut Rng64::new(2));
         // Losses rise with the id, the pool is the whole fleet: the three
         // highest ids must win.
-        assert_eq!({ let mut p = picked; p.sort_unstable(); p }, vec![7, 8, 9]);
+        assert_eq!(
+            {
+                let mut p = picked;
+                p.sort_unstable();
+                p
+            },
+            vec![7, 8, 9]
+        );
+    }
+
+    /// Telemetry where client `i` has dropped `drops[i]` of 10 tries.
+    fn stats_from_drops(drops: &[usize]) -> Vec<ClientReliability> {
+        drops
+            .iter()
+            .map(|&d| ClientReliability {
+                dropouts: d,
+                dispatches: 10 - d,
+                aggregated: 10 - d,
+                staleness_sum: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reliability_aware_discounts_flaky_clients_by_expected_utility() {
+        // Equal losses; client 2 dropped 9 of 10 tries, client 5 none.
+        let loss = vec![Some(1.0f32); 6];
+        let part = vec![0; 6];
+        let stats = stats_from_drops(&[0, 0, 9, 0, 0, 0]);
+        let ctx = SelectionContext {
+            reliability: Some(&stats),
+            ..base_ctx(6, 5, &loss, &part)
+        };
+        let picked = ReliabilityAwareSelection { candidates: 6 }.select(&ctx, &mut Rng64::new(4));
+        assert_valid_sample(&picked, 6, 5);
+        assert!(
+            !picked.contains(&2),
+            "chronic dropout kept over reliable peers"
+        );
+    }
+
+    #[test]
+    fn reliability_aware_keeps_flaky_but_informative_clients() {
+        // Client 0 drops half its rounds but its loss towers over the
+        // rest: expected utility 1.0 * (1 - 5/11) ≈ 0.55 still beats the
+        // reliable clients' 0.1 — flaky-but-informative wins the slot.
+        let mut loss = vec![Some(0.1f32); 6];
+        loss[0] = Some(1.0);
+        let part = vec![0; 6];
+        let stats = stats_from_drops(&[5, 0, 0, 0, 0, 0]);
+        let ctx = SelectionContext {
+            reliability: Some(&stats),
+            ..base_ctx(6, 2, &loss, &part)
+        };
+        let picked = ReliabilityAwareSelection { candidates: 6 }.select(&ctx, &mut Rng64::new(4));
+        assert!(picked.contains(&0), "informative flaky client starved");
+    }
+
+    /// Regression: under `LatePolicy::Drop` a predicted straggler is
+    /// skipped *before* dispatch, so it never enters telemetry or the
+    /// loss table — without the last-resort tier its forever-unobserved
+    /// optimistic score would win a wasted slot every round.
+    #[test]
+    fn reliability_and_staleness_policies_downrank_predicted_stragglers() {
+        let loss = vec![None; 8]; // nothing observed: everyone at the prior
+        let part = vec![0; 8];
+        let fleet = Fleet::generate(
+            8,
+            &FleetConfig {
+                compute_skew: 6.0,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let upload = 1_000_000;
+        let deadline = fleet.completion_percentile_s(upload, 0.5);
+        let ctx = SelectionContext {
+            fleet: Some(&fleet),
+            upload_bytes: upload,
+            deadline_s: Some(deadline),
+            ..base_ctx(8, 3, &loss, &part)
+        };
+        for mut policy in [
+            Box::new(ReliabilityAwareSelection { candidates: 8 }) as Box<dyn SelectionPolicy>,
+            Box::new(StalenessBalancedSelection { candidates: 8 }),
+        ] {
+            let picked = policy.select(&ctx, &mut Rng64::new(5));
+            assert_valid_sample(&picked, 8, 3);
+            for &c in &picked {
+                let t = ctx.predicted_completion_s(c).unwrap();
+                assert!(
+                    t <= deadline,
+                    "{} kept a predicted straggler ({t:.1}s > {deadline:.1}s) \
+                     with in-time candidates available",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_aware_without_telemetry_is_loss_biased() {
+        let (loss, part) = ctx_parts(10);
+        let ctx = base_ctx(10, 3, &loss, &part);
+        let picked = ReliabilityAwareSelection { candidates: 10 }.select(&ctx, &mut Rng64::new(2));
+        assert_eq!(
+            {
+                let mut p = picked;
+                p.sort_unstable();
+                p
+            },
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn staleness_balanced_oversamples_idle_slow_devices() {
+        let (loss, part) = ctx_parts(8);
+        let fleet = Fleet::generate(
+            8,
+            &FleetConfig {
+                compute_skew: 6.0,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let upload = 1_000_000;
+        let ctx = SelectionContext {
+            fleet: Some(&fleet),
+            upload_bytes: upload,
+            ..base_ctx(8, 3, &loss, &part)
+        };
+        let picked = StalenessBalancedSelection { candidates: 8 }.select(&ctx, &mut Rng64::new(5));
+        assert_valid_sample(&picked, 8, 3);
+        // Full pool, no history, everyone idle: exactly the three slowest
+        // devices must be chosen.
+        let mut by_slowness: Vec<usize> = (0..8).collect();
+        by_slowness.sort_by(|&a, &b| {
+            fleet
+                .profile(b)
+                .completion_time_s(upload)
+                .total_cmp(&fleet.profile(a).completion_time_s(upload))
+        });
+        let mut expected = by_slowness[..3].to_vec();
+        expected.sort_unstable();
+        assert_eq!(
+            {
+                let mut p = picked;
+                p.sort_unstable();
+                p
+            },
+            expected
+        );
+    }
+
+    #[test]
+    fn in_flight_clients_rank_behind_every_idle_candidate() {
+        let (loss, part) = ctx_parts(6);
+        let in_flight = [0usize, 1, 2];
+        let ctx = SelectionContext {
+            in_flight: &in_flight,
+            ..base_ctx(6, 3, &loss, &part)
+        };
+        for mut policy in [
+            Box::new(ReliabilityAwareSelection { candidates: 6 }) as Box<dyn SelectionPolicy>,
+            Box::new(StalenessBalancedSelection { candidates: 6 }),
+        ] {
+            let picked = policy.select(&ctx, &mut Rng64::new(9));
+            assert_valid_sample(&picked, 6, 3);
+            assert_eq!(
+                {
+                    let mut p = picked;
+                    p.sort_unstable();
+                    p
+                },
+                vec![3, 4, 5],
+                "{} sampled a busy client with idle candidates available",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_balanced_without_context_degrades_to_pool_order() {
+        let loss = vec![None; 10];
+        let part = vec![0; 10];
+        let ctx = base_ctx(10, 4, &loss, &part);
+        let picked = StalenessBalancedSelection { candidates: 10 }.select(&ctx, &mut Rng64::new(3));
+        // All scores tie; the stable ranking must preserve the sampled
+        // pool order exactly (here: the full-pool sample order).
+        let expected: Vec<usize> = Rng64::new(3).sample_indices(10, 10)[..4].to_vec();
+        assert_eq!(picked, expected);
     }
 }

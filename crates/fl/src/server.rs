@@ -174,8 +174,14 @@ mod tests {
     fn fedavg_learns_on_iid_data() {
         let (spec, train, test, partition) = quick_setup();
         let mut strategy = FedAvg;
-        let history =
-            run_federated(&spec, &train, &test, &partition, &mut strategy, &quick_cfg(12));
+        let history = run_federated(
+            &spec,
+            &train,
+            &test,
+            &partition,
+            &mut strategy,
+            &quick_cfg(12),
+        );
         assert_eq!(history.records.len(), 12);
         let best = history.best();
         assert!(
@@ -213,7 +219,14 @@ mod tests {
     #[test]
     fn impact_factors_are_recorded_and_normalized() {
         let (spec, train, test, partition) = quick_setup();
-        let h = run_federated(&spec, &train, &test, &partition, &mut Uniform, &quick_cfg(2));
+        let h = run_federated(
+            &spec,
+            &train,
+            &test,
+            &partition,
+            &mut Uniform,
+            &quick_cfg(2),
+        );
         for r in &h.records {
             let sum: f32 = r.impact_factors.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5);

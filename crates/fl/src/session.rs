@@ -53,14 +53,38 @@ pub enum RoundControl {
     Stop,
 }
 
-/// An on-round-end hook: receives every completed [`RoundRecord`] and may
-/// stop the run early. Replaces the old hardcoded `log_every` stderr
-/// print (now the [`ProgressLogger`] built-in) and enables
-/// early-stopping / checkpointing / live-metrics observers without
-/// touching the round loop.
+/// Everything an observer sees at the end of a round: the round's own
+/// [`RoundRecord`] plus run-cumulative reliability telemetry the session
+/// maintains incrementally — so an observer can log or stop on
+/// dropout/staleness/sim-time signals without replaying the whole
+/// [`RunHistory`] after the fact.
+pub struct RoundSignals<'a> {
+    /// The completed round's full record.
+    pub record: &'a RoundRecord,
+    /// Sampled-client dropouts over the run so far (this round included).
+    pub total_dropouts: usize,
+    /// Deadline-cut stragglers over the run so far.
+    pub total_stragglers: usize,
+    /// Cumulative simulated wall-clock in seconds (0 under the ideal
+    /// executor, where no virtual time passes).
+    pub sim_time_s: f64,
+    /// Mean staleness over every update aggregated so far (0 while
+    /// nothing stale was aggregated).
+    pub mean_staleness: f64,
+    /// Clients whose update is still in flight after this round
+    /// (asynchronous executors only; 0 at every round barrier).
+    pub in_flight: usize,
+}
+
+/// An on-round-end hook: receives every completed round's
+/// [`RoundSignals`] and may stop the run early. Replaces the old
+/// hardcoded `log_every` stderr print (now the [`ProgressLogger`]
+/// built-in) and enables early-stopping / checkpointing / live-metrics /
+/// reliability-watchdog observers without touching the round loop.
 pub trait RoundObserver: Send {
-    /// Called once per completed round with its full record.
-    fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl;
+    /// Called once per completed round with its record and the run's
+    /// cumulative telemetry.
+    fn on_round_end(&mut self, signals: &RoundSignals<'_>) -> RoundControl;
 }
 
 /// Prints `[method] round    N: acc A loss L` to stderr every `every`
@@ -82,10 +106,22 @@ impl ProgressLogger {
 }
 
 impl RoundObserver for ProgressLogger {
-    fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl {
+    fn on_round_end(&mut self, signals: &RoundSignals<'_>) -> RoundControl {
+        let record = signals.record;
         if self.every > 0 && record.round.is_multiple_of(self.every) {
+            // Reliability telemetry rides along only when an executor
+            // produces it, so ideal-executor logs keep their exact
+            // historical shape.
+            let reliability = if record.hetero.is_some() {
+                format!(
+                    " | drop {} strag {} stale {:.2}",
+                    signals.total_dropouts, signals.total_stragglers, signals.mean_staleness
+                )
+            } else {
+                String::new()
+            };
             eprintln!(
-                "[{}] round {:>4}: acc {:.4} loss {:.4}",
+                "[{}] round {:>4}: acc {:.4} loss {:.4}{reliability}",
                 self.method, record.round, record.test_accuracy, record.test_loss
             );
         }
@@ -101,8 +137,8 @@ pub struct EarlyStop {
 }
 
 impl RoundObserver for EarlyStop {
-    fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl {
-        if record.test_accuracy >= self.target_accuracy {
+    fn on_round_end(&mut self, signals: &RoundSignals<'_>) -> RoundControl {
+        if signals.record.test_accuracy >= self.target_accuracy {
             RoundControl::Stop
         } else {
             RoundControl::Continue
@@ -287,10 +323,10 @@ impl<'a> SessionBuilder<'a> {
         };
         let mut observers = Vec::new();
         if cfg.log_every > 0 {
-            observers.push(Box::new(ProgressLogger::new(
-                cfg.log_every,
-                self.strategy.name(),
-            )) as Box<dyn RoundObserver>);
+            observers.push(
+                Box::new(ProgressLogger::new(cfg.log_every, self.strategy.name()))
+                    as Box<dyn RoundObserver>,
+            );
         }
         observers.extend(self.observers);
 
@@ -316,6 +352,11 @@ impl<'a> SessionBuilder<'a> {
             records: Vec::with_capacity(rounds),
             round: 0,
             stopped: false,
+            total_dropouts: 0,
+            total_stragglers: 0,
+            cum_sim_time_s: 0.0,
+            staleness_sum: 0,
+            staleness_count: 0,
         })
     }
 }
@@ -343,6 +384,13 @@ pub struct Session<'a> {
     records: Vec<RoundRecord>,
     round: usize,
     stopped: bool,
+    // Running totals feeding every round's `RoundSignals` — maintained
+    // incrementally so observers never pay a replay of the history.
+    total_dropouts: usize,
+    total_stragglers: usize,
+    cum_sim_time_s: f64,
+    staleness_sum: usize,
+    staleness_count: usize,
 }
 
 impl<'a> Session<'a> {
@@ -385,6 +433,7 @@ impl<'a> Session<'a> {
         // --- Client selection (Algorithm 2; uniform by default). The
         // policy draws from the per-round stream `(master seed, round)`.
         let mut select_rng = self.master.derive(round as u64);
+        let in_flight = self.executor.in_flight_clients();
         let selected = {
             let ctx = SelectionContext {
                 round,
@@ -395,6 +444,8 @@ impl<'a> Session<'a> {
                 fleet: self.executor.fleet(),
                 upload_bytes: self.executor.upload_bytes(),
                 deadline_s: self.executor.deadline_s(),
+                in_flight: &in_flight,
+                reliability: self.executor.reliability(),
             };
             self.policy.select(&ctx, &mut select_rng)
         };
@@ -509,10 +560,31 @@ impl<'a> Session<'a> {
         self.records.push(record);
         self.round += 1;
 
-        // --- Observers (the logger first, then user hooks, in order).
+        // --- Observers (the logger first, then user hooks, in order),
+        // fed the round record plus the run's cumulative reliability
+        // telemetry.
         let record = self.records.last().expect("record just pushed");
+        if let Some(h) = &record.hetero {
+            self.total_dropouts += h.dropouts;
+            self.total_stragglers += h.stragglers;
+            self.cum_sim_time_s += h.sim_time_s;
+            self.staleness_sum += h.staleness.iter().sum::<usize>();
+            self.staleness_count += h.staleness.len();
+        }
+        let signals = RoundSignals {
+            record,
+            total_dropouts: self.total_dropouts,
+            total_stragglers: self.total_stragglers,
+            sim_time_s: self.cum_sim_time_s,
+            mean_staleness: if self.staleness_count == 0 {
+                0.0
+            } else {
+                self.staleness_sum as f64 / self.staleness_count as f64
+            },
+            in_flight: self.executor.in_flight_clients().len(),
+        };
         for obs in &mut self.observers {
-            if obs.on_round_end(record) == RoundControl::Stop {
+            if obs.on_round_end(&signals) == RoundControl::Stop {
                 self.stopped = true;
             }
         }
@@ -567,7 +639,9 @@ fn validate_selection(
     let mut seen = vec![false; n_clients];
     for &c in selected {
         if c >= n_clients {
-            return Err(invalid(format!("client id {c} out of range (N = {n_clients})")));
+            return Err(invalid(format!(
+                "client id {c} out of range (N = {n_clients})"
+            )));
         }
         if seen[c] {
             return Err(invalid(format!("client id {c} selected twice")));
@@ -676,6 +750,45 @@ mod tests {
             .build()
             .err();
         assert!(matches!(err, Some(FlError::InvalidFleet { .. })));
+
+        // A degenerate reliability model gets its own typed error — for
+        // both the correlation strength and the rate-certainty bound, and
+        // through the buffered executor's validation path too.
+        use feddrl_sim::device::{DropoutCorrelation, ReliabilityConfig};
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .executor(ExecutorConfig::Deadline(HeteroConfig {
+                fleet: FleetConfig {
+                    dropout: 0.1,
+                    reliability: ReliabilityConfig {
+                        dropout_skew: 2.0,
+                        correlation: DropoutCorrelation::SpeedCorrelated { strength: 1.5 },
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            }))
+            .build()
+            .err();
+        assert!(matches!(err, Some(FlError::InvalidReliability { .. })));
+
+        let mut s = FedAvg;
+        let err = quick_builder(&spec, &train, &test, &partition, &mut s)
+            .executor(ExecutorConfig::Buffered(crate::executor::BufferedConfig {
+                fleet: FleetConfig {
+                    dropout: 0.5,
+                    reliability: ReliabilityConfig {
+                        dropout_skew: 3.0,
+                        correlation: DropoutCorrelation::Independent,
+                    },
+                    ..Default::default()
+                },
+                buffer_size: 2,
+                ..Default::default()
+            }))
+            .build()
+            .err();
+        assert!(matches!(err, Some(FlError::InvalidReliability { .. })));
     }
 
     #[test]
@@ -759,6 +872,9 @@ mod tests {
             .unwrap()
             .run()
             .err();
-        assert!(matches!(err, Some(FlError::InvalidSelection { round: 0, .. })));
+        assert!(matches!(
+            err,
+            Some(FlError::InvalidSelection { round: 0, .. })
+        ));
     }
 }

@@ -125,10 +125,7 @@ pub fn normalize_factors(raw: &[f32]) -> Vec<f32> {
     assert!(!raw.is_empty(), "no impact factors to normalize");
     let mut sum = 0.0f64;
     for (i, &f) in raw.iter().enumerate() {
-        assert!(
-            f.is_finite() && f >= 0.0,
-            "impact factor {i} invalid: {f}"
-        );
+        assert!(f.is_finite() && f >= 0.0, "impact factor {i} invalid: {f}");
         sum += f as f64;
     }
     assert!(sum > 0.0, "impact factors sum to zero");

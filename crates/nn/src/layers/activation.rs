@@ -114,7 +114,10 @@ impl Layer for Activation {
             .cache_x
             .take()
             .expect("Activation backward called before forward");
-        let y = self.cache_y.take().expect("activation output cache missing");
+        let y = self
+            .cache_y
+            .take()
+            .expect("activation output cache missing");
         let mut grad = grad_out.clone();
         for ((g, &xv), &yv) in grad
             .data_mut()

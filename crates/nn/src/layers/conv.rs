@@ -60,15 +60,12 @@ pub(crate) fn im2col(x: &[f32], g: ConvGeom, out: &mut [f32]) {
                     let iy = (oy * g.stride + ky) as isize - g.pad as isize;
                     for ox in 0..ow {
                         let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                        out_row[idx] = if iy >= 0
-                            && iy < g.h as isize
-                            && ix >= 0
-                            && ix < g.w as isize
-                        {
-                            plane[iy as usize * g.w + ix as usize]
-                        } else {
-                            0.0
-                        };
+                        out_row[idx] =
+                            if iy >= 0 && iy < g.h as isize && ix >= 0 && ix < g.w as isize {
+                                plane[iy as usize * g.w + ix as usize]
+                            } else {
+                                0.0
+                            };
                         idx += 1;
                     }
                 }
@@ -134,7 +131,10 @@ impl Conv2d {
         pad: usize,
         rng: &mut Rng64,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         assert!(
             h + 2 * pad >= kernel && w + 2 * pad >= kernel,
             "kernel {kernel} larger than padded input {h}x{w}+{pad}"
@@ -180,7 +180,11 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         let batch = x.rows();
-        debug_assert_eq!(x.cols(), self.in_features(), "Conv2d input feature mismatch");
+        debug_assert_eq!(
+            x.cols(),
+            self.in_features(),
+            "Conv2d input feature mismatch"
+        );
         let n_pix = self.geom.col_cols();
         let mut out = Tensor::zeros(&[batch, self.out_c * n_pix]);
         self.cache_cols.clear();
@@ -214,10 +218,7 @@ impl Layer for Conv2d {
         let n_pix = self.geom.col_cols();
         let mut grad_in = Tensor::zeros(&[batch, self.in_features()]);
         for s in 0..batch {
-            let g = Tensor::from_vec(
-                &[self.out_c, n_pix],
-                grad_out.row(s).to_vec(),
-            );
+            let g = Tensor::from_vec(&[self.out_c, n_pix], grad_out.row(s).to_vec());
             let cols = &self.cache_cols[s];
             // dW += G · colsᵀ ; db += Σ_pix G ; dcols = Wᵀ · G
             self.gw.add_assign(&g.matmul_t(cols));
@@ -343,7 +344,10 @@ mod tests {
         let mut back = vec![0.0; g.in_c * g.h * g.w];
         col2im(y.data(), g, &mut back);
         let rhs: f32 = x.data().iter().zip(back.iter()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

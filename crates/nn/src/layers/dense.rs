@@ -109,7 +109,9 @@ mod tests {
         layer.params_mut()[0]
             .data_mut()
             .copy_from_slice(&[1., 2., 3., 4., 5., 6.]);
-        layer.params_mut()[1].data_mut().copy_from_slice(&[0.5, 0.0, -0.5]);
+        layer.params_mut()[1]
+            .data_mut()
+            .copy_from_slice(&[0.5, 0.0, -0.5]);
         let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
         let y = layer.forward(&x, false);
         assert_eq!(y.data(), &[9.5, 12.0, 14.5]);

@@ -22,7 +22,10 @@ pub struct Dropout {
 impl Dropout {
     /// Create a dropout layer with drop probability `p ∈ [0, 1)`.
     pub fn new(p: f32, rng: Rng64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
         Self {
             p,
             rng: Arc::new(Mutex::new(rng)),

@@ -25,8 +25,14 @@ impl MaxPool2d {
     /// Build a pooling layer for inputs of shape `(c, h, w)` with window `k`
     /// and the given stride.
     pub fn new(c: usize, h: usize, w: usize, k: usize, stride: usize) -> Self {
-        assert!(k > 0 && stride > 0, "pool window and stride must be positive");
-        assert!(h >= k && w >= k, "pool window {k} larger than input {h}x{w}");
+        assert!(
+            k > 0 && stride > 0,
+            "pool window and stride must be positive"
+        );
+        assert!(
+            h >= k && w >= k,
+            "pool window {k} larger than input {h}x{w}"
+        );
         Self {
             c,
             h,

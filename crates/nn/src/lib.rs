@@ -52,9 +52,7 @@ pub mod zoo;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::init::Init;
-    pub use crate::layers::{
-        Activation, ActivationKind, Conv2d, Dense, Dropout, Layer, MaxPool2d,
-    };
+    pub use crate::layers::{Activation, ActivationKind, Conv2d, Dense, Dropout, Layer, MaxPool2d};
     pub use crate::loss::{accuracy, cross_entropy_logits, cross_entropy_loss_only, mse};
     pub use crate::model::Sequential;
     pub use crate::optim::Sgd;

@@ -22,7 +22,10 @@ pub fn cross_entropy_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) 
     let mut loss = 0.0f64;
     let inv_b = 1.0 / batch as f32;
     for (i, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range (classes={classes})");
+        assert!(
+            label < classes,
+            "label {label} out of range (classes={classes})"
+        );
         let p = grad.at(i, label).max(1e-12);
         loss -= (p as f64).ln();
         let row = grad.row_mut(i);

@@ -152,8 +152,7 @@ impl Sequential {
         let mut offset = 0;
         for layer in self.layers.iter_mut() {
             // params() and grads() are index-aligned; walk them pairwise.
-            let params: Vec<Vec<f32>> =
-                layer.params().iter().map(|p| p.data().to_vec()).collect();
+            let params: Vec<Vec<f32>> = layer.params().iter().map(|p| p.data().to_vec()).collect();
             for (g, p) in layer.grads_mut().into_iter().zip(params) {
                 for (i, gv) in g.data_mut().iter_mut().enumerate() {
                     *gv += mu * (p[i] - w_ref[offset + i]);
@@ -270,10 +269,7 @@ mod tests {
         let mut opt = Sgd::new(0.05, 0.9, 0.0);
         // Learn y = x0 - x1.
         let x = Tensor::randn(&[64, 2], 0.0, 1.0, &mut rng);
-        let target = Tensor::from_vec(
-            &[64, 1],
-            (0..64).map(|i| x.at(i, 0) - x.at(i, 1)).collect(),
-        );
+        let target = Tensor::from_vec(&[64, 1], (0..64).map(|i| x.at(i, 0) - x.at(i, 1)).collect());
         let mut first_loss = None;
         let mut last_loss = 0.0;
         for _ in 0..200 {

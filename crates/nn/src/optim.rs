@@ -64,16 +64,16 @@ impl Sgd {
         let use_momentum = self.momentum > 0.0;
         for (li, layer) in model.layers_mut().iter_mut().enumerate() {
             if use_momentum && self.velocity.len() <= li {
-                self.velocity
-                    .push(layer.grads().iter().map(|g| Tensor::zeros(g.shape())).collect());
+                self.velocity.push(
+                    layer
+                        .grads()
+                        .iter()
+                        .map(|g| Tensor::zeros(g.shape()))
+                        .collect(),
+                );
             }
             let grads: Vec<Tensor> = layer.grads().iter().map(|g| (*g).clone()).collect();
-            for (pi, (p, g)) in layer
-                .params_mut()
-                .into_iter()
-                .zip(grads)
-                .enumerate()
-            {
+            for (pi, (p, g)) in layer.params_mut().into_iter().zip(grads).enumerate() {
                 if use_momentum {
                     let v = &mut self.velocity[li][pi];
                     debug_assert_eq!(v.shape(), g.shape(), "velocity shape drift");

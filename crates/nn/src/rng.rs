@@ -63,9 +63,8 @@ impl Rng64 {
     /// different streams, while deriving from a freshly-seeded parent is
     /// fully reproducible.
     pub fn derive(&self, stream: u64) -> Self {
-        let mixed = self.s[0]
-            ^ self.s[1].rotate_left(17)
-            ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mixed =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
         Self::new(mixed)
     }
 
@@ -255,7 +254,10 @@ mod tests {
             sum += x;
         }
         let mean = sum / n as f64;
-        assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean} far from 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.01,
+            "uniform mean {mean} far from 0.5"
+        );
     }
 
     #[test]
@@ -356,7 +358,10 @@ mod tests {
             counts[rng.weighted_index(&weights)] += 1;
         }
         assert_eq!(counts[1], 0, "zero-weight bucket was drawn");
-        assert!(counts[2] > counts[0] * 5, "9:1 weights not respected: {counts:?}");
+        assert!(
+            counts[2] > counts[0] * 5,
+            "9:1 weights not respected: {counts:?}"
+        );
     }
 
     #[test]

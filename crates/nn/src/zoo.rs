@@ -69,9 +69,7 @@ impl ModelSpec {
     pub fn out_dim(&self) -> usize {
         match self {
             ModelSpec::Mlp { out_dim, .. } => *out_dim,
-            ModelSpec::CnnMnist { num_classes } | ModelSpec::Vgg11 { num_classes } => {
-                *num_classes
-            }
+            ModelSpec::CnnMnist { num_classes } | ModelSpec::Vgg11 { num_classes } => *num_classes,
         }
     }
 }
@@ -85,7 +83,12 @@ pub fn build_mlp(in_dim: usize, hidden: &[usize], out_dim: usize, rng: &mut Rng6
         model.push_boxed(Box::new(Activation::new(ActivationKind::LeakyRelu(0.01))));
         prev = h;
     }
-    model.push_boxed(Box::new(Dense::new(prev, out_dim, Init::XavierUniform, rng)));
+    model.push_boxed(Box::new(Dense::new(
+        prev,
+        out_dim,
+        Init::XavierUniform,
+        rng,
+    )));
     model
 }
 
@@ -105,7 +108,12 @@ fn build_cnn_mnist(num_classes: usize, rng: &mut Rng64) -> Sequential {
     // classifier
     m.push_boxed(Box::new(Dense::new(64 * 7 * 7, 512, Init::HeNormal, rng)));
     m.push_boxed(Box::new(Activation::relu()));
-    m.push_boxed(Box::new(Dense::new(512, num_classes, Init::XavierUniform, rng)));
+    m.push_boxed(Box::new(Dense::new(
+        512,
+        num_classes,
+        Init::XavierUniform,
+        rng,
+    )));
     m
 }
 
@@ -141,7 +149,12 @@ fn build_vgg11(num_classes: usize, rng: &mut Rng64) -> Sequential {
     m.push_boxed(Box::new(Dense::new(512, 512, Init::HeNormal, rng)));
     m.push_boxed(Box::new(Activation::relu()));
     m.push_boxed(Box::new(Dropout::new(0.5, rng.derive(0xD1))));
-    m.push_boxed(Box::new(Dense::new(512, num_classes, Init::XavierUniform, rng)));
+    m.push_boxed(Box::new(Dense::new(
+        512,
+        num_classes,
+        Init::XavierUniform,
+        rng,
+    )));
     m
 }
 
@@ -177,8 +190,8 @@ mod tests {
         let y = model.forward(&x, false);
         assert_eq!(y.shape(), &[2, 10]);
         // Parameter count of the standard 32/64 5x5 CNN with 512 head:
-        let expected = (32 * 25 + 32) + (64 * 32 * 25 + 64) + (64 * 7 * 7 * 512 + 512)
-            + (512 * 10 + 10);
+        let expected =
+            (32 * 25 + 32) + (64 * 32 * 25 + 64) + (64 * 7 * 7 * 512 + 512) + (512 * 10 + 10);
         assert_eq!(model.param_count(), expected);
     }
 

@@ -7,6 +7,15 @@
 //! a deterministic population of [`DeviceProfile`]s from a single seed, so
 //! entire heterogeneity scenarios reproduce bit-for-bit, like every other
 //! random stream in this workspace.
+//!
+//! Reliability is a *per-device* property: each profile carries its own
+//! per-round dropout rate, spread log-uniformly around the fleet's base
+//! rate ([`ReliabilityConfig::dropout_skew`]) and optionally *correlated
+//! with compute speed* ([`DropoutCorrelation::SpeedCorrelated`]) — the
+//! adaptive-dropout observation (arXiv:2507.10430) that slow devices fail
+//! disproportionately often. Rates derive per client index, so a device's
+//! reliability is stable under fleet growth, and the legacy fleet-wide
+//! scalar is exactly the `dropout_skew = 1` special case.
 
 use feddrl_nn::rng::Rng64;
 use serde::{Deserialize, Serialize};
@@ -34,6 +43,78 @@ impl DeviceProfile {
     }
 }
 
+/// How a device's dropout-rate multiplier relates to its compute speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum DropoutCorrelation {
+    /// Each device's multiplier is drawn independently of its speed (its
+    /// own per-index stream) — flaky devices are scattered uniformly over
+    /// the speed spectrum.
+    #[default]
+    Independent,
+    /// Slower devices drop out more, as the adaptive-dropout system
+    /// (arXiv:2507.10430) observes in real fleets: `strength ∈ [0, 1]`
+    /// interpolates the multiplier's log-exponent between an independent
+    /// draw (`0`, identical to [`DropoutCorrelation::Independent`]) and
+    /// the device's normalized compute slowness (`1`, fully determined —
+    /// the slowest device gets the full `dropout_skew` multiplier, the
+    /// fastest gets `1 / dropout_skew`).
+    SpeedCorrelated {
+        /// Correlation strength in `[0, 1]`.
+        strength: f64,
+    },
+}
+
+/// The per-device reliability model: how individual dropout rates spread
+/// around [`FleetConfig::dropout`] (the fleet's base rate).
+///
+/// The default — no spread, no correlation — reproduces the legacy
+/// fleet-wide scalar exactly: every device drops at the base rate, so
+/// configs serialized before this model existed deserialize to identical
+/// behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Log-uniform spread of per-device dropout multipliers (`>= 1`;
+    /// `1` = every device at the base rate, the legacy behavior). A
+    /// device's rate is `dropout * m` with `m` in
+    /// `[1/dropout_skew, dropout_skew]`.
+    pub dropout_skew: f64,
+    /// Whether the multiplier is tied to the device's compute speed.
+    pub correlation: DropoutCorrelation,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        Self {
+            dropout_skew: 1.0,
+            correlation: DropoutCorrelation::Independent,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// Check the reliability model's own invariants (the base-rate bound
+    /// lives in [`FleetConfig::validate`], which also knows `dropout`).
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.dropout_skew.is_finite() && self.dropout_skew >= 1.0) {
+            return Err(format!(
+                "dropout_skew must be finite and >= 1 (1 = homogeneous), got {}",
+                self.dropout_skew
+            ));
+        }
+        if let DropoutCorrelation::SpeedCorrelated { strength } = self.correlation {
+            if !(strength.is_finite() && (0.0..=1.0).contains(&strength)) {
+                return Err(format!(
+                    "speed-correlation strength must be in [0, 1], got {strength}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Knobs for generating a device fleet.
 ///
 /// Skew factors are log-uniform spreads: a device's compute time is
@@ -53,8 +134,16 @@ pub struct FleetConfig {
     pub bandwidth_skew: f64,
     /// Fixed per-upload latency in seconds.
     pub latency_s: f64,
-    /// Per-round dropout probability shared by every device (in `[0, 1)`).
+    /// Base per-round dropout probability (in `[0, 1)`; the product with
+    /// `reliability.dropout_skew` must also stay below 1). With the
+    /// default [`ReliabilityConfig`] this is every device's exact rate —
+    /// the legacy fleet-wide scalar, kept serde-compatible.
     pub dropout: f64,
+    /// Per-device reliability model spreading individual dropout rates
+    /// around the base `dropout` (defaults to the legacy no-spread
+    /// behavior, so old configs deserialize unchanged).
+    #[serde(default)]
+    pub reliability: ReliabilityConfig,
     /// Seed for the fleet draw; profiles derive per client index, so
     /// client `i`'s device is independent of the fleet size.
     pub seed: u64,
@@ -71,6 +160,7 @@ impl Default for FleetConfig {
             bandwidth_skew: 1.0,
             latency_s: 0.05,
             dropout: 0.0,
+            reliability: ReliabilityConfig::default(),
             seed: 0xDE1CE,
         }
     }
@@ -85,6 +175,18 @@ impl FleetConfig {
     /// # Errors
     /// A human-readable description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_base()?;
+        self.validate_reliability()
+    }
+
+    /// The device/network/base-rate invariants alone (everything except
+    /// the reliability model) — split out so callers wanting *distinct*
+    /// typed errors for the two halves (see `feddrl_fl`'s
+    /// `InvalidFleet` vs `InvalidReliability`) can check them separately.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate_base(&self) -> Result<(), String> {
         if !(self.compute_s > 0.0 && self.bandwidth_bps > 0.0) {
             return Err("compute_s and bandwidth_bps must be positive".into());
         }
@@ -102,6 +204,28 @@ impl FleetConfig {
         }
         Ok(())
     }
+
+    /// The reliability-model invariants: a well-formed
+    /// [`ReliabilityConfig`] whose spread keeps every per-device rate
+    /// below 1 (`dropout * dropout_skew < 1` — the worst-case multiplier
+    /// is exactly `dropout_skew`, so this bound is tight, not a
+    /// heuristic).
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate_reliability(&self) -> Result<(), String> {
+        self.reliability.validate()?;
+        if self.dropout * self.reliability.dropout_skew >= 1.0 {
+            return Err(format!(
+                "dropout * dropout_skew must stay below 1 so every per-device \
+                 rate is a probability, got {} * {} = {}",
+                self.dropout,
+                self.reliability.dropout_skew,
+                self.dropout * self.reliability.dropout_skew
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A generated population of device profiles, indexed by client id.
@@ -115,9 +239,10 @@ impl Fleet {
     ///
     /// # Panics
     /// Panics on a degenerate config: `n == 0`, non-positive reference
-    /// compute/bandwidth, skews below 1, negative latency, or a dropout
+    /// compute/bandwidth, skews below 1, negative latency, a dropout
     /// probability outside `[0, 1)` (a certain dropout would make every
-    /// round empty).
+    /// round empty), or a reliability model whose spread would push a
+    /// per-device rate to 1 or beyond.
     pub fn generate(n: usize, cfg: &FleetConfig) -> Self {
         assert!(n > 0, "fleet needs at least one device");
         if let Err(reason) = cfg.validate() {
@@ -128,13 +253,32 @@ impl Fleet {
             .map(|i| {
                 let mut rng = master.derive(i as u64);
                 // skew^u with u ~ U(-1, 1): log-uniform in [1/skew, skew].
+                // The draw order (compute, bandwidth, reliability) is part
+                // of the format: it keeps compute/bandwidth profiles
+                // byte-identical to fleets generated before the per-device
+                // reliability model existed.
                 let cm = cfg.compute_skew.powf(rng.uniform(-1.0, 1.0) as f64);
                 let bm = cfg.bandwidth_skew.powf(rng.uniform(-1.0, 1.0) as f64);
+                let w = rng.uniform(-1.0, 1.0) as f64;
+                // Normalized compute slowness in [-1, 1]: the log-uniform
+                // exponent that produced `cm` (0 on a homogeneous fleet,
+                // where speed carries no information to correlate with).
+                let slowness = if cfg.compute_skew > 1.0 {
+                    cm.ln() / cfg.compute_skew.ln()
+                } else {
+                    0.0
+                };
+                let exponent = match cfg.reliability.correlation {
+                    DropoutCorrelation::Independent => w,
+                    DropoutCorrelation::SpeedCorrelated { strength } => {
+                        strength * slowness + (1.0 - strength) * w
+                    }
+                };
                 DeviceProfile {
                     compute_s: cfg.compute_s * cm,
                     bandwidth_bps: cfg.bandwidth_bps * bm,
                     latency_s: cfg.latency_s,
-                    dropout: cfg.dropout,
+                    dropout: cfg.dropout * cfg.reliability.dropout_skew.powf(exponent),
                 }
             })
             .collect();
@@ -157,6 +301,12 @@ impl Fleet {
     /// Whether the fleet is empty (never true for generated fleets).
     pub fn is_empty(&self) -> bool {
         self.profiles.is_empty()
+    }
+
+    /// Mean per-round dropout rate over the fleet — the expected fraction
+    /// of a uniformly sampled round lost to device failures.
+    pub fn mean_dropout(&self) -> f64 {
+        self.profiles.iter().map(|p| p.dropout).sum::<f64>() / self.profiles.len().max(1) as f64
     }
 
     /// The `pct`-percentile (in `[0, 1]`) of the fleet's completion times
@@ -260,6 +410,153 @@ mod tests {
         let hi = fleet.completion_percentile_s(1_000, 1.0);
         assert!(lo <= mid && mid <= hi);
         assert!(hi > lo, "skewed fleet must spread percentiles");
+    }
+
+    #[test]
+    fn default_reliability_reproduces_the_fleet_wide_scalar() {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.3,
+            ..Default::default()
+        };
+        let fleet = Fleet::generate(16, &cfg);
+        for i in 0..16 {
+            assert_eq!(
+                fleet.profile(i).dropout,
+                0.3,
+                "device {i} left the base rate"
+            );
+        }
+        assert!((fleet.mean_dropout() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_model_does_not_perturb_speed_or_bandwidth() {
+        let base = FleetConfig {
+            compute_skew: 4.0,
+            bandwidth_skew: 2.0,
+            dropout: 0.2,
+            ..Default::default()
+        };
+        let spread = FleetConfig {
+            reliability: ReliabilityConfig {
+                dropout_skew: 3.0,
+                correlation: DropoutCorrelation::SpeedCorrelated { strength: 0.8 },
+            },
+            ..base.clone()
+        };
+        let (a, b) = (Fleet::generate(12, &base), Fleet::generate(12, &spread));
+        for i in 0..12 {
+            assert_eq!(a.profile(i).compute_s, b.profile(i).compute_s);
+            assert_eq!(a.profile(i).bandwidth_bps, b.profile(i).bandwidth_bps);
+        }
+    }
+
+    #[test]
+    fn spread_rates_stay_within_the_validated_bounds() {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.2,
+            reliability: ReliabilityConfig {
+                dropout_skew: 4.0,
+                correlation: DropoutCorrelation::Independent,
+            },
+            ..Default::default()
+        };
+        let fleet = Fleet::generate(64, &cfg);
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for i in 0..64 {
+            let d = fleet.profile(i).dropout;
+            assert!(
+                (0.2 / 4.0..=0.2 * 4.0).contains(&d),
+                "rate {d} out of bounds"
+            );
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        assert!(hi / lo > 2.0, "skew-4 reliability too uniform: {lo}..{hi}");
+    }
+
+    #[test]
+    fn full_speed_correlation_ties_dropout_to_slowness() {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.2,
+            reliability: ReliabilityConfig {
+                dropout_skew: 3.0,
+                correlation: DropoutCorrelation::SpeedCorrelated { strength: 1.0 },
+            },
+            ..Default::default()
+        };
+        let fleet = Fleet::generate(32, &cfg);
+        let mut devices: Vec<&DeviceProfile> = (0..32).map(|i| fleet.profile(i)).collect();
+        devices.sort_by(|a, b| a.compute_s.total_cmp(&b.compute_s));
+        for pair in devices.windows(2) {
+            assert!(
+                pair[0].dropout <= pair[1].dropout,
+                "slower device ({} s) drops less ({} vs {})",
+                pair[1].compute_s,
+                pair[1].dropout,
+                pair[0].dropout
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_reliability_spread_reaching_certainty() {
+        let cfg = FleetConfig {
+            dropout: 0.5,
+            reliability: ReliabilityConfig {
+                dropout_skew: 2.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(cfg
+            .validate()
+            .unwrap_err()
+            .contains("dropout * dropout_skew"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_correlation_strength() {
+        for strength in [-0.1, 1.5, f64::NAN] {
+            let cfg = FleetConfig {
+                dropout: 0.1,
+                reliability: ReliabilityConfig {
+                    dropout_skew: 2.0,
+                    correlation: DropoutCorrelation::SpeedCorrelated { strength },
+                },
+                ..Default::default()
+            };
+            assert!(
+                cfg.validate_reliability()
+                    .unwrap_err()
+                    .contains("strength must be in [0, 1]"),
+                "strength {strength} accepted"
+            );
+            assert!(
+                cfg.validate_base().is_ok(),
+                "base checks must not see strength"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_fleet_config_json_deserializes_with_default_reliability() {
+        // A config serialized before the reliability model existed has no
+        // `reliability` key; it must deserialize to the legacy behavior.
+        let legacy = r#"{
+            "compute_s": 10.0, "compute_skew": 2.0,
+            "bandwidth_bps": 1e6, "bandwidth_skew": 1.0,
+            "latency_s": 0.05, "dropout": 0.25, "seed": 7
+        }"#;
+        let cfg: FleetConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg.reliability, ReliabilityConfig::default());
+        let fleet = Fleet::generate(4, &cfg);
+        for i in 0..4 {
+            assert_eq!(fleet.profile(i).dropout, 0.25);
+        }
     }
 
     #[test]

@@ -168,7 +168,13 @@ mod tests {
     fn pops_in_nondecreasing_time_order() {
         let mut q = EventQueue::new();
         for (i, t) in [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().enumerate() {
-            q.schedule(t, EventKind::UploadComplete { client_id: i, version: 0 });
+            q.schedule(
+                t,
+                EventKind::UploadComplete {
+                    client_id: i,
+                    version: 0,
+                },
+            );
         }
         let mut last = f64::NEG_INFINITY;
         while let Some(e) = q.pop() {
@@ -184,13 +190,22 @@ mod tests {
         // Interleave model versions: FIFO must follow insertion order, not
         // the version an upload was trained against.
         for i in 0..8 {
-            q.schedule(1.0, EventKind::UploadComplete { client_id: i, version: i % 3 });
+            q.schedule(
+                1.0,
+                EventKind::UploadComplete {
+                    client_id: i,
+                    version: i % 3,
+                },
+            );
         }
         q.schedule(1.0, EventKind::Deadline);
         for i in 0..8 {
             assert_eq!(
                 q.pop().unwrap().kind,
-                EventKind::UploadComplete { client_id: i, version: i % 3 },
+                EventKind::UploadComplete {
+                    client_id: i,
+                    version: i % 3
+                },
                 "FIFO tie-break violated"
             );
         }
@@ -202,12 +217,24 @@ mod tests {
     fn peek_matches_next_pop() {
         let mut q = EventQueue::new();
         q.schedule(2.5, EventKind::Deadline);
-        q.schedule(0.5, EventKind::UploadComplete { client_id: 3, version: 7 });
+        q.schedule(
+            0.5,
+            EventKind::UploadComplete {
+                client_id: 3,
+                version: 7,
+            },
+        );
         assert_eq!(q.peek_time_s(), Some(0.5));
         assert_eq!(q.len(), 2);
         let e = q.pop().unwrap();
         assert_eq!(e.time_s, 0.5);
-        assert_eq!(e.kind, EventKind::UploadComplete { client_id: 3, version: 7 });
+        assert_eq!(
+            e.kind,
+            EventKind::UploadComplete {
+                client_id: 3,
+                version: 7
+            }
+        );
     }
 
     #[test]

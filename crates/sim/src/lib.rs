@@ -8,7 +8,9 @@
 //!   client per round;
 //! * [`timing`] — wall-clock measurement of server-side stages (Figure 9);
 //! * [`device`] — seeded per-client device profiles: compute speed,
-//!   uplink bandwidth/latency, dropout probability;
+//!   uplink bandwidth/latency, and a per-device dropout rate (spread
+//!   around the fleet's base rate, optionally correlated with compute
+//!   speed — the reliability model);
 //! * [`event`] — the discrete-event core (virtual clock + deterministic
 //!   event queue) that schedules upload completions against round
 //!   deadlines.
@@ -28,7 +30,9 @@ pub mod timing;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::comm::{CommModel, RoundTraffic};
-    pub use crate::device::{DeviceProfile, Fleet, FleetConfig};
+    pub use crate::device::{
+        DeviceProfile, DropoutCorrelation, Fleet, FleetConfig, ReliabilityConfig,
+    };
     pub use crate::event::{Event, EventKind, EventQueue, VirtualClock};
     pub use crate::timing::{measure, StageTiming};
 }

@@ -108,7 +108,10 @@ fn main() {
     });
     for (label, selection) in [
         ("uniform", Selection::Uniform),
-        ("bandwidth-aware", Selection::BandwidthAware { candidates: 9 }),
+        (
+            "bandwidth-aware",
+            Selection::BandwidthAware { candidates: 9 },
+        ),
     ] {
         let mut strategy = FedAvg;
         let h = SessionBuilder::new(&model, &train, &test, &partition, &mut strategy)

@@ -54,8 +54,8 @@ fn main() {
         eval_batch: 256,
         seed: 31,
         log_every: 0,
-            selection: Selection::Uniform,
-            executor: ExecutorConfig::Ideal,
+        selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
     };
 
     let run = |strategy: &mut dyn Strategy| {
@@ -80,7 +80,10 @@ fn main() {
     )
     .expect("FedDRL run");
 
-    println!("fashion-like, CN(0.6), 10 clients, {} rounds:", fl_cfg.rounds);
+    println!(
+        "fashion-like, CN(0.6), 10 clients, {} rounds:",
+        fl_cfg.rounds
+    );
     for h in [&fedavg, &custom, &feddrl.history] {
         println!(
             "  {:<10} best {:.2}% (round {})",
@@ -92,5 +95,8 @@ fn main() {
     println!("\nimpact factors chosen by LossAware in the last round:");
     println!("  {:?}", custom.records.last().unwrap().impact_factors);
     println!("impact factors chosen by FedDRL in the last round:");
-    println!("  {:?}", feddrl.history.records.last().unwrap().impact_factors);
+    println!(
+        "  {:?}",
+        feddrl.history.records.last().unwrap().impact_factors
+    );
 }

@@ -49,8 +49,8 @@ fn main() {
         eval_batch: 256,
         seed: 17,
         log_every: 0,
-            selection: Selection::Uniform,
-            executor: ExecutorConfig::Ideal,
+        selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
     };
 
     for delta in [0.2f64, 0.6] {

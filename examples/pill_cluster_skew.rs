@@ -53,8 +53,8 @@ fn main() {
         eval_batch: 256,
         seed: 3,
         log_every: 0,
-            selection: Selection::Uniform,
-            executor: ExecutorConfig::Ideal,
+        selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
     };
 
     let single = run_singleset(

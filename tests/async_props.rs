@@ -115,9 +115,16 @@ fn full_buffer_on_homogeneous_fleet_reduces_to_ideal_golden_fixture() {
 
     // The telemetry itself must describe a synchronous run...
     for r in &history.records {
-        let h = r.hetero.as_ref().expect("buffered run must record telemetry");
+        let h = r
+            .hetero
+            .as_ref()
+            .expect("buffered run must record telemetry");
         assert_eq!(h.aggregated_ids, r.selected, "sampling order not preserved");
-        assert_eq!(h.staleness, vec![0; r.selected.len()], "nothing may be stale");
+        assert_eq!(
+            h.staleness,
+            vec![0; r.selected.len()],
+            "nothing may be stale"
+        );
         assert_eq!((h.busy, h.buffered, h.dropouts, h.stragglers), (0, 0, 0, 0));
         assert!(h.sim_time_s > 0.0, "virtual time must pass");
     }
@@ -131,7 +138,10 @@ fn full_buffer_on_homogeneous_fleet_reduces_to_ideal_golden_fixture() {
         r.hetero = None;
     }
     let json = serde_json::to_string_pretty(&scrubbed).expect("serialize history") + "\n";
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/ideal_history.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/ideal_history.json"
+    );
     let golden = std::fs::read_to_string(path).expect("read golden fixture");
     assert_eq!(
         json, golden,
@@ -337,10 +347,12 @@ fn carry_over_aging_shrinks_stale_factors_session_level() {
         // Same structure: the discount only redistributes weight.
         assert_eq!(hp.aggregated_ids, ha.aggregated_ids);
         assert_eq!(hp.staleness, ha.staleness);
-        let stale: Vec<usize> =
-            (0..ha.staleness.len()).filter(|&i| ha.staleness[i] > 0).collect();
-        let fresh: Vec<usize> =
-            (0..ha.staleness.len()).filter(|&i| ha.staleness[i] == 0).collect();
+        let stale: Vec<usize> = (0..ha.staleness.len())
+            .filter(|&i| ha.staleness[i] > 0)
+            .collect();
+        let fresh: Vec<usize> = (0..ha.staleness.len())
+            .filter(|&i| ha.staleness[i] == 0)
+            .collect();
         if stale.is_empty() || fresh.is_empty() {
             continue;
         }

@@ -82,8 +82,8 @@ fn two_stage_produces_trained_main_agent() {
         eval_batch: 128,
         seed: 77,
         log_every: 0,
-            selection: Selection::Uniform,
-            executor: ExecutorConfig::Ideal,
+        selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
     };
     let mut feddrl_cfg = FedDrlConfig::default();
     feddrl_cfg.ddpg.hidden = 32;

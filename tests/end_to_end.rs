@@ -37,8 +37,8 @@ fn fl_cfg(rounds: usize, participants: usize, seed: u64) -> FlConfig {
         eval_batch: 256,
         seed,
         log_every: 0,
-            selection: Selection::Uniform,
-            executor: ExecutorConfig::Ideal,
+        selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
     }
 }
 

@@ -19,11 +19,16 @@ struct CtxData {
     fleet: Option<Fleet>,
     upload_bytes: u64,
     deadline_s: Option<f64>,
+    in_flight: Vec<usize>,
+    reliability: Option<Vec<ClientReliability>>,
 }
 
 impl CtxData {
     /// Deterministically synthesize per-client state from a seed: a mix of
-    /// seen/unseen losses and (optionally) a skewed fleet.
+    /// seen/unseen losses, (optionally) a skewed fleet, a random in-flight
+    /// subset no larger than `N - K` (the executor can never hold more in
+    /// flight while still dispatching `K` fresh clients), and random
+    /// reliability telemetry.
     fn synth(n: usize, k: usize, state_seed: u64, with_fleet: bool, bounded: bool) -> Self {
         let mut rng = Rng64::new(state_seed);
         let known_loss = (0..n)
@@ -46,6 +51,22 @@ impl CtxData {
             (Some(f), true) => Some(f.completion_percentile_s(upload_bytes, 0.5)),
             _ => None,
         };
+        let in_flight_len = rng.below(n - k + 1);
+        let in_flight = rng.sample_indices(n, in_flight_len);
+        let reliability = with_fleet.then(|| {
+            (0..n)
+                .map(|_| {
+                    let dropouts = rng.below(8);
+                    let dispatches = rng.below(8);
+                    ClientReliability {
+                        dropouts,
+                        dispatches,
+                        aggregated: dispatches,
+                        staleness_sum: rng.below(4) * dispatches,
+                    }
+                })
+                .collect()
+        });
         Self {
             n,
             k,
@@ -54,6 +75,8 @@ impl CtxData {
             fleet,
             upload_bytes,
             deadline_s,
+            in_flight,
+            reliability,
         }
     }
 
@@ -67,6 +90,8 @@ impl CtxData {
             fleet: self.fleet.as_ref(),
             upload_bytes: self.upload_bytes,
             deadline_s: self.deadline_s,
+            in_flight: &self.in_flight,
+            reliability: self.reliability.as_deref(),
         }
     }
 }
@@ -76,6 +101,8 @@ fn all_policies(candidates: usize) -> Vec<Box<dyn SelectionPolicy>> {
         Selection::Uniform.build(),
         Selection::PowerOfChoice { candidates }.build(),
         Selection::BandwidthAware { candidates }.build(),
+        Selection::ReliabilityAware { candidates }.build(),
+        Selection::StalenessBalanced { candidates }.build(),
     ]
 }
 
@@ -172,6 +199,7 @@ fn stragglers_under(policy: &mut dyn SelectionPolicy, rounds: usize) -> usize {
     let mut stragglers = 0usize;
     for round in 0..rounds {
         let mut rng = master.derive(round as u64);
+        let in_flight = RoundExecutor::in_flight_clients(&ex);
         let selected = {
             let ctx = SelectionContext {
                 round,
@@ -182,6 +210,8 @@ fn stragglers_under(policy: &mut dyn SelectionPolicy, rounds: usize) -> usize {
                 fleet: RoundExecutor::fleet(&ex),
                 upload_bytes: RoundExecutor::upload_bytes(&ex),
                 deadline_s: RoundExecutor::deadline_s(&ex),
+                in_flight: &in_flight,
+                reliability: RoundExecutor::reliability(&ex),
             };
             policy.select(&ctx, &mut rng)
         };
@@ -205,10 +235,7 @@ fn stragglers_under(policy: &mut dyn SelectionPolicy, rounds: usize) -> usize {
 fn bandwidth_aware_reduces_deadline_cut_stragglers_vs_uniform() {
     let rounds = 40;
     let uniform = stragglers_under(&mut UniformSelection, rounds);
-    let aware = stragglers_under(
-        &mut BandwidthAwareSelection { candidates: 18 },
-        rounds,
-    );
+    let aware = stragglers_under(&mut BandwidthAwareSelection { candidates: 18 }, rounds);
     // A median deadline cuts ~half of uniform's samples; the aware policy
     // must do strictly — and substantially — better.
     assert!(

@@ -75,7 +75,10 @@ fn ideal_history_matches_pre_refactor_golden_fixture() {
     let mut history = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
     scrub_timings(&mut history);
     let json = serde_json::to_string_pretty(&history).expect("serialize history") + "\n";
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/ideal_history.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/ideal_history.json"
+    );
     if std::env::var_os("REGEN_GOLDEN").is_some() {
         std::fs::write(path, &json).expect("regenerate golden fixture");
         return;

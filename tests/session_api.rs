@@ -71,7 +71,10 @@ fn session_builder_defaults_match_golden_fixture() {
         .run()
         .expect("golden run");
     let json = scrubbed_json(history);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/ideal_history.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/ideal_history.json"
+    );
     let golden = std::fs::read_to_string(path).expect("read golden fixture");
     assert_eq!(
         json, golden,
@@ -298,10 +301,20 @@ fn observers_see_every_round_and_can_stop() {
         stop_after: usize,
     }
     impl RoundObserver for Counter {
-        fn on_round_end(&mut self, record: &RoundRecord) -> RoundControl {
+        fn on_round_end(&mut self, signals: &RoundSignals<'_>) -> RoundControl {
             let seen = self.rounds_seen.fetch_add(1, Ordering::SeqCst);
-            assert_eq!(record.round, seen, "observer saw rounds out of order");
-            if record.round + 1 >= self.stop_after {
+            assert_eq!(
+                signals.record.round, seen,
+                "observer saw rounds out of order"
+            );
+            // The ideal executor produces no reliability telemetry: the
+            // cumulative signals must stay at their zero identities.
+            assert_eq!(signals.total_dropouts, 0);
+            assert_eq!(signals.total_stragglers, 0);
+            assert_eq!(signals.sim_time_s, 0.0);
+            assert_eq!(signals.mean_staleness, 0.0);
+            assert_eq!(signals.in_flight, 0);
+            if signals.record.round + 1 >= self.stop_after {
                 RoundControl::Stop
             } else {
                 RoundControl::Continue

@@ -210,9 +210,7 @@ where
         }
         None => String::new(),
     };
-    println!(
-        "bench {label}: {median:.0} ns/iter ({batches}x{batch_iters} iters{rate})"
-    );
+    println!("bench {label}: {median:.0} ns/iter ({batches}x{batch_iters} iters{rate})");
 }
 
 /// Declare a group of benchmark functions, mirroring

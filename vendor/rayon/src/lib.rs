@@ -29,7 +29,9 @@ where
 /// Number of threads the shim will use for future parallel APIs; mirrors
 /// `rayon::current_num_threads`.
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Prelude for drop-in `use rayon::prelude::*;` compatibility (currently

@@ -369,7 +369,11 @@ impl_tuple! {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn serialize(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
     }
 }
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {

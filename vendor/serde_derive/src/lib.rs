@@ -191,7 +191,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         };
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}"),
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
         }
         skip_type(&mut tokens);
         fields.push(Field {
@@ -313,9 +315,9 @@ fn emit_serialize(item: &Item) -> String {
                 .map(|v| {
                     let vn = &v.name;
                     match &v.shape {
-                        Shape::Unit => format!(
-                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
-                        ),
+                        Shape::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
                         // Newtype variants use the value directly (real
                         // serde's externally-tagged representation).
                         Shape::Tuple(1) => format!(
@@ -376,9 +378,7 @@ fn named_fields_map(fields: &[Field], access: &str) -> String {
     }
     // At least one conditional field: build the map imperatively so skipped
     // entries never materialize (keeps byte-stable output for defaults).
-    let mut stmts = String::from(
-        "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
-    );
+    let mut stmts = String::from("let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
     for f in fields {
         let n = &f.name;
         let push = format!(

@@ -296,8 +296,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(Error::custom("invalid low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error::custom("invalid surrogate pair"))?
                             } else {
@@ -307,9 +306,7 @@ impl<'a> Parser<'a> {
                             out.push(c);
                             continue;
                         }
-                        other => {
-                            return Err(Error::custom(format!("invalid escape {other:?}")))
-                        }
+                        other => return Err(Error::custom(format!("invalid escape {other:?}"))),
                     }
                     self.pos += 1;
                 }
@@ -332,8 +329,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| Error::custom("invalid \\u escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
         self.pos += 4;
         Ok(code)
     }
@@ -457,7 +453,10 @@ mod tests {
             // Real serde writes {"Newtype":1.5}, not {"Newtype":[1.5]} —
             // the shim must match so persisted artifacts survive a swap
             // back to the published crates.
-            assert_eq!(to_string(&Shape::Newtype(1.5)).unwrap(), r#"{"Newtype":1.5}"#);
+            assert_eq!(
+                to_string(&Shape::Newtype(1.5)).unwrap(),
+                r#"{"Newtype":1.5}"#
+            );
             assert_eq!(to_string(&Shape::Unit).unwrap(), r#""Unit""#);
         }
     }

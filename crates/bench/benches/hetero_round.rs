@@ -60,6 +60,7 @@ fn bench_deadline_round(c: &mut Criterion) {
             deadline_s: Some(60.0),
             late_policy: LatePolicy::CarryOver,
             staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
+            ..Default::default()
         };
         let mut ex = DeadlineExecutor::new(cfg, k, 100_000, k, 7);
         let selected: Vec<usize> = (0..k).collect();

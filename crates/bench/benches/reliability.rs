@@ -9,10 +9,10 @@
 //! smarter policy adds on top of uniform sampling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use feddrl_fl::executor::ClientReliability;
+use feddrl_fl::executor::{ClientReliability, ReliabilityTable};
 use feddrl_fl::selection::{Selection, SelectionContext};
 use feddrl_nn::rng::Rng64;
-use feddrl_sim::device::{DropoutCorrelation, Fleet, FleetConfig, ReliabilityConfig};
+use feddrl_sim::device::{DropoutCorrelation, Fleet, FleetConfig, FleetView, ReliabilityConfig};
 
 fn bench_fleet_generate(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet_generate");
@@ -41,7 +41,7 @@ fn bench_selection(c: &mut Criterion) {
     const K: usize = 64;
     const D: usize = 256;
 
-    let fleet = Fleet::generate(
+    let fleet = FleetView::new(
         N,
         &FleetConfig {
             compute_skew: 4.0,
@@ -58,16 +58,24 @@ fn bench_selection(c: &mut Criterion) {
         .map(|_| rng.chance(0.8).then(|| rng.uniform(0.1, 3.0)))
         .collect();
     let participation: Vec<usize> = (0..N).map(|_| rng.below(50)).collect();
-    let reliability: Vec<ClientReliability> = (0..N)
-        .map(|_| {
+    // Sparse telemetry, as the executors produce it: entries only for
+    // clients the server has actually dispatched (here ~half the fleet).
+    let reliability: ReliabilityTable = (0..N)
+        .filter_map(|i| {
+            if !rng.chance(0.5) {
+                return None;
+            }
             let dropouts = rng.below(10);
             let dispatches = rng.below(40);
-            ClientReliability {
-                dropouts,
-                dispatches,
-                aggregated: dispatches,
-                staleness_sum: rng.below(5) * dispatches,
-            }
+            Some((
+                i,
+                ClientReliability {
+                    dropouts,
+                    dispatches,
+                    aggregated: dispatches,
+                    staleness_sum: rng.below(5) * dispatches,
+                },
+            ))
         })
         .collect();
     let in_flight = rng.sample_indices(N, N / 4);

@@ -105,6 +105,7 @@ fn main() {
                     // one nudges it proportionally — FedBuff's server step
                     // with the rate tied to the swept buffer size.
                     server_mix: Some(m as f64 / exp.participants as f64),
+                    ..Default::default()
                 });
                 let history =
                     run_cell(&exp, &env, MethodKind::FedAvg, &exec, false, Some(budget_s));
@@ -149,6 +150,7 @@ fn main() {
             buffer_size: 5,
             staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
             server_mix: Some(0.5),
+            ..Default::default()
         });
         let history = run_cell(&exp, &env, MethodKind::FedDrl, &exec, observe, None);
         let method = if observe { "FedDRL+stale" } else { "FedDRL" };

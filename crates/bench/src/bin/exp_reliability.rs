@@ -100,6 +100,7 @@ fn main() {
                 buffer_size: BUFFER,
                 staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
                 server_mix: Some(BUFFER as f64 / exp.participants as f64),
+                ..Default::default()
             });
             let fleet = Fleet::generate(n_clients, &fleet_cfg);
 
@@ -165,6 +166,7 @@ fn main() {
         buffer_size: BUFFER,
         staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
         server_mix: Some(0.5),
+        ..Default::default()
     });
     for method in [MethodKind::FedAvg, MethodKind::FedDrl] {
         let selection = Selection::ReliabilityAware {

@@ -27,12 +27,15 @@
 //! device profiles from the fleet seed, so heterogeneity scenarios
 //! reproduce exactly, independent of thread scheduling.
 
+use std::collections::BTreeMap;
+
 use crate::client::ClientUpdate;
 use crate::history::HeteroRoundRecord;
 use feddrl_nn::rng::Rng64;
 use feddrl_sim::comm::CommModel;
-use feddrl_sim::device::{Fleet, FleetConfig};
+use feddrl_sim::device::{FleetConfig, FleetView};
 use feddrl_sim::event::{EventKind, EventQueue, VirtualClock};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// How an update's impact factor is scaled by its staleness `s` — the
@@ -141,6 +144,12 @@ pub struct HeteroConfig {
     /// reinjects them at full weight, the pre-discount behavior).
     #[serde(default)]
     pub staleness: StalenessDiscount,
+    /// Train dispatched clients in parallel (rayon) instead of one serial
+    /// `train` call. Bit-identical to the serial loop under a fixed seed
+    /// *provided* the train callback maps each client independently — true
+    /// for the session's per-client derived RNG streams. Off by default.
+    #[serde(default)]
+    pub parallel_dispatch: bool,
 }
 
 impl HeteroConfig {
@@ -197,6 +206,12 @@ pub struct BufferedConfig {
     /// the paper's pure Eq. 4 replacement.
     #[serde(default)]
     pub server_mix: Option<f64>,
+    /// Train dispatched clients in parallel (rayon) instead of one serial
+    /// `train` call. Bit-identical to the serial loop under a fixed seed
+    /// *provided* the train callback maps each client independently — true
+    /// for the session's per-client derived RNG streams. Off by default.
+    #[serde(default)]
+    pub parallel_dispatch: bool,
 }
 
 impl Default for BufferedConfig {
@@ -208,6 +223,7 @@ impl Default for BufferedConfig {
             buffer_size: 1,
             staleness: StalenessDiscount::None,
             server_mix: None,
+            parallel_dispatch: false,
         }
     }
 }
@@ -334,6 +350,109 @@ impl ClientReliability {
     }
 }
 
+/// Sparse per-client reliability telemetry: [`ClientReliability`] keyed by
+/// the clients the executor has actually *observed* (dispatched or seen
+/// drop), instead of a dense `Vec` over the whole fleet.
+///
+/// An unobserved client reads as [`ClientReliability::default`] — exactly
+/// what a dense table initialized that way would hold — so lookups are
+/// total and the switch from dense storage is invisible to readers. What
+/// changes is the memory shape: a million-client fleet whose rounds touch
+/// a hundred devices holds a hundred entries ([`ReliabilityTable::observed`]
+/// is the resident-entry count the scale sweep reports), and iteration
+/// visits only observed clients, in ascending id order (deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliabilityTable {
+    stats: BTreeMap<usize, ClientReliability>,
+}
+
+impl ReliabilityTable {
+    /// An empty table (nothing observed yet). Allocation-free and
+    /// independent of fleet size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Telemetry for `client_id` — the zero record if unobserved.
+    pub fn get(&self, client_id: usize) -> ClientReliability {
+        self.stats.get(&client_id).copied().unwrap_or_default()
+    }
+
+    /// Mutable telemetry for `client_id`, inserting the zero record on
+    /// first observation.
+    pub fn entry(&mut self, client_id: usize) -> &mut ClientReliability {
+        self.stats.entry(client_id).or_default()
+    }
+
+    /// Replace `client_id`'s telemetry wholesale (test/bench synthesis).
+    pub fn insert(&mut self, client_id: usize, stats: ClientReliability) {
+        self.stats.insert(client_id, stats);
+    }
+
+    /// Number of clients observed so far — the resident-memory metric:
+    /// proportional to clients actually dispatched, never to fleet size.
+    pub fn observed(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether no client has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Iterate observed `(client_id, telemetry)` pairs in ascending id
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ClientReliability)> + '_ {
+        self.stats.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Field-wise totals over every observed client — the aggregate the
+    /// accounting laws (dispatch/dropout/aggregation closure) are stated
+    /// against.
+    pub fn totals(&self) -> ClientReliability {
+        let mut t = ClientReliability::default();
+        for s in self.stats.values() {
+            t.dropouts += s.dropouts;
+            t.dispatches += s.dispatches;
+            t.aggregated += s.aggregated;
+            t.staleness_sum += s.staleness_sum;
+        }
+        t
+    }
+}
+
+impl FromIterator<(usize, ClientReliability)> for ReliabilityTable {
+    fn from_iter<I: IntoIterator<Item = (usize, ClientReliability)>>(iter: I) -> Self {
+        Self {
+            stats: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Run `train` over `ids` — serially in one call, or (when `parallel` is
+/// set) as one rayon task per client, concatenated back in input order.
+///
+/// The two paths are bit-identical whenever `train` maps each client
+/// independently of the others in its slice — the contract the session's
+/// train callback satisfies by deriving every client's RNG stream from
+/// `(seed, round, client id)` alone. `tests/scale_props.rs` pins the
+/// byte-identity of full run histories across both paths.
+fn dispatch_train(
+    train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
+    ids: &[usize],
+    parallel: bool,
+) -> Vec<ClientUpdate> {
+    if !parallel || ids.len() < 2 {
+        return train(ids);
+    }
+    ids.par_iter()
+        .map(|&cid| train(&[cid]))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 /// What a round executor hands back to the server loop.
 pub struct RoundOutcome {
     /// Updates to aggregate this round, in deterministic order: carried-in
@@ -352,19 +471,24 @@ pub struct RoundOutcome {
 /// clients actually train (dropouts are decided before training, saving
 /// their wasted CPU) and which reports make it back in time.
 pub trait RoundExecutor: Send {
-    /// Execute round `round` for the sampled `selected` clients.
+    /// Execute round `round` for the sampled `selected` clients. The
+    /// `train` callback must be `Sync`: executors with
+    /// `parallel_dispatch` enabled invoke it from rayon workers, one
+    /// client per call.
     fn execute(
         &mut self,
         round: usize,
         selected: &[usize],
-        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
     ) -> RoundOutcome;
 
     /// The device fleet this executor simulates, if any — what
     /// heterogeneity-aware [`SelectionPolicy`](crate::selection::SelectionPolicy)s
-    /// base their completion-time estimates on. `None` for executors
-    /// without a device model (the ideal one).
-    fn fleet(&self) -> Option<&Fleet> {
+    /// base their completion-time estimates on. Served as a lazy
+    /// [`FleetView`] so policies over a million-device fleet derive only
+    /// the candidate profiles they score. `None` for executors without a
+    /// device model (the ideal one).
+    fn fleet(&self) -> Option<&FleetView> {
         None
     }
 
@@ -409,12 +533,12 @@ pub trait RoundExecutor: Send {
         Vec::new()
     }
 
-    /// Per-client reliability telemetry observed so far, indexed by
-    /// client id — dropout counts and staleness history a
-    /// [`SelectionPolicy`](crate::selection::SelectionPolicy) can learn
-    /// from. `None` for executors without a device model (the ideal one
-    /// never drops anyone).
-    fn reliability(&self) -> Option<&[ClientReliability]> {
+    /// Per-client reliability telemetry observed so far, keyed by client
+    /// id over *observed* clients only — dropout counts and staleness
+    /// history a [`SelectionPolicy`](crate::selection::SelectionPolicy)
+    /// can learn from. `None` for executors without a device model (the
+    /// ideal one never drops anyone).
+    fn reliability(&self) -> Option<&ReliabilityTable> {
         None
     }
 }
@@ -429,7 +553,7 @@ impl RoundExecutor for IdealExecutor {
         &mut self,
         _round: usize,
         selected: &[usize],
-        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
     ) -> RoundOutcome {
         RoundOutcome {
             updates: train(selected),
@@ -444,7 +568,7 @@ const DROPOUT_SALT: u64 = 0xD20_0FF;
 
 /// Deadline-bounded rounds over a seeded heterogeneous device fleet.
 pub struct DeadlineExecutor {
-    fleet: Fleet,
+    fleet: FleetView,
     cfg: HeteroConfig,
     upload_bytes: u64,
     participants: usize,
@@ -460,14 +584,15 @@ pub struct DeadlineExecutor {
     /// difference (only under [`LatePolicy::CarryOver`]).
     carried: Vec<(ClientUpdate, usize)>,
     /// Observed per-client reliability telemetry (dropouts, dispatches,
-    /// aggregated updates and their staleness), indexed by client id.
-    stats: Vec<ClientReliability>,
+    /// aggregated updates and their staleness), keyed by observed client.
+    stats: ReliabilityTable,
 }
 
 impl DeadlineExecutor {
-    /// Build the executor: generates the device fleet and derives the
-    /// per-client upload payload from the §3.5 communication model
-    /// (FedDRL traffic — model weights plus the two scalar losses).
+    /// Build the executor: opens a lazy view over the device fleet
+    /// (profiles derive on demand — nothing is materialized up front) and
+    /// derives the per-client upload payload from the §3.5 communication
+    /// model (FedDRL traffic — model weights plus the two scalar losses).
     ///
     /// # Panics
     /// Panics on a non-positive deadline or a degenerate fleet config.
@@ -482,7 +607,7 @@ impl DeadlineExecutor {
             panic!("{e}");
         }
         assert!(participants > 0, "participants must be positive");
-        let fleet = Fleet::generate(n_clients, &cfg.fleet);
+        let fleet = FleetView::new(n_clients, &cfg.fleet);
         let k = participants as u64;
         let traffic = CommModel::new(param_count.max(1) as u64, k).feddrl_round();
         let upload_bytes = (traffic.uplink_models + traffic.uplink_metadata) / k;
@@ -494,7 +619,7 @@ impl DeadlineExecutor {
             seed,
             version: 0,
             carried: Vec::new(),
-            stats: vec![ClientReliability::default(); n_clients],
+            stats: ReliabilityTable::new(),
         }
     }
 
@@ -503,14 +628,14 @@ impl DeadlineExecutor {
         self.upload_bytes
     }
 
-    /// The generated device fleet.
-    pub fn fleet(&self) -> &Fleet {
+    /// The lazy device-fleet view.
+    pub fn fleet(&self) -> &FleetView {
         &self.fleet
     }
 }
 
 impl RoundExecutor for DeadlineExecutor {
-    fn fleet(&self) -> Option<&Fleet> {
+    fn fleet(&self) -> Option<&FleetView> {
         Some(&self.fleet)
     }
 
@@ -526,7 +651,7 @@ impl RoundExecutor for DeadlineExecutor {
         self.cfg.staleness
     }
 
-    fn reliability(&self) -> Option<&[ClientReliability]> {
+    fn reliability(&self) -> Option<&ReliabilityTable> {
         Some(&self.stats)
     }
 
@@ -542,7 +667,7 @@ impl RoundExecutor for DeadlineExecutor {
         &mut self,
         round: usize,
         selected: &[usize],
-        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
     ) -> RoundOutcome {
         let deadline = self.cfg.deadline_s.unwrap_or(f64::INFINITY);
 
@@ -560,22 +685,23 @@ impl RoundExecutor for DeadlineExecutor {
             let profile = self.fleet.profile(cid);
             if profile.dropout > 0.0 && dropout_rng.derive(cid as u64).chance(profile.dropout) {
                 dropouts += 1;
-                self.stats[cid].dropouts += 1;
+                self.stats.entry(cid).dropouts += 1;
             } else if self.cfg.late_policy == LatePolicy::Drop
                 && profile.completion_time_s(self.upload_bytes) > deadline
             {
                 foregone_stragglers += 1;
             } else {
                 alive.push(cid);
-                self.stats[cid].dispatches += 1;
+                self.stats.entry(cid).dispatches += 1;
             }
         }
 
-        let updates = train(&alive);
+        let updates = dispatch_train(train, &alive, self.cfg.parallel_dispatch);
 
         // --- Discrete-event round: schedule every surviving upload, then
-        // replay the timeline against the deadline.
-        let mut queue = EventQueue::new();
+        // replay the timeline against the deadline. Queue sized to this
+        // round's dispatch (plus the deadline) — independent of fleet size.
+        let mut queue = EventQueue::with_capacity(updates.len() + 1);
         for u in &updates {
             queue.schedule(
                 self.fleet
@@ -679,8 +805,9 @@ impl RoundExecutor for DeadlineExecutor {
             Vec::new()
         };
         for u in &aggregated {
-            self.stats[u.client_id].aggregated += 1;
-            self.stats[u.client_id].staleness_sum += u.staleness;
+            let s = self.stats.entry(u.client_id);
+            s.aggregated += 1;
+            s.staleness_sum += u.staleness;
         }
         if !aggregated.is_empty() {
             self.version += 1; // the session will produce a new global
@@ -721,7 +848,7 @@ impl RoundExecutor for DeadlineExecutor {
 /// device is busy / its report is unconsumed) — no aggregation ever
 /// double-counts one client's data.
 pub struct BufferedExecutor {
-    fleet: Fleet,
+    fleet: FleetView,
     cfg: BufferedConfig,
     upload_bytes: u64,
     seed: u64,
@@ -741,14 +868,15 @@ pub struct BufferedExecutor {
     /// `buffer_size` or more entries between rounds.
     buffer: Vec<(ClientUpdate, usize)>,
     /// Observed per-client reliability telemetry (dropouts, dispatches,
-    /// aggregated updates and their staleness), indexed by client id.
-    stats: Vec<ClientReliability>,
+    /// aggregated updates and their staleness), keyed by observed client.
+    stats: ReliabilityTable,
 }
 
 impl BufferedExecutor {
-    /// Build the executor: generates the device fleet and derives the
-    /// per-client upload payload from the §3.5 communication model, like
-    /// [`DeadlineExecutor::new`].
+    /// Build the executor: opens a lazy view over the device fleet
+    /// (profiles derive on demand — nothing is materialized up front) and
+    /// derives the per-client upload payload from the §3.5 communication
+    /// model, like [`DeadlineExecutor::new`].
     ///
     /// # Panics
     /// Panics on a config [`BufferedConfig::validate`] rejects (zero or
@@ -763,7 +891,7 @@ impl BufferedExecutor {
         if let Err(e) = cfg.validate(participants) {
             panic!("{e}");
         }
-        let fleet = Fleet::generate(n_clients, &cfg.fleet);
+        let fleet = FleetView::new(n_clients, &cfg.fleet);
         let k = participants as u64;
         let traffic = CommModel::new(param_count.max(1) as u64, k).feddrl_round();
         let upload_bytes = (traffic.uplink_models + traffic.uplink_metadata) / k;
@@ -773,11 +901,13 @@ impl BufferedExecutor {
             upload_bytes,
             seed,
             clock: VirtualClock::new(),
-            queue: EventQueue::new(),
+            // At most `participants` uploads are ever pending: sized once,
+            // steady-state scheduling never reallocates, whatever N is.
+            queue: EventQueue::with_capacity(participants + 1),
             version: 0,
             in_flight: Vec::new(),
             buffer: Vec::new(),
-            stats: vec![ClientReliability::default(); n_clients],
+            stats: ReliabilityTable::new(),
         }
     }
 
@@ -786,8 +916,8 @@ impl BufferedExecutor {
         self.upload_bytes
     }
 
-    /// The generated device fleet.
-    pub fn fleet(&self) -> &Fleet {
+    /// The lazy device-fleet view.
+    pub fn fleet(&self) -> &FleetView {
         &self.fleet
     }
 
@@ -803,7 +933,7 @@ impl BufferedExecutor {
 }
 
 impl RoundExecutor for BufferedExecutor {
-    fn fleet(&self) -> Option<&Fleet> {
+    fn fleet(&self) -> Option<&FleetView> {
         Some(&self.fleet)
     }
 
@@ -830,7 +960,7 @@ impl RoundExecutor for BufferedExecutor {
             .collect()
     }
 
-    fn reliability(&self) -> Option<&[ClientReliability]> {
+    fn reliability(&self) -> Option<&ReliabilityTable> {
         Some(&self.stats)
     }
 
@@ -838,7 +968,7 @@ impl RoundExecutor for BufferedExecutor {
         &mut self,
         round: usize,
         selected: &[usize],
-        train: &dyn Fn(&[usize]) -> Vec<ClientUpdate>,
+        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
     ) -> RoundOutcome {
         let round_start_s = self.clock.now_s();
 
@@ -861,14 +991,14 @@ impl RoundExecutor for BufferedExecutor {
                 && dropout_rng.derive(cid as u64).chance(profile.dropout)
             {
                 dropouts += 1;
-                self.stats[cid].dropouts += 1;
+                self.stats.entry(cid).dropouts += 1;
             } else {
                 alive.push(cid);
-                self.stats[cid].dispatches += 1;
+                self.stats.entry(cid).dispatches += 1;
             }
         }
         let version = self.version;
-        for u in train(&alive) {
+        for u in dispatch_train(train, &alive, self.cfg.parallel_dispatch) {
             let arrival_s = self.clock.now_s()
                 + self
                     .fleet
@@ -912,8 +1042,9 @@ impl RoundExecutor for BufferedExecutor {
             for (mut u, trained_version) in self.buffer.drain(..) {
                 u.staleness = self.version - trained_version;
                 staleness.push(u.staleness);
-                self.stats[u.client_id].aggregated += 1;
-                self.stats[u.client_id].staleness_sum += u.staleness;
+                let s = self.stats.entry(u.client_id);
+                s.aggregated += 1;
+                s.staleness_sum += u.staleness;
                 aggregated.push(u);
             }
             self.version += 1;
@@ -967,7 +1098,7 @@ mod tests {
             },
             deadline_s,
             late_policy: LatePolicy::Drop,
-            staleness: StalenessDiscount::None,
+            ..Default::default()
         }
     }
 
@@ -1098,7 +1229,7 @@ mod tests {
             fleet: FleetConfig::default(), // identical devices, ~10 s rounds
             deadline_s: Some(1.0),
             late_policy: LatePolicy::CarryOver,
-            staleness: StalenessDiscount::None,
+            ..Default::default()
         };
         let mut ex = DeadlineExecutor::new(cfg, 8, 1000, 2, 7);
         // Round 0: clients 0, 1 straggle and are queued.
@@ -1377,9 +1508,9 @@ mod tests {
             total_dropouts += out.hetero.unwrap().dropouts;
         }
         let stats = RoundExecutor::reliability(&ex).expect("deadline executor records telemetry");
-        assert_eq!(stats.len(), 10);
+        assert_eq!(stats.observed(), 10, "every sampled client was observed");
         let mut dropouts = 0;
-        for (cid, s) in stats.iter().enumerate() {
+        for (cid, s) in stats.iter() {
             // Unbounded deadline: every sample either drops or trains.
             assert_eq!(s.dropouts + s.dispatches, 20, "client {cid} samples lost");
             assert_eq!(s.aggregated, s.dispatches, "client {cid} updates lost");
@@ -1392,7 +1523,7 @@ mod tests {
         );
         // p = 0.4 over 200 samples: the observed rates must spread around
         // the configured one rather than collapse to 0 or 1.
-        let mean_rate: f64 = stats.iter().map(|s| s.dropout_rate()).sum::<f64>() / 10.0;
+        let mean_rate: f64 = stats.iter().map(|(_, s)| s.dropout_rate()).sum::<f64>() / 10.0;
         assert!(
             (0.15..0.65).contains(&mean_rate),
             "implausible mean rate {mean_rate}"
@@ -1420,10 +1551,82 @@ mod tests {
         }
         // Telemetry: everyone was dispatched once, the fast pair aggregated.
         let stats = RoundExecutor::reliability(&ex).unwrap();
-        for (cid, s) in stats.iter().enumerate() {
+        assert_eq!(stats.observed(), 4);
+        for (cid, s) in stats.iter() {
             assert_eq!(s.dispatches, 1);
             assert_eq!(s.aggregated, usize::from(aggregated.contains(&cid)));
         }
+    }
+
+    /// Sparse telemetry: an unobserved client reads as the zero record,
+    /// resident entries track *observed* clients only, and totals close.
+    #[test]
+    fn reliability_table_is_sparse_over_observed_clients() {
+        let mut ex = DeadlineExecutor::new(skewed_cfg(None, 0.0), 1_000, 500, 4, 21);
+        let out = ex.execute(0, &[3, 900, 17], &stub_train);
+        assert_eq!(out.updates.len(), 3);
+        let stats = RoundExecutor::reliability(&ex).unwrap();
+        assert_eq!(
+            stats.observed(),
+            3,
+            "telemetry must be resident only for dispatched clients"
+        );
+        assert_eq!(stats.get(3).dispatches, 1);
+        assert_eq!(stats.get(900).aggregated, 1);
+        assert_eq!(stats.get(999), ClientReliability::default());
+        let ids: Vec<usize> = stats.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 17, 900], "iteration must be id-ordered");
+        let t = stats.totals();
+        assert_eq!((t.dispatches, t.aggregated, t.dropouts), (3, 3, 0));
+    }
+
+    /// Parallel dispatch must reproduce the serial outcome bit-for-bit on
+    /// both executor families (the train stub maps clients independently,
+    /// as the session's per-client RNG streams do).
+    #[test]
+    fn parallel_dispatch_is_bit_identical_to_serial() {
+        let run_deadline = |parallel: bool| {
+            let cfg = HeteroConfig {
+                parallel_dispatch: parallel,
+                ..skewed_cfg(None, 0.3)
+            };
+            let mut ex = DeadlineExecutor::new(cfg, 32, 500, 8, 9);
+            (0..6)
+                .map(|round| {
+                    let selected: Vec<usize> = (0..32).filter(|c| (c + round) % 4 == 0).collect();
+                    let out = ex.execute(round, &selected, &stub_train);
+                    (
+                        out.updates
+                            .iter()
+                            .map(|u| (u.client_id, u.staleness))
+                            .collect::<Vec<_>>(),
+                        out.hetero.unwrap(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_deadline(false), run_deadline(true));
+
+        let run_buffered = |parallel: bool| {
+            let mut cfg = buffered_cfg(4.0, 3);
+            cfg.fleet.dropout = 0.2;
+            cfg.parallel_dispatch = parallel;
+            let mut ex = BufferedExecutor::new(cfg, 32, 500, 8, 9);
+            (0..10)
+                .map(|round| {
+                    let selected: Vec<usize> = (0..32).filter(|c| (c + round) % 4 == 0).collect();
+                    let out = ex.execute(round, &selected, &stub_train);
+                    (
+                        out.updates
+                            .iter()
+                            .map(|u| (u.client_id, u.staleness))
+                            .collect::<Vec<_>>(),
+                        out.hetero.unwrap(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_buffered(false), run_buffered(true));
     }
 
     #[test]

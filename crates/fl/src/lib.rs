@@ -79,7 +79,8 @@ pub mod prelude {
     pub use crate::error::FlError;
     pub use crate::executor::{
         BufferedConfig, BufferedExecutor, ClientReliability, DeadlineExecutor, ExecutorConfig,
-        HeteroConfig, IdealExecutor, LatePolicy, RoundExecutor, RoundOutcome, StalenessDiscount,
+        HeteroConfig, IdealExecutor, LatePolicy, ReliabilityTable, RoundExecutor, RoundOutcome,
+        StalenessDiscount,
     };
     pub use crate::history::{HeteroRoundRecord, RoundRecord, RunHistory};
     pub use crate::metrics::{

@@ -19,11 +19,12 @@
 //! historically used — so built-in policies reproduce old histories
 //! bit-for-bit and every policy is deterministic under a fixed seed.
 
-use crate::executor::ClientReliability;
+use crate::executor::ReliabilityTable;
 use feddrl_nn::rng::Rng64;
-use feddrl_sim::device::Fleet;
+use feddrl_sim::device::FleetView;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
+use std::collections::HashSet;
 
 /// Client-selection policy for each round (config-layer representation;
 /// [`Selection::build`] produces the executable [`SelectionPolicy`]).
@@ -110,9 +111,11 @@ pub struct SelectionContext<'a> {
     /// How many rounds each client has been *selected* for so far,
     /// indexed by client id (fairness-aware policies can rebalance on it).
     pub participation: &'a [usize],
-    /// Device profiles when the run uses a heterogeneity-aware executor;
-    /// `None` under the ideal executor.
-    pub fleet: Option<&'a Fleet>,
+    /// Lazy device-profile view when the run uses a heterogeneity-aware
+    /// executor; `None` under the ideal executor. Profiles are derived on
+    /// demand, so consulting only the candidate pool costs O(candidates)
+    /// regardless of fleet size.
+    pub fleet: Option<&'a FleetView>,
     /// Per-client upload payload in bytes (0 under the ideal executor);
     /// feed it to [`DeviceProfile::completion_time_s`](feddrl_sim::device::DeviceProfile::completion_time_s).
     pub upload_bytes: u64,
@@ -125,11 +128,11 @@ pub struct SelectionContext<'a> {
     /// executors, which end every round with nothing in flight.
     pub in_flight: &'a [usize],
     /// Per-client *observed* reliability telemetry — dropout counts and
-    /// staleness history the executor accumulated so far, indexed by
-    /// client id. `None` for executors without a device model. Policies
-    /// see only what the server has witnessed, never the fleet's true
-    /// failure probabilities.
-    pub reliability: Option<&'a [ClientReliability]>,
+    /// staleness history the executor accumulated so far, keyed by client
+    /// id and holding entries only for clients actually dispatched. `None`
+    /// for executors without a device model. Policies see only what the
+    /// server has witnessed, never the fleet's true failure probabilities.
+    pub reliability: Option<&'a ReliabilityTable>,
 }
 
 impl SelectionContext<'_> {
@@ -151,14 +154,14 @@ impl SelectionContext<'_> {
     /// never been tried, or when the executor records no telemetry).
     pub fn observed_dropout_rate(&self, client_id: usize) -> f64 {
         self.reliability
-            .map_or(0.0, |stats| stats[client_id].dropout_rate())
+            .map_or(0.0, |stats| stats.get(client_id).dropout_rate())
     }
 
     /// Mean observed staleness of `client_id`'s aggregated updates (0
     /// while none arrived, or without telemetry).
     pub fn observed_staleness(&self, client_id: usize) -> f64 {
         self.reliability
-            .map_or(0.0, |stats| stats[client_id].mean_staleness())
+            .map_or(0.0, |stats| stats.get(client_id).mean_staleness())
     }
 }
 
@@ -301,7 +304,7 @@ fn report_probability(ctx: &SelectionContext<'_>, client_id: usize) -> f64 {
     match ctx.reliability {
         None => 1.0,
         Some(stats) => {
-            let s = &stats[client_id];
+            let s = stats.get(client_id);
             1.0 - s.dropouts as f64 / (s.dropouts + s.dispatches + 1) as f64
         }
     }
@@ -329,11 +332,11 @@ fn rank_and_take(
     score: impl Fn(usize) -> f64,
 ) -> Vec<usize> {
     // Index the in-flight set once: a per-candidate `is_in_flight` scan
-    // is quadratic over wide pools with many updates in the air.
-    let mut busy = vec![false; ctx.n_clients];
-    for &c in ctx.in_flight {
-        busy[c] = true;
-    }
+    // is quadratic over wide pools with many updates in the air. A hash
+    // set (not a dense `vec![false; n_clients]`) keeps the cost
+    // proportional to the in-flight count, not the fleet size — at
+    // million-client scale the dense mask would dominate selection.
+    let busy: HashSet<usize> = ctx.in_flight.iter().copied().collect();
     let doomed = |c: usize| -> bool {
         match (ctx.deadline_s, ctx.predicted_completion_s(c)) {
             (Some(dl), Some(t)) => t > dl,
@@ -342,7 +345,7 @@ fn rank_and_take(
     };
     let mut scored: Vec<(usize, bool, f64)> = pool
         .into_iter()
-        .map(|c| (c, busy[c] || doomed(c), score(c)))
+        .map(|c| (c, busy.contains(&c) || doomed(c), score(c)))
         .collect();
     scored.sort_by(|a, b| {
         a.1.cmp(&b.1)
@@ -411,6 +414,7 @@ impl SelectionPolicy for StalenessBalancedSelection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::ClientReliability;
     use feddrl_sim::device::FleetConfig;
 
     fn ctx_parts(n: usize) -> (Vec<Option<f32>>, Vec<usize>) {
@@ -496,7 +500,7 @@ mod tests {
     #[test]
     fn bandwidth_aware_downranks_slow_and_doomed_clients() {
         let (loss, part) = ctx_parts(8);
-        let fleet = Fleet::generate(
+        let fleet = FleetView::new(
             8,
             &FleetConfig {
                 compute_skew: 6.0,
@@ -544,14 +548,20 @@ mod tests {
     }
 
     /// Telemetry where client `i` has dropped `drops[i]` of 10 tries.
-    fn stats_from_drops(drops: &[usize]) -> Vec<ClientReliability> {
+    fn stats_from_drops(drops: &[usize]) -> ReliabilityTable {
         drops
             .iter()
-            .map(|&d| ClientReliability {
-                dropouts: d,
-                dispatches: 10 - d,
-                aggregated: 10 - d,
-                staleness_sum: 0,
+            .enumerate()
+            .map(|(i, &d)| {
+                (
+                    i,
+                    ClientReliability {
+                        dropouts: d,
+                        dispatches: 10 - d,
+                        aggregated: 10 - d,
+                        staleness_sum: 0,
+                    },
+                )
             })
             .collect()
     }
@@ -599,7 +609,7 @@ mod tests {
     fn reliability_and_staleness_policies_downrank_predicted_stragglers() {
         let loss = vec![None; 8]; // nothing observed: everyone at the prior
         let part = vec![0; 8];
-        let fleet = Fleet::generate(
+        let fleet = FleetView::new(
             8,
             &FleetConfig {
                 compute_skew: 6.0,
@@ -651,7 +661,7 @@ mod tests {
     #[test]
     fn staleness_balanced_oversamples_idle_slow_devices() {
         let (loss, part) = ctx_parts(8);
-        let fleet = Fleet::generate(
+        let fleet = FleetView::new(
             8,
             &FleetConfig {
                 compute_skew: 6.0,

@@ -636,17 +636,18 @@ fn validate_selection(
             selected.len()
         )));
     }
-    let mut seen = vec![false; n_clients];
+    // Hash set, not a dense `vec![false; n_clients]`: validation stays
+    // O(K) in time and memory even over a million-client fleet.
+    let mut seen = std::collections::HashSet::with_capacity(selected.len());
     for &c in selected {
         if c >= n_clients {
             return Err(invalid(format!(
                 "client id {c} out of range (N = {n_clients})"
             )));
         }
-        if seen[c] {
+        if !seen.insert(c) {
             return Err(invalid(format!("client id {c} selected twice")));
         }
-        seen[c] = true;
     }
     Ok(())
 }

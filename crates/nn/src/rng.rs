@@ -160,17 +160,33 @@ impl Rng64 {
 
     /// Sample `k` distinct indices from `[0, n)` (partial Fisher–Yates).
     ///
+    /// Runs in O(k) time and memory regardless of `n`: instead of
+    /// materializing the `0..n` pool, a hash map records only the slots the
+    /// virtual shuffle has displaced (at most `2k` entries), so sampling
+    /// 100 clients from a 10⁶-device fleet never allocates a
+    /// million-element vector. The draw sequence (`below(n - i)` per step)
+    /// and the swap semantics are exactly those of the dense pool, so the
+    /// returned sample is bit-identical to the historical implementation —
+    /// existing seeded runs reproduce unchanged.
+    ///
     /// # Panics
     /// Panics if `k > n`.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
         assert!(k <= n, "sample_indices: k ({k}) must not exceed n ({n})");
-        let mut pool: Vec<usize> = (0..n).collect();
+        // displaced[p] = the value the virtual pool currently holds at
+        // position p, for the positions that no longer hold their identity.
+        let mut displaced: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(2 * k);
+        let mut out = Vec::with_capacity(k);
         for i in 0..k {
             let j = i + self.below(n - i);
-            pool.swap(i, j);
+            let vi = displaced.get(&i).copied().unwrap_or(i);
+            let vj = displaced.get(&j).copied().unwrap_or(j);
+            // swap(i, j) on the virtual pool; position i is final (out).
+            displaced.insert(j, vi);
+            out.push(vj);
         }
-        pool.truncate(k);
-        pool
+        out
     }
 
     /// Sample an index from an (unnormalized) non-negative weight vector.
@@ -347,6 +363,28 @@ mod tests {
     fn sample_indices_rejects_oversample() {
         let mut rng = Rng64::new(1);
         let _ = rng.sample_indices(3, 4);
+    }
+
+    /// The sparse sampler must replay the historical dense partial
+    /// Fisher–Yates draw-for-draw: same seed, same sample, at every (n, k).
+    #[test]
+    fn sample_indices_matches_dense_fisher_yates() {
+        fn dense(rng: &mut Rng64, n: usize, k: usize) -> Vec<usize> {
+            let mut pool: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + rng.below(n - i);
+                pool.swap(i, j);
+            }
+            pool.truncate(k);
+            pool
+        }
+        for seed in 0..20 {
+            for &(n, k) in &[(1, 1), (5, 5), (50, 7), (1000, 64), (1000, 1000)] {
+                let sparse = Rng64::new(seed).sample_indices(n, k);
+                let reference = dense(&mut Rng64::new(seed), n, k);
+                assert_eq!(sparse, reference, "diverged at seed {seed}, n {n}, k {k}");
+            }
+        }
     }
 
     #[test]

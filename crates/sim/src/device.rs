@@ -17,6 +17,8 @@
 //! reliability is stable under fleet growth, and the legacy fleet-wide
 //! scalar is exactly the `dropout_skew = 1` special case.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use feddrl_nn::rng::Rng64;
 use serde::{Deserialize, Serialize};
 
@@ -228,14 +230,181 @@ impl FleetConfig {
     }
 }
 
+/// Derive client `i`'s profile from the fleet config alone.
+///
+/// This is *the* profile format: both the lazy [`FleetView`] and the eager
+/// [`Fleet`] call it, so the two are identical by construction at every
+/// index. skew^u with u ~ U(-1, 1): log-uniform in [1/skew, skew]. The
+/// draw order (compute, bandwidth, reliability) is part of the format: it
+/// keeps compute/bandwidth profiles byte-identical to fleets generated
+/// before the per-device reliability model existed, and the per-index
+/// `derive(i)` stream keeps every profile stable under fleet growth.
+fn derive_profile(cfg: &FleetConfig, master: &Rng64, i: usize) -> DeviceProfile {
+    let mut rng = master.derive(i as u64);
+    let cm = cfg.compute_skew.powf(rng.uniform(-1.0, 1.0) as f64);
+    let bm = cfg.bandwidth_skew.powf(rng.uniform(-1.0, 1.0) as f64);
+    let w = rng.uniform(-1.0, 1.0) as f64;
+    // Normalized compute slowness in [-1, 1]: the log-uniform exponent
+    // that produced `cm` (0 on a homogeneous fleet, where speed carries
+    // no information to correlate with).
+    let slowness = if cfg.compute_skew > 1.0 {
+        cm.ln() / cfg.compute_skew.ln()
+    } else {
+        0.0
+    };
+    let exponent = match cfg.reliability.correlation {
+        DropoutCorrelation::Independent => w,
+        DropoutCorrelation::SpeedCorrelated { strength } => {
+            strength * slowness + (1.0 - strength) * w
+        }
+    };
+    DeviceProfile {
+        compute_s: cfg.compute_s * cm,
+        bandwidth_bps: cfg.bandwidth_bps * bm,
+        latency_s: cfg.latency_s,
+        dropout: cfg.dropout * cfg.reliability.dropout_skew.powf(exponent),
+    }
+}
+
+/// A lazy fleet: derives [`DeviceProfile`]s on demand per index instead of
+/// materializing all `n` up front, so fleet size is a free variable —
+/// a million-device view costs a config plus a counter, and only the
+/// devices a round actually touches are ever derived.
+///
+/// Profile derivation is pure (a handful of `powf`s off the per-index RNG
+/// stream), so the view memoizes nothing: profile memory is O(1) and the
+/// view is identical to [`Fleet::generate`] profile-for-profile at every
+/// index by construction (both call the same derivation).
+///
+/// The view counts derivations ([`FleetView::derivations`]) so callers can
+/// *assert* — not just claim — that a code path touches O(candidates)
+/// profiles rather than O(N).
+#[derive(Debug)]
+pub struct FleetView {
+    cfg: FleetConfig,
+    master: Rng64,
+    n: usize,
+    derived: AtomicU64,
+}
+
+impl FleetView {
+    /// Build a lazy view over `n` devices.
+    ///
+    /// # Panics
+    /// Panics on the same degenerate configs as [`Fleet::generate`], with
+    /// the same messages.
+    pub fn new(n: usize, cfg: &FleetConfig) -> Self {
+        assert!(n > 0, "fleet needs at least one device");
+        if let Err(reason) = cfg.validate() {
+            panic!("{reason}");
+        }
+        Self {
+            master: Rng64::new(cfg.seed),
+            cfg: cfg.clone(),
+            n,
+            derived: AtomicU64::new(0),
+        }
+    }
+
+    /// Derive the profile of client `client_id` (by value — nothing is
+    /// stored).
+    ///
+    /// # Panics
+    /// Panics if `client_id` is out of range.
+    pub fn profile(&self, client_id: usize) -> DeviceProfile {
+        assert!(
+            client_id < self.n,
+            "client id {client_id} out of range for fleet of {}",
+            self.n
+        );
+        self.derived.fetch_add(1, Ordering::Relaxed);
+        derive_profile(&self.cfg, &self.master, client_id)
+    }
+
+    /// Number of devices in the view.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the view is empty (never true: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The config the view derives from.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// How many profile derivations this view has served — the observable
+    /// that lets tests pin selection/dispatch cost to O(candidates)
+    /// instead of O(N).
+    pub fn derivations(&self) -> u64 {
+        self.derived.load(Ordering::Relaxed)
+    }
+
+    /// Mean per-round dropout rate over the fleet. O(n) compute, O(1)
+    /// memory; does not count toward [`FleetView::derivations`] (it is a
+    /// whole-fleet summary, not a per-candidate touch).
+    pub fn mean_dropout(&self) -> f64 {
+        (0..self.n)
+            .map(|i| derive_profile(&self.cfg, &self.master, i).dropout)
+            .sum::<f64>()
+            / self.n.max(1) as f64
+    }
+
+    /// The `pct`-percentile (in `[0, 1]`) of the fleet's completion times
+    /// for an `upload_bytes` payload. O(n log n) compute with an O(n)
+    /// *transient* buffer — a setup-time helper for deadline placement,
+    /// not a per-round operation; does not count toward
+    /// [`FleetView::derivations`].
+    pub fn completion_percentile_s(&self, upload_bytes: u64, pct: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&pct), "percentile must be in [0, 1]");
+        let mut times: Vec<f64> = (0..self.n)
+            .map(|i| derive_profile(&self.cfg, &self.master, i).completion_time_s(upload_bytes))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let idx = ((times.len() - 1) as f64 * pct).round() as usize;
+        times[idx]
+    }
+
+    /// Materialize the view into an eager [`Fleet`] (derives all `n`
+    /// profiles once).
+    pub fn materialize(&self) -> Fleet {
+        Fleet {
+            profiles: (0..self.n)
+                .map(|i| derive_profile(&self.cfg, &self.master, i))
+                .collect(),
+        }
+    }
+}
+
+impl Clone for FleetView {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            master: self.master.clone(),
+            n: self.n,
+            derived: AtomicU64::new(self.derived.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// A generated population of device profiles, indexed by client id.
+///
+/// This is the eager form: a thin cache over [`FleetView`] that derives
+/// every profile once up front. Use it when the whole fleet will be
+/// touched anyway (small-N experiments, percentile scans in a loop); use
+/// [`FleetView`] when N is large and rounds only touch a sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fleet {
     profiles: Vec<DeviceProfile>,
 }
 
 impl Fleet {
-    /// Deterministically generate `n` device profiles.
+    /// Deterministically generate `n` device profiles — equivalent to
+    /// `FleetView::new(n, cfg).materialize()`, and identical to the view
+    /// profile-for-profile at every index.
     ///
     /// # Panics
     /// Panics on a degenerate config: `n == 0`, non-positive reference
@@ -244,45 +413,7 @@ impl Fleet {
     /// round empty), or a reliability model whose spread would push a
     /// per-device rate to 1 or beyond.
     pub fn generate(n: usize, cfg: &FleetConfig) -> Self {
-        assert!(n > 0, "fleet needs at least one device");
-        if let Err(reason) = cfg.validate() {
-            panic!("{reason}");
-        }
-        let master = Rng64::new(cfg.seed);
-        let profiles = (0..n)
-            .map(|i| {
-                let mut rng = master.derive(i as u64);
-                // skew^u with u ~ U(-1, 1): log-uniform in [1/skew, skew].
-                // The draw order (compute, bandwidth, reliability) is part
-                // of the format: it keeps compute/bandwidth profiles
-                // byte-identical to fleets generated before the per-device
-                // reliability model existed.
-                let cm = cfg.compute_skew.powf(rng.uniform(-1.0, 1.0) as f64);
-                let bm = cfg.bandwidth_skew.powf(rng.uniform(-1.0, 1.0) as f64);
-                let w = rng.uniform(-1.0, 1.0) as f64;
-                // Normalized compute slowness in [-1, 1]: the log-uniform
-                // exponent that produced `cm` (0 on a homogeneous fleet,
-                // where speed carries no information to correlate with).
-                let slowness = if cfg.compute_skew > 1.0 {
-                    cm.ln() / cfg.compute_skew.ln()
-                } else {
-                    0.0
-                };
-                let exponent = match cfg.reliability.correlation {
-                    DropoutCorrelation::Independent => w,
-                    DropoutCorrelation::SpeedCorrelated { strength } => {
-                        strength * slowness + (1.0 - strength) * w
-                    }
-                };
-                DeviceProfile {
-                    compute_s: cfg.compute_s * cm,
-                    bandwidth_bps: cfg.bandwidth_bps * bm,
-                    latency_s: cfg.latency_s,
-                    dropout: cfg.dropout * cfg.reliability.dropout_skew.powf(exponent),
-                }
-            })
-            .collect();
-        Self { profiles }
+        FleetView::new(n, cfg).materialize()
     }
 
     /// Profile of client `client_id`.

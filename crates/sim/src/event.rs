@@ -77,6 +77,13 @@ impl Ord for Entry {
 }
 
 /// A deterministic min-queue of virtual-time events.
+///
+/// Every operation is O(log *active*) in the number of *pending* events —
+/// never in the fleet size: a round that schedules `K` uploads against a
+/// million-device fleet costs the same as against a forty-device one. The
+/// queue allocates only for what is scheduled (use
+/// [`EventQueue::with_capacity`] to pre-size for a known dispatch width
+/// and avoid heap regrowth in steady state).
 #[derive(Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Entry>,
@@ -87,6 +94,23 @@ impl EventQueue {
     /// Create an empty queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty queue pre-sized for `capacity` pending events.
+    ///
+    /// Executors dispatch at most `participants` uploads (plus a deadline)
+    /// per round, so sizing to the dispatch width makes steady-state
+    /// scheduling allocation-free — independent of fleet size.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedule `kind` at virtual time `time_s`.
@@ -235,6 +259,19 @@ mod tests {
                 version: 7
             }
         );
+    }
+
+    #[test]
+    fn with_capacity_presizes_and_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.capacity() >= 16);
+        let before = q.capacity();
+        for i in 0..16 {
+            q.schedule(i as f64, EventKind::Deadline);
+        }
+        assert_eq!(q.capacity(), before, "pre-sized queue reallocated");
+        assert_eq!(q.len(), 16);
+        assert_eq!(q.pop().unwrap().time_s, 0.0);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`device`] — seeded per-client device profiles: compute speed,
 //!   uplink bandwidth/latency, and a per-device dropout rate (spread
 //!   around the fleet's base rate, optionally correlated with compute
-//!   speed — the reliability model);
+//!   speed — the reliability model), served either eagerly
+//!   ([`device::Fleet`]) or lazily per index ([`device::FleetView`]) so
+//!   fleet size is a free variable;
 //! * [`event`] — the discrete-event core (virtual clock + deterministic
 //!   event queue) that schedules upload completions against round
 //!   deadlines.
@@ -31,7 +33,7 @@ pub mod timing;
 pub mod prelude {
     pub use crate::comm::{CommModel, RoundTraffic};
     pub use crate::device::{
-        DeviceProfile, DropoutCorrelation, Fleet, FleetConfig, ReliabilityConfig,
+        DeviceProfile, DropoutCorrelation, Fleet, FleetConfig, FleetView, ReliabilityConfig,
     };
     pub use crate::event::{Event, EventKind, EventQueue, VirtualClock};
     pub use crate::timing::{measure, StageTiming};

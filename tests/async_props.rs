@@ -110,6 +110,7 @@ fn full_buffer_on_homogeneous_fleet_reduces_to_ideal_golden_fixture() {
         buffer_size: cfg.participants, // m = K
         staleness: StalenessDiscount::None,
         server_mix: None,
+        ..Default::default()
     });
     let history = run(&spec, &train, &test, &partition, &cfg);
 
@@ -286,6 +287,7 @@ fn buffered_reaches_target_accuracy_in_less_sim_time_than_deadline() {
         buffer_size: 3,
         staleness: StalenessDiscount::None,
         server_mix: Some(0.375), // m / K
+        ..Default::default()
     });
     let mut strategy = FedAvg;
     let buffered = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
@@ -334,6 +336,7 @@ fn carry_over_aging_shrinks_stale_factors_session_level() {
             deadline_s: Some(10.0),
             late_policy: LatePolicy::CarryOver,
             staleness,
+            ..Default::default()
         })
     };
     cfg.executor = mk_exec(StalenessDiscount::None);
@@ -395,6 +398,7 @@ fn arb_buffered() -> impl proptest::strategy::Strategy<Value = BufferedConfig> {
                 _ => StalenessDiscount::Hinge { cutoff: 1 },
             },
             server_mix: None,
+            ..Default::default()
         },
     )
 }

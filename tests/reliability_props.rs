@@ -248,8 +248,8 @@ fn deadline_waste_rate(policy: &mut dyn SelectionPolicy, rounds: usize) -> f64 {
     let mut ex = DeadlineExecutor::new(cfg, N, 60_000, K, 9);
     drive(&mut ex, policy, N, K, rounds);
     let stats = RoundExecutor::reliability(&ex).expect("deadline telemetry");
-    let dropouts: usize = stats.iter().map(|s| s.dropouts).sum();
-    let dispatches: usize = stats.iter().map(|s| s.dispatches).sum();
+    let dropouts: usize = stats.iter().map(|(_, s)| s.dropouts).sum();
+    let dispatches: usize = stats.iter().map(|(_, s)| s.dispatches).sum();
     dropouts as f64 / (dropouts + dispatches) as f64
 }
 
@@ -347,9 +347,9 @@ fn telemetry_totals_close_against_round_records() {
         rec_aggregated += h.aggregated();
     }
     let stats = RoundExecutor::reliability(&ex).unwrap();
-    let dropouts: usize = stats.iter().map(|s| s.dropouts).sum();
-    let dispatches: usize = stats.iter().map(|s| s.dispatches).sum();
-    let aggregated: usize = stats.iter().map(|s| s.aggregated).sum();
+    let dropouts: usize = stats.iter().map(|(_, s)| s.dropouts).sum();
+    let dispatches: usize = stats.iter().map(|(_, s)| s.dispatches).sum();
+    let aggregated: usize = stats.iter().map(|(_, s)| s.aggregated).sum();
     assert_eq!(dropouts, rec_dropouts);
     assert_eq!(aggregated, rec_aggregated);
     assert_eq!(
@@ -364,7 +364,7 @@ fn telemetry_totals_close_against_round_records() {
         "dispatch accounting must close"
     );
     // Mean staleness telemetry agrees with the recorded per-round ages.
-    let stat_staleness: usize = stats.iter().map(|s| s.staleness_sum).sum();
+    let stat_staleness: usize = stats.iter().map(|(_, s)| s.staleness_sum).sum();
     let rec_staleness: usize = outcomes
         .iter()
         .filter_map(|o| o.hetero.as_ref())

@@ -1,0 +1,461 @@
+//! Scale-invariant property suite: the laws that make fleet size a free
+//! variable (the million-client milestone).
+//!
+//! Contracts proven here:
+//!
+//! 1. **Lazy ≡ eager** — `FleetView` derives, at every index and under
+//!    arbitrary seeds/configs, exactly the profile the eager `Fleet`
+//!    materializes; growing N never changes an existing client's device.
+//! 2. **Sparse accounting law** — the `ReliabilityTable`'s totals close
+//!    against the per-round records (the reliability accounting law,
+//!    re-proved on the sparse type), and the table holds entries only for
+//!    clients actually dispatched.
+//! 3. **Parallel ≡ serial** — a session run with rayon-parallel client
+//!    dispatch produces a byte-identical serialized history to the serial
+//!    run at the same seed (timings scrubbed, like every golden
+//!    comparison), for both the deadline and the buffered executor.
+//! 4. **Event-queue order at scale** — at 10^5 active entries the queue
+//!    pops a total order on time with FIFO tie-breaking, without growing
+//!    past its presized capacity.
+//! 5. **Selection at scale** — the oversampling policies keep their
+//!    K-distinct/in-range/deterministic contract over a 10^5-client lazy
+//!    fleet while deriving O(candidates) profiles, never O(N).
+//! 6. **Memory proportionality** — a full buffered round at N = 10^5
+//!    keeps telemetry entries bounded by the distinct clients dispatched
+//!    and profile derivations proportional to the clients actually
+//!    consulted (the `exp_scale` claim, pinned as a test).
+
+use feddrl_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Builds an `ExecutorConfig` with the given `parallel_dispatch` flag.
+type ConfigBuilder = Box<dyn Fn(bool) -> ExecutorConfig>;
+
+fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
+    ids.iter()
+        .map(|&client_id| ClientUpdate {
+            client_id,
+            weights: vec![0.0; 4],
+            n_samples: 10,
+            loss_before: 1.0,
+            loss_after: 0.5,
+            staleness: 0,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract 1: profile-for-profile equivalence of the lazy view and
+    /// the eager fleet, under arbitrary seeds and heterogeneity configs,
+    /// plus agreement of the derived aggregates.
+    #[test]
+    fn fleet_view_matches_eager_fleet_at_every_index(
+        n in 1usize..64,
+        seed in 0u64..1_000,
+        compute_skew in 1.0f64..8.0,
+        bandwidth_skew in 1.0f64..4.0,
+        dropout in 0.0f64..0.3,
+        dropout_skew in 1.0f64..3.0,
+        strength in 0.0f64..1.0,
+        correlated in 0u8..2,
+    ) {
+        let cfg = FleetConfig {
+            compute_skew,
+            bandwidth_skew,
+            dropout,
+            reliability: ReliabilityConfig {
+                dropout_skew,
+                correlation: if correlated == 1 {
+                    DropoutCorrelation::SpeedCorrelated { strength }
+                } else {
+                    DropoutCorrelation::Independent
+                },
+            },
+            seed,
+            ..Default::default()
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let view = FleetView::new(n, &cfg);
+        let eager = Fleet::generate(n, &cfg);
+        prop_assert_eq!(view.len(), eager.len());
+        for i in 0..n {
+            prop_assert_eq!(
+                &view.profile(i), eager.profile(i),
+                "lazy view diverged from the eager fleet at index {}", i
+            );
+        }
+        // Growing the view never changes an existing client's device.
+        let grown = FleetView::new(n * 4, &cfg);
+        for i in 0..n {
+            prop_assert_eq!(
+                &grown.profile(i), eager.profile(i),
+                "client {}'s device changed because the fleet grew", i
+            );
+        }
+        // Derived aggregates agree bit-for-bit (same derivation path).
+        prop_assert_eq!(view.mean_dropout(), eager.mean_dropout());
+        prop_assert_eq!(
+            view.completion_percentile_s(1_000_000, 0.5),
+            eager.completion_percentile_s(1_000_000, 0.5)
+        );
+    }
+
+    /// Contract 2: the sparse telemetry's totals close against the
+    /// per-round records under arbitrary dropout and skew — dropouts and
+    /// aggregations match the records exactly, sampled-slot and dispatch
+    /// accounting both close, and the table stays bounded by the distinct
+    /// clients ever selected.
+    #[test]
+    fn sparse_telemetry_totals_close_against_round_records(
+        dropout in 0.0f64..0.5,
+        compute_skew in 1.0f64..8.0,
+        buffer_size in 1usize..=5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = BufferedConfig {
+            fleet: FleetConfig {
+                compute_skew,
+                dropout,
+                seed,
+                ..Default::default()
+            },
+            buffer_size,
+            ..Default::default()
+        };
+        const N: usize = 40;
+        const K: usize = 6;
+        let mut ex = BufferedExecutor::new(cfg, N, 500, K, seed ^ 0xACC);
+        let master = Rng64::new(seed ^ 0x5E1);
+        let mut distinct = std::collections::BTreeSet::new();
+        let (mut rec_dropouts, mut rec_aggregated, mut rec_staleness) = (0, 0, 0);
+        let mut rec_busy = 0usize;
+        let rounds = 30usize;
+        for round in 0..rounds {
+            let selected = master.derive(round as u64).sample_indices(N, K);
+            distinct.extend(selected.iter().copied());
+            let out = ex.execute(round, &selected, &stub_train);
+            let h = out.hetero.expect("buffered telemetry");
+            rec_dropouts += h.dropouts;
+            rec_busy += h.busy;
+            rec_aggregated += h.aggregated();
+            rec_staleness += h.staleness.iter().sum::<usize>();
+        }
+        let stats = RoundExecutor::reliability(&ex).expect("buffered telemetry");
+        let totals = stats.totals();
+        prop_assert_eq!(totals.dropouts, rec_dropouts);
+        prop_assert_eq!(totals.aggregated, rec_aggregated);
+        prop_assert_eq!(totals.staleness_sum, rec_staleness);
+        prop_assert_eq!(
+            totals.dropouts + totals.dispatches + rec_busy,
+            rounds * K,
+            "sampled-slot accounting must close"
+        );
+        prop_assert_eq!(
+            totals.dispatches,
+            totals.aggregated + ex.in_flight() + ex.buffered(),
+            "dispatch accounting must close"
+        );
+        // Sparsity: entries exist only for clients actually sampled, and
+        // every entry carries at least one observation.
+        prop_assert!(stats.observed() <= distinct.len());
+        for (cid, s) in stats.iter() {
+            prop_assert!(distinct.contains(&cid), "entry for never-sampled client {}", cid);
+            prop_assert!(s.dropouts + s.dispatches > 0, "empty entry for client {}", cid);
+        }
+        // Unobserved clients read as the zero default without insertion.
+        let before = stats.observed();
+        prop_assert_eq!(stats.get(N + 7), ClientReliability::default());
+        prop_assert_eq!(stats.observed(), before);
+    }
+}
+
+/// Contract 3: with `parallel_dispatch` the executors fan client training
+/// out over rayon; at a fixed seed the full serialized history — every
+/// weight, loss, impact factor and telemetry record — must be
+/// byte-identical to the serial run's. Timings are scrubbed exactly like
+/// the golden-fixture comparisons (they measure wall clock, not the
+/// trajectory).
+#[test]
+fn parallel_dispatch_history_is_byte_identical_to_serial() {
+    let (train, test) = SynthSpec {
+        train_size: 400,
+        test_size: 100,
+        ..SynthSpec::mnist_like()
+    }
+    .generate(5);
+    let partition = PartitionMethod::Iid
+        .partition(&train, 8, &mut Rng64::new(9))
+        .unwrap();
+    let spec = ModelSpec::Mlp {
+        in_dim: train.feature_dim(),
+        hidden: vec![12],
+        out_dim: train.num_classes(),
+    };
+    let fleet = FleetConfig {
+        compute_skew: 4.0,
+        dropout: 0.2,
+        seed: 0xF1EE7,
+        ..Default::default()
+    };
+    let executors: Vec<(&str, ConfigBuilder)> = vec![
+        (
+            "deadline",
+            Box::new({
+                let fleet = fleet.clone();
+                move |parallel_dispatch| {
+                    ExecutorConfig::Deadline(HeteroConfig {
+                        fleet: fleet.clone(),
+                        deadline_s: Some(40.0),
+                        late_policy: LatePolicy::CarryOver,
+                        parallel_dispatch,
+                        ..Default::default()
+                    })
+                }
+            }),
+        ),
+        (
+            "buffered",
+            Box::new({
+                let fleet = fleet.clone();
+                move |parallel_dispatch| {
+                    ExecutorConfig::Buffered(BufferedConfig {
+                        fleet: fleet.clone(),
+                        buffer_size: 3,
+                        parallel_dispatch,
+                        ..Default::default()
+                    })
+                }
+            }),
+        ),
+    ];
+    for (label, mk_exec) in executors {
+        let mut histories = Vec::new();
+        for parallel in [false, true] {
+            let cfg = FlConfig {
+                rounds: 4,
+                participants: 5,
+                local: LocalTrainConfig {
+                    epochs: 1,
+                    batch_size: 16,
+                    lr: 0.05,
+                    ..Default::default()
+                },
+                eval_batch: 64,
+                seed: 23,
+                log_every: 0,
+                selection: Selection::Uniform,
+                executor: mk_exec(parallel),
+            };
+            let mut strategy = FedAvg;
+            let mut history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+                .config(&cfg)
+                .build()
+                .expect("valid config")
+                .run()
+                .expect("federated run");
+            for r in &mut history.records {
+                r.strategy_micros = 0;
+                r.aggregate_micros = 0;
+            }
+            histories.push(serde_json::to_string_pretty(&history).expect("serialize history"));
+        }
+        assert_eq!(
+            histories[0], histories[1],
+            "{label}: parallel dispatch diverged from the serial trajectory"
+        );
+    }
+}
+
+/// Contract 4: at 10^5 active entries the queue pops exactly the stable
+/// sort of its input by time — a total order with FIFO tie-breaking —
+/// and never grows past the capacity it was presized with.
+#[test]
+fn event_queue_pop_order_is_total_with_fifo_ties_at_scale() {
+    const N: usize = 100_000;
+    let mut q = EventQueue::with_capacity(N);
+    let cap = q.capacity();
+    assert!(cap >= N);
+    // Many ties: only 1000 distinct times across 10^5 entries.
+    let times: Vec<f64> = (0..N).map(|i| ((i * 7919) % 1_000) as f64).collect();
+    for (i, &t) in times.iter().enumerate() {
+        q.schedule(
+            t,
+            EventKind::UploadComplete {
+                client_id: i,
+                version: 0,
+            },
+        );
+    }
+    assert_eq!(q.len(), N);
+    assert_eq!(
+        q.capacity(),
+        cap,
+        "presized queue reallocated while within capacity"
+    );
+    let mut expected: Vec<usize> = (0..N).collect();
+    expected.sort_by(|&a, &b| times[a].total_cmp(&times[b])); // stable: FIFO ties
+    for (k, &want) in expected.iter().enumerate() {
+        let e = q.pop().expect("queue must hold N entries");
+        assert_eq!(e.time_s, times[want], "pop {k} broke the time order");
+        match e.kind {
+            EventKind::UploadComplete { client_id, .. } => {
+                assert_eq!(
+                    client_id, want,
+                    "pop {k} broke FIFO tie-breaking at time {}",
+                    e.time_s
+                );
+            }
+            other => panic!("unexpected event kind {other:?}"),
+        }
+    }
+    assert!(q.pop().is_none());
+}
+
+/// Contract 5: over a 10^5-client lazy fleet every oversampling policy
+/// keeps the session's selection contract — exactly K distinct in-range
+/// ids, reproducible under a fixed seed — while deriving at most
+/// O(candidates) device profiles per call (each candidate is consulted a
+/// bounded number of times; a dense policy would derive all 10^5).
+#[test]
+fn selection_contracts_hold_over_a_hundred_thousand_client_lazy_fleet() {
+    const N: usize = 100_000;
+    const K: usize = 64;
+    const D: usize = 256;
+    let fleet = FleetView::new(
+        N,
+        &FleetConfig {
+            compute_skew: 4.0,
+            bandwidth_skew: 2.0,
+            dropout: 0.1,
+            seed: 0xB16,
+            ..Default::default()
+        },
+    );
+    let mut rng = Rng64::new(31);
+    let known_loss: Vec<Option<f32>> = (0..N)
+        .map(|_| rng.chance(0.5).then(|| rng.uniform(0.1, 3.0)))
+        .collect();
+    let stats: ReliabilityTable = (0..200)
+        .map(|i| {
+            (
+                i * 97,
+                ClientReliability {
+                    dropouts: rng.below(5),
+                    dispatches: rng.below(20),
+                    aggregated: 0,
+                    staleness_sum: 0,
+                },
+            )
+        })
+        .collect();
+    let in_flight = rng.sample_indices(N, 32);
+    for selection in [
+        Selection::PowerOfChoice { candidates: D },
+        Selection::ReliabilityAware { candidates: D },
+        Selection::StalenessBalanced { candidates: D },
+    ] {
+        let mut policy = selection.build();
+        let ctx = SelectionContext {
+            round: 3,
+            n_clients: N,
+            participants: K,
+            known_loss: &known_loss,
+            participation: &[],
+            fleet: Some(&fleet),
+            upload_bytes: 1_000_000,
+            deadline_s: Some(fleet.completion_percentile_s(1_000_000, 0.9)),
+            in_flight: &in_flight,
+            reliability: Some(&stats),
+        };
+        let before = fleet.derivations();
+        let picked = policy.select(&ctx, &mut Rng64::new(7).derive(3));
+        let derived = fleet.derivations() - before;
+        assert!(
+            derived <= 3 * D as u64,
+            "{} derived {derived} profiles for a {D}-candidate pool — \
+             selection cost must scale with candidates, not fleet size",
+            policy.name()
+        );
+        assert_eq!(picked.len(), K, "{} returned a short sample", policy.name());
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), K, "{} returned duplicates", policy.name());
+        assert!(
+            sorted.iter().all(|&c| c < N),
+            "{} selected out of range",
+            policy.name()
+        );
+        let again = policy.select(&ctx, &mut Rng64::new(7).derive(3));
+        assert_eq!(
+            picked,
+            again,
+            "{} is nondeterministic under a fixed seed",
+            policy.name()
+        );
+    }
+}
+
+/// Contract 6 (the `exp_scale` acceptance claim, pinned): a buffered run
+/// over 10^5 clients completes full aggregation rounds while keeping its
+/// per-client state proportional to the clients actually touched —
+/// telemetry entries bounded by distinct dispatched clients, profile
+/// derivations bounded by per-round consultations — never O(N).
+#[test]
+fn buffered_rounds_at_hundred_thousand_clients_stay_sparse() {
+    const N: usize = 100_000;
+    const K: usize = 64;
+    let cfg = BufferedConfig {
+        fleet: FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.1,
+            seed: 0x5CA1E,
+            ..Default::default()
+        },
+        buffer_size: 16,
+        parallel_dispatch: true,
+        ..Default::default()
+    };
+    let mut ex = BufferedExecutor::new(cfg, N, 1_000, K, 7);
+    let master = Rng64::new(11);
+    let mut distinct = std::collections::BTreeSet::new();
+    let mut aggregations = 0usize;
+    let rounds = 8usize;
+    for round in 0..rounds {
+        let selected = master.derive(round as u64).sample_indices(N, K);
+        distinct.extend(selected.iter().copied());
+        let out = ex.execute(round, &selected, &stub_train);
+        if !out.updates.is_empty() {
+            aggregations += 1;
+            assert_eq!(out.updates.len(), 16, "partial aggregation");
+        }
+    }
+    assert!(
+        aggregations > 0,
+        "10^5-client run never filled its aggregation buffer"
+    );
+    let stats = RoundExecutor::reliability(&ex).expect("buffered telemetry");
+    assert!(
+        stats.observed() <= distinct.len(),
+        "{} resident telemetry entries for {} distinct dispatched clients",
+        stats.observed(),
+        distinct.len()
+    );
+    // Each dispatched client costs a bounded number of profile
+    // derivations (completion-time lookups); nothing scans the fleet.
+    let derived = RoundExecutor::fleet(&ex)
+        .expect("buffered executor has a fleet")
+        .derivations();
+    assert!(
+        derived <= (rounds * K * 4) as u64,
+        "{derived} profiles derived for {} dispatch slots — the executor \
+         must consult candidates only, never the whole fleet",
+        rounds * K
+    );
+    assert!(
+        derived < N as u64 / 10,
+        "profile derivations ({derived}) approach fleet size ({N})"
+    );
+}

@@ -16,11 +16,11 @@ struct CtxData {
     k: usize,
     known_loss: Vec<Option<f32>>,
     participation: Vec<usize>,
-    fleet: Option<Fleet>,
+    fleet: Option<FleetView>,
     upload_bytes: u64,
     deadline_s: Option<f64>,
     in_flight: Vec<usize>,
-    reliability: Option<Vec<ClientReliability>>,
+    reliability: Option<ReliabilityTable>,
 }
 
 impl CtxData {
@@ -36,7 +36,7 @@ impl CtxData {
             .collect();
         let participation = (0..n).map(|_| rng.below(10)).collect();
         let fleet = with_fleet.then(|| {
-            Fleet::generate(
+            FleetView::new(
                 n,
                 &FleetConfig {
                     compute_skew: 4.0,
@@ -55,17 +55,20 @@ impl CtxData {
         let in_flight = rng.sample_indices(n, in_flight_len);
         let reliability = with_fleet.then(|| {
             (0..n)
-                .map(|_| {
+                .map(|i| {
                     let dropouts = rng.below(8);
                     let dispatches = rng.below(8);
-                    ClientReliability {
-                        dropouts,
-                        dispatches,
-                        aggregated: dispatches,
-                        staleness_sum: rng.below(4) * dispatches,
-                    }
+                    (
+                        i,
+                        ClientReliability {
+                            dropouts,
+                            dispatches,
+                            aggregated: dispatches,
+                            staleness_sum: rng.below(4) * dispatches,
+                        },
+                    )
                 })
-                .collect()
+                .collect::<ReliabilityTable>()
         });
         Self {
             n,
@@ -91,7 +94,7 @@ impl CtxData {
             upload_bytes: self.upload_bytes,
             deadline_s: self.deadline_s,
             in_flight: &self.in_flight,
-            reliability: self.reliability.as_deref(),
+            reliability: self.reliability.as_ref(),
         }
     }
 }

@@ -110,6 +110,7 @@ fn step_by_step_equals_run() {
         buffer_size: 2,
         staleness: StalenessDiscount::Polynomial { alpha: 1.0 },
         server_mix: Some(0.5),
+        ..Default::default()
     });
     let variants: [(Selection, ExecutorConfig); 3] = [
         (Selection::Uniform, ExecutorConfig::Ideal),
@@ -221,6 +222,7 @@ fn builder_rejects_degenerate_buffered_configs() {
             buffer_size,
             staleness,
             server_mix,
+            ..Default::default()
         })
     };
     type ErrCheck = fn(&FlError) -> bool;

@@ -1,12 +1,13 @@
 //! # rayon (offline shim)
 //!
 //! A tiny stand-in for rayon's fork-join primitives, vendored because the
-//! build environment has no registry access (see `vendor/README.md`). The
-//! seed workspace does its data-parallelism through `feddrl_nn::parallel`
-//! (crossbeam-scoped threads), so nothing currently depends on this crate —
-//! it exists so `[workspace.dependencies] rayon` resolves and future
-//! parallelism PRs have a place to grow the API (`par_iter` et al.) without
-//! re-plumbing manifests.
+//! build environment has no registry access (see `vendor/README.md`).
+//! Besides `join`, it now carries the small slice of the parallel-iterator
+//! API the workspace actually uses — `par_iter().map(..).collect()` over
+//! slices/`Vec`s, order-preserving like the real crate — which powers the
+//! executors' parallel client dispatch in `feddrl_fl`. Swapping back to
+//! the published rayon only needs manifest edits: the call sites compile
+//! against the real API unchanged.
 
 use std::thread;
 
@@ -26,7 +27,7 @@ where
     })
 }
 
-/// Number of threads the shim will use for future parallel APIs; mirrors
+/// Number of threads the shim uses for parallel APIs; mirrors
 /// `rayon::current_num_threads`.
 pub fn current_num_threads() -> usize {
     thread::available_parallelism()
@@ -34,15 +35,131 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Prelude for drop-in `use rayon::prelude::*;` compatibility (currently
-/// empty: the workspace has no `par_iter` call sites yet).
-pub mod prelude {}
+/// Parallel-iterator subset: `par_iter().map(..).collect()` on slices.
+pub mod iter {
+    use std::thread;
+
+    /// Borrowing conversion into a parallel iterator; mirrors
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by reference.
+        type Item: 'data + Sync;
+        /// Parallel iterator over `&Self::Item`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// A parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Map each element through `f`, preserving input order.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// The result of [`ParIter::map`], awaiting collection.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F, R> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        /// Evaluate the map in parallel and collect the results **in input
+        /// order** — the same guarantee real rayon's indexed collect makes,
+        /// which is what lets deterministic callers treat parallel and
+        /// sequential evaluation as interchangeable.
+        ///
+        /// Items are split into one contiguous chunk per available thread
+        /// and evaluated on scoped std threads.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let n = self.items.len();
+            let threads = crate::current_num_threads().min(n.max(1));
+            if threads <= 1 || n <= 1 {
+                return self.items.iter().map(&self.f).collect();
+            }
+            let chunk = n.div_ceil(threads);
+            let f = &self.f;
+            let per_chunk: Vec<Vec<R>> = thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon shim: map worker panicked"))
+                    .collect()
+            });
+            per_chunk.into_iter().flatten().collect()
+        }
+    }
+}
+
+/// Prelude for drop-in `use rayon::prelude::*;` compatibility.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
 
 #[cfg(test)]
 mod tests {
+    use super::prelude::*;
+
     #[test]
     fn join_returns_both() {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7usize];
+        let out: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..257).map(|i| i * 31).collect();
+        let par: Vec<u64> = items.par_iter().map(|&x| x.wrapping_mul(x)).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x)).collect();
+        assert_eq!(par, seq);
     }
 }

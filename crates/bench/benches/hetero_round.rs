@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use feddrl_fl::client::ClientUpdate;
 use feddrl_fl::executor::{
-    BufferedConfig, BufferedExecutor, DeadlineExecutor, HeteroConfig, LatePolicy, RoundExecutor,
-    StalenessDiscount,
+    BufferedConfig, BufferedExecutor, DeadlineExecutor, Dispatch, HeteroConfig, LatePolicy,
+    RoundExecutor, StalenessDiscount,
 };
 use feddrl_nn::rng::Rng64;
 use feddrl_sim::device::FleetConfig;
@@ -66,8 +66,11 @@ fn bench_deadline_round(c: &mut Criterion) {
         let selected: Vec<usize> = (0..k).collect();
         // Pre-built updates: the bench isolates the engine, not training.
         let updates: Vec<ClientUpdate> = (0..k).map(stub_update).collect();
-        let train = |ids: &[usize]| -> Vec<ClientUpdate> {
-            ids.iter().map(|&i| updates[i].clone()).collect()
+        let train = |dispatches: &[Dispatch]| -> Vec<ClientUpdate> {
+            dispatches
+                .iter()
+                .map(|d| updates[d.client_id].clone())
+                .collect()
         };
         let mut round = 0usize;
         group.throughput(Throughput::Elements(k as u64));
@@ -90,6 +93,7 @@ fn stub_update(client_id: usize) -> ClientUpdate {
         loss_before: 1.0,
         loss_after: 0.5,
         staleness: 0,
+        mask: None,
     }
 }
 
@@ -110,8 +114,11 @@ fn bench_buffered_round(c: &mut Criterion) {
         let mut ex = BufferedExecutor::new(cfg, k, 100_000, k, 7);
         let selected: Vec<usize> = (0..k).collect();
         let updates: Vec<ClientUpdate> = (0..k).map(stub_update).collect();
-        let train = |ids: &[usize]| -> Vec<ClientUpdate> {
-            ids.iter().map(|&i| updates[i].clone()).collect()
+        let train = |dispatches: &[Dispatch]| -> Vec<ClientUpdate> {
+            dispatches
+                .iter()
+                .map(|d| updates[d.client_id].clone())
+                .collect()
         };
         let mut round = 0usize;
         group.throughput(Throughput::Elements(k as u64));

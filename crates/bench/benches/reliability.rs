@@ -115,6 +115,7 @@ fn bench_selection(c: &mut Criterion) {
                     deadline_s: None,
                     in_flight: &in_flight,
                     reliability: Some(&reliability),
+                    departed: &[],
                 };
                 let picked = policy.select(&ctx, &mut Rng64::new(7).derive(round as u64));
                 round += 1;

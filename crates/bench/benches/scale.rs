@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use feddrl_fl::client::ClientUpdate;
-use feddrl_fl::executor::{BufferedConfig, BufferedExecutor, RoundExecutor};
+use feddrl_fl::executor::{BufferedConfig, BufferedExecutor, Dispatch, RoundExecutor};
 use feddrl_fl::selection::{Selection, SelectionContext};
 use feddrl_nn::rng::Rng64;
 use feddrl_sim::device::{FleetConfig, FleetView};
@@ -21,15 +21,17 @@ const K: usize = 64;
 const BUFFER: usize = 16;
 const CANDIDATES: usize = 256;
 
-fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
-    ids.iter()
-        .map(|&client_id| ClientUpdate {
+fn stub_train(dispatches: &[Dispatch]) -> Vec<ClientUpdate> {
+    dispatches
+        .iter()
+        .map(|&Dispatch { client_id, .. }| ClientUpdate {
             client_id,
             weights: vec![0.0; 4],
             n_samples: 10,
             loss_before: 1.0,
             loss_after: 0.5,
             staleness: 0,
+            mask: None,
         })
         .collect()
 }
@@ -72,6 +74,7 @@ fn bench_round(c: &mut Criterion) {
                         deadline_s: RoundExecutor::deadline_s(&ex),
                         in_flight: &in_flight,
                         reliability: RoundExecutor::reliability(&ex),
+                        departed: &RoundExecutor::departed_clients(&ex),
                     };
                     policy.select(&ctx, &mut rng)
                 };

@@ -36,15 +36,17 @@ const CANDIDATES: usize = 256;
 /// per client beyond the stub update's small vector).
 const PARAM_COUNT: usize = 1_000;
 
-fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
-    ids.iter()
-        .map(|&client_id| ClientUpdate {
+fn stub_train(dispatches: &[Dispatch]) -> Vec<ClientUpdate> {
+    dispatches
+        .iter()
+        .map(|&Dispatch { client_id, .. }| ClientUpdate {
             client_id,
             weights: vec![0.0; 4],
             n_samples: 10,
             loss_before: 1.0,
             loss_after: 0.5,
             staleness: 0,
+            mask: None,
         })
         .collect()
 }
@@ -112,6 +114,7 @@ fn run_tier(n: usize, rounds: usize, seed: u64) -> TierStats {
                 deadline_s: RoundExecutor::deadline_s(&ex),
                 in_flight: &in_flight,
                 reliability: RoundExecutor::reliability(&ex),
+                departed: &RoundExecutor::departed_clients(&ex),
             };
             policy.select(&ctx, &mut rng)
         };

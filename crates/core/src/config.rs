@@ -26,6 +26,15 @@ pub struct FedDrlConfig {
     /// deliberate opt-in, never a silent drift of synchronous runs.
     #[serde(default)]
     pub observe_staleness: bool,
+    /// Append a per-client block to the observation — the fraction of the
+    /// model each update did *not* train under adaptive structured dropout
+    /// (`1 − mask_ratio`, exactly `0` for full-model updates) — so the
+    /// agent can learn how much to trust sub-model contributions from
+    /// availability-pressured devices. Off by default for the same reason
+    /// as [`FedDrlConfig::observe_staleness`]: the block widens the
+    /// policy-network input, so it is a deliberate opt-in.
+    #[serde(default)]
+    pub observe_availability: bool,
     /// Seed for the strategy's impact-factor sampling.
     pub seed: u64,
 }
@@ -38,6 +47,7 @@ impl Default for FedDrlConfig {
             explore: true,
             online_training: true,
             observe_staleness: false,
+            observe_availability: false,
             seed: 0xFED_D41,
         }
     }
@@ -46,17 +56,15 @@ impl Default for FedDrlConfig {
 impl FedDrlConfig {
     /// Per-client blocks of the observation vector: the paper's three
     /// (`l_before`, `l_after`, sample fraction) plus one staleness block
-    /// when [`FedDrlConfig::observe_staleness`] is set.
+    /// when [`FedDrlConfig::observe_staleness`] is set and one
+    /// availability block when [`FedDrlConfig::observe_availability`] is.
     pub fn state_blocks(&self) -> usize {
-        if self.observe_staleness {
-            4
-        } else {
-            3
-        }
+        3 + usize::from(self.observe_staleness) + usize::from(self.observe_availability)
     }
 
-    /// DDPG config resized for `k` participating clients (state `3k` —
-    /// `4k` with staleness observation — and action `2k`, per §3.3).
+    /// DDPG config resized for `k` participating clients (state
+    /// `state_blocks() · k` — the paper's `3k` by default — and action
+    /// `2k`, per §3.3).
     pub fn ddpg_for(&self, k: usize) -> DdpgConfig {
         assert!(k > 0, "FedDRL needs at least one participating client");
         DdpgConfig {
@@ -96,6 +104,32 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&FedDrlConfig::default()).unwrap())
                 .unwrap();
         assert!(!back.observe_staleness);
+    }
+
+    #[test]
+    fn availability_observation_stacks_with_staleness() {
+        let cfg = FedDrlConfig {
+            observe_availability: true,
+            ..Default::default()
+        };
+        assert_eq!(cfg.state_blocks(), 4);
+        assert_eq!(cfg.ddpg_for(5).state_dim, 20);
+        let both = FedDrlConfig {
+            observe_staleness: true,
+            observe_availability: true,
+            ..Default::default()
+        };
+        assert_eq!(both.state_blocks(), 5);
+        assert_eq!(both.ddpg_for(5).state_dim, 25);
+        assert_eq!(both.ddpg_for(5).action_dim, 10, "the action stays 2K");
+        // Pre-dynamics configs (no such key) must still deserialize, off.
+        let legacy: FedDrlConfig = serde_json::from_str(
+            &serde_json::to_string(&FedDrlConfig::default())
+                .unwrap()
+                .replace("\"observe_availability\":false,", ""),
+        )
+        .unwrap();
+        assert!(!legacy.observe_availability);
     }
 
     #[test]

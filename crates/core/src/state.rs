@@ -14,6 +14,10 @@
 //! buffered asynchronous executors, where the agent should be able to
 //! learn staleness-aware impact factors. A fresh update contributes `0`,
 //! so the block degenerates to zeros in any synchronous setting.
+//! [`append_availability_block`] does the same for adaptive structured
+//! dropout: each update's untrained model fraction ([`availability_feature`],
+//! `1 − mask_ratio`) as one more `K`-vector, exactly zero for every
+//! full-model update.
 
 use feddrl_fl::client::ClientSummary;
 
@@ -101,6 +105,35 @@ pub fn build_state_with_staleness(summaries: &[ClientSummary], staleness: &[usiz
         state.extend(staleness.iter().map(|&s| staleness_feature(s)));
     }
     state
+}
+
+/// The availability observation of one update: the fraction of the model
+/// it did *not* train under adaptive structured dropout, `1 − mask_ratio`
+/// clamped to `[0, 1]`. Exactly `0` for a full-model update, so the block
+/// degenerates to zeros whenever structured dropout is off — the same
+/// degeneration contract as [`staleness_feature`].
+pub fn availability_feature(mask_ratio: f32) -> f32 {
+    (1.0 - mask_ratio).clamp(0.0, 1.0)
+}
+
+/// Append one `K`-block of [`availability_feature`]s to a state vector, in
+/// the same client order as the existing blocks. An empty `mask_ratios`
+/// slice means "all full-model" (a zero block).
+///
+/// # Panics
+/// Panics if `mask_ratios` is non-empty with a length different from `k`.
+pub fn append_availability_block(state: &mut Vec<f32>, k: usize, mask_ratios: &[f32]) {
+    assert!(
+        mask_ratios.is_empty() || mask_ratios.len() == k,
+        "{} mask ratios for {} summaries",
+        mask_ratios.len(),
+        k
+    );
+    if mask_ratios.is_empty() {
+        state.extend(std::iter::repeat_n(0.0, k));
+    } else {
+        state.extend(mask_ratios.iter().map(|&r| availability_feature(r)));
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +227,37 @@ mod tests {
     #[should_panic(expected = "staleness entries")]
     fn rejects_misaligned_staleness() {
         let _ = build_state_with_staleness(&[summary(0, 10, 1.0, 0.5)], &[1, 2]);
+    }
+
+    #[test]
+    fn availability_feature_is_zero_for_full_models_and_bounded() {
+        assert_eq!(availability_feature(1.0), 0.0);
+        assert!((availability_feature(0.25) - 0.75).abs() < 1e-6);
+        assert_eq!(availability_feature(2.0), 0.0, "over-full ratios clamp");
+        assert_eq!(availability_feature(-1.0), 1.0, "negative ratios clamp");
+    }
+
+    #[test]
+    fn availability_block_appends_without_touching_the_prefix() {
+        let sums = [summary(0, 10, 1.0, 0.5), summary(1, 30, 2.0, 0.7)];
+        let base = build_state(&sums);
+        let mut with = base.clone();
+        append_availability_block(&mut with, 2, &[0.5, 1.0]);
+        assert_eq!(with.len(), 8);
+        assert_eq!(&with[..6], &base[..], "3K prefix must be unchanged");
+        assert!((with[6] - 0.5).abs() < 1e-6);
+        assert_eq!(with[7], 0.0);
+        // Empty ratios mean an all-full (zero) block.
+        let mut fresh = base.clone();
+        append_availability_block(&mut fresh, 2, &[]);
+        assert_eq!(&fresh[6..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask ratios")]
+    fn rejects_misaligned_mask_ratios() {
+        let mut state = vec![0.0; 3];
+        append_availability_block(&mut state, 1, &[0.5, 0.25]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! action.
 
 use crate::config::FedDrlConfig;
-use crate::state::{build_state, build_state_with_staleness};
+use crate::state::{append_availability_block, build_state, build_state_with_staleness};
 use feddrl_drl::buffer::Experience;
 use feddrl_drl::ddpg::{sample_impact_factors, DdpgAgent, TrainStats};
 use feddrl_drl::reward::reward_from_losses;
@@ -26,6 +26,9 @@ pub struct FedDrl {
     /// Observe per-update staleness as a fourth state block (see
     /// [`FedDrlConfig::observe_staleness`]).
     observe_staleness: bool,
+    /// Observe each update's untrained model fraction under adaptive
+    /// structured dropout (see [`FedDrlConfig::observe_availability`]).
+    observe_availability: bool,
     /// `(state, action)` of the previous round, awaiting its reward.
     pending: Option<(Vec<f32>, Vec<f32>)>,
     rng: Rng64,
@@ -48,6 +51,7 @@ impl FedDrl {
             explore: cfg.explore,
             online_training: cfg.online_training,
             observe_staleness: cfg.observe_staleness,
+            observe_availability: cfg.observe_availability,
             pending: None,
             train_stats: Vec::new(),
             rewards: Vec::new(),
@@ -84,17 +88,14 @@ impl FedDrl {
 }
 
 impl FedDrl {
-    /// Per-client state blocks: the paper's 3, or 4 with staleness.
+    /// Per-client state blocks: the paper's 3, plus staleness and
+    /// availability when observed.
     fn blocks(&self) -> usize {
-        if self.observe_staleness {
-            4
-        } else {
-            3
-        }
+        3 + usize::from(self.observe_staleness) + usize::from(self.observe_availability)
     }
 
-    /// The agent's designed-for participant count `K` (state is `3K`, or
-    /// `4K` with staleness observation).
+    /// The agent's designed-for participant count `K` (state is
+    /// `blocks() · K`, the paper's `3K` by default).
     fn capacity(&self) -> usize {
         self.agent.config().state_dim / self.blocks()
     }
@@ -107,16 +108,25 @@ impl FedDrl {
     /// blocks are z-normalized (mean 0), so zero-padding the tail of each
     /// block presents the missing clients as "average" placeholders, and
     /// a zero sample-fraction marks them as contributing no data (a zero
-    /// staleness feature likewise reads as "fresh"). For `m == K` this is
-    /// the identity, keeping full-participation rounds bit-identical to
-    /// the pre-heterogeneity behavior.
-    fn pad_state(&self, summaries: &[ClientSummary], staleness: &[usize]) -> Vec<f32> {
+    /// staleness feature likewise reads as "fresh", and a zero
+    /// availability feature as "trained the full model"). For `m == K`
+    /// this is the identity, keeping full-participation rounds
+    /// bit-identical to the pre-heterogeneity behavior.
+    fn pad_state(
+        &self,
+        summaries: &[ClientSummary],
+        staleness: &[usize],
+        mask_ratios: &[f32],
+    ) -> Vec<f32> {
         let (m, k, blocks) = (summaries.len(), self.capacity(), self.blocks());
-        let raw = if self.observe_staleness {
+        let mut raw = if self.observe_staleness {
             build_state_with_staleness(summaries, staleness)
         } else {
             build_state(summaries)
         };
+        if self.observe_availability {
+            append_availability_block(&mut raw, m, mask_ratios);
+        }
         if m == k {
             return raw;
         }
@@ -134,16 +144,32 @@ impl FedDrl {
     /// exactly the 3-block paper path, bit for bit.
     pub fn impact_factors_with_staleness(
         &mut self,
+        round: usize,
+        summaries: &[ClientSummary],
+        staleness: &[usize],
+    ) -> Vec<f32> {
+        self.impact_factors_with_dynamics(round, summaries, staleness, &[])
+    }
+
+    /// [`FedDrl::impact_factors_with_staleness`] plus per-update mask
+    /// ratios (the model fraction each update trained under adaptive
+    /// structured dropout, aligned with `summaries`; empty means all
+    /// full-model). Mask ratios only enter the DRL state when
+    /// [`FedDrlConfig::observe_availability`] is set — otherwise they are
+    /// ignored bit for bit, exactly like unobserved staleness.
+    pub fn impact_factors_with_dynamics(
+        &mut self,
         _round: usize,
         summaries: &[ClientSummary],
         staleness: &[usize],
+        mask_ratios: &[f32],
     ) -> Vec<f32> {
         let (m, k) = (summaries.len(), self.capacity());
         assert!(
             m >= 1 && m <= k,
             "FedDRL built for K = {k} clients got {m} summaries"
         );
-        let state = self.pad_state(summaries, staleness);
+        let state = self.pad_state(summaries, staleness, mask_ratios);
 
         // Close the previous transition: this round's l_before losses are
         // the environment's feedback on the previous aggregation.
@@ -192,7 +218,8 @@ impl Strategy for FedDrl {
     fn impact_factors_ctx(&mut self, ctx: &RoundContext<'_>) -> Vec<f32> {
         let summaries: Vec<ClientSummary> = ctx.updates.iter().map(|u| u.summary()).collect();
         let staleness: Vec<usize> = ctx.updates.iter().map(|u| u.staleness).collect();
-        self.impact_factors_with_staleness(ctx.round, &summaries, &staleness)
+        let mask_ratios: Vec<f32> = ctx.updates.iter().map(|u| u.mask_ratio()).collect();
+        self.impact_factors_with_dynamics(ctx.round, &summaries, &staleness, &mask_ratios)
     }
 }
 
@@ -342,6 +369,68 @@ mod tests {
         for (round, m) in [5usize, 3, 1, 4].into_iter().enumerate() {
             let stale: Vec<usize> = (0..m).map(|i| i % 3).collect();
             let alpha = strategy.impact_factors_with_staleness(round, &summaries(m, round), &stale);
+            assert_eq!(alpha.len(), m);
+            let sum: f32 = alpha.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "round {round}: sum {sum}");
+        }
+        assert_eq!(strategy.rewards().len(), 3);
+    }
+
+    #[test]
+    fn mask_ratios_are_ignored_unless_observed() {
+        // Default config: sub-model mask ratios must be a strict no-op —
+        // bit-identical factors whether updates are full or quarter-size.
+        let cfg = FedDrlConfig::default();
+        let mut a = FedDrl::new(4, &cfg);
+        let mut b = FedDrl::new(4, &cfg);
+        for round in 0..3 {
+            let s = summaries(4, round);
+            let fa = a.impact_factors(round, &s);
+            let fb = b.impact_factors_with_dynamics(round, &s, &[], &[0.25, 1.0, 0.5, 1.0]);
+            assert_eq!(
+                fa, fb,
+                "round {round}: unobserved mask ratios leaked into the policy"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_availability_enters_the_state_and_changes_the_action() {
+        let cfg = FedDrlConfig {
+            observe_availability: true,
+            explore: false,
+            ..Default::default()
+        };
+        let mut a = FedDrl::new(4, &cfg);
+        let mut b = FedDrl::new(4, &cfg);
+        let s = summaries(4, 0);
+        // All-full explicit vs implicit must agree...
+        let fa = a.impact_factors_with_dynamics(0, &s, &[], &[1.0, 1.0, 1.0, 1.0]);
+        let fb = b.impact_factors_with_dynamics(0, &s, &[], &[]);
+        assert_eq!(fa, fb, "explicit full ratios must equal the all-full path");
+        // ...and a sub-model update must actually perturb the observation.
+        let mut c = FedDrl::new(4, &cfg);
+        let fc = c.impact_factors_with_dynamics(0, &s, &[], &[0.25, 1.0, 1.0, 1.0]);
+        assert_eq!(fc.len(), 4);
+        assert_ne!(fa, fc, "observed mask ratio did not reach the policy");
+    }
+
+    #[test]
+    fn fully_observing_agent_handles_short_rounds() {
+        // 5-block padding: staleness + availability observed together on a
+        // K=5 agent serving short heterogeneous rounds.
+        let cfg = FedDrlConfig {
+            observe_staleness: true,
+            observe_availability: true,
+            ..Default::default()
+        };
+        let mut strategy = FedDrl::new(5, &cfg);
+        assert_eq!(strategy.agent().config().state_dim, 25);
+        for (round, m) in [5usize, 3, 1, 4].into_iter().enumerate() {
+            let stale: Vec<usize> = (0..m).map(|i| i % 3).collect();
+            let ratios: Vec<f32> = (0..m).map(|i| 1.0 - 0.25 * (i % 2) as f32).collect();
+            let alpha =
+                strategy.impact_factors_with_dynamics(round, &summaries(m, round), &stale, &ratios);
             assert_eq!(alpha.len(), m);
             let sum: f32 = alpha.iter().sum();
             assert!((sum - 1.0).abs() < 1e-4, "round {round}: sum {sum}");

@@ -139,6 +139,7 @@ mod tests {
             loss_before: loss,
             loss_after: loss * 0.5,
             staleness: 0,
+            mask: None,
         }
     }
 

@@ -9,10 +9,18 @@
 use crate::metrics::inference_loss;
 use feddrl_data::dataset::Dataset;
 use feddrl_nn::loss::cross_entropy_logits;
+use feddrl_nn::mask::StructuredMask;
 use feddrl_nn::model::Sequential;
 use feddrl_nn::optim::Sgd;
 use feddrl_nn::rng::Rng64;
 use serde::{Deserialize, Serialize};
+
+/// Salt for the per-`(round, client)` structured-dropout mask stream:
+/// `Rng64::new(seed ^ MASK_SALT).derive(round).derive(client_id)`. Disjoint
+/// from the training (`0xC11E`), dropout (`DROPOUT_SALT`) and churn
+/// (`CHURN_SALT`) streams, so enabling adaptive structured dropout never
+/// perturbs any other draw.
+pub const MASK_SALT: u64 = 0x3A5C;
 
 /// Hyper-parameters of the local solver (paper §4.1.2: SGD, `E = 5`,
 /// `lr = 0.01`, batch 10).
@@ -68,9 +76,21 @@ pub struct ClientUpdate {
     /// by the executor, never by the client — a client cannot know how
     /// many aggregations happened while it was training.
     pub staleness: usize,
+    /// The structured sub-model mask this update was trained under, or
+    /// `None` for full-model training. Masked positions of `weights` are
+    /// exactly zero and must not vote in aggregation — the server's
+    /// mask-aware average excludes them per position.
+    pub mask: Option<StructuredMask>,
 }
 
 impl ClientUpdate {
+    /// Fraction of the model this update trained: the mask's keep fraction,
+    /// or `1.0` for full-model training. One of the DRL availability
+    /// observations, and the exp_dynamics sweep's sub-model-size metric.
+    pub fn mask_ratio(&self) -> f32 {
+        self.mask.as_ref().map_or(1.0, |m| m.keep_fraction() as f32)
+    }
+
     /// Scalar summary (everything except the weight vector) — what the DRL
     /// agent's state is built from.
     pub fn summary(&self) -> ClientSummary {
@@ -106,11 +126,49 @@ pub struct ClientSummary {
 /// Panics if `indices` is empty — the partitioners guarantee non-empty
 /// shards, so an empty shard indicates orchestration error.
 pub fn run_local_round(
+    model: Sequential,
+    train: &Dataset,
+    indices: &[usize],
+    client_id: usize,
+    cfg: &LocalTrainConfig,
+    rng: &mut Rng64,
+) -> ClientUpdate {
+    train_with_mask(model, train, indices, client_id, cfg, None, rng)
+}
+
+/// Run one client's local round on a *structured sub-model*: masked hidden
+/// units are deleted from the broadcast weights before training and pinned
+/// at zero throughout, so the device trains (and uploads) a strictly
+/// smaller model. A full mask delegates to [`run_local_round`] and is
+/// byte-identical to it — the guarantee the fleet-dynamics suite pins.
+///
+/// # Panics
+/// Panics on an empty shard, degenerate config, or a mask whose length
+/// mismatches the model's parameter count.
+pub fn run_local_round_masked(
+    model: Sequential,
+    train: &Dataset,
+    indices: &[usize],
+    client_id: usize,
+    cfg: &LocalTrainConfig,
+    mask: StructuredMask,
+    rng: &mut Rng64,
+) -> ClientUpdate {
+    if mask.is_full() {
+        let mut update = run_local_round(model, train, indices, client_id, cfg, rng);
+        update.mask = Some(mask);
+        return update;
+    }
+    train_with_mask(model, train, indices, client_id, cfg, Some(mask), rng)
+}
+
+fn train_with_mask(
     mut model: Sequential,
     train: &Dataset,
     indices: &[usize],
     client_id: usize,
     cfg: &LocalTrainConfig,
+    mask: Option<StructuredMask>,
     rng: &mut Rng64,
 ) -> ClientUpdate {
     assert!(
@@ -120,6 +178,14 @@ pub fn run_local_round(
     assert!(cfg.epochs > 0, "local epochs must be positive");
     assert!(cfg.batch_size > 0, "batch size must be positive");
 
+    if let Some(m) = mask.as_ref() {
+        // Delete the masked units from the broadcast model. Everything the
+        // client measures and trains from here on is the sub-model: the
+        // proximal anchor, `loss_before`, and every SGD step.
+        let mut flat = model.flat_params();
+        m.apply(&mut flat);
+        model.set_flat_params(&flat);
+    }
     let w_global = cfg.proximal_mu.map(|_| model.flat_params());
     let loss_before = inference_loss(&mut model, train, indices, cfg.batch_size.max(64));
 
@@ -140,6 +206,15 @@ pub fn run_local_round(
                 model.clip_grad_norm(max_norm);
             }
             opt.step(&mut model);
+            if let Some(m) = mask.as_ref() {
+                // Structural deletion makes every masked gradient exactly
+                // zero, so this re-projection is a no-op in exact
+                // arithmetic — it pins the invariant against future layer
+                // types whose masked gradients are only *numerically* zero.
+                let mut flat = model.flat_params();
+                m.apply(&mut flat);
+                model.set_flat_params(&flat);
+            }
         }
     }
 
@@ -151,6 +226,7 @@ pub fn run_local_round(
         loss_before,
         loss_after,
         staleness: 0,
+        mask,
     }
 }
 
@@ -270,6 +346,56 @@ mod tests {
             0,
             &LocalTrainConfig::default(),
             &mut Rng64::new(6),
+        );
+    }
+
+    #[test]
+    fn full_mask_is_byte_identical_to_plain_training() {
+        let (train, model) = setup();
+        let indices: Vec<usize> = (0..100).collect();
+        let cfg = LocalTrainConfig::default();
+        let plain = run_local_round(model.clone(), &train, &indices, 2, &cfg, &mut Rng64::new(9));
+        let full = StructuredMask::derive(&model, 1.0, &mut Rng64::new(1));
+        let masked =
+            run_local_round_masked(model, &train, &indices, 2, &cfg, full, &mut Rng64::new(9));
+        assert_eq!(plain.weights, masked.weights);
+        assert_eq!(plain.loss_before, masked.loss_before);
+        assert_eq!(plain.loss_after, masked.loss_after);
+        assert_eq!(masked.mask_ratio(), 1.0);
+        assert_eq!(plain.mask_ratio(), 1.0, "absent mask reads as full");
+    }
+
+    #[test]
+    fn masked_training_pins_masked_positions_at_zero_and_still_learns() {
+        let (train, model) = setup();
+        let indices: Vec<usize> = (0..400).collect();
+        let cfg = LocalTrainConfig {
+            epochs: 3,
+            lr: 0.05,
+            ..Default::default()
+        };
+        let mask = StructuredMask::derive(&model, 0.5, &mut Rng64::new(21));
+        assert!(!mask.is_full());
+        let update = run_local_round_masked(
+            model,
+            &train,
+            &indices,
+            3,
+            &cfg,
+            mask.clone(),
+            &mut Rng64::new(9),
+        );
+        for (p, w) in update.weights.iter().enumerate() {
+            if !mask.keeps(p) {
+                assert_eq!(*w, 0.0, "masked position {p} escaped the sub-model");
+            }
+        }
+        assert!(update.mask_ratio() < 1.0);
+        assert!(
+            update.loss_after < update.loss_before,
+            "half-width sub-model failed to learn: {} -> {}",
+            update.loss_before,
+            update.loss_after
         );
     }
 

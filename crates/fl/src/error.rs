@@ -48,6 +48,15 @@ pub enum FlError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// The fleet-dynamics configuration is degenerate: a non-positive or
+    /// non-finite diurnal period or churn gap, a modulation amplitude
+    /// outside `[0, 1)`, a diurnal peak that would push some device's
+    /// effective dropout rate to a certainty, or a structured-dropout
+    /// block with an empty ratio grid.
+    InvalidDynamics {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
     /// A buffered executor was configured with `buffer_size == 0`:
     /// aggregation would never fire.
     ZeroBuffer,
@@ -101,6 +110,9 @@ impl fmt::Display for FlError {
             FlError::InvalidFleet { reason } => write!(f, "invalid fleet config: {reason}"),
             FlError::InvalidReliability { reason } => {
                 write!(f, "invalid reliability model: {reason}")
+            }
+            FlError::InvalidDynamics { reason } => {
+                write!(f, "invalid fleet dynamics: {reason}")
             }
             FlError::ZeroBuffer => write!(f, "aggregation buffer must be positive"),
             FlError::BufferExceedsParticipants {
@@ -163,6 +175,10 @@ mod tests {
             reason: "strength must be in [0, 1], got 2".into(),
         };
         assert!(e.to_string().contains("reliability model: strength"));
+        let e = FlError::InvalidDynamics {
+            reason: "diurnal period must be positive".into(),
+        };
+        assert!(e.to_string().contains("fleet dynamics: diurnal period"));
     }
 
     #[test]

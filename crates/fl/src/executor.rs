@@ -32,8 +32,9 @@ use std::collections::BTreeMap;
 use crate::client::ClientUpdate;
 use crate::history::HeteroRoundRecord;
 use feddrl_nn::rng::Rng64;
+use feddrl_sim::churn::ChurnProcess;
 use feddrl_sim::comm::CommModel;
-use feddrl_sim::device::{FleetConfig, FleetView};
+use feddrl_sim::device::{DiurnalConfig, FleetConfig, FleetView};
 use feddrl_sim::event::{EventKind, EventQueue, VirtualClock};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -127,6 +128,69 @@ pub enum LatePolicy {
     CarryOver,
 }
 
+/// Adaptive structured dropout: a device whose predicted full-model
+/// completion time misses the round deadline trains a *masked sub-model*
+/// (whole hidden units removed, compute scaled down proportionally)
+/// instead of being dropped or carried stale. The executor picks the
+/// **largest** keep ratio from a small grid that still fits the deadline;
+/// if even the smallest misses, the client falls back to the configured
+/// [`LatePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StructuredDropoutConfig {
+    /// Smallest sub-model the server will ask a device to train, as a
+    /// keep fraction in `(0, 1)`.
+    pub min_ratio: f64,
+    /// Number of keep-ratio levels on the grid
+    /// `min_ratio + i · (1 − min_ratio) / levels`, `i ∈ [0, levels)` — all
+    /// strictly below 1 (a full model is not a sub-model).
+    pub levels: usize,
+}
+
+impl Default for StructuredDropoutConfig {
+    /// Four levels down to a quarter-width model: 0.25, 0.4375, 0.625,
+    /// 0.8125.
+    fn default() -> Self {
+        Self {
+            min_ratio: 0.25,
+            levels: 4,
+        }
+    }
+}
+
+impl StructuredDropoutConfig {
+    /// Candidate keep ratios, largest first (the executor takes the first
+    /// that fits the deadline — the biggest sub-model the device can
+    /// finish in time).
+    fn ratios_desc(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.levels)
+            .rev()
+            .map(move |i| self.min_ratio + i as f64 * (1.0 - self.min_ratio) / self.levels as f64)
+    }
+
+    /// Check the ratio grid's invariants.
+    ///
+    /// # Errors
+    /// [`FlError::InvalidDynamics`](crate::error::FlError::InvalidDynamics)
+    /// on a ratio outside `(0, 1)` or an empty grid.
+    pub fn validate(&self) -> Result<(), crate::error::FlError> {
+        use crate::error::FlError;
+        if !(self.min_ratio.is_finite() && 0.0 < self.min_ratio && self.min_ratio < 1.0) {
+            return Err(FlError::InvalidDynamics {
+                reason: format!(
+                    "structured-dropout min_ratio must be in (0, 1), got {}",
+                    self.min_ratio
+                ),
+            });
+        }
+        if self.levels == 0 {
+            return Err(FlError::InvalidDynamics {
+                reason: "structured-dropout ratio grid needs at least one level".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Deadline-bounded execution knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct HeteroConfig {
@@ -139,6 +203,11 @@ pub struct HeteroConfig {
     /// Fate of updates that miss the deadline.
     #[serde(default)]
     pub late_policy: LatePolicy,
+    /// Adaptive structured dropout for predicted deadline-missers; `None`
+    /// (the default, omitted from JSON) sends every foregone straggler
+    /// down the `late_policy` path — the historical behavior.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub structured_dropout: Option<StructuredDropoutConfig>,
     /// Discount aging carried-over updates by the rounds they waited
     /// (meaningful under [`LatePolicy::CarryOver`]; the default `None`
     /// reinjects them at full weight, the pre-discount behavior).
@@ -161,8 +230,9 @@ impl HeteroConfig {
     ///
     /// # Errors
     /// [`FlError::InvalidDeadline`](crate::error::FlError::InvalidDeadline),
-    /// [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet) or
-    /// [`FlError::InvalidReliability`](crate::error::FlError::InvalidReliability).
+    /// [`FlError::InvalidFleet`](crate::error::FlError::InvalidFleet),
+    /// [`FlError::InvalidReliability`](crate::error::FlError::InvalidReliability) or
+    /// [`FlError::InvalidDynamics`](crate::error::FlError::InvalidDynamics).
     pub fn validate(&self) -> Result<(), crate::error::FlError> {
         use crate::error::FlError;
         if let Some(d) = self.deadline_s {
@@ -170,12 +240,15 @@ impl HeteroConfig {
                 return Err(FlError::InvalidDeadline { deadline_s: d });
             }
         }
+        if let Some(sd) = &self.structured_dropout {
+            sd.validate()?;
+        }
         self.staleness.validate()?;
         validate_fleet(&self.fleet)
     }
 }
 
-/// Shared fleet validation mapping the two halves of
+/// Shared fleet validation mapping the three halves of
 /// [`FleetConfig::validate`] to their distinct typed errors.
 fn validate_fleet(fleet: &FleetConfig) -> Result<(), crate::error::FlError> {
     use crate::error::FlError;
@@ -184,7 +257,10 @@ fn validate_fleet(fleet: &FleetConfig) -> Result<(), crate::error::FlError> {
         .map_err(|reason| FlError::InvalidFleet { reason })?;
     fleet
         .validate_reliability()
-        .map_err(|reason| FlError::InvalidReliability { reason })
+        .map_err(|reason| FlError::InvalidReliability { reason })?;
+    fleet
+        .validate_dynamics()
+        .map_err(|reason| FlError::InvalidDynamics { reason })
 }
 
 /// Buffered asynchronous execution knobs (FedAsync/FedBuff-style).
@@ -429,8 +505,42 @@ impl FromIterator<(usize, ClientReliability)> for ReliabilityTable {
     }
 }
 
-/// Run `train` over `ids` — serially in one call, or (when `parallel` is
-/// set) as one rayon task per client, concatenated back in input order.
+/// One client's training order: who trains, and how much of the model.
+///
+/// Executors hand the session a slice of these instead of bare client
+/// ids, so adaptive structured dropout can ask a pressured device for a
+/// sub-model without a second callback channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dispatch {
+    /// Client index in the federation.
+    pub client_id: usize,
+    /// Fraction of the model's hidden units this client trains, in
+    /// `(0, 1]`. `1` is full-model training; anything below it asks the
+    /// session to derive a per-`(round, client)`
+    /// [`StructuredMask`](feddrl_nn::mask::StructuredMask) (see
+    /// [`crate::client::MASK_SALT`]) and train the masked sub-model.
+    pub keep_ratio: f64,
+}
+
+impl Dispatch {
+    /// A full-model training order for `client_id`.
+    pub fn full(client_id: usize) -> Self {
+        Self {
+            client_id,
+            keep_ratio: 1.0,
+        }
+    }
+}
+
+/// The local-training callback executors dispatch through: maps each
+/// [`Dispatch`] to its client's [`ClientUpdate`], in order. Must be
+/// `Sync`: executors with `parallel_dispatch` enabled invoke it from
+/// rayon workers, one dispatch per call.
+pub type TrainFn<'a> = dyn Fn(&[Dispatch]) -> Vec<ClientUpdate> + Sync + 'a;
+
+/// Run `train` over `dispatches` — serially in one call, or (when
+/// `parallel` is set) as one rayon task per client, concatenated back in
+/// input order.
 ///
 /// The two paths are bit-identical whenever `train` maps each client
 /// independently of the others in its slice — the contract the session's
@@ -438,15 +548,16 @@ impl FromIterator<(usize, ClientReliability)> for ReliabilityTable {
 /// `(seed, round, client id)` alone. `tests/scale_props.rs` pins the
 /// byte-identity of full run histories across both paths.
 fn dispatch_train(
-    train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
-    ids: &[usize],
+    train: &TrainFn<'_>,
+    dispatches: &[Dispatch],
     parallel: bool,
 ) -> Vec<ClientUpdate> {
-    if !parallel || ids.len() < 2 {
-        return train(ids);
+    if !parallel || dispatches.len() < 2 {
+        return train(dispatches);
     }
-    ids.par_iter()
-        .map(|&cid| train(&[cid]))
+    dispatches
+        .par_iter()
+        .map(|&d| train(&[d]))
         .collect::<Vec<_>>()
         .into_iter()
         .flatten()
@@ -472,15 +583,28 @@ pub struct RoundOutcome {
 /// their wasted CPU) and which reports make it back in time.
 pub trait RoundExecutor: Send {
     /// Execute round `round` for the sampled `selected` clients. The
-    /// `train` callback must be `Sync`: executors with
-    /// `parallel_dispatch` enabled invoke it from rayon workers, one
-    /// client per call.
-    fn execute(
-        &mut self,
-        round: usize,
-        selected: &[usize],
-        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
-    ) -> RoundOutcome;
+    /// executor decides which of them actually train — and, under
+    /// adaptive structured dropout, how much of the model each trains —
+    /// and invokes `train` with the resulting [`Dispatch`] orders.
+    fn execute(&mut self, round: usize, selected: &[usize], train: &TrainFn<'_>) -> RoundOutcome;
+
+    /// Total client ids ever minted, when this executor models fleet
+    /// churn: ids in `[0, universe)` are valid to select (some may have
+    /// departed), and growth of this value between rounds is how the
+    /// session learns of late joiners. `None` — the default — means the
+    /// client set is fixed at the partition's size.
+    fn universe(&self) -> Option<usize> {
+        None
+    }
+
+    /// Clients that have left the federation (churn departures), in
+    /// ascending id order. Their telemetry persists — the server only
+    /// ever *observes* departure as dispatches that stop answering — but
+    /// reliability-aware selection excludes them outright once told.
+    /// Empty for executors without churn.
+    fn departed_clients(&self) -> Vec<usize> {
+        Vec::new()
+    }
 
     /// The device fleet this executor simulates, if any — what
     /// heterogeneity-aware [`SelectionPolicy`](crate::selection::SelectionPolicy)s
@@ -549,14 +673,10 @@ pub trait RoundExecutor: Send {
 pub struct IdealExecutor;
 
 impl RoundExecutor for IdealExecutor {
-    fn execute(
-        &mut self,
-        _round: usize,
-        selected: &[usize],
-        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
-    ) -> RoundOutcome {
+    fn execute(&mut self, _round: usize, selected: &[usize], train: &TrainFn<'_>) -> RoundOutcome {
+        let dispatches: Vec<Dispatch> = selected.iter().map(|&c| Dispatch::full(c)).collect();
         RoundOutcome {
-            updates: train(selected),
+            updates: train(&dispatches),
             hetero: None,
         }
     }
@@ -586,6 +706,14 @@ pub struct DeadlineExecutor {
     /// Observed per-client reliability telemetry (dropouts, dispatches,
     /// aggregated updates and their staleness), keyed by observed client.
     stats: ReliabilityTable,
+    /// Virtual seconds elapsed since the start of the run — the sum of
+    /// every finished round's `sim_time_s`. Rounds still replay on a
+    /// round-local event queue, but churn and diurnal modulation live on
+    /// this absolute timeline (0 forever when both are off, keeping the
+    /// static path byte-identical).
+    clock_s: f64,
+    /// The fleet's arrival/departure process, when churn is configured.
+    churn: Option<ChurnProcess>,
 }
 
 impl DeadlineExecutor {
@@ -611,6 +739,11 @@ impl DeadlineExecutor {
         let k = participants as u64;
         let traffic = CommModel::new(param_count.max(1) as u64, k).feddrl_round();
         let upload_bytes = (traffic.uplink_models + traffic.uplink_metadata) / k;
+        let churn = cfg
+            .fleet
+            .churn
+            .as_ref()
+            .map(|c| ChurnProcess::new(n_clients, c, cfg.fleet.seed ^ seed));
         Self {
             fleet,
             cfg,
@@ -620,6 +753,8 @@ impl DeadlineExecutor {
             version: 0,
             carried: Vec::new(),
             stats: ReliabilityTable::new(),
+            clock_s: 0.0,
+            churn,
         }
     }
 
@@ -663,37 +798,92 @@ impl RoundExecutor for DeadlineExecutor {
         self.carried.iter().map(|(u, _)| u.client_id).collect()
     }
 
-    fn execute(
-        &mut self,
-        round: usize,
-        selected: &[usize],
-        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
-    ) -> RoundOutcome {
+    fn universe(&self) -> Option<usize> {
+        self.churn.as_ref().map(|c| c.universe())
+    }
+
+    fn departed_clients(&self) -> Vec<usize> {
+        self.churn
+            .as_ref()
+            .map(|c| c.departed_ids())
+            .unwrap_or_default()
+    }
+
+    fn execute(&mut self, round: usize, selected: &[usize], train: &TrainFn<'_>) -> RoundOutcome {
         let deadline = self.cfg.deadline_s.unwrap_or(f64::INFINITY);
+        let round_start_s = self.clock_s;
+        let diurnal: Option<DiurnalConfig> = self.cfg.fleet.diurnal;
+
+        // --- Churn: bring the arrival/departure timeline up to the round
+        // start. Ids minted by now are selectable next round; ids departed
+        // by now waste their dispatch below.
+        let (joins_before, leaves_before) = self
+            .churn
+            .as_ref()
+            .map_or((0, 0), |c| (c.joins(), c.leaves()));
+        if let Some(churn) = self.churn.as_mut() {
+            churn.advance_to(round_start_s);
+            self.fleet.grow(churn.universe());
+        }
 
         // --- Dropouts, decided up front: a dropped client never trains
-        // (its device failed the round), so its CPU is not simulated.
-        // Likewise, a client whose deterministic completion time already
-        // exceeds the deadline is a foregone straggler: under `Drop` its
-        // update would be trained only to be discarded, so skip the
-        // training too (under `CarryOver` the update is still needed).
+        // (its device failed the round), so its CPU is not simulated. A
+        // dispatch to a departed client is likewise a wasted slot — the
+        // server cannot know the device left until it fails to answer —
+        // and reads as a dropout, which is exactly how the departure
+        // surfaces in reliability telemetry. A client whose deterministic
+        // completion time already exceeds the deadline is a foregone
+        // straggler: structured dropout (when configured) shrinks its
+        // model until it fits; otherwise, under `Drop` its update would be
+        // trained only to be discarded, so skip the training too (under
+        // `CarryOver` the update is still needed).
         let dropout_rng = Rng64::new(self.seed ^ DROPOUT_SALT).derive(round as u64);
-        let mut alive = Vec::with_capacity(selected.len());
+        let mut alive: Vec<Dispatch> = Vec::with_capacity(selected.len());
         let mut dropouts = 0usize;
         let mut foregone_stragglers = 0usize;
+        let mut masked = 0usize;
         for &cid in selected {
-            let profile = self.fleet.profile(cid);
-            if profile.dropout > 0.0 && dropout_rng.derive(cid as u64).chance(profile.dropout) {
+            if self.churn.as_ref().is_some_and(|c| !c.is_active(cid)) {
                 dropouts += 1;
                 self.stats.entry(cid).dropouts += 1;
-            } else if self.cfg.late_policy == LatePolicy::Drop
-                && profile.completion_time_s(self.upload_bytes) > deadline
-            {
-                foregone_stragglers += 1;
-            } else {
-                alive.push(cid);
-                self.stats.entry(cid).dispatches += 1;
+                continue;
             }
+            let profile = self.fleet.profile(cid);
+            let p = profile.effective_dropout(diurnal.as_ref(), round_start_s);
+            if p > 0.0 && dropout_rng.derive(cid as u64).chance(p) {
+                dropouts += 1;
+                self.stats.entry(cid).dropouts += 1;
+                continue;
+            }
+            let full_completion =
+                profile.completion_time_at(self.upload_bytes, 1.0, diurnal.as_ref(), round_start_s);
+            if full_completion > deadline {
+                if let Some(fit) = self.cfg.structured_dropout.as_ref().and_then(|sd| {
+                    sd.ratios_desc().find(|&r| {
+                        profile.completion_time_at(
+                            self.upload_bytes,
+                            r,
+                            diurnal.as_ref(),
+                            round_start_s,
+                        ) <= deadline
+                    })
+                }) {
+                    masked += 1;
+                    alive.push(Dispatch {
+                        client_id: cid,
+                        keep_ratio: fit,
+                    });
+                    self.stats.entry(cid).dispatches += 1;
+                } else if self.cfg.late_policy == LatePolicy::Drop {
+                    foregone_stragglers += 1;
+                } else {
+                    alive.push(Dispatch::full(cid));
+                    self.stats.entry(cid).dispatches += 1;
+                }
+                continue;
+            }
+            alive.push(Dispatch::full(cid));
+            self.stats.entry(cid).dispatches += 1;
         }
 
         let updates = dispatch_train(train, &alive, self.cfg.parallel_dispatch);
@@ -702,11 +892,21 @@ impl RoundExecutor for DeadlineExecutor {
         // replay the timeline against the deadline. Queue sized to this
         // round's dispatch (plus the deadline) — independent of fleet size.
         let mut queue = EventQueue::with_capacity(updates.len() + 1);
-        for u in &updates {
+        let mut max_completion_s = 0.0f64;
+        for (d, u) in alive.iter().zip(&updates) {
+            debug_assert_eq!(
+                d.client_id, u.client_id,
+                "train must preserve dispatch order"
+            );
+            let completion_s = self.fleet.profile(u.client_id).completion_time_at(
+                self.upload_bytes,
+                d.keep_ratio,
+                diurnal.as_ref(),
+                round_start_s,
+            );
+            max_completion_s = max_completion_s.max(completion_s);
             queue.schedule(
-                self.fleet
-                    .profile(u.client_id)
-                    .completion_time_s(self.upload_bytes),
+                completion_s,
                 EventKind::UploadComplete {
                     client_id: u.client_id,
                     // The model version these uploads trained against —
@@ -721,6 +921,28 @@ impl RoundExecutor for DeadlineExecutor {
             // an arrival at exactly the deadline as in time.
             queue.schedule(deadline, EventKind::Deadline);
         }
+
+        // --- Mid-round churn: look ahead over the whole round window so a
+        // departure can cancel its client's in-flight upload (the device
+        // leaves before the report lands — a straggler the server waits
+        // out, never aggregated, never carried). The churn clock then sits
+        // at the window's end; rounds that finish early simply re-request
+        // that prefix next time (a no-op rewind).
+        let horizon_s = if deadline.is_finite() {
+            deadline
+        } else {
+            max_completion_s
+        };
+        let mut leave_at: BTreeMap<usize, f64> = BTreeMap::new();
+        if let Some(churn) = self.churn.as_mut() {
+            for ev in churn.advance_to(round_start_s + horizon_s) {
+                if let EventKind::ClientLeave { client_id } = ev.kind {
+                    leave_at.entry(client_id).or_insert(ev.time_s);
+                }
+            }
+            self.fleet.grow(churn.universe());
+        }
+
         let mut clock = VirtualClock::new();
         let mut arrived_ids = Vec::new();
         let mut last_arrival_s = 0.0f64;
@@ -729,11 +951,22 @@ impl RoundExecutor for DeadlineExecutor {
             clock.advance_to(event.time_s);
             match event.kind {
                 EventKind::UploadComplete { client_id, .. } if !deadline_fired => {
-                    arrived_ids.push(client_id);
-                    last_arrival_s = clock.now_s();
+                    // A departure strictly before the arrival instant
+                    // cancels the upload; leaving at the exact arrival
+                    // moment still delivers it.
+                    let canceled = leave_at
+                        .get(&client_id)
+                        .is_some_and(|&t| t < round_start_s + event.time_s);
+                    if !canceled {
+                        arrived_ids.push(client_id);
+                        last_arrival_s = clock.now_s();
+                    }
                 }
                 EventKind::UploadComplete { .. } => {} // straggler: drained below
                 EventKind::Deadline => deadline_fired = true,
+                EventKind::ClientJoin { .. } | EventKind::ClientLeave { .. } => {
+                    unreachable!("churn events are consumed by ChurnProcess, never queued here")
+                }
             }
         }
         let stragglers = foregone_stragglers + (updates.len() - arrived_ids.len());
@@ -784,8 +1017,17 @@ impl RoundExecutor for DeadlineExecutor {
         aggregated.extend(arrived);
         self.carried = still_queued; // always empty under LatePolicy::Drop
         if self.cfg.late_policy == LatePolicy::CarryOver {
-            // A newer late report supersedes its client's queued copy.
+            // A newer late report supersedes its client's queued copy. A
+            // departed client's late upload never reached the server, so
+            // there is nothing to queue (its telemetry simply goes stale).
             for u in late {
+                if self
+                    .churn
+                    .as_ref()
+                    .is_some_and(|c| !c.is_active(u.client_id))
+                {
+                    continue;
+                }
                 self.carried.retain(|(s, _)| s.client_id != u.client_id);
                 self.carried.push((u, self.version));
             }
@@ -812,6 +1054,10 @@ impl RoundExecutor for DeadlineExecutor {
         if !aggregated.is_empty() {
             self.version += 1; // the session will produce a new global
         }
+        self.clock_s = round_start_s + sim_time_s;
+        let (joined, departed) = self.churn.as_ref().map_or((0, 0), |c| {
+            (c.joins() - joins_before, c.leaves() - leaves_before)
+        });
         let hetero = HeteroRoundRecord {
             sim_time_s,
             dropouts,
@@ -819,6 +1065,9 @@ impl RoundExecutor for DeadlineExecutor {
             carried_in,
             busy: 0,
             buffered: 0,
+            joined,
+            departed,
+            masked,
             staleness,
             aggregated_ids: aggregated.iter().map(|u| u.client_id).collect(),
         };
@@ -870,6 +1119,9 @@ pub struct BufferedExecutor {
     /// Observed per-client reliability telemetry (dropouts, dispatches,
     /// aggregated updates and their staleness), keyed by observed client.
     stats: ReliabilityTable,
+    /// The fleet's arrival/departure process, when churn is configured —
+    /// advanced along the executor's own persistent clock.
+    churn: Option<ChurnProcess>,
 }
 
 impl BufferedExecutor {
@@ -895,11 +1147,17 @@ impl BufferedExecutor {
         let k = participants as u64;
         let traffic = CommModel::new(param_count.max(1) as u64, k).feddrl_round();
         let upload_bytes = (traffic.uplink_models + traffic.uplink_metadata) / k;
+        let churn = cfg
+            .fleet
+            .churn
+            .as_ref()
+            .map(|c| ChurnProcess::new(n_clients, c, cfg.fleet.seed ^ seed));
         Self {
             fleet,
             cfg,
             upload_bytes,
             seed,
+            churn,
             clock: VirtualClock::new(),
             // At most `participants` uploads are ever pending: sized once,
             // steady-state scheduling never reallocates, whatever N is.
@@ -964,46 +1222,75 @@ impl RoundExecutor for BufferedExecutor {
         Some(&self.stats)
     }
 
-    fn execute(
-        &mut self,
-        round: usize,
-        selected: &[usize],
-        train: &(dyn Fn(&[usize]) -> Vec<ClientUpdate> + Sync),
-    ) -> RoundOutcome {
-        let round_start_s = self.clock.now_s();
+    fn universe(&self) -> Option<usize> {
+        self.churn.as_ref().map(|c| c.universe())
+    }
 
-        // --- Dispatch: skip busy devices (still uploading an earlier
-        // version, or with an unconsumed report parked in the buffer —
-        // redispatching those would let one client fill several slots of
-        // a single aggregation) and per-round seeded dropouts, then start
-        // everyone else training against the current model version.
+    fn departed_clients(&self) -> Vec<usize> {
+        self.churn
+            .as_ref()
+            .map(|c| c.departed_ids())
+            .unwrap_or_default()
+    }
+
+    fn execute(&mut self, round: usize, selected: &[usize], train: &TrainFn<'_>) -> RoundOutcome {
+        let round_start_s = self.clock.now_s();
+        let diurnal: Option<DiurnalConfig> = self.cfg.fleet.diurnal;
+
+        // --- Churn: bring the arrival/departure timeline up to the
+        // persistent clock before dispatching (the drain loop below keeps
+        // advancing it event by event).
+        let (joins_before, leaves_before) = self
+            .churn
+            .as_ref()
+            .map_or((0, 0), |c| (c.joins(), c.leaves()));
+        if let Some(churn) = self.churn.as_mut() {
+            churn.advance_to(round_start_s);
+            self.fleet.grow(churn.universe());
+        }
+
+        // --- Dispatch: a departed client's slot is wasted (the server
+        // cannot know the device left — the failure reads as a dropout);
+        // skip busy devices (still uploading an earlier version, or with
+        // an unconsumed report parked in the buffer — redispatching those
+        // would let one client fill several slots of a single aggregation)
+        // and per-round seeded dropouts, then start everyone else training
+        // against the current model version.
         let dropout_rng = Rng64::new(self.seed ^ DROPOUT_SALT).derive(round as u64);
-        let mut alive = Vec::with_capacity(selected.len());
+        let mut alive: Vec<Dispatch> = Vec::with_capacity(selected.len());
         let mut dropouts = 0usize;
         let mut busy = 0usize;
         for &cid in selected {
+            if self.churn.as_ref().is_some_and(|c| !c.is_active(cid)) {
+                dropouts += 1;
+                self.stats.entry(cid).dropouts += 1;
+                continue;
+            }
             let profile = self.fleet.profile(cid);
             if self.in_flight.iter().any(|(u, _)| u.client_id == cid)
                 || self.buffer.iter().any(|(u, _)| u.client_id == cid)
             {
                 busy += 1;
-            } else if profile.dropout > 0.0
-                && dropout_rng.derive(cid as u64).chance(profile.dropout)
-            {
-                dropouts += 1;
-                self.stats.entry(cid).dropouts += 1;
             } else {
-                alive.push(cid);
-                self.stats.entry(cid).dispatches += 1;
+                let p = profile.effective_dropout(diurnal.as_ref(), round_start_s);
+                if p > 0.0 && dropout_rng.derive(cid as u64).chance(p) {
+                    dropouts += 1;
+                    self.stats.entry(cid).dropouts += 1;
+                } else {
+                    alive.push(Dispatch::full(cid));
+                    self.stats.entry(cid).dispatches += 1;
+                }
             }
         }
         let version = self.version;
         for u in dispatch_train(train, &alive, self.cfg.parallel_dispatch) {
             let arrival_s = self.clock.now_s()
-                + self
-                    .fleet
-                    .profile(u.client_id)
-                    .completion_time_s(self.upload_bytes);
+                + self.fleet.profile(u.client_id).completion_time_at(
+                    self.upload_bytes,
+                    1.0,
+                    diurnal.as_ref(),
+                    round_start_s,
+                );
             self.queue.schedule(
                 arrival_s,
                 EventKind::UploadComplete {
@@ -1016,19 +1303,37 @@ impl RoundExecutor for BufferedExecutor {
 
         // --- Drain arrivals (possibly from earlier versions) until the
         // buffer fills; stop immediately at `buffer_size` so later
-        // arrivals stay queued for the next aggregation.
+        // arrivals stay queued for the next aggregation. The churn
+        // timeline advances in lock-step with the clock: an upload whose
+        // client departed before it landed is lost in transit — counted a
+        // straggler, never buffered.
+        let mut lost = 0usize;
         while self.buffer.len() < self.cfg.buffer_size {
             let Some(event) = self.queue.pop() else { break };
             self.clock.advance_to(event.time_s);
             let EventKind::UploadComplete { client_id, version } = event.kind else {
-                unreachable!("buffered executor schedules no deadline events");
+                unreachable!("buffered executor schedules no deadline or churn events");
             };
             let idx = self
                 .in_flight
                 .iter()
                 .position(|(u, v)| u.client_id == client_id && *v == version)
                 .expect("upload event without a matching in-flight update");
+            if let Some(churn) = self.churn.as_mut() {
+                churn.advance_to(event.time_s);
+                if !churn.is_active(client_id) {
+                    self.in_flight.swap_remove(idx);
+                    lost += 1;
+                    continue;
+                }
+            }
             self.buffer.push(self.in_flight.swap_remove(idx));
+        }
+        // The drain advanced churn past the dispatch instant: widen the
+        // fleet view to any ids minted meanwhile, so next round's
+        // selection can derive their profiles.
+        if let Some(churn) = self.churn.as_ref() {
+            self.fleet.grow(churn.universe());
         }
 
         // --- Aggregate exactly `buffer_size` updates, or nothing: a
@@ -1050,13 +1355,19 @@ impl RoundExecutor for BufferedExecutor {
             self.version += 1;
         }
 
+        let (joined, departed) = self.churn.as_ref().map_or((0, 0), |c| {
+            (c.joins() - joins_before, c.leaves() - leaves_before)
+        });
         let hetero = HeteroRoundRecord {
             sim_time_s: self.clock.now_s() - round_start_s,
             dropouts,
-            stragglers: 0,
+            stragglers: lost,
             carried_in: 0,
             busy,
             buffered: self.buffer.len(),
+            joined,
+            departed,
+            masked: 0,
             staleness,
             aggregated_ids: aggregated.iter().map(|u| u.client_id).collect(),
         };
@@ -1081,11 +1392,15 @@ mod tests {
             loss_before: 1.0,
             loss_after: 0.5,
             staleness: 0,
+            mask: None,
         }
     }
 
-    fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
-        ids.iter().map(|&c| stub_update(c)).collect()
+    fn stub_train(dispatches: &[Dispatch]) -> Vec<ClientUpdate> {
+        dispatches
+            .iter()
+            .map(|d| stub_update(d.client_id))
+            .collect()
     }
 
     fn skewed_cfg(deadline_s: Option<f64>, dropout: f64) -> HeteroConfig {
@@ -1642,6 +1957,152 @@ mod tests {
         };
         assert!((s.dropout_rate() - 0.75).abs() < 1e-12);
         assert!((s.mean_staleness() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structured_dropout_rescues_foregone_stragglers_as_sub_models() {
+        let base = skewed_cfg(None, 0.0);
+        let probe = DeadlineExecutor::new(base.clone(), 16, 1000, 16, 7);
+        let deadline = probe
+            .fleet()
+            .completion_percentile_s(probe.upload_bytes(), 0.5);
+        let run = |sd: Option<StructuredDropoutConfig>| {
+            let mut ex = DeadlineExecutor::new(
+                HeteroConfig {
+                    deadline_s: Some(deadline),
+                    structured_dropout: sd,
+                    ..base.clone()
+                },
+                16,
+                1000,
+                16,
+                7,
+            );
+            let selected: Vec<usize> = (0..16).collect();
+            ex.execute(0, &selected, &stub_train).hetero.unwrap()
+        };
+        let plain = run(None);
+        assert!(plain.stragglers > 0, "median deadline cut nobody");
+        assert_eq!(plain.masked, 0);
+        let adaptive = run(Some(StructuredDropoutConfig::default()));
+        assert!(adaptive.masked > 0, "no straggler was offered a sub-model");
+        // Every rescued sub-model was sized to fit the deadline, so each
+        // one lands as an extra aggregated update.
+        assert_eq!(adaptive.aggregated(), plain.aggregated() + adaptive.masked);
+        assert_eq!(
+            adaptive.stragglers + adaptive.masked,
+            plain.stragglers,
+            "rescues must come one-for-one out of the straggler count"
+        );
+    }
+
+    #[test]
+    fn structured_dropout_config_validates_its_grid() {
+        use crate::error::FlError;
+        assert!(StructuredDropoutConfig::default().validate().is_ok());
+        for bad in [0.0, 1.0, -0.5, f64::NAN] {
+            let cfg = StructuredDropoutConfig {
+                min_ratio: bad,
+                levels: 4,
+            };
+            assert!(
+                matches!(cfg.validate(), Err(FlError::InvalidDynamics { .. })),
+                "min_ratio {bad} accepted"
+            );
+        }
+        let cfg = StructuredDropoutConfig {
+            min_ratio: 0.5,
+            levels: 0,
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(FlError::InvalidDynamics { .. })
+        ));
+        // The grid is largest-first, strictly below 1, floored at min_ratio.
+        let ratios: Vec<f64> = StructuredDropoutConfig::default().ratios_desc().collect();
+        assert_eq!(ratios, vec![0.8125, 0.625, 0.4375, 0.25]);
+    }
+
+    #[test]
+    fn churned_out_clients_waste_their_dispatch_as_dropouts() {
+        use feddrl_sim::device::ChurnConfig;
+        let mut cfg = skewed_cfg(Some(12.0), 0.0);
+        cfg.fleet.churn = Some(ChurnConfig {
+            mean_arrival_gap_s: 1e18,
+            mean_departure_gap_s: 2.0,
+        });
+        let mut ex = DeadlineExecutor::new(cfg, 8, 1000, 8, 7);
+        let selected: Vec<usize> = (0..8).collect();
+        let h0 = ex.execute(0, &selected, &stub_train).hetero.unwrap();
+        // The 12 s round window ticked the churn clock forward: with a 2 s
+        // mean departure gap several devices left during the round.
+        let departed = RoundExecutor::departed_clients(&ex);
+        assert!(!departed.is_empty(), "no departures in a 12 s window");
+        assert_eq!(h0.departed, departed.len());
+        assert_eq!(h0.joined, 0);
+        assert_eq!(RoundExecutor::universe(&ex), Some(8), "no arrivals");
+        // Re-sampling the departed clients wastes every slot as a dropout
+        // — the server only learns of a departure by dispatches that stop
+        // answering, which is exactly what the telemetry records.
+        let before: usize = departed.iter().map(|&c| ex.stats.get(c).dropouts).sum();
+        let o1 = ex.execute(1, &departed, &stub_train);
+        let h1 = o1.hetero.unwrap();
+        assert_eq!(h1.dropouts, departed.len());
+        assert!(o1.updates.is_empty());
+        let after: usize = departed.iter().map(|&c| ex.stats.get(c).dropouts).sum();
+        assert_eq!(after - before, departed.len());
+    }
+
+    #[test]
+    fn churn_arrivals_grow_the_universe_and_become_selectable() {
+        use feddrl_sim::device::ChurnConfig;
+        let mut cfg = skewed_cfg(None, 0.0);
+        cfg.fleet.churn = Some(ChurnConfig {
+            mean_arrival_gap_s: 3.0,
+            mean_departure_gap_s: 1e18,
+        });
+        let mut ex = DeadlineExecutor::new(cfg, 4, 1000, 8, 7);
+        let h0 = ex.execute(0, &[0, 1, 2, 3], &stub_train).hetero.unwrap();
+        let universe = RoundExecutor::universe(&ex).unwrap();
+        assert!(universe > 4, "no arrivals over a multi-second round");
+        assert_eq!(h0.joined, universe - 4);
+        assert!(RoundExecutor::departed_clients(&ex).is_empty());
+        // A minted id is immediately selectable: its profile derives on
+        // demand and it trains like any founding client.
+        let newcomer = universe - 1;
+        let o1 = ex.execute(1, &[newcomer], &stub_train);
+        assert_eq!(o1.updates.len(), 1);
+        assert_eq!(o1.updates[0].client_id, newcomer);
+        assert_eq!(ex.stats.get(newcomer).dispatches, 1);
+    }
+
+    #[test]
+    fn buffered_dispatch_accounting_closes_under_churn() {
+        use feddrl_sim::device::ChurnConfig;
+        let mut cfg = buffered_cfg(4.0, 2);
+        cfg.fleet.churn = Some(ChurnConfig {
+            mean_arrival_gap_s: 5.0,
+            mean_departure_gap_s: 4.0,
+        });
+        let mut ex = BufferedExecutor::new(cfg, 6, 500, 4, 21);
+        let (mut dispatched, mut aggregated, mut lost) = (0usize, 0usize, 0usize);
+        for round in 0..15 {
+            let universe = RoundExecutor::universe(&ex).unwrap();
+            let selected: Vec<usize> = (0..universe).filter(|c| (c + round) % 2 == 0).collect();
+            let out = ex.execute(round, &selected, &stub_train);
+            let h = out.hetero.unwrap();
+            dispatched += selected.len() - h.dropouts - h.busy;
+            aggregated += out.updates.len();
+            lost += h.stragglers;
+        }
+        // Every dispatch is aggregated, lost to a mid-flight departure,
+        // still traveling, or parked in the partial buffer.
+        assert_eq!(
+            dispatched,
+            aggregated + lost + ex.in_flight() + ex.buffered(),
+            "dispatch accounting must close under churn"
+        );
+        assert!(aggregated > 0, "churn starved every aggregation");
     }
 
     #[test]

@@ -39,6 +39,21 @@ pub struct HeteroRoundRecord {
     /// only; omitted from JSON when zero).
     #[serde(default, skip_serializing_if = "usize_is_zero")]
     pub buffered: usize,
+    /// Clients that joined the federation (churn arrivals) since the
+    /// previous round ended, including mid-round arrivals (omitted from
+    /// JSON when zero so churn-free histories keep their shape).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub joined: usize,
+    /// Clients that departed the federation (churn departures) since the
+    /// previous round ended, including mid-round departures (omitted from
+    /// JSON when zero).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub departed: usize,
+    /// Dispatched clients that trained a structured-dropout sub-model
+    /// (keep ratio below 1) instead of being dropped or carried stale
+    /// (omitted from JSON when zero).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub masked: usize,
     /// Per-update staleness in model versions, aligned with
     /// `aggregated_ids` (omitted from JSON when empty — an all-fresh
     /// round under a round-barrier executor records nothing here).
@@ -267,6 +282,9 @@ mod tests {
                 carried_in: 0,
                 busy: 0,
                 buffered: 0,
+                joined: 0,
+                departed: 0,
+                masked: 0,
                 staleness: Vec::new(),
                 aggregated_ids: vec![0, 1],
             });
@@ -340,6 +358,25 @@ mod tests {
             "empty-sum must not leak IEEE -0.0 into reports"
         );
         assert_eq!(ideal.total_stragglers(), 0);
+    }
+
+    #[test]
+    fn dynamics_free_records_omit_churn_and_mask_keys() {
+        // A static-fleet record keeps the exact pre-dynamics JSON shape...
+        let json = serde_json::to_string(&hetero_history()).unwrap();
+        assert!(!json.contains("joined"), "zero joined leaked: {json}");
+        assert!(!json.contains("departed"), "zero departed leaked: {json}");
+        assert!(!json.contains("masked"), "zero masked leaked: {json}");
+        // ...while live churn/mask telemetry round-trips.
+        let mut h = hetero_history();
+        let rec = h.records[3].hetero.as_mut().unwrap();
+        rec.joined = 2;
+        rec.departed = 1;
+        rec.masked = 3;
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.contains("joined") && json.contains("masked"));
+        let back: RunHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records[3].hetero, h.records[3].hetero);
     }
 
     #[test]

@@ -75,12 +75,15 @@ pub mod strategy;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::baselines::{FedAdp, LossProportional};
-    pub use crate::client::{ClientSummary, ClientUpdate, LocalTrainConfig};
+    pub use crate::client::{
+        run_local_round, run_local_round_masked, ClientSummary, ClientUpdate, LocalTrainConfig,
+        MASK_SALT,
+    };
     pub use crate::error::FlError;
     pub use crate::executor::{
-        BufferedConfig, BufferedExecutor, ClientReliability, DeadlineExecutor, ExecutorConfig,
-        HeteroConfig, IdealExecutor, LatePolicy, ReliabilityTable, RoundExecutor, RoundOutcome,
-        StalenessDiscount,
+        BufferedConfig, BufferedExecutor, ClientReliability, DeadlineExecutor, Dispatch,
+        ExecutorConfig, HeteroConfig, IdealExecutor, LatePolicy, ReliabilityTable, RoundExecutor,
+        RoundOutcome, StalenessDiscount, StructuredDropoutConfig, TrainFn,
     };
     pub use crate::history::{HeteroRoundRecord, RoundRecord, RunHistory};
     pub use crate::metrics::{
@@ -97,6 +100,7 @@ pub mod prelude {
     };
     pub use crate::singleset::{run_singleset, SingleSetConfig};
     pub use crate::strategy::{
-        normalize_factors, weighted_average, FedAvg, FedProx, RoundContext, Strategy, Uniform,
+        masked_weighted_average, normalize_factors, weighted_average, FedAvg, FedProx,
+        RoundContext, Strategy, Uniform,
     };
 }

@@ -133,6 +133,15 @@ pub struct SelectionContext<'a> {
     /// for executors without a device model. Policies see only what the
     /// server has witnessed, never the fleet's true failure probabilities.
     pub reliability: Option<&'a ReliabilityTable>,
+    /// Clients that have *departed* the fleet under churn (ascending ids).
+    /// Dispatching one is guaranteed to be wasted — the executor counts it
+    /// as a dropout — so ranking policies demote departed candidates below
+    /// every live one. Their telemetry stays in [`Self::reliability`]
+    /// (it simply goes stale), and uniform sampling deliberately ignores
+    /// this field: the paper's baseline stays oblivious to churn, which is
+    /// exactly the behavior the churn-aware policies are measured against.
+    /// Empty when the run has no churn process.
+    pub departed: &'a [usize],
 }
 
 impl SelectionContext<'_> {
@@ -162,6 +171,13 @@ impl SelectionContext<'_> {
     pub fn observed_staleness(&self, client_id: usize) -> f64 {
         self.reliability
             .map_or(0.0, |stats| stats.get(client_id).mean_staleness())
+    }
+
+    /// Whether `client_id` has departed the fleet under churn (a dispatch
+    /// would be wasted as a guaranteed dropout). `departed` is sorted
+    /// ascending, so membership is a binary search.
+    pub fn is_departed(&self, client_id: usize) -> bool {
+        self.departed.binary_search(&client_id).is_ok()
     }
 }
 
@@ -310,9 +326,9 @@ fn report_probability(ctx: &SelectionContext<'_>, client_id: usize) -> f64 {
     }
 }
 
-/// Sort `pool` viable-before-unviable, then by `score` descending;
-/// stable, so ties keep the uniformly-sampled pool order and the result
-/// is deterministic under a fixed seed. Returns the first `k`.
+/// Sort `pool` viable-before-unviable-before-departed, then by `score`
+/// descending; stable, so ties keep the uniformly-sampled pool order and
+/// the result is deterministic under a fixed seed. Returns the first `k`.
 ///
 /// Unviable — kept only when the pool has nothing better — means busy
 /// (an update in flight: the executor would skip the dispatch) or a
@@ -323,6 +339,13 @@ fn report_probability(ctx: &SelectionContext<'_>, client_id: usize) -> f64 {
 /// the observed dropout counts or loss table — without this tier it
 /// would keep its optimistic unobserved score and win a wasted slot
 /// every single round.
+///
+/// Departed clients ([`SelectionContext::departed`]) rank behind even the
+/// unviable tier: a busy or doomed device might still contribute, but a
+/// departed one is a guaranteed dropout. They are picked only when the
+/// pool cannot otherwise fill `k` slots — the contract still requires
+/// exactly `k` distinct ids, and the executor charges the waste as a
+/// dropout either way.
 ///
 /// [`LatePolicy::Drop`]: crate::executor::LatePolicy::Drop
 fn rank_and_take(
@@ -343,10 +366,17 @@ fn rank_and_take(
             _ => false,
         }
     };
-    let mut scored: Vec<(usize, bool, f64)> = pool
-        .into_iter()
-        .map(|c| (c, busy.contains(&c) || doomed(c), score(c)))
-        .collect();
+    let tier = |c: usize| -> u8 {
+        if ctx.is_departed(c) {
+            2
+        } else if busy.contains(&c) || doomed(c) {
+            1
+        } else {
+            0
+        }
+    };
+    let mut scored: Vec<(usize, u8, f64)> =
+        pool.into_iter().map(|c| (c, tier(c), score(c))).collect();
     scored.sort_by(|a, b| {
         a.1.cmp(&b.1)
             .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(Ordering::Equal))
@@ -438,6 +468,7 @@ mod tests {
             deadline_s: None,
             in_flight: &[],
             reliability: None,
+            departed: &[],
         }
     }
 
@@ -723,6 +754,48 @@ mod tests {
                 policy.name()
             );
         }
+    }
+
+    #[test]
+    fn departed_clients_rank_behind_even_busy_ones() {
+        // Clients 0-1 departed under churn, client 2 busy: the ranking
+        // policies must fill from the three live idle candidates, and the
+        // busy client must still outrank the departed ones if forced.
+        let (loss, part) = ctx_parts(6);
+        let in_flight = [2usize];
+        let departed = [0usize, 1];
+        let ctx = SelectionContext {
+            in_flight: &in_flight,
+            departed: &departed,
+            ..base_ctx(6, 3, &loss, &part)
+        };
+        assert!(ctx.is_departed(0) && ctx.is_departed(1) && !ctx.is_departed(2));
+        for mut policy in [
+            Box::new(ReliabilityAwareSelection { candidates: 6 }) as Box<dyn SelectionPolicy>,
+            Box::new(StalenessBalancedSelection { candidates: 6 }),
+        ] {
+            let picked = policy.select(&ctx, &mut Rng64::new(9));
+            assert_valid_sample(&picked, 6, 3);
+            assert!(
+                !picked.contains(&0) && !picked.contains(&1),
+                "{} dispatched a departed client with live candidates available",
+                policy.name()
+            );
+        }
+        // Forced: four slots, only three live idle candidates — the busy
+        // client must be taken before any departed one.
+        let ctx = SelectionContext {
+            in_flight: &in_flight,
+            departed: &departed,
+            ..base_ctx(6, 4, &loss, &part)
+        };
+        let picked = ReliabilityAwareSelection { candidates: 6 }.select(&ctx, &mut Rng64::new(9));
+        assert_valid_sample(&picked, 6, 4);
+        assert!(
+            picked.contains(&2),
+            "busy client must be preferred over departed ones"
+        );
+        assert!(!(picked.contains(&0) && picked.contains(&1)));
     }
 
     #[test]

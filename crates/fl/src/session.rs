@@ -27,16 +27,19 @@
 //! historical `run_federated` loop (enforced by the committed golden
 //! fixture).
 
-use crate::client::{run_local_round, ClientUpdate};
+use crate::client::{run_local_round, run_local_round_masked, ClientUpdate, MASK_SALT};
 use crate::error::FlError;
-use crate::executor::{ExecutorConfig, RoundExecutor};
+use crate::executor::{Dispatch, ExecutorConfig, RoundExecutor};
 use crate::history::{RoundRecord, RunHistory};
 use crate::metrics::evaluate;
 use crate::selection::{Selection, SelectionContext, SelectionPolicy};
 use crate::server::FlConfig;
-use crate::strategy::{normalize_factors, weighted_average, RoundContext, Strategy};
+use crate::strategy::{
+    masked_weighted_average, normalize_factors, weighted_average, RoundContext, Strategy,
+};
 use feddrl_data::dataset::Dataset;
 use feddrl_data::partition::Partition;
+use feddrl_nn::mask::StructuredMask;
 use feddrl_nn::model::Sequential;
 use feddrl_nn::parallel::par_map;
 use feddrl_nn::rng::Rng64;
@@ -430,10 +433,24 @@ impl<'a> Session<'a> {
         }
         let round = self.round;
 
+        // --- Fleet growth under churn: clients that joined since the last
+        // round enter the federation with an optimistic prior (no known
+        // loss, zero participation) and become selectable this round.
+        // `None` (every churn-free executor) leaves `n_clients` at the
+        // partition's count and this block is a no-op.
+        if let Some(universe) = self.executor.universe() {
+            if universe > self.n_clients {
+                self.known_loss.resize(universe, None);
+                self.participation.resize(universe, 0);
+                self.n_clients = universe;
+            }
+        }
+
         // --- Client selection (Algorithm 2; uniform by default). The
         // policy draws from the per-round stream `(master seed, round)`.
         let mut select_rng = self.master.derive(round as u64);
         let in_flight = self.executor.in_flight_clients();
+        let departed = self.executor.departed_clients();
         let selected = {
             let ctx = SelectionContext {
                 round,
@@ -446,6 +463,7 @@ impl<'a> Session<'a> {
                 deadline_s: self.executor.deadline_s(),
                 in_flight: &in_flight,
                 reliability: self.executor.reliability(),
+                departed: &departed,
             };
             self.policy.select(&ctx, &mut select_rng)
         };
@@ -463,22 +481,47 @@ impl<'a> Session<'a> {
         let partition = self.partition;
         let local_cfg = &self.local_cfg;
         let seed = self.cfg.seed;
-        let train_subset = |ids: &[usize]| -> Vec<ClientUpdate> {
-            par_map(ids, |_, &client_id| {
+        // Clients that joined under churn have ids beyond the fixed data
+        // partition; they train on a shard chosen by residue — the
+        // identity map for every original id, so churn-free runs keep
+        // their exact historical shards.
+        let n_shards = partition.n_clients();
+        let train_subset = |dispatches: &[Dispatch]| -> Vec<ClientUpdate> {
+            par_map(dispatches, |_, &d| {
+                let client_id = d.client_id;
                 // The clone already carries the broadcast params exactly
                 // (`global` does not change mid-round).
                 let model = global.clone();
                 let mut rng = Rng64::new(seed ^ 0xC11E)
                     .derive(round as u64)
                     .derive(client_id as u64);
-                run_local_round(
-                    model,
-                    train_set,
-                    partition.client(client_id),
-                    client_id,
-                    local_cfg,
-                    &mut rng,
-                )
+                if d.keep_ratio < 1.0 {
+                    // Structured sub-model dispatch: the mask comes from
+                    // its own salted stream so full-model training (and
+                    // every pre-dynamics history) never consumes it.
+                    let mut mask_rng = Rng64::new(seed ^ MASK_SALT)
+                        .derive(round as u64)
+                        .derive(client_id as u64);
+                    let mask = StructuredMask::derive(&model, d.keep_ratio, &mut mask_rng);
+                    run_local_round_masked(
+                        model,
+                        train_set,
+                        partition.client(client_id % n_shards),
+                        client_id,
+                        local_cfg,
+                        mask,
+                        &mut rng,
+                    )
+                } else {
+                    run_local_round(
+                        model,
+                        train_set,
+                        partition.client(client_id % n_shards),
+                        client_id,
+                        local_cfg,
+                        &mut rng,
+                    )
+                }
             })
         };
         let outcome = self.executor.execute(round, &selected, &train_subset);
@@ -524,10 +567,21 @@ impl<'a> Session<'a> {
             // --- Weighted aggregation (Eq. 4), optionally blended into
             // the current global at the executor's server mixing rate
             // (`η = 1`, every round-barrier executor, is the paper's pure
-            // replacement and skips the blend entirely).
+            // replacement and skips the blend entirely). Sub-model updates
+            // (adaptive structured dropout) route through the mask-aware
+            // per-position average; rounds where every update is full keep
+            // the historical dense path bit-for-bit.
             let t1 = Instant::now();
-            let weight_refs: Vec<&[f32]> = updates.iter().map(|u| u.weights.as_slice()).collect();
-            let mut new_global = weighted_average(&weight_refs, &alphas);
+            let any_masked = updates
+                .iter()
+                .any(|u| u.mask.as_ref().is_some_and(|m| !m.is_full()));
+            let mut new_global = if any_masked {
+                masked_weighted_average(&global_flat, &updates, &alphas)
+            } else {
+                let weight_refs: Vec<&[f32]> =
+                    updates.iter().map(|u| u.weights.as_slice()).collect();
+                weighted_average(&weight_refs, &alphas)
+            };
             let eta = self.executor.server_mix();
             if eta < 1.0 {
                 let eta = eta as f32;

@@ -158,6 +158,76 @@ pub fn weighted_average(weights: &[&[f32]], alphas: &[f32]) -> Vec<f32> {
     out
 }
 
+/// Mask-aware weighted average for heterogeneous sub-model updates
+/// (adaptive structured dropout, arXiv:2507.10430).
+///
+/// A masked client trains only the parameters its
+/// [`StructuredMask`](feddrl_nn::mask::StructuredMask) keeps, pinning the
+/// rest at zero — averaging those zeros in as if they were trained values
+/// would drag every masked coordinate toward the origin. Instead each
+/// position `p` is averaged only over the clients that actually trained
+/// it, renormalizing the impact mass per position:
+///
+/// `w[p] = Σ_k α_k · keeps_k(p) · w_k[p]  /  Σ_k α_k · keeps_k(p)`
+///
+/// Positions no participating client trained (`Σ_k α_k · keeps_k(p) = 0`)
+/// keep the broadcast global value `global[p]` — untouched, not zeroed.
+/// When every update is full (no mask, or a mask keeping everything) this
+/// reduces exactly to [`weighted_average`]; the session only routes
+/// through here when some update carries a partial mask, so dynamics-free
+/// runs never pay the per-position bookkeeping.
+///
+/// # Panics
+/// Panics on length mismatches between `global`, the update weight
+/// vectors, their masks, and `alphas`.
+pub fn masked_weighted_average(
+    global: &[f32],
+    updates: &[ClientUpdate],
+    alphas: &[f32],
+) -> Vec<f32> {
+    assert_eq!(
+        updates.len(),
+        alphas.len(),
+        "updates/alphas cardinality mismatch"
+    );
+    assert!(!updates.is_empty(), "nothing to aggregate");
+    let dim = global.len();
+    let mut num = vec![0.0f32; dim];
+    let mut mass = vec![0.0f32; dim];
+    for (u, &a) in updates.iter().zip(alphas.iter()) {
+        assert_eq!(u.weights.len(), dim, "client weight vector length mismatch");
+        if a == 0.0 {
+            continue;
+        }
+        match &u.mask {
+            None => {
+                for p in 0..dim {
+                    num[p] += a * u.weights[p];
+                    mass[p] += a;
+                }
+            }
+            Some(m) => {
+                assert_eq!(m.len(), dim, "client mask length mismatch");
+                for p in 0..dim {
+                    if m.keeps(p) {
+                        num[p] += a * u.weights[p];
+                        mass[p] += a;
+                    }
+                }
+            }
+        }
+    }
+    (0..dim)
+        .map(|p| {
+            if mass[p] > 0.0 {
+                num[p] / mass[p]
+            } else {
+                global[p]
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +312,85 @@ mod tests {
         let a = vec![0.0f32, 0.0];
         let b = vec![1.0f32];
         let _ = weighted_average(&[&a, &b], &[0.5, 0.5]);
+    }
+
+    fn update(id: usize, weights: Vec<f32>, mask: Option<StructuredMask>) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            weights,
+            n_samples: 10,
+            loss_before: 1.0,
+            loss_after: 0.5,
+            staleness: 0,
+            mask,
+        }
+    }
+
+    use feddrl_nn::mask::StructuredMask;
+
+    #[test]
+    fn masked_average_with_full_masks_matches_weighted_average() {
+        let a = update(0, vec![1.0, 2.0, 3.0, 4.0], None);
+        let b = update(1, vec![5.0, 6.0, 7.0, 8.0], Some(StructuredMask::full(4)));
+        let alphas = [0.25f32, 0.75];
+        let global = vec![0.0f32; 4];
+        let masked = masked_weighted_average(&global, &[a.clone(), b.clone()], &alphas);
+        let plain = weighted_average(&[&a.weights, &b.weights], &alphas);
+        // alphas sum to exactly 1.0 in f32, so the per-position mass
+        // normalization divides by exactly 1 and the results coincide.
+        assert_eq!(masked, plain);
+    }
+
+    #[test]
+    fn masked_positions_average_only_over_their_trainers() {
+        // Client 1 trained only the first two positions; positions 2-3 of
+        // its vector are frozen at zero and must not vote.
+        let full = update(0, vec![1.0, 1.0, 1.0, 1.0], None);
+        let sub = update(
+            1,
+            vec![3.0, 3.0, 0.0, 0.0],
+            Some(StructuredMask::from_keep(vec![true, true, false, false])),
+        );
+        let global = vec![9.0f32; 4];
+        let avg = masked_weighted_average(&global, &[full, sub], &[0.5, 0.5]);
+        // Positions 0-1: both vote, (0.5*1 + 0.5*3) / (0.5 + 0.5) = 2.
+        // Positions 2-3: only the full client votes, 0.5*1 / 0.5 = 1 — the
+        // sub-model's frozen zeros never drag the average toward zero.
+        assert_eq!(avg, vec![2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn positions_nobody_trained_keep_the_global_value() {
+        let mask = StructuredMask::from_keep(vec![true, false, false]);
+        let a = update(0, vec![4.0, 0.0, 0.0], Some(mask.clone()));
+        let b = update(1, vec![8.0, 0.0, 0.0], Some(mask));
+        let global = vec![-1.0f32, -2.0, -3.0];
+        let avg = masked_weighted_average(&global, &[a, b], &[0.5, 0.5]);
+        assert_eq!(avg, vec![6.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn masked_average_skips_zero_alpha_updates() {
+        // A zero-impact masked update contributes neither value nor mass:
+        // its exclusive positions fall back to the global weights.
+        let a = update(0, vec![1.0, 1.0], None);
+        let b = update(
+            1,
+            vec![7.0, 0.0],
+            Some(StructuredMask::from_keep(vec![true, false])),
+        );
+        let avg = masked_weighted_average(&[5.0, 5.0], &[a, b], &[0.0, 1.0]);
+        assert_eq!(avg, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn masked_average_rejects_ragged_masks() {
+        let a = update(
+            0,
+            vec![1.0, 2.0],
+            Some(StructuredMask::from_keep(vec![true])),
+        );
+        let _ = masked_weighted_average(&[0.0, 0.0], &[a], &[1.0]);
     }
 }

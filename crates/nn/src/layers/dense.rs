@@ -91,6 +91,10 @@ impl Layer for Dense {
         "dense"
     }
 
+    fn io_dims(&self) -> Option<(usize, usize)> {
+        Some((self.in_dim(), self.out_dim()))
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

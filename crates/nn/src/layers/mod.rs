@@ -65,6 +65,14 @@ pub trait Layer: Send + Sync {
     /// Short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
 
+    /// `(fan_in, fan_out)` for layers with a 2-D feature map — currently
+    /// only [`Dense`] — `None` otherwise. Structured-dropout masking uses
+    /// this to find adjacent dense pairs whose shared hidden units can be
+    /// masked without breaking shapes.
+    fn io_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+
     /// Number of trainable scalars.
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.numel()).sum()

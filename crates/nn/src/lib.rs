@@ -12,6 +12,10 @@
 //!   (for the DDPG policy update);
 //! * [`model::Sequential`] — layer stack with *flat parameter vector*
 //!   import/export, the representation exchanged in federated aggregation;
+//! * [`mask::StructuredMask`] — whole-hidden-unit sub-model masks for
+//!   adaptive structured dropout (arXiv:2507.10430): pressured federated
+//!   clients train a masked sub-model that still aggregates into the full
+//!   model;
 //! * [`zoo`] — the paper's client architectures (CNN, VGG-11) and MLP
 //!   profiles;
 //! * [`rng::Rng64`] — deterministic xoshiro256++ randomness so whole
@@ -42,6 +46,7 @@
 pub mod init;
 pub mod layers;
 pub mod loss;
+pub mod mask;
 pub mod model;
 pub mod optim;
 pub mod parallel;
@@ -54,6 +59,7 @@ pub mod prelude {
     pub use crate::init::Init;
     pub use crate::layers::{Activation, ActivationKind, Conv2d, Dense, Dropout, Layer, MaxPool2d};
     pub use crate::loss::{accuracy, cross_entropy_logits, cross_entropy_loss_only, mse};
+    pub use crate::mask::StructuredMask;
     pub use crate::model::Sequential;
     pub use crate::optim::Sgd;
     pub use crate::rng::Rng64;

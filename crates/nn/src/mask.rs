@@ -1,0 +1,321 @@
+//! Structured sub-model masks for adaptive dropout.
+//!
+//! "Efficient Federated Learning with Heterogeneous Data and Adaptive
+//! Dropout" (arXiv:2507.10430) has pressured devices train a *masked
+//! sub-model* — whole hidden units removed — whose update still aggregates
+//! into the full model. [`StructuredMask`] is that mask over a
+//! [`Sequential`]'s flat parameter vector: for each masked hidden unit it
+//! covers the unit's incoming weight column, its bias, and its outgoing
+//! weight row in the next dense layer, so zeroing the masked positions is
+//! *exactly* equivalent to deleting the unit from the network (its
+//! activation and every gradient through it vanish identically).
+//!
+//! Masks are structured per maskable layer (a dense layer followed — up to
+//! parameter-free layers — by another dense consuming its features), drawn
+//! from a caller-provided RNG stream so per-`(round, client)` masks
+//! reproduce bit-for-bit. A ratio-1 mask keeps everything and is
+//! recognized by [`StructuredMask::is_full`], letting callers skip the
+//! masked code path entirely — the byte-identity guarantee the
+//! fleet-dynamics property suite pins.
+
+use crate::model::Sequential;
+use crate::rng::Rng64;
+
+/// A keep/drop mask over a model's flat parameter vector, aligned with
+/// [`Sequential::flat_params`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuredMask {
+    keep: Vec<bool>,
+    kept: usize,
+}
+
+/// A dense layer's placement inside the flat parameter vector.
+struct DenseSeg {
+    /// Flat offset of the layer's weight matrix (bias follows it).
+    offset: usize,
+    in_dim: usize,
+    out_dim: usize,
+    /// Whether only parameter-free layers sit between this dense and the
+    /// previous one (i.e. the previous dense's features feed it directly).
+    directly_fed: bool,
+}
+
+fn dense_segments(model: &Sequential) -> Vec<DenseSeg> {
+    let mut segs = Vec::new();
+    let mut offset = 0;
+    let mut gap_params = 0usize;
+    for layer in model.layers() {
+        if let Some((in_dim, out_dim)) = layer.io_dims() {
+            segs.push(DenseSeg {
+                offset,
+                in_dim,
+                out_dim,
+                directly_fed: gap_params == 0,
+            });
+            gap_params = 0;
+        } else {
+            gap_params += layer.param_count();
+        }
+        offset += layer.param_count();
+    }
+    segs
+}
+
+impl StructuredMask {
+    /// The all-keep mask over `param_count` positions.
+    pub fn full(param_count: usize) -> Self {
+        Self {
+            keep: vec![true; param_count],
+            kept: param_count,
+        }
+    }
+
+    /// A mask from an explicit per-position keep vector. Escape hatch for
+    /// custom masking schemes and precise aggregation tests;
+    /// [`StructuredMask::derive`] is the structured whole-unit path.
+    pub fn from_keep(keep: Vec<bool>) -> Self {
+        let kept = keep.iter().filter(|&&k| k).count();
+        Self { keep, kept }
+    }
+
+    /// Draw a mask keeping `keep_ratio` of each maskable layer's hidden
+    /// units (at least one per layer), consuming `rng` deterministically.
+    ///
+    /// Maskable units are the outputs of a dense layer that directly feeds
+    /// another dense layer (only parameter-free layers — activations,
+    /// element-wise dropout — in between, and matching dimensions). Models
+    /// with no such pair (e.g. convolutional stacks, single-layer heads)
+    /// yield the full mask. `keep_ratio = 1` is the full mask by
+    /// construction, bit-identical to untrained-through code paths.
+    ///
+    /// # Panics
+    /// Panics unless `keep_ratio` is in `(0, 1]`.
+    pub fn derive(model: &Sequential, keep_ratio: f64, rng: &mut Rng64) -> Self {
+        assert!(
+            keep_ratio.is_finite() && 0.0 < keep_ratio && keep_ratio <= 1.0,
+            "keep_ratio must be in (0, 1], got {keep_ratio}"
+        );
+        let mut mask = Self::full(model.param_count());
+        let segs = dense_segments(model);
+        for pair in segs.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if !(b.directly_fed && a.out_dim == b.in_dim) {
+                continue;
+            }
+            let keep_units = ((a.out_dim as f64 * keep_ratio).ceil() as usize).clamp(1, a.out_dim);
+            let drop_units = a.out_dim - keep_units;
+            if drop_units == 0 {
+                continue;
+            }
+            for j in rng.sample_indices(a.out_dim, drop_units) {
+                // Incoming column j of a's weights [in, out] (row-major).
+                for i in 0..a.in_dim {
+                    mask.drop(a.offset + i * a.out_dim + j);
+                }
+                // a's bias j.
+                mask.drop(a.offset + a.in_dim * a.out_dim + j);
+                // Outgoing row j of b's weights [in, out].
+                for k in 0..b.out_dim {
+                    mask.drop(b.offset + j * b.out_dim + k);
+                }
+            }
+        }
+        mask
+    }
+
+    fn drop(&mut self, p: usize) {
+        if std::mem::replace(&mut self.keep[p], false) {
+            self.kept -= 1;
+        }
+    }
+
+    /// Whether position `p` of the flat vector is kept (trained and
+    /// aggregated).
+    pub fn keeps(&self, p: usize) -> bool {
+        self.keep[p]
+    }
+
+    /// Number of positions the mask covers (the model's parameter count).
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Whether the mask covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Number of kept positions.
+    pub fn kept(&self) -> usize {
+        self.kept
+    }
+
+    /// Fraction of parameters kept, in `(0, 1]` (1 on an empty mask).
+    pub fn keep_fraction(&self) -> f64 {
+        if self.keep.is_empty() {
+            1.0
+        } else {
+            self.kept as f64 / self.keep.len() as f64
+        }
+    }
+
+    /// Whether every position is kept — the fast path that makes ratio-1
+    /// masking byte-identical to no masking at all.
+    pub fn is_full(&self) -> bool {
+        self.kept == self.keep.len()
+    }
+
+    /// Zero the masked positions of `flat` (deleting the masked units from
+    /// a parameter vector of matching layout).
+    ///
+    /// # Panics
+    /// Panics if `flat` length mismatches the mask.
+    pub fn apply(&self, flat: &mut [f32]) {
+        assert_eq!(flat.len(), self.keep.len(), "mask/vector length mismatch");
+        for (w, &k) in flat.iter_mut().zip(self.keep.iter()) {
+            if !k {
+                *w = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Activation, Dense};
+    use crate::tensor::Tensor;
+
+    fn mlp(rng: &mut Rng64) -> Sequential {
+        Sequential::new()
+            .push(Dense::new(6, 10, Init::HeNormal, rng))
+            .push(Activation::leaky_relu())
+            .push(Dense::new(10, 4, Init::XavierUniform, rng))
+    }
+
+    #[test]
+    fn ratio_one_is_the_full_mask() {
+        let mut rng = Rng64::new(1);
+        let model = mlp(&mut rng);
+        let mask = StructuredMask::derive(&model, 1.0, &mut rng);
+        assert!(mask.is_full());
+        assert_eq!(mask.keep_fraction(), 1.0);
+        assert_eq!(mask.kept(), model.param_count());
+        let mut flat = model.flat_params();
+        let before = flat.clone();
+        mask.apply(&mut flat);
+        assert_eq!(flat, before, "full mask must not touch a single byte");
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_ratio_monotone() {
+        let mut rng = Rng64::new(2);
+        let model = mlp(&mut rng);
+        let m1 = StructuredMask::derive(&model, 0.5, &mut Rng64::new(77));
+        let m2 = StructuredMask::derive(&model, 0.5, &mut Rng64::new(77));
+        assert_eq!(m1, m2);
+        let mut prev = 0;
+        for ratio in [0.2, 0.5, 0.8, 1.0] {
+            let kept = StructuredMask::derive(&model, ratio, &mut Rng64::new(9)).kept();
+            assert!(kept >= prev, "kept count not monotone in ratio");
+            prev = kept;
+        }
+        assert_eq!(prev, model.param_count());
+    }
+
+    #[test]
+    fn masked_positions_form_whole_units() {
+        let mut rng = Rng64::new(3);
+        let model = mlp(&mut rng);
+        let mask = StructuredMask::derive(&model, 0.5, &mut Rng64::new(5));
+        assert!(!mask.is_full());
+        // Layout: W1 [6,10], b1 [10], W2 [10,4], b2 [4].
+        let (w1, b1, w2) = (0, 60, 70);
+        let masked_units: Vec<usize> = (0..10).filter(|&j| !mask.keeps(b1 + j)).collect();
+        assert_eq!(masked_units.len(), 5, "ratio 0.5 over 10 units");
+        for j in 0..10 {
+            let dropped = masked_units.contains(&j);
+            for i in 0..6 {
+                assert_eq!(mask.keeps(w1 + i * 10 + j), !dropped, "col {j} row {i}");
+            }
+            assert_eq!(mask.keeps(b1 + j), !dropped, "bias {j}");
+            for k in 0..4 {
+                assert_eq!(mask.keeps(w2 + j * 4 + k), !dropped, "row {j} col {k}");
+            }
+        }
+        // The output layer's biases are never maskable.
+        for k in 0..4 {
+            assert!(mask.keeps(70 + 40 + k));
+        }
+        assert_eq!(
+            mask.kept(),
+            model.param_count() - 5 * (6 + 1 + 4),
+            "each masked unit must cost exactly in+1+out scalars"
+        );
+    }
+
+    #[test]
+    fn applying_the_mask_deletes_the_units_from_the_network() {
+        // Forward of the masked model must be identical to a model whose
+        // masked hidden activations are forced to zero: structural removal,
+        // not mere perturbation.
+        let mut rng = Rng64::new(4);
+        let model = mlp(&mut rng);
+        let mask = StructuredMask::derive(&model, 0.4, &mut Rng64::new(11));
+        let mut masked = model.clone();
+        let mut flat = masked.flat_params();
+        mask.apply(&mut flat);
+        masked.set_flat_params(&flat);
+        let x = Tensor::randn(&[3, 6], 0.0, 1.0, &mut rng);
+        let y = masked.forward(&x, false);
+        // Recompute manually: masked units contribute nothing.
+        let b1 = 60;
+        let live: Vec<usize> = (0..10).filter(|&j| mask.keeps(b1 + j)).collect();
+        assert!(!live.is_empty() && live.len() < 10);
+        let w = masked.flat_params();
+        for r in 0..3 {
+            for k in 0..4 {
+                let mut acc = w[70 + 40 + k]; // output bias
+                for &j in &live {
+                    let mut h = w[b1 + j];
+                    for i in 0..6 {
+                        h += x.at(r, i) * w[i * 10 + j];
+                    }
+                    // leaky_relu as used by Activation::leaky_relu()
+                    let h = if h > 0.0 { h } else { 0.01 * h };
+                    acc += h * w[70 + j * 4 + k];
+                }
+                assert!(
+                    (y.at(r, k) - acc).abs() < 1e-5,
+                    "masked forward diverged at ({r}, {k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_dense_models_have_no_maskable_units() {
+        let mut rng = Rng64::new(6);
+        let model = Sequential::new().push(Dense::new(8, 3, Init::HeNormal, &mut rng));
+        let mask = StructuredMask::derive(&model, 0.2, &mut rng);
+        assert!(mask.is_full(), "output layer must never be masked");
+    }
+
+    #[test]
+    fn tiny_ratio_keeps_at_least_one_unit_per_layer() {
+        let mut rng = Rng64::new(7);
+        let model = mlp(&mut rng);
+        let mask = StructuredMask::derive(&model, 0.01, &mut rng);
+        let live = (0..10).filter(|&j| mask.keeps(60 + j)).count();
+        assert_eq!(live, 1, "floor of one unit per maskable layer");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_ratio")]
+    fn rejects_zero_ratio() {
+        let mut rng = Rng64::new(8);
+        let model = mlp(&mut rng);
+        let _ = StructuredMask::derive(&model, 0.0, &mut rng);
+    }
+}

@@ -34,6 +34,16 @@ pub struct DeviceProfile {
     /// Per-round probability that this client drops out of a round it was
     /// sampled for (in `[0, 1)`).
     pub dropout: f64,
+    /// Phase offset (radians) of this device's diurnal availability cycle.
+    /// Drawn only when the fleet has a [`DiurnalConfig`]; stays exactly 0
+    /// (and absent from serialized profiles) otherwise, so dynamics-free
+    /// fleets keep their historical byte representation.
+    #[serde(default, skip_serializing_if = "f64_is_zero")]
+    pub phase: f64,
+}
+
+fn f64_is_zero(x: &f64) -> bool {
+    *x == 0.0
 }
 
 impl DeviceProfile {
@@ -42,6 +52,149 @@ impl DeviceProfile {
     /// `upload_bytes` over its link.
     pub fn completion_time_s(&self, upload_bytes: u64) -> f64 {
         self.compute_s + self.latency_s + upload_bytes as f64 / self.bandwidth_bps
+    }
+
+    /// The diurnal multiplier `1 + amplitude * sin(2π t / period + phase)`
+    /// for this device at virtual time `now_s`.
+    fn diurnal_factor(&self, amplitude: f64, period_s: f64, now_s: f64) -> f64 {
+        1.0 + amplitude * (std::f64::consts::TAU * now_s / period_s + self.phase).sin()
+    }
+
+    /// Per-round dropout probability at virtual time `now_s`: the raw rate
+    /// modulated by the device's diurnal cycle. With no [`DiurnalConfig`]
+    /// this returns the raw `dropout` field bit-for-bit; with one, the
+    /// validated amplitude bound (`< 1`, and the peak rate below 1) keeps
+    /// the result a probability without clamping.
+    pub fn effective_dropout(&self, diurnal: Option<&DiurnalConfig>, now_s: f64) -> f64 {
+        match diurnal {
+            None => self.dropout,
+            Some(d) => self.dropout * self.diurnal_factor(d.dropout_amplitude, d.period_s, now_s),
+        }
+    }
+
+    /// Per-upload latency at virtual time `now_s` under the diurnal cycle
+    /// (congested hours stretch connection setup). Bit-identical to the
+    /// raw `latency_s` when `diurnal` is `None`.
+    pub fn effective_latency_s(&self, diurnal: Option<&DiurnalConfig>, now_s: f64) -> f64 {
+        match diurnal {
+            None => self.latency_s,
+            Some(d) => self.latency_s * self.diurnal_factor(d.latency_amplitude, d.period_s, now_s),
+        }
+    }
+
+    /// [`DeviceProfile::completion_time_s`] evaluated at virtual time
+    /// `now_s` under the diurnal cycle, with local compute scaled by
+    /// `compute_scale` (structured-dropout sub-models train proportionally
+    /// faster; `1` = full model). `None` + scale 1 reproduces
+    /// [`DeviceProfile::completion_time_s`] bit-for-bit.
+    pub fn completion_time_at(
+        &self,
+        upload_bytes: u64,
+        compute_scale: f64,
+        diurnal: Option<&DiurnalConfig>,
+        now_s: f64,
+    ) -> f64 {
+        self.compute_s * compute_scale
+            + self.effective_latency_s(diurnal, now_s)
+            + upload_bytes as f64 / self.bandwidth_bps
+    }
+}
+
+/// Periodic (time-of-day) availability modulation: every device's dropout
+/// rate and upload latency oscillate sinusoidally around their profile
+/// values, with a per-device phase drawn in the profile's reliability
+/// block — so two fleets differing only in `diurnal` share identical
+/// compute/bandwidth/dropout draws, and the whole feature is byte-inert
+/// when absent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalConfig {
+    /// Cycle length in simulated seconds (e.g. 86 400 for a literal day).
+    pub period_s: f64,
+    /// Relative swing of the dropout rate, in `[0, 1)`: the effective rate
+    /// ranges over `dropout * (1 ± amplitude)`.
+    pub dropout_amplitude: f64,
+    /// Relative swing of the upload latency, in `[0, 1)`.
+    pub latency_amplitude: f64,
+}
+
+impl Default for DiurnalConfig {
+    /// A gentle day: 1-hour period (sweep-friendly), ±50% dropout swing,
+    /// ±30% latency swing.
+    fn default() -> Self {
+        Self {
+            period_s: 3600.0,
+            dropout_amplitude: 0.5,
+            latency_amplitude: 0.3,
+        }
+    }
+}
+
+impl DiurnalConfig {
+    /// Check the modulation's own invariants (the peak-rate bound lives in
+    /// [`FleetConfig::validate_dynamics`], which also knows the rates).
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.period_s.is_finite() && self.period_s > 0.0) {
+            return Err(format!(
+                "diurnal period must be positive and finite, got {}",
+                self.period_s
+            ));
+        }
+        for (name, a) in [
+            ("dropout_amplitude", self.dropout_amplitude),
+            ("latency_amplitude", self.latency_amplitude),
+        ] {
+            if !(a.is_finite() && (0.0..1.0).contains(&a)) {
+                return Err(format!("diurnal {name} must be in [0, 1), got {a}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fleet churn: seeded Poisson arrival/departure processes on the virtual
+/// clock. Consumed by [`crate::churn::ChurnProcess`], which turns the two
+/// mean gaps into time-ordered [`crate::event::EventKind::ClientJoin`] /
+/// [`crate::event::EventKind::ClientLeave`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Mean simulated seconds between client arrivals (exponential gaps).
+    pub mean_arrival_gap_s: f64,
+    /// Mean simulated seconds between departure attempts (exponential
+    /// gaps; a departure targeting the last active client is skipped, so
+    /// the fleet never empties).
+    pub mean_departure_gap_s: f64,
+}
+
+impl Default for ChurnConfig {
+    /// One arrival and one departure attempt per minute of virtual time.
+    fn default() -> Self {
+        Self {
+            mean_arrival_gap_s: 60.0,
+            mean_departure_gap_s: 60.0,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Check the churn process's invariants.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, gap) in [
+            ("mean_arrival_gap_s", self.mean_arrival_gap_s),
+            ("mean_departure_gap_s", self.mean_departure_gap_s),
+        ] {
+            if !(gap.is_finite() && gap > 0.0) {
+                return Err(format!(
+                    "churn {name} must be positive and finite, got {gap}"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -146,6 +299,14 @@ pub struct FleetConfig {
     /// behavior, so old configs deserialize unchanged).
     #[serde(default)]
     pub reliability: ReliabilityConfig,
+    /// Optional diurnal availability cycle (absent = static availability,
+    /// the historical behavior; absent from serialized configs too).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub diurnal: Option<DiurnalConfig>,
+    /// Optional fleet churn process (absent = the client set is fixed for
+    /// the run, the historical behavior).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub churn: Option<ChurnConfig>,
     /// Seed for the fleet draw; profiles derive per client index, so
     /// client `i`'s device is independent of the fleet size.
     pub seed: u64,
@@ -163,6 +324,8 @@ impl Default for FleetConfig {
             latency_s: 0.05,
             dropout: 0.0,
             reliability: ReliabilityConfig::default(),
+            diurnal: None,
+            churn: None,
             seed: 0xDE1CE,
         }
     }
@@ -178,7 +341,8 @@ impl FleetConfig {
     /// A human-readable description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         self.validate_base()?;
-        self.validate_reliability()
+        self.validate_reliability()?;
+        self.validate_dynamics()
     }
 
     /// The device/network/base-rate invariants alone (everything except
@@ -228,6 +392,32 @@ impl FleetConfig {
         }
         Ok(())
     }
+
+    /// The fleet-dynamics invariants: well-formed diurnal/churn blocks
+    /// whose modulation keeps every *effective* per-device rate a
+    /// probability — the worst case is the worst reliability multiplier at
+    /// the diurnal peak, so the bound is
+    /// `dropout * dropout_skew * (1 + dropout_amplitude) < 1` (tight, like
+    /// the static bound it generalizes).
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate_dynamics(&self) -> Result<(), String> {
+        if let Some(d) = &self.diurnal {
+            d.validate()?;
+            let peak = self.dropout * self.reliability.dropout_skew * (1.0 + d.dropout_amplitude);
+            if peak >= 1.0 {
+                return Err(format!(
+                    "dropout * dropout_skew * (1 + dropout_amplitude) must stay \
+                     below 1 so every effective rate is a probability, got {peak}"
+                ));
+            }
+        }
+        if let Some(c) = &self.churn {
+            c.validate()?;
+        }
+        Ok(())
+    }
 }
 
 /// Derive client `i`'s profile from the fleet config alone.
@@ -258,11 +448,19 @@ fn derive_profile(cfg: &FleetConfig, master: &Rng64, i: usize) -> DeviceProfile 
             strength * slowness + (1.0 - strength) * w
         }
     };
+    // The diurnal phase is drawn *after* the compute/bandwidth/reliability
+    // block (and only when the cycle exists), so enabling dynamics leaves
+    // every pre-existing profile field byte-identical.
+    let phase = match cfg.diurnal {
+        None => 0.0,
+        Some(_) => std::f64::consts::TAU * rng.next_f64(),
+    };
     DeviceProfile {
         compute_s: cfg.compute_s * cm,
         bandwidth_bps: cfg.bandwidth_bps * bm,
         latency_s: cfg.latency_s,
         dropout: cfg.dropout * cfg.reliability.dropout_skew.powf(exponent),
+        phase,
     }
 }
 
@@ -324,6 +522,15 @@ impl FleetView {
     /// Number of devices in the view.
     pub fn len(&self) -> usize {
         self.n
+    }
+
+    /// Widen the view to cover `n` devices (no-op when already that wide).
+    /// Churn arrivals mint monotonically increasing ids, so growing the
+    /// view is all a late joiner needs: its profile derives on demand from
+    /// the same per-index stream, making every pre-existing profile stable
+    /// under growth by construction.
+    pub fn grow(&mut self, n: usize) {
+        self.n = self.n.max(n);
     }
 
     /// Whether the view is empty (never true: construction requires n > 0).
@@ -524,9 +731,16 @@ mod tests {
             bandwidth_bps: 1e6,
             latency_s: 0.5,
             dropout: 0.0,
+            phase: 0.0,
         };
         // 2 MB at 1 MB/s = 2 s of upload.
         assert!((p.completion_time_s(2_000_000) - 12.5).abs() < 1e-9);
+        // The dynamics-aware form at scale 1 with no cycle is the same sum
+        // in the same order — bit-identical, not merely close.
+        assert_eq!(
+            p.completion_time_at(2_000_000, 1.0, None, 123.0),
+            p.completion_time_s(2_000_000)
+        );
     }
 
     #[test]
@@ -688,6 +902,213 @@ mod tests {
         for i in 0..4 {
             assert_eq!(fleet.profile(i).dropout, 0.25);
         }
+    }
+
+    #[test]
+    fn diurnal_phase_draw_leaves_static_profile_fields_byte_identical() {
+        let base = FleetConfig {
+            compute_skew: 4.0,
+            bandwidth_skew: 2.0,
+            dropout: 0.2,
+            reliability: ReliabilityConfig {
+                dropout_skew: 2.0,
+                correlation: DropoutCorrelation::SpeedCorrelated { strength: 0.7 },
+            },
+            ..Default::default()
+        };
+        let cycling = FleetConfig {
+            diurnal: Some(DiurnalConfig::default()),
+            ..base.clone()
+        };
+        let (a, b) = (Fleet::generate(16, &base), Fleet::generate(16, &cycling));
+        let mut phases = Vec::new();
+        for i in 0..16 {
+            let (p, q) = (a.profile(i), b.profile(i));
+            assert_eq!(p.compute_s, q.compute_s);
+            assert_eq!(p.bandwidth_bps, q.bandwidth_bps);
+            assert_eq!(p.latency_s, q.latency_s);
+            assert_eq!(p.dropout, q.dropout);
+            assert_eq!(p.phase, 0.0, "static fleet drew a phase");
+            assert!(
+                (0.0..std::f64::consts::TAU).contains(&q.phase),
+                "phase {} out of [0, 2pi)",
+                q.phase
+            );
+            phases.push(q.phase);
+        }
+        phases.sort_by(f64::total_cmp);
+        phases.dedup();
+        assert!(phases.len() > 8, "per-device phases collapsed");
+    }
+
+    #[test]
+    fn effective_rates_modulate_within_bounds_and_periodically() {
+        let cfg = FleetConfig {
+            dropout: 0.3,
+            diurnal: Some(DiurnalConfig {
+                period_s: 100.0,
+                dropout_amplitude: 0.8,
+                latency_amplitude: 0.5,
+            }),
+            ..Default::default()
+        };
+        let fleet = Fleet::generate(4, &cfg);
+        let d = cfg.diurnal.as_ref();
+        for i in 0..4 {
+            let p = fleet.profile(i);
+            for step in 0..200 {
+                let t = step as f64 * 1.7;
+                let rate = p.effective_dropout(d, t);
+                assert!(
+                    (0.0..1.0).contains(&rate),
+                    "effective rate {rate} not a probability"
+                );
+                assert!((rate - p.effective_dropout(d, t + 100.0)).abs() < 1e-9);
+                let lat = p.effective_latency_s(d, t);
+                assert!(lat >= 0.0);
+                assert!((lat - p.effective_latency_s(d, t + 100.0)).abs() < 1e-9);
+            }
+            // The cycle actually moves the rate.
+            let spread: Vec<f64> = (0..50)
+                .map(|s| p.effective_dropout(d, s as f64 * 2.0))
+                .collect();
+            let (lo, hi) = spread
+                .iter()
+                .fold((f64::INFINITY, 0.0f64), |(l, h), &r| (l.min(r), h.max(r)));
+            assert!(hi > lo * 2.0, "amplitude 0.8 cycle too flat: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn absent_and_zero_amplitude_cycles_are_bit_inert() {
+        let p = DeviceProfile {
+            compute_s: 3.0,
+            bandwidth_bps: 1e6,
+            latency_s: 0.25,
+            dropout: 0.4,
+            phase: 1.0,
+        };
+        let flat = DiurnalConfig {
+            period_s: 60.0,
+            dropout_amplitude: 0.0,
+            latency_amplitude: 0.0,
+        };
+        for t in [0.0, 17.3, 1e6] {
+            assert_eq!(p.effective_dropout(None, t), p.dropout);
+            assert_eq!(p.effective_latency_s(None, t), p.latency_s);
+            assert_eq!(p.effective_dropout(Some(&flat), t), p.dropout);
+            assert_eq!(p.effective_latency_s(Some(&flat), t), p.latency_s);
+        }
+    }
+
+    #[test]
+    fn validate_dynamics_bounds_the_effective_peak_rate() {
+        // 0.4 * 2.0 * (1 + 0.3) = 1.04 >= 1: rejected even though the
+        // static bound (0.8) passes.
+        let cfg = FleetConfig {
+            dropout: 0.4,
+            reliability: ReliabilityConfig {
+                dropout_skew: 2.0,
+                ..Default::default()
+            },
+            diurnal: Some(DiurnalConfig {
+                period_s: 60.0,
+                dropout_amplitude: 0.3,
+                latency_amplitude: 0.0,
+            }),
+            ..Default::default()
+        };
+        assert!(cfg.validate_reliability().is_ok());
+        assert!(cfg
+            .validate_dynamics()
+            .unwrap_err()
+            .contains("dropout_amplitude"));
+
+        for bad in [
+            DiurnalConfig {
+                period_s: 0.0,
+                ..Default::default()
+            },
+            DiurnalConfig {
+                period_s: f64::NAN,
+                ..Default::default()
+            },
+            DiurnalConfig {
+                dropout_amplitude: 1.0,
+                ..Default::default()
+            },
+            DiurnalConfig {
+                latency_amplitude: -0.1,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} accepted");
+        }
+        for bad_gap in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            let churn = ChurnConfig {
+                mean_arrival_gap_s: bad_gap,
+                ..Default::default()
+            };
+            assert!(churn.validate().is_err(), "gap {bad_gap} accepted");
+        }
+        ChurnConfig::default().validate().unwrap();
+        DiurnalConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn grown_view_serves_late_joiners_without_disturbing_old_profiles() {
+        let cfg = FleetConfig {
+            compute_skew: 4.0,
+            dropout: 0.1,
+            reliability: ReliabilityConfig {
+                dropout_skew: 3.0,
+                ..Default::default()
+            },
+            diurnal: Some(DiurnalConfig::default()),
+            ..Default::default()
+        };
+        let fixed = FleetView::new(40, &cfg);
+        let mut grown = FleetView::new(8, &cfg);
+        let before: Vec<DeviceProfile> = (0..8).map(|i| grown.profile(i)).collect();
+        grown.grow(40);
+        assert_eq!(grown.len(), 40);
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(grown.profile(i), *b, "growth disturbed profile {i}");
+        }
+        for i in 0..40 {
+            assert_eq!(grown.profile(i), fixed.profile(i), "late joiner {i}");
+        }
+        grown.grow(10);
+        assert_eq!(grown.len(), 40, "grow must never shrink");
+    }
+
+    #[test]
+    fn dynamics_free_config_and_profile_json_stay_byte_identical() {
+        // No `diurnal`/`churn`/`phase` keys appear unless the features are
+        // on — saved PR-6 configs and fixtures stay untouched.
+        let cfg = FleetConfig {
+            compute_skew: 2.0,
+            dropout: 0.1,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(!json.contains("diurnal") && !json.contains("churn"));
+        let profile_json = serde_json::to_string(&Fleet::generate(2, &cfg)).unwrap();
+        assert!(!profile_json.contains("phase"));
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+
+        let dynamic = FleetConfig {
+            diurnal: Some(DiurnalConfig::default()),
+            churn: Some(ChurnConfig::default()),
+            ..cfg
+        };
+        let json = serde_json::to_string(&dynamic).unwrap();
+        assert!(json.contains("diurnal") && json.contains("churn"));
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dynamic);
+        let profile_json = serde_json::to_string(&Fleet::generate(2, &dynamic)).unwrap();
+        assert!(profile_json.contains("phase"));
     }
 
     #[test]

@@ -36,6 +36,19 @@ pub enum EventKind {
     },
     /// The server's round deadline fired.
     Deadline,
+    /// A new client joined the fleet (churn arrival). The id is minted by
+    /// the churn process — monotonically increasing past the initial fleet
+    /// size, so a joiner's profile derives on demand like any other index.
+    ClientJoin {
+        /// Federation-wide client index of the arrival.
+        client_id: usize,
+    },
+    /// A client left the fleet (churn departure). Departed clients never
+    /// rejoin; their telemetry persists server-side but goes stale.
+    ClientLeave {
+        /// Federation-wide client index of the departure.
+        client_id: usize,
+    },
 }
 
 /// A scheduled event on the virtual timeline.
@@ -259,6 +272,45 @@ mod tests {
                 version: 7
             }
         );
+    }
+
+    #[test]
+    fn churn_events_order_against_uploads_and_deadlines() {
+        // Fleet-dynamics events share the queue's ordering guarantees:
+        // time-ordered, FIFO among equal times, regardless of kind.
+        let mut q = EventQueue::new();
+        q.schedule(2.0, EventKind::ClientLeave { client_id: 4 });
+        q.schedule(1.0, EventKind::ClientJoin { client_id: 9 });
+        q.schedule(
+            1.0,
+            EventKind::UploadComplete {
+                client_id: 0,
+                version: 0,
+            },
+        );
+        q.schedule(1.0, EventKind::ClientLeave { client_id: 0 });
+        q.schedule(3.0, EventKind::Deadline);
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::ClientJoin { client_id: 9 }
+        );
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::UploadComplete {
+                client_id: 0,
+                version: 0
+            }
+        );
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::ClientLeave { client_id: 0 }
+        );
+        assert_eq!(
+            q.pop().unwrap().kind,
+            EventKind::ClientLeave { client_id: 4 }
+        );
+        assert_eq!(q.pop().unwrap().kind, EventKind::Deadline);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //!   fleet size is a free variable;
 //! * [`event`] — the discrete-event core (virtual clock + deterministic
 //!   event queue) that schedules upload completions against round
-//!   deadlines.
+//!   deadlines;
+//! * [`churn`] — the fleet-dynamics layer: seeded arrival/departure
+//!   processes emitting `ClientJoin`/`ClientLeave` events on the virtual
+//!   clock, composing with the per-device diurnal availability cycle
+//!   ([`device::DiurnalConfig`]) so fleets breathe instead of standing
+//!   still.
 //!
 //! The device and event modules form the *heterogeneity engine* the
 //! federated simulator's deadline-bounded round executor
@@ -24,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod comm;
 pub mod device;
 pub mod event;
@@ -31,9 +37,11 @@ pub mod timing;
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::churn::{ChurnProcess, CHURN_SALT};
     pub use crate::comm::{CommModel, RoundTraffic};
     pub use crate::device::{
-        DeviceProfile, DropoutCorrelation, Fleet, FleetConfig, FleetView, ReliabilityConfig,
+        ChurnConfig, DeviceProfile, DiurnalConfig, DropoutCorrelation, Fleet, FleetConfig,
+        FleetView, ReliabilityConfig,
     };
     pub use crate::event::{Event, EventKind, EventQueue, VirtualClock};
     pub use crate::timing::{measure, StageTiming};

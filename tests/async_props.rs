@@ -90,11 +90,15 @@ fn stub_update(client_id: usize) -> ClientUpdate {
         loss_before: 1.0,
         loss_after: 0.5,
         staleness: 0,
+        mask: None,
     }
 }
 
-fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
-    ids.iter().map(|&c| stub_update(c)).collect()
+fn stub_train(dispatches: &[Dispatch]) -> Vec<ClientUpdate> {
+    dispatches
+        .iter()
+        .map(|d| stub_update(d.client_id))
+        .collect()
 }
 
 /// Contract 1: with `m = K` on a homogeneous zero-dropout fleet, every

@@ -172,11 +172,15 @@ fn stub_update(client_id: usize) -> ClientUpdate {
         loss_before: 1.0,
         loss_after: 0.5,
         staleness: 0,
+        mask: None,
     }
 }
 
-fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
-    ids.iter().map(|&c| stub_update(c)).collect()
+fn stub_train(dispatches: &[Dispatch]) -> Vec<ClientUpdate> {
+    dispatches
+        .iter()
+        .map(|d| stub_update(d.client_id))
+        .collect()
 }
 
 /// Drive `rounds` rounds of `executor` under `policy`, mirroring the
@@ -209,6 +213,7 @@ fn drive(
                 deadline_s: ex.deadline_s(),
                 in_flight: &in_flight,
                 reliability: ex.reliability(),
+                departed: &ex.departed_clients(),
             };
             policy.select(&ctx, &mut rng)
         };

@@ -31,15 +31,17 @@ use proptest::prelude::*;
 /// Builds an `ExecutorConfig` with the given `parallel_dispatch` flag.
 type ConfigBuilder = Box<dyn Fn(bool) -> ExecutorConfig>;
 
-fn stub_train(ids: &[usize]) -> Vec<ClientUpdate> {
-    ids.iter()
-        .map(|&client_id| ClientUpdate {
+fn stub_train(dispatches: &[Dispatch]) -> Vec<ClientUpdate> {
+    dispatches
+        .iter()
+        .map(|&Dispatch { client_id, .. }| ClientUpdate {
             client_id,
             weights: vec![0.0; 4],
             n_samples: 10,
             loss_before: 1.0,
             loss_after: 0.5,
             staleness: 0,
+            mask: None,
         })
         .collect()
 }
@@ -368,6 +370,7 @@ fn selection_contracts_hold_over_a_hundred_thousand_client_lazy_fleet() {
             deadline_s: Some(fleet.completion_percentile_s(1_000_000, 0.9)),
             in_flight: &in_flight,
             reliability: Some(&stats),
+            departed: &[],
         };
         let before = fleet.derivations();
         let picked = policy.select(&ctx, &mut Rng64::new(7).derive(3));

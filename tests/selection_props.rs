@@ -95,6 +95,7 @@ impl CtxData {
             deadline_s: self.deadline_s,
             in_flight: &self.in_flight,
             reliability: self.reliability.as_ref(),
+            departed: &[],
         }
     }
 }
@@ -184,15 +185,17 @@ fn stragglers_under(policy: &mut dyn SelectionPolicy, rounds: usize) -> usize {
         K,
         9,
     );
-    let stub_train = |ids: &[usize]| -> Vec<ClientUpdate> {
-        ids.iter()
-            .map(|&client_id| ClientUpdate {
+    let stub_train = |dispatches: &[Dispatch]| -> Vec<ClientUpdate> {
+        dispatches
+            .iter()
+            .map(|&Dispatch { client_id, .. }| ClientUpdate {
                 client_id,
                 weights: vec![0.0; 4],
                 n_samples: 10,
                 loss_before: 1.0,
                 loss_after: 0.5,
                 staleness: 0,
+                mask: None,
             })
             .collect()
     };
@@ -215,6 +218,7 @@ fn stragglers_under(policy: &mut dyn SelectionPolicy, rounds: usize) -> usize {
                 deadline_s: RoundExecutor::deadline_s(&ex),
                 in_flight: &in_flight,
                 reliability: RoundExecutor::reliability(&ex),
+                departed: &RoundExecutor::departed_clients(&ex),
             };
             policy.select(&ctx, &mut rng)
         };

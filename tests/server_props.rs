@@ -342,15 +342,17 @@ proptest! {
         };
         let mut ex = DeadlineExecutor::new(cfg, k, 50_000, k, 17);
         let selected: Vec<usize> = (0..k).collect();
-        let train = |ids: &[usize]| -> Vec<ClientUpdate> {
-            ids.iter()
-                .map(|&client_id| ClientUpdate {
+        let train = |dispatches: &[Dispatch]| -> Vec<ClientUpdate> {
+            dispatches
+                .iter()
+                .map(|&Dispatch { client_id, .. }| ClientUpdate {
                     client_id,
                     weights: vec![0.0; 4],
                     n_samples: 10,
                     loss_before: 1.0,
                     loss_after: 0.5,
                     staleness: 0,
+                    mask: None,
                 })
                 .collect()
         };

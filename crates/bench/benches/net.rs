@@ -1,0 +1,123 @@
+//! Criterion harness for the `feddrl_net` transport layer.
+//!
+//! `codec/*` prices the binary wire codec on a full-model `Update`
+//! payload — encode and decode are on the per-update critical path of
+//! every networked round, so both must stay memcpy-bound. `frame/*`
+//! pushes the same frame through a real loopback TCP socket pair
+//! (`write_frame` one end, `read_frame` the other): the end-to-end
+//! serialize → syscall → deserialize cost of one message. `registry/*`
+//! processes a heartbeat burst plus a TTL sweep for 10^4 clients — the
+//! server does this bookkeeping on every message of every connection, so
+//! it must stay far below frame costs even at fleet scale.
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use feddrl_net::registry::Registry;
+use feddrl_net::wire::{read_frame, write_frame, Message, UpdateMsg};
+
+/// A full-model update for an MLP-784-64-10 (the MNIST-like client
+/// model): the realistic worst-case frame of a federated round.
+fn full_model_update(weights: usize) -> Message {
+    Message::Update(UpdateMsg {
+        client_id: 7,
+        round: 42,
+        model_version: 41,
+        staleness: 1,
+        n_samples: 600,
+        loss_before: 1.25,
+        loss_after: 0.75,
+        weights: (0..weights).map(|i| (i as f32).sin()).collect(),
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for weights in [50_890usize, 203_530] {
+        let msg = full_model_update(weights);
+        let encoded = msg.encode();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", weights), &weights, |b, _| {
+            b.iter(|| std::hint::black_box(msg.encode().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", weights), &weights, |b, _| {
+            b.iter(|| {
+                let (decoded, used) = Message::decode(&encoded).expect("valid frame");
+                std::hint::black_box((decoded.kind(), used))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame_loopback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame");
+    // A connected loopback pair: the bench thread holds both ends, so a
+    // written frame is immediately readable on the peer (the payloads
+    // stay within the kernel socket buffer).
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let mut tx = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+    let (mut rx, _) = listener.accept().expect("accept");
+    tx.set_nodelay(true).expect("nodelay");
+    for weights in [0usize, 2_048] {
+        let msg = if weights == 0 {
+            Message::Heartbeat { client_id: 7 }
+        } else {
+            full_model_update(weights)
+        };
+        let bytes = msg.encode().len();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("loopback_round_trip", bytes),
+            &bytes,
+            |b, _| {
+                b.iter(|| {
+                    write_frame(&mut tx, &msg).expect("write frame");
+                    let got = read_frame(&mut rx).expect("read frame").expect("one frame");
+                    std::hint::black_box(got.kind())
+                })
+            },
+        );
+    }
+    // Drain anything left so the sockets close cleanly.
+    let _ = rx.set_nonblocking(true);
+    let mut sink = Vec::new();
+    let _ = rx.read_to_end(&mut sink);
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+    const N: usize = 10_000;
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function(BenchmarkId::new("heartbeat_burst", N), |b| {
+        let mut registry = Registry::new(1_000);
+        for id in 0..N {
+            registry.touch(id, 0);
+        }
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10;
+            for id in 0..N {
+                registry.touch(id, now);
+            }
+            std::hint::black_box(registry.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("sweep_live", N), |b| {
+        let mut registry = Registry::new(u64::MAX >> 1);
+        for id in 0..N {
+            registry.touch(id, 0);
+        }
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10;
+            std::hint::black_box(registry.sweep(now).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_frame_loopback, bench_registry);
+criterion_main!(benches);

@@ -1,0 +1,308 @@
+//! Networked-runtime measurement: the `feddrl_net` executor over real
+//! loopback sockets vs the simulator's predictions for the same fleet.
+//!
+//! Spins up a `feddrl_net` server plus one worker thread per client and
+//! drives the `NetworkExecutor` directly — every model broadcast and
+//! every update crosses a TCP socket. Each worker delays its reply by its
+//! device profile's completion time (drawn from the same skewed
+//! [`FleetConfig`] the simulator uses, linearly scaled from simulated
+//! seconds to real milliseconds), so the transport sees the fleet the
+//! discrete-event simulator only imagines. Two measured cells:
+//!
+//! * **barrier** — wait for every dispatch: measured p50/p99 round-trip
+//!   time and update throughput against the fleet profile's predicted
+//!   completion percentiles (staleness is zero by construction);
+//! * **buffered(m)** — aggregate at the m-th arrival: *measured* mean
+//!   staleness (model-version gaps of real late arrivals) against the
+//!   mean staleness the simulator's `BufferedExecutor` predicts for the
+//!   identical fleet, buffer, and horizon.
+//!
+//! Artifacts: `net_sweep.txt` (table) and `net_sweep.csv`.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use feddrl::prelude::*;
+use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, Scale};
+use feddrl_net::prelude::*;
+use feddrl_sim::prelude::*;
+
+/// Real milliseconds the slowest device's completion time maps onto.
+fn target_max_ms(scale: Scale) -> f64 {
+    match scale {
+        Scale::Quick => 60.0,
+        _ => 150.0,
+    }
+}
+
+/// Nearest-rank percentile of `samples` (must be non-empty).
+fn percentile(samples: &[f64], pct: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let idx = ((sorted.len() - 1) as f64 * (pct / 100.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The deterministic stub update both the workers and the simulator's
+/// train callback compute: a cheap, client-dependent transform of the
+/// published weights (the measurement targets the transport, not SGD).
+fn stub_update(client_id: usize, round: u64, global: &[f32]) -> ClientUpdate {
+    let scale = 0.9 - 0.01 * client_id as f32;
+    ClientUpdate {
+        client_id,
+        weights: global.iter().map(|w| w * scale).collect(),
+        n_samples: 10 + client_id,
+        loss_before: 1.0 / (round as f32 + 1.0),
+        loss_after: 0.5 / (round as f32 + 1.0),
+        staleness: 0,
+        mask: None,
+    }
+}
+
+/// One measured loopback run's outcome.
+struct NetRun {
+    telemetry: NetTelemetry,
+    wall_s: f64,
+}
+
+/// Server + `n_clients` delayed loopback workers, `rounds` executor
+/// rounds; `buffer: None` is barrier mode, `Some(m)` buffered.
+fn run_net(
+    n_clients: usize,
+    rounds: usize,
+    params: usize,
+    delays_ms: &[f64],
+    buffer: Option<usize>,
+) -> NetRun {
+    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind server");
+    let addr = server.local_addr().to_string();
+    let workers: Vec<_> = (0..n_clients)
+        .map(|cid| {
+            let cfg = ClientConfig::new(addr.clone(), cid)
+                .with_train_delay(Duration::from_secs_f64(delays_ms[cid] / 1e3));
+            thread::spawn(move || {
+                run_client(&cfg, move |order, global| {
+                    stub_update(cid, order.round, global)
+                })
+            })
+        })
+        .collect();
+    server
+        .wait_for_clients(n_clients, Duration::from_secs(10))
+        .expect("workers subscribed");
+
+    let mut exec = match buffer {
+        None => NetworkExecutor::barrier(server),
+        Some(m) => NetworkExecutor::buffered(server, m),
+    }
+    .with_round_timeout(Duration::from_secs(30));
+    let telemetry = exec.telemetry();
+    let selected: Vec<usize> = (0..n_clients).collect();
+    let global = vec![0.0f32; params];
+    let noop: &TrainFn<'_> = &|_dispatches: &[Dispatch]| Vec::new();
+    let start = Instant::now();
+    for round in 0..rounds {
+        exec.publish_model(round, &global);
+        let _ = exec.execute(round, &selected, noop);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    // Dropping the executor shuts the server down; workers exit on `Bye`
+    // (a buffered run may cut a still-sleeping straggler's socket, so the
+    // worker result is not required to be clean here).
+    drop(exec);
+    for w in workers {
+        let _ = w.join().expect("worker thread");
+    }
+    let snapshot = telemetry.lock().clone();
+    NetRun {
+        telemetry: snapshot,
+        wall_s,
+    }
+}
+
+/// The simulator's prediction for the same fleet/buffer/horizon: a
+/// `BufferedExecutor` session over the identical stub train transform.
+fn run_sim_buffered(
+    exp: &ExperimentSpec,
+    env: &(Dataset, Dataset, Partition, ModelSpec),
+    fleet: &FleetConfig,
+    buffer_size: usize,
+    rounds: usize,
+) -> RunHistory {
+    let (train, test, partition, model) = env;
+    let mut fl_cfg = exp.fl_config();
+    fl_cfg.rounds = rounds;
+    fl_cfg.executor = ExecutorConfig::Buffered(BufferedConfig {
+        fleet: fleet.clone(),
+        buffer_size,
+        ..Default::default()
+    });
+    let mut strategy = FedAvg;
+    SessionBuilder::new(model, train, test, partition, &mut strategy)
+        .config(&fl_cfg)
+        .dataset_name(exp.dataset.name())
+        .train_fn(Box::new(
+            |ctx: &TrainContext<'_>, dispatches: &[Dispatch]| {
+                dispatches
+                    .iter()
+                    .map(|d| stub_update(d.client_id, ctx.round as u64, ctx.global))
+                    .collect()
+            },
+        ))
+        .build()
+        .unwrap_or_else(|e| panic!("invalid sim cell: {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("sim cell failed: {e}"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_row(
+    rows: &mut Vec<Vec<String>>,
+    csv: &mut String,
+    mode: &str,
+    buffer: &str,
+    rounds: usize,
+    run: &NetRun,
+    pred_p50_ms: f64,
+    pred_p99_ms: f64,
+    sim_staleness: f64,
+) {
+    let t = &run.telemetry;
+    let updates_per_s = t.rtt_ms.len() as f64 / run.wall_s.max(1e-9);
+    rows.push(vec![
+        mode.to_string(),
+        buffer.to_string(),
+        rounds.to_string(),
+        t.dispatched.to_string(),
+        t.rtt_ms.len().to_string(),
+        format!("{:.2}", t.p50_rtt_ms()),
+        format!("{:.2}", t.p99_rtt_ms()),
+        format!("{pred_p50_ms:.2}"),
+        format!("{pred_p99_ms:.2}"),
+        format!("{updates_per_s:.0}"),
+        format!("{:.2}", t.mean_staleness()),
+        format!("{sim_staleness:.2}"),
+    ]);
+    csv.push_str(&format!(
+        "{mode},{buffer},{rounds},{},{},{:.3},{:.3},{pred_p50_ms:.3},{pred_p99_ms:.3},\
+         {updates_per_s:.1},{:.3},{sim_staleness:.3}\n",
+        t.dispatched,
+        t.rtt_ms.len(),
+        t.p50_rtt_ms(),
+        t.p99_rtt_ms(),
+        t.mean_staleness(),
+    ));
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let n_clients = 8;
+    let rounds = opts.rounds();
+    let buffer_size = n_clients / 2;
+    let exp = ExperimentSpec::new(DatasetKind::MnistLike, "CE", n_clients, &opts);
+    let env = exp.materialize(opts.scale);
+    let params = env.3.build(1).param_count();
+
+    // Per-client upload payload, probed from a DeadlineExecutor so it can
+    // never drift from what the simulator charges (exp_async convention).
+    let upload_bytes = DeadlineExecutor::new(
+        HeteroConfig::default(),
+        n_clients,
+        params,
+        exp.participants,
+        opts.seed,
+    )
+    .upload_bytes();
+
+    // The fleet both sides share: the workers' real delays and the
+    // simulator's virtual completion times come from the same profiles.
+    let fleet = FleetConfig {
+        compute_skew: 4.0,
+        seed: opts.seed ^ 0xA51C,
+        ..Default::default()
+    };
+    let completion_s: Vec<f64> = {
+        let f = Fleet::generate(n_clients, &fleet);
+        (0..n_clients)
+            .map(|cid| f.profile(cid).completion_time_s(upload_bytes))
+            .collect()
+    };
+    let max_s = completion_s.iter().cloned().fold(0.0f64, f64::max);
+    let ms_per_sim_s = target_max_ms(opts.scale) / max_s.max(1e-9);
+    let delays_ms: Vec<f64> = completion_s.iter().map(|s| s * ms_per_sim_s).collect();
+    let pred_p50 = percentile(&delays_ms, 50.0);
+    let pred_p99 = percentile(&delays_ms, 99.0);
+    println!(
+        "fleet: skew {:.0}, completion {:.2}-{:.2} sim s, scaled at {:.1} ms per sim s \
+         ({} params, {} B upload)",
+        fleet.compute_skew,
+        completion_s.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_s,
+        ms_per_sim_s,
+        params,
+        upload_bytes
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "mode,buffer,rounds,dispatched,updates,p50_rtt_ms,p99_rtt_ms,predicted_p50_ms,\
+         predicted_p99_ms,updates_per_s,measured_mean_staleness,predicted_mean_staleness\n",
+    );
+
+    // Cell 1 — barrier: every round waits for all dispatches, so RTT
+    // percentiles should track the fleet's completion percentiles and
+    // staleness is zero on both sides by construction.
+    let barrier = run_net(n_clients, rounds, params, &delays_ms, None);
+    push_row(
+        &mut rows, &mut csv, "barrier", "-", rounds, &barrier, pred_p50, pred_p99, 0.0,
+    );
+
+    // Cell 2 — buffered(m): real late arrivals carry measured staleness;
+    // the simulator predicts it for the identical fleet/buffer/horizon.
+    let buffered = run_net(n_clients, rounds, params, &delays_ms, Some(buffer_size));
+    let sim = run_sim_buffered(&exp, &env, &fleet, buffer_size, rounds);
+    push_row(
+        &mut rows,
+        &mut csv,
+        "buffered",
+        &buffer_size.to_string(),
+        rounds,
+        &buffered,
+        pred_p50,
+        pred_p99,
+        sim.mean_staleness(),
+    );
+
+    let table = render_table(
+        &[
+            "mode",
+            "buffer m",
+            "rounds",
+            "dispatched",
+            "updates",
+            "p50 RTT ms",
+            "p99 RTT ms",
+            "pred p50",
+            "pred p99",
+            "upd/s",
+            "stale (meas)",
+            "stale (sim)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nNetworked runtime over loopback: N = {n_clients}, {rounds} rounds, \
+         buffered m = {buffer_size}\n"
+    );
+    println!("{table}");
+    println!(
+        "reading guide: workers delay replies by their device profile's \
+         completion time (scaled sim s -> real ms), so 'p50/p99 RTT' are \
+         *measured* socket round trips against the fleet's 'pred' \
+         completion percentiles; 'stale (meas)' is the mean model-version \
+         gap of real buffered arrivals vs the simulator's prediction for \
+         the identical fleet, buffer, and horizon."
+    );
+    write_artifact(&opts.out_path("net_sweep.txt"), &table);
+    write_artifact(&opts.out_path("net_sweep.csv"), &csv);
+}

@@ -89,6 +89,22 @@ pub enum FlError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A socket-level I/O failure in the networked runtime (bind, accept,
+    /// read or write on a client connection). Carries the `io::ErrorKind`
+    /// name plus context rather than the `std::io::Error` itself, which is
+    /// neither `Clone` nor `PartialEq`.
+    Io {
+        /// Human-readable description: the failing operation and the
+        /// underlying `io::ErrorKind`.
+        reason: String,
+    },
+    /// A wire-protocol violation in the networked runtime: bad frame
+    /// magic, an unsupported protocol version, an unknown message kind, a
+    /// truncated or oversized frame, or a malformed payload.
+    Protocol {
+        /// Human-readable description of the violated rule.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -132,6 +148,8 @@ impl fmt::Display for FlError {
                 f,
                 "round {round}: selection policy returned an invalid sample: {reason}"
             ),
+            FlError::Io { reason } => write!(f, "network i/o error: {reason}"),
+            FlError::Protocol { reason } => write!(f, "wire protocol violation: {reason}"),
         }
     }
 }
@@ -179,6 +197,18 @@ mod tests {
             reason: "diurnal period must be positive".into(),
         };
         assert!(e.to_string().contains("fleet dynamics: diurnal period"));
+    }
+
+    #[test]
+    fn network_messages_name_their_surface() {
+        let e = FlError::Io {
+            reason: "accept on 127.0.0.1:0: ConnectionReset".into(),
+        };
+        assert!(e.to_string().contains("network i/o error: accept"));
+        let e = FlError::Protocol {
+            reason: "bad frame magic 0xBEEF".into(),
+        };
+        assert!(e.to_string().contains("wire protocol violation: bad frame"));
     }
 
     #[test]

@@ -588,6 +588,17 @@ pub trait RoundExecutor: Send {
     /// and invokes `train` with the resulting [`Dispatch`] orders.
     fn execute(&mut self, round: usize, selected: &[usize], train: &TrainFn<'_>) -> RoundOutcome;
 
+    /// Broadcast the current global model to wherever training happens.
+    /// The session calls this once per round, right before
+    /// [`RoundExecutor::execute`], with the flat parameters the selected
+    /// clients must train from. Every in-process executor keeps the no-op
+    /// default (its `train` callback clones the live model directly);
+    /// distributed executors (`feddrl_net`) fan the weights out to their
+    /// remote client workers here.
+    fn publish_model(&mut self, round: usize, global: &[f32]) {
+        let _ = (round, global);
+    }
+
     /// Total client ids ever minted, when this executor models fleet
     /// churn: ids in `[0, universe)` are valid to select (some may have
     /// departed), and growth of this value between rounds is how the

@@ -96,7 +96,7 @@ pub mod prelude {
     pub use crate::server::{run_federated, FlConfig};
     pub use crate::session::{
         EarlyStop, ProgressLogger, RoundControl, RoundObserver, RoundSignals, Session,
-        SessionBuilder,
+        SessionBuilder, SessionTrainFn, TrainContext,
     };
     pub use crate::singleset::{run_singleset, SingleSetConfig};
     pub use crate::strategy::{

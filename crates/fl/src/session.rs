@@ -149,6 +149,31 @@ impl RoundObserver for EarlyStop {
     }
 }
 
+/// What a [`SessionTrainFn`] override sees when the executor asks it to
+/// train a dispatch batch: the round, the master seed, and the flat
+/// parameters of the global model broadcast this round — everything the
+/// default (real-training) callback derives its per-client RNG streams
+/// and model clones from.
+pub struct TrainContext<'a> {
+    /// Communication round being executed (0-based).
+    pub round: usize,
+    /// The session's master seed (client streams derive from
+    /// `(seed, round, client_id)`).
+    pub seed: u64,
+    /// Flat parameters of the global model broadcast this round.
+    pub global: &'a [f32],
+}
+
+/// A session-level override for local training, installed with
+/// [`SessionBuilder::train_fn`]: given the round's [`TrainContext`] and
+/// the executor's dispatch orders, produce the client updates. Replaces
+/// the built-in real-training callback — deterministic stubs make
+/// executor-reduction tests (and transport benchmarks) independent of
+/// training compute, while the loopback runtime uses it to mirror what
+/// its remote workers compute.
+pub type SessionTrainFn<'a> =
+    dyn Fn(&TrainContext<'_>, &[Dispatch]) -> Vec<ClientUpdate> + Sync + 'a;
+
 /// Builder for a federated [`Session`].
 ///
 /// The five required components (model spec, train/test sets, partition,
@@ -189,6 +214,8 @@ pub struct SessionBuilder<'a> {
     cfg: FlConfig,
     dataset_name: String,
     policy: Option<Box<dyn SelectionPolicy>>,
+    executor_instance: Option<Box<dyn RoundExecutor>>,
+    train_override: Option<Box<SessionTrainFn<'a>>>,
     observers: Vec<Box<dyn RoundObserver>>,
 }
 
@@ -211,6 +238,8 @@ impl<'a> SessionBuilder<'a> {
             cfg: FlConfig::default(),
             dataset_name: String::new(),
             policy: None,
+            executor_instance: None,
+            train_override: None,
             observers: Vec::new(),
         }
     }
@@ -280,6 +309,28 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Plug in a pre-built [`RoundExecutor`] instance, overriding the
+    /// config-level [`ExecutorConfig`] (the executor-instance analogue of
+    /// [`SessionBuilder::selection_policy`]). This is how executors that
+    /// cannot be described by serializable config — the networked runtime's
+    /// `NetworkExecutor`, which owns live sockets — plug into an otherwise
+    /// unchanged session.
+    pub fn executor_instance(mut self, executor: Box<dyn RoundExecutor>) -> Self {
+        self.executor_instance = Some(executor);
+        self
+    }
+
+    /// Replace the built-in real-training callback with a
+    /// [`SessionTrainFn`] override. The executor still decides *which*
+    /// clients train and when their reports land; only the local-training
+    /// computation itself is substituted. Selection, aggregation,
+    /// evaluation and every RNG stream are untouched, so two sessions
+    /// differing only in executor stay comparable update-for-update.
+    pub fn train_fn(mut self, train: Box<SessionTrainFn<'a>>) -> Self {
+        self.train_override = Some(train);
+        self
+    }
+
     /// Register an on-round-end observer (called in registration order,
     /// after the `log_every` logger if one is installed).
     pub fn observer(mut self, observer: Box<dyn RoundObserver>) -> Self {
@@ -317,9 +368,12 @@ impl<'a> SessionBuilder<'a> {
         let global = self.spec.build(master.next_u64());
         let mut local_cfg = cfg.local.clone();
         local_cfg.proximal_mu = self.strategy.proximal_mu();
-        let executor =
-            cfg.executor
-                .build(n_clients, global.param_count(), cfg.participants, cfg.seed);
+        let executor = match self.executor_instance {
+            Some(executor) => executor,
+            None => cfg
+                .executor
+                .build(n_clients, global.param_count(), cfg.participants, cfg.seed),
+        };
         let policy = match self.policy {
             Some(p) => p,
             None => cfg.selection.build(),
@@ -349,6 +403,7 @@ impl<'a> SessionBuilder<'a> {
             local_cfg,
             executor,
             policy,
+            train_override: self.train_override,
             observers,
             known_loss: vec![None; n_clients],
             participation: vec![0; n_clients],
@@ -381,6 +436,7 @@ pub struct Session<'a> {
     local_cfg: crate::client::LocalTrainConfig,
     executor: Box<dyn RoundExecutor>,
     policy: Box<dyn SelectionPolicy>,
+    train_override: Option<Box<SessionTrainFn<'a>>>,
     observers: Vec<Box<dyn RoundObserver>>,
     known_loss: Vec<Option<f32>>,
     participation: Vec<usize>,
@@ -524,7 +580,22 @@ impl<'a> Session<'a> {
                 }
             })
         };
-        let outcome = self.executor.execute(round, &selected, &train_subset);
+        // Distributed executors fan the broadcast weights out to their
+        // remote workers here; every in-process executor keeps the no-op
+        // default (its `train` callback clones the live model directly).
+        self.executor.publish_model(round, &global_flat);
+        let outcome = match &self.train_override {
+            Some(train) => {
+                let ctx = TrainContext {
+                    round,
+                    seed,
+                    global: &global_flat,
+                };
+                let stubbed = |dispatches: &[Dispatch]| train(&ctx, dispatches);
+                self.executor.execute(round, &selected, &stubbed)
+            }
+            None => self.executor.execute(round, &selected, &train_subset),
+        };
         let updates = outcome.updates;
 
         // --- Impact factors (the strategy's decision; DRL inference for

@@ -1,0 +1,291 @@
+//! The federated client's network loop: subscribe, train on demand,
+//! report updates, heartbeat in the background.
+//!
+//! [`run_client`] is the whole worker: it connects, announces itself
+//! with `Hello`, then blocks on the socket handling `ModelPublish`
+//! (remember the latest global model), `TrainRequest` (call the
+//! caller-supplied training closure on the remembered weights and send
+//! the resulting `Update` back), and `Bye` (leave). A background thread
+//! shares the write half of the socket and emits `Heartbeat` frames so
+//! the server's liveness TTL stays refreshed even while the worker sits
+//! idle between rounds.
+//!
+//! The training closure is deliberately transport-agnostic — it maps a
+//! [`TrainOrder`] plus the current global weights to a
+//! [`ClientUpdate`], so callers plug in
+//! the repo's real `run_local_round` or a deterministic stub unchanged.
+//! An optional [`ClientConfig::train_delay`] sleeps before training,
+//! letting benches emulate a heterogeneous device fleet's compute times
+//! over real sockets.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+use feddrl_fl::client::ClientUpdate;
+
+use crate::wire::{read_frame, write_frame, Message, UpdateMsg, WireError};
+
+/// Connection settings for one worker process/thread.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `"127.0.0.1:7070"`.
+    pub server_addr: String,
+    /// This worker's client id, echoed in every frame it sends.
+    pub client_id: usize,
+    /// Heartbeat period; keep it well under the server's liveness TTL.
+    pub heartbeat: Duration,
+    /// Artificial compute delay slept before each local training call —
+    /// zero by default, nonzero to emulate a slow device over real
+    /// sockets.
+    pub train_delay: Duration,
+}
+
+impl ClientConfig {
+    /// Defaults: 500 ms heartbeat, no artificial training delay.
+    pub fn new(server_addr: impl Into<String>, client_id: usize) -> Self {
+        ClientConfig {
+            server_addr: server_addr.into(),
+            client_id,
+            heartbeat: Duration::from_millis(500),
+            train_delay: Duration::ZERO,
+        }
+    }
+
+    /// Replace the heartbeat period.
+    pub fn with_heartbeat(mut self, period: Duration) -> Self {
+        self.heartbeat = period;
+        self
+    }
+
+    /// Replace the artificial per-round training delay.
+    pub fn with_train_delay(mut self, delay: Duration) -> Self {
+        self.train_delay = delay;
+        self
+    }
+}
+
+/// One training demand from the server, as seen by the worker's closure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainOrder {
+    /// The server's round counter, echoed back in the update.
+    pub round: u64,
+    /// Structured-dropout keep ratio requested for this round (1.0 for
+    /// full-model training).
+    pub keep_ratio: f64,
+    /// Version of the global model the worker is about to train on; the
+    /// server derives measured staleness from it at aggregation time.
+    pub model_version: u64,
+}
+
+/// What a worker did over its lifetime, returned when the loop ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Training rounds completed and reported.
+    pub rounds_trained: usize,
+    /// `ModelPublish` frames observed.
+    pub publishes_seen: usize,
+    /// The last model version received.
+    pub last_version: u64,
+}
+
+fn lock_writer(writer: &Mutex<TcpStream>) -> MutexGuard<'_, TcpStream> {
+    writer.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run one worker to completion: connect, `Hello`, serve `TrainRequest`s
+/// against the latest published model via `train`, until the server says
+/// `Bye` or closes the connection.
+///
+/// `train` maps the order plus the current global weights to the
+/// worker's [`ClientUpdate`]; its `weights`, `n_samples` and loss fields
+/// go over the wire verbatim (bit-exact `f32`s).
+pub fn run_client<F>(cfg: &ClientConfig, mut train: F) -> Result<ClientReport, WireError>
+where
+    F: FnMut(&TrainOrder, &[f32]) -> ClientUpdate,
+{
+    let reader = TcpStream::connect(&cfg.server_addr)?;
+    let _ = reader.set_nodelay(true);
+    let writer = Arc::new(Mutex::new(reader.try_clone()?));
+    write_frame(
+        &mut *lock_writer(&writer),
+        &Message::Hello {
+            client_id: cfg.client_id as u64,
+        },
+    )?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat_handle = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        let period = cfg.heartbeat;
+        let id = cfg.client_id as u64;
+        thread::Builder::new()
+            .name("feddrl-net-heartbeat".into())
+            .spawn(move || {
+                // Sleep in short ticks so joining after `stop` is prompt.
+                let tick = Duration::from_millis(10).min(period);
+                let mut since_beat = Duration::ZERO;
+                while !stop.load(Ordering::Acquire) {
+                    thread::sleep(tick);
+                    since_beat += tick;
+                    if since_beat >= period {
+                        since_beat = Duration::ZERO;
+                        let sent = write_frame(
+                            &mut *lock_writer(&writer),
+                            &Message::Heartbeat { client_id: id },
+                        );
+                        if sent.is_err() {
+                            break;
+                        }
+                    }
+                }
+            })
+            .map_err(WireError::from)?
+    };
+
+    let outcome = client_loop(cfg, reader, &writer, &mut train);
+    stop.store(true, Ordering::Release);
+    let _ = heartbeat_handle.join();
+    outcome
+}
+
+/// The worker's main receive loop, factored out so `run_client` can
+/// always join the heartbeat thread on the way out.
+fn client_loop<F>(
+    cfg: &ClientConfig,
+    mut reader: TcpStream,
+    writer: &Mutex<TcpStream>,
+    train: &mut F,
+) -> Result<ClientReport, WireError>
+where
+    F: FnMut(&TrainOrder, &[f32]) -> ClientUpdate,
+{
+    let mut model: Option<(u64, Vec<f32>)> = None;
+    let mut report = ClientReport::default();
+    loop {
+        match read_frame(&mut reader)? {
+            None | Some(Message::Bye { .. }) => break,
+            Some(Message::ModelPublish { version, weights }) => {
+                report.publishes_seen += 1;
+                report.last_version = version;
+                model = Some((version, weights));
+            }
+            Some(Message::TrainRequest { round, keep_ratio }) => {
+                // A demand before any publish has nothing to train on;
+                // the server's round deadline handles the missing reply.
+                let Some((version, weights)) = model.as_ref() else {
+                    continue;
+                };
+                if !cfg.train_delay.is_zero() {
+                    thread::sleep(cfg.train_delay);
+                }
+                let order = TrainOrder {
+                    round,
+                    keep_ratio,
+                    model_version: *version,
+                };
+                let update = train(&order, weights);
+                let msg = Message::Update(UpdateMsg {
+                    client_id: cfg.client_id as u64,
+                    round,
+                    model_version: *version,
+                    staleness: 0,
+                    n_samples: update.n_samples as u64,
+                    loss_before: update.loss_before,
+                    loss_after: update.loss_after,
+                    weights: update.weights,
+                });
+                write_frame(&mut *lock_writer(writer), &msg)?;
+                report.rounds_trained += 1;
+            }
+            // The server never sends client-bound kinds; ignore strays.
+            Some(Message::Hello { .. })
+            | Some(Message::Update(_))
+            | Some(Message::Heartbeat { .. }) => {}
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{NetServer, ServerConfig};
+    use std::time::Instant;
+
+    /// Deterministic stub: weights = global scaled by (client_id + 2).
+    fn stub(client_id: usize) -> impl FnMut(&TrainOrder, &[f32]) -> ClientUpdate {
+        move |order, global| ClientUpdate {
+            client_id,
+            weights: global
+                .iter()
+                .map(|w| w * (client_id as f32 + 2.0))
+                .collect(),
+            n_samples: 10 + client_id,
+            loss_before: 1.0 + order.round as f32,
+            loss_after: 0.5,
+            staleness: 0,
+            mask: None,
+        }
+    }
+
+    #[test]
+    fn worker_trains_on_demand_and_reports() {
+        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let cfg = ClientConfig::new(addr, 5).with_heartbeat(Duration::from_millis(50));
+        let worker = thread::spawn(move || run_client(&cfg, stub(5)));
+
+        server
+            .wait_for_clients(1, Duration::from_secs(5))
+            .expect("worker subscribed");
+        assert_eq!(server.publish(1, &[2.0, -4.0]), 1);
+        server
+            .send_to(
+                5,
+                &Message::TrainRequest {
+                    round: 0,
+                    keep_ratio: 1.0,
+                },
+            )
+            .expect("dispatch");
+        let update = server
+            .recv_update(Instant::now() + Duration::from_secs(5))
+            .expect("update arrives");
+        assert_eq!(update.msg.client_id, 5);
+        assert_eq!(update.msg.round, 0);
+        assert_eq!(update.msg.model_version, 1);
+        assert_eq!(update.msg.n_samples, 15);
+        assert_eq!(update.msg.weights, vec![14.0, -28.0]);
+
+        server.shutdown();
+        let report = worker.join().expect("no panic").expect("clean exit");
+        assert_eq!(report.rounds_trained, 1);
+        assert_eq!(report.publishes_seen, 1);
+        assert_eq!(report.last_version, 1);
+    }
+
+    #[test]
+    fn heartbeats_keep_an_idle_worker_live_past_the_ttl() {
+        let cfg = ServerConfig {
+            ttl: Duration::from_millis(150),
+        };
+        let mut server = NetServer::bind("127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr().to_string();
+        let ccfg = ClientConfig::new(addr, 9).with_heartbeat(Duration::from_millis(30));
+        let worker = thread::spawn(move || run_client(&ccfg, stub(9)));
+        server
+            .wait_for_clients(1, Duration::from_secs(5))
+            .expect("worker subscribed");
+        // Idle for several TTLs; heartbeats must keep the worker live.
+        thread::sleep(Duration::from_millis(500));
+        assert!(server.sweep_expired().is_empty());
+        assert!(server.is_live(9));
+        assert!(server.messages_from(9).unwrap() > 3, "heartbeats observed");
+        server.shutdown();
+        worker.join().expect("no panic").expect("clean exit");
+    }
+}

@@ -1,0 +1,410 @@
+//! [`NetworkExecutor`]: the [`RoundExecutor`] that runs rounds over real
+//! sockets instead of the discrete-event simulator.
+//!
+//! The unchanged `Session`/`SelectionPolicy`/`Strategy` stack drives it
+//! exactly like the in-process executors: `publish_model` fans the
+//! current global model to every subscribed worker, `execute` sends
+//! `TrainRequest` frames to the selected clients and collects their
+//! `Update` frames off the server inbox. Two collection modes mirror the
+//! simulator's taxonomy:
+//!
+//! * **Barrier** — wait for every dispatched client (or the round
+//!   timeout). With all workers live this reproduces the
+//!   `IdealExecutor` contract byte-for-byte: updates in sampling order,
+//!   zero staleness, `hetero: None`.
+//! * **Buffered** — aggregate as soon as `buffer_size` updates arrive;
+//!   clients still in flight are skipped as busy next round, and each
+//!   accepted update's staleness is *measured* as the gap between the
+//!   version it trained on and the version counter at aggregation, the
+//!   networked analogue of the simulator's `BufferedExecutor`.
+//!
+//! Departures surface through the same channel the simulator's churn
+//! uses: the registry's TTL sweep feeds
+//! [`RoundExecutor::departed_clients`], which the session hands to
+//! selection as `SelectionContext::departed`.
+//!
+//! A shared [`NetTelemetry`] handle (clone it *before* boxing the
+//! executor into a session) accumulates per-dispatch round-trip times
+//! and measured staleness for benches to report.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use feddrl_fl::client::ClientUpdate;
+use feddrl_fl::executor::{RoundExecutor, RoundOutcome, StalenessDiscount, TrainFn};
+use feddrl_fl::history::HeteroRoundRecord;
+
+use crate::server::NetServer;
+use crate::wire::{Message, UpdateMsg};
+
+/// How `execute` decides a round is over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMode {
+    /// Wait for every dispatched client (round barrier).
+    Barrier,
+    /// Aggregate once this many updates have arrived, leaving the rest
+    /// in flight.
+    Buffered {
+        /// Updates per aggregation; must be positive.
+        buffer_size: usize,
+    },
+}
+
+/// Measured transport telemetry, shared out of the executor via
+/// [`NetworkExecutor::telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct NetTelemetry {
+    /// Round-trip time of each accepted update, dispatch to arrival, ms.
+    pub rtt_ms: Vec<f64>,
+    /// Measured staleness (model versions) of each accepted update.
+    pub staleness: Vec<u64>,
+    /// `TrainRequest` frames successfully sent.
+    pub dispatched: usize,
+    /// Dispatches that failed outright (client departed or socket dead).
+    pub failed_dispatches: usize,
+    /// Dispatches abandoned at the round timeout (barrier mode).
+    pub timed_out: usize,
+}
+
+impl NetTelemetry {
+    /// The `pct`-th percentile of observed RTTs in milliseconds
+    /// (nearest-rank on the sorted samples; 0.0 when empty).
+    pub fn percentile_rtt_ms(&self, pct: f64) -> f64 {
+        if self.rtt_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.rtt_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("RTTs are finite"));
+        let idx = ((sorted.len() - 1) as f64 * (pct / 100.0)).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Median observed round-trip time in milliseconds.
+    pub fn p50_rtt_ms(&self) -> f64 {
+        self.percentile_rtt_ms(50.0)
+    }
+
+    /// Tail (99th percentile) round-trip time in milliseconds.
+    pub fn p99_rtt_ms(&self) -> f64 {
+        self.percentile_rtt_ms(99.0)
+    }
+
+    /// Mean measured staleness over every accepted update (0.0 when
+    /// empty).
+    pub fn mean_staleness(&self) -> f64 {
+        if self.staleness.is_empty() {
+            return 0.0;
+        }
+        self.staleness.iter().map(|&s| s as f64).sum::<f64>() / self.staleness.len() as f64
+    }
+}
+
+/// A dispatch awaiting its update.
+#[derive(Debug, Clone, Copy)]
+struct PendingDispatch {
+    sent: Instant,
+}
+
+/// The networked round executor. See the module docs for the contract.
+pub struct NetworkExecutor {
+    server: NetServer,
+    mode: NetMode,
+    round_timeout: Duration,
+    discount: StalenessDiscount,
+    server_mix: f64,
+    /// Model version counter: incremented after every aggregation, sent
+    /// with every publish, and the baseline for measured staleness.
+    version: u64,
+    /// Clients with a `TrainRequest` outstanding.
+    pending: BTreeMap<usize, PendingDispatch>,
+    /// Cumulative departed count at the end of the previous round, for
+    /// the per-round `departed` delta in buffered hetero records.
+    departed_seen: usize,
+    telemetry: Arc<Mutex<NetTelemetry>>,
+}
+
+impl NetworkExecutor {
+    /// A round-barrier executor over `server` (10 s round timeout).
+    pub fn barrier(server: NetServer) -> Self {
+        NetworkExecutor {
+            server,
+            mode: NetMode::Barrier,
+            round_timeout: Duration::from_secs(10),
+            discount: StalenessDiscount::None,
+            server_mix: 1.0,
+            version: 0,
+            pending: BTreeMap::new(),
+            departed_seen: 0,
+            telemetry: Arc::new(Mutex::new(NetTelemetry::default())),
+        }
+    }
+
+    /// A buffered-asynchronous executor aggregating every `buffer_size`
+    /// arrivals.
+    ///
+    /// # Panics
+    /// Panics when `buffer_size` is zero.
+    pub fn buffered(server: NetServer, buffer_size: usize) -> Self {
+        assert!(buffer_size > 0, "buffer size must be positive");
+        let mut ex = Self::barrier(server);
+        ex.mode = NetMode::Buffered { buffer_size };
+        ex
+    }
+
+    /// Replace the per-round collection timeout.
+    pub fn with_round_timeout(mut self, timeout: Duration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+
+    /// Discount applied by staleness-aware strategies to stale updates.
+    pub fn with_staleness_discount(mut self, discount: StalenessDiscount) -> Self {
+        self.discount = discount;
+        self
+    }
+
+    /// Server-side mixing rate `eta` in `(0, 1]` for asynchronous blends.
+    ///
+    /// # Panics
+    /// Panics when `eta` is outside `(0, 1]` or not finite.
+    pub fn with_server_mix(mut self, eta: f64) -> Self {
+        assert!(
+            eta.is_finite() && eta > 0.0 && eta <= 1.0,
+            "server mix must be in (0, 1]"
+        );
+        self.server_mix = eta;
+        self
+    }
+
+    /// Shared handle onto the measured telemetry. Clone it before boxing
+    /// the executor into a `Session`; it stays readable afterwards.
+    pub fn telemetry(&self) -> Arc<Mutex<NetTelemetry>> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// The underlying server endpoint (e.g. to await subscriptions
+    /// before building the session).
+    pub fn server(&self) -> &NetServer {
+        &self.server
+    }
+
+    /// The current model version counter.
+    pub fn model_version(&self) -> u64 {
+        self.version
+    }
+
+    fn to_update(msg: UpdateMsg, staleness: usize) -> ClientUpdate {
+        ClientUpdate {
+            client_id: msg.client_id as usize,
+            weights: msg.weights,
+            n_samples: msg.n_samples as usize,
+            loss_before: msg.loss_before,
+            loss_after: msg.loss_after,
+            staleness,
+            mask: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for NetworkExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkExecutor")
+            .field("mode", &self.mode)
+            .field("version", &self.version)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl RoundExecutor for NetworkExecutor {
+    fn publish_model(&mut self, _round: usize, global: &[f32]) {
+        let _ = self.server.publish(self.version, global);
+    }
+
+    /// Training happens on the remote workers, so the session's `train`
+    /// callback is deliberately ignored here — the closure workers
+    /// registered with [`crate::client::run_client`] plays its role.
+    fn execute(&mut self, round: usize, selected: &[usize], _train: &TrainFn<'_>) -> RoundOutcome {
+        let round_start = Instant::now();
+
+        // Dispatches to clients that departed while in flight are lost.
+        let departed = self.server.departed();
+        let before = self.pending.len();
+        self.pending.retain(|cid, _| !departed.contains(cid));
+        let lost_in_flight = before - self.pending.len();
+
+        let mut failed = lost_in_flight;
+        let mut busy = 0usize;
+        let mut dispatched: Vec<usize> = Vec::new();
+        for &cid in selected {
+            if self.pending.contains_key(&cid) {
+                busy += 1; // still working on an earlier version
+                continue;
+            }
+            let request = Message::TrainRequest {
+                round: round as u64,
+                keep_ratio: 1.0,
+            };
+            // Stamp *before* the send: on loopback the whole reply can
+            // land before the write syscall returns, and an after-send
+            // stamp would clock such round trips at zero.
+            let sent = Instant::now();
+            if self.server.is_live(cid) && self.server.send_to(cid, &request).is_ok() {
+                self.pending.insert(cid, PendingDispatch { sent });
+                dispatched.push(cid);
+            } else {
+                failed += 1;
+            }
+        }
+
+        let want = match self.mode {
+            NetMode::Barrier => dispatched.len(),
+            NetMode::Buffered { buffer_size } => buffer_size.min(self.pending.len()),
+        };
+        let deadline = round_start + self.round_timeout;
+        let mut arrived: Vec<(usize, ClientUpdate)> = Vec::with_capacity(want);
+        while arrived.len() < want {
+            let Some(inbound) = self.server.recv_update(deadline) else {
+                break; // round timeout (or shutdown) with updates missing
+            };
+            let cid = inbound.msg.client_id as usize;
+            if !self.pending.contains_key(&cid) {
+                continue; // unsolicited or duplicate update
+            }
+            if matches!(self.mode, NetMode::Barrier) && inbound.msg.round != round as u64 {
+                continue; // leftover answer to an abandoned earlier round
+            }
+            let pending = self.pending.remove(&cid).expect("pending checked above");
+            let rtt_ms = inbound
+                .arrival
+                .saturating_duration_since(pending.sent)
+                .as_secs_f64()
+                * 1e3;
+            let staleness = self.version.saturating_sub(inbound.msg.model_version);
+            {
+                let mut t = self.telemetry.lock();
+                t.rtt_ms.push(rtt_ms);
+                t.staleness.push(staleness);
+            }
+            arrived.push((cid, Self::to_update(inbound.msg, staleness as usize)));
+        }
+
+        let mut timed_out = 0usize;
+        if matches!(self.mode, NetMode::Barrier) {
+            // Abandon what the barrier could not collect so the next
+            // round's dispatches start clean.
+            for cid in &dispatched {
+                if self.pending.remove(cid).is_some() {
+                    timed_out += 1;
+                }
+            }
+        }
+        {
+            let mut t = self.telemetry.lock();
+            t.dispatched += dispatched.len();
+            t.failed_dispatches += failed;
+            t.timed_out += timed_out;
+        }
+        self.version += 1;
+
+        match self.mode {
+            NetMode::Barrier => {
+                // Arrival order is a race; the ideal contract is sampling
+                // order, so reassemble along `selected`.
+                let mut by_id: BTreeMap<usize, ClientUpdate> = arrived.into_iter().collect();
+                let updates: Vec<ClientUpdate> = selected
+                    .iter()
+                    .filter_map(|cid| by_id.remove(cid))
+                    .collect();
+                RoundOutcome {
+                    updates,
+                    hetero: None,
+                }
+            }
+            NetMode::Buffered { .. } => {
+                let departed_total = self.server.departed().len();
+                let newly_departed = departed_total.saturating_sub(self.departed_seen);
+                self.departed_seen = departed_total;
+                let staleness: Vec<usize> = arrived.iter().map(|(_, u)| u.staleness).collect();
+                let aggregated_ids: Vec<usize> = arrived.iter().map(|(cid, _)| *cid).collect();
+                let hetero = HeteroRoundRecord {
+                    // Measured wall-clock of the aggregation, where the
+                    // simulator would report virtual time.
+                    sim_time_s: round_start.elapsed().as_secs_f64(),
+                    dropouts: failed + timed_out,
+                    stragglers: 0,
+                    carried_in: 0,
+                    busy,
+                    buffered: 0,
+                    joined: 0,
+                    departed: newly_departed,
+                    masked: 0,
+                    staleness,
+                    aggregated_ids,
+                };
+                RoundOutcome {
+                    updates: arrived.into_iter().map(|(_, u)| u).collect(),
+                    hetero: Some(hetero),
+                }
+            }
+        }
+    }
+
+    fn departed_clients(&self) -> Vec<usize> {
+        // Sweep first so silence observed since the last round surfaces
+        // as departure before selection runs.
+        let _ = self.server.sweep_expired();
+        self.server.departed()
+    }
+
+    fn in_flight_clients(&self) -> Vec<usize> {
+        self.pending.keys().copied().collect()
+    }
+
+    fn staleness_discount(&self) -> StalenessDiscount {
+        self.discount
+    }
+
+    fn server_mix(&self) -> f64 {
+        self.server_mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_percentiles_and_means() {
+        let t = NetTelemetry {
+            rtt_ms: vec![5.0, 1.0, 3.0, 2.0, 4.0],
+            staleness: vec![0, 1, 2],
+            ..NetTelemetry::default()
+        };
+        assert_eq!(t.p50_rtt_ms(), 3.0);
+        assert_eq!(t.p99_rtt_ms(), 5.0);
+        assert!((t.mean_staleness() - 1.0).abs() < 1e-12);
+        let empty = NetTelemetry::default();
+        assert_eq!(empty.p50_rtt_ms(), 0.0);
+        assert_eq!(empty.mean_staleness(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size must be positive")]
+    fn zero_buffer_is_rejected() {
+        use crate::server::{NetServer, ServerConfig};
+        let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let _ = NetworkExecutor::buffered(server, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "server mix must be in (0, 1]")]
+    fn out_of_range_mix_is_rejected() {
+        use crate::server::{NetServer, ServerConfig};
+        let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let _ = NetworkExecutor::barrier(server).with_server_mix(1.5);
+    }
+}

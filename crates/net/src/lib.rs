@@ -1,0 +1,54 @@
+//! # feddrl-net — networked FL runtime over real sockets
+//!
+//! Takes the FedDRL (ICPP'22) reproduction off the simulator and onto
+//! TCP: a versioned, length-prefixed wire protocol, a server process
+//! with a heartbeat-driven liveness registry, a worker loop that trains
+//! on demand, and a [`executor::NetworkExecutor`] implementing the
+//! existing [`RoundExecutor`](feddrl_fl::executor::RoundExecutor) trait
+//! — so the unchanged `Session`, selection policies and aggregation
+//! strategies drive real transport exactly as they drive the
+//! discrete-event simulator.
+//!
+//! * [`wire`] — the frame codec: `0xFD7E` magic, protocol version, kind
+//!   byte, `u32` length prefix; typed [`wire::WireError`]s that convert
+//!   into [`FlError::Io`](feddrl_fl::error::FlError) /
+//!   [`FlError::Protocol`](feddrl_fl::error::FlError);
+//! * [`registry`] — who is subscribed, heartbeat TTLs, permanent
+//!   departure semantics matching the simulator's churn;
+//! * [`server`] — accept loop, per-connection receive threads, scoped
+//!   fan-out publish, condvar-signalled update inbox;
+//! * [`client`] — [`client::run_client`]: subscribe, heartbeat, train
+//!   via any closure (the repo's real local trainer or a stub), report;
+//! * [`executor`] — barrier and buffered collection over the above,
+//!   with measured RTT/staleness telemetry.
+//!
+//! Concurrency is plain threads plus the repo's vendored
+//! `crossbeam`/`parking_lot` shims; there is no async runtime and no
+//! new external dependency.
+//!
+//! ## Determinism
+//!
+//! With every worker live and a round-barrier executor, a networked run
+//! whose workers compute the same deterministic function as an
+//! in-process stub reproduces the `IdealExecutor`'s `RunHistory`
+//! byte-for-byte (timing fields aside): updates are reassembled into
+//! sampling order, staleness is zero, and `f32` weights cross the wire
+//! bit-exactly. The `net_props` integration suite pins this law.
+
+pub mod client;
+pub mod executor;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::client::{run_client, ClientConfig, ClientReport, TrainOrder};
+    pub use crate::executor::{NetMode, NetTelemetry, NetworkExecutor};
+    pub use crate::registry::{Registry, RegistryEntry};
+    pub use crate::server::{InboundUpdate, NetServer, ServerConfig};
+    pub use crate::wire::{
+        read_frame, write_frame, Message, UpdateMsg, WireError, FRAME_MAGIC, HEADER_LEN,
+        MAX_PAYLOAD, PROTOCOL_VERSION,
+    };
+}

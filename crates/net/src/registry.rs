@@ -1,0 +1,204 @@
+//! Client discovery and liveness: the server-side registry with
+//! heartbeat-driven TTLs.
+//!
+//! Every message a client sends (`Hello`, `Heartbeat`, `Update`, …)
+//! refreshes its registry entry; a client silent for longer than the TTL
+//! is swept into the *departed* set, which the `NetworkExecutor` surfaces
+//! to client selection through the existing
+//! [`SelectionContext::departed`](feddrl_fl::selection::SelectionContext)
+//! path — the same channel the simulator's seeded churn uses, now fed by
+//! real liveness. Departure is permanent, matching the simulator's churn
+//! semantics (a departed id never rejoins); late heartbeats from an
+//! expired client are ignored.
+//!
+//! Time is a caller-supplied monotone millisecond counter rather than an
+//! internal clock, so expiry logic is testable with logical time and the
+//! server can drive it from one shared [`std::time::Instant`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One registered client's liveness bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// When the client first registered (ms on the caller's clock).
+    pub first_seen_ms: u64,
+    /// Last message of any kind (ms on the caller's clock).
+    pub last_seen_ms: u64,
+    /// Messages observed from this client (heartbeats included).
+    pub messages: u64,
+}
+
+/// The server's client registry: who is subscribed, when each was last
+/// heard from, and who has departed (explicitly via `Bye`, or implicitly
+/// by exceeding the liveness TTL).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    ttl_ms: u64,
+    entries: BTreeMap<usize, RegistryEntry>,
+    departed: BTreeSet<usize>,
+}
+
+impl Registry {
+    /// A registry whose clients expire after `ttl_ms` of silence.
+    ///
+    /// # Panics
+    /// Panics when `ttl_ms` is zero (every client would be dead on
+    /// arrival).
+    pub fn new(ttl_ms: u64) -> Self {
+        assert!(ttl_ms > 0, "liveness TTL must be positive");
+        Registry {
+            ttl_ms,
+            entries: BTreeMap::new(),
+            departed: BTreeSet::new(),
+        }
+    }
+
+    /// The configured liveness TTL in milliseconds.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// Record a message from `client_id` at `now_ms`, registering it on
+    /// first contact. Returns `true` when this was a new registration.
+    /// A departed client's messages are ignored (departure is permanent)
+    /// and return `false`.
+    pub fn touch(&mut self, client_id: usize, now_ms: u64) -> bool {
+        if self.departed.contains(&client_id) {
+            return false;
+        }
+        match self.entries.get_mut(&client_id) {
+            Some(e) => {
+                e.last_seen_ms = now_ms;
+                e.messages += 1;
+                false
+            }
+            None => {
+                self.entries.insert(
+                    client_id,
+                    RegistryEntry {
+                        first_seen_ms: now_ms,
+                        last_seen_ms: now_ms,
+                        messages: 1,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Explicit departure (`Bye`), effective immediately.
+    pub fn mark_departed(&mut self, client_id: usize) {
+        self.entries.remove(&client_id);
+        self.departed.insert(client_id);
+    }
+
+    /// Expire every client whose last message is older than the TTL at
+    /// `now_ms`, moving them to the departed set. Returns the *newly*
+    /// departed ids in ascending order.
+    pub fn sweep(&mut self, now_ms: u64) -> Vec<usize> {
+        let expired: Vec<usize> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now_ms.saturating_sub(e.last_seen_ms) > self.ttl_ms)
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &expired {
+            self.entries.remove(&id);
+            self.departed.insert(id);
+        }
+        expired
+    }
+
+    /// Whether `client_id` is currently registered and unexpired.
+    pub fn is_live(&self, client_id: usize) -> bool {
+        self.entries.contains_key(&client_id)
+    }
+
+    /// Whether `client_id` has departed (explicitly or by TTL expiry).
+    pub fn is_departed(&self, client_id: usize) -> bool {
+        self.departed.contains(&client_id)
+    }
+
+    /// Bookkeeping for a live client, if registered.
+    pub fn entry(&self, client_id: usize) -> Option<&RegistryEntry> {
+        self.entries.get(&client_id)
+    }
+
+    /// Currently live client ids, ascending.
+    pub fn live_clients(&self) -> Vec<usize> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Every client that has ever departed (Bye or TTL expiry), ascending
+    /// — the set selection policies demote.
+    pub fn departed_clients(&self) -> Vec<usize> {
+        self.departed.iter().copied().collect()
+    }
+
+    /// Number of live clients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no client is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_refresh() {
+        let mut r = Registry::new(100);
+        assert!(r.touch(3, 0));
+        assert!(!r.touch(3, 50));
+        assert_eq!(r.entry(3).unwrap().messages, 2);
+        assert_eq!(r.entry(3).unwrap().first_seen_ms, 0);
+        assert_eq!(r.entry(3).unwrap().last_seen_ms, 50);
+        assert_eq!(r.live_clients(), vec![3]);
+    }
+
+    #[test]
+    fn silence_past_ttl_expires_exactly_the_silent() {
+        let mut r = Registry::new(100);
+        r.touch(0, 0);
+        r.touch(1, 0);
+        r.touch(2, 0);
+        assert_eq!(r.sweep(90), Vec::<usize>::new()); // everyone within TTL
+        r.touch(1, 95); // 1 keeps heartbeating
+        assert_eq!(r.sweep(150), vec![0, 2]); // 0 and 2 silent > ttl
+        assert_eq!(r.live_clients(), vec![1]);
+        assert_eq!(r.departed_clients(), vec![0, 2]);
+        // Eventually 1 goes silent too; already-departed ids don't repeat.
+        assert_eq!(r.sweep(10_000), vec![1]);
+        assert_eq!(r.departed_clients(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn departure_is_permanent() {
+        let mut r = Registry::new(100);
+        r.touch(7, 0);
+        r.mark_departed(7);
+        assert!(!r.is_live(7));
+        assert!(!r.touch(7, 10), "departed client must not re-register");
+        assert!(!r.is_live(7));
+        assert_eq!(r.departed_clients(), vec![7]);
+    }
+
+    #[test]
+    fn boundary_is_strictly_greater_than_ttl() {
+        let mut r = Registry::new(100);
+        r.touch(0, 0);
+        assert!(r.sweep(100).is_empty(), "exactly TTL old is still live");
+        assert_eq!(r.sweep(101), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "TTL must be positive")]
+    fn zero_ttl_is_rejected() {
+        let _ = Registry::new(0);
+    }
+}

@@ -1,0 +1,580 @@
+//! The federated server's network runtime: accept loop, per-connection
+//! receive threads, model fan-out, and the update inbox.
+//!
+//! [`NetServer`] owns a nonblocking [`TcpListener`] polled by a dedicated
+//! accept thread; every connection gets its own receive thread that
+//! assembles frames and routes them by kind — `Hello`/`Heartbeat` refresh
+//! the [`Registry`], `Update` lands in a
+//! condvar-signalled inbox drained by [`NetServer::recv_update`], and
+//! `Bye` marks permanent departure. Model broadcast
+//! ([`NetServer::publish`]) encodes the frame once and fans it out to
+//! every subscribed client over the vendored crossbeam scoped-thread
+//! shim, one writer thread per peer.
+//!
+//! There is no async runtime anywhere in this crate: all concurrency is
+//! plain threads plus the repo's vendored `crossbeam`/`parking_lot`
+//! shims, keeping the PR-1 vendoring policy intact. Receive threads stay
+//! interruptible by reading with a short socket timeout and re-checking
+//! the shutdown flag between partial reads, so `shutdown` (and `Drop`)
+//! always join cleanly.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::registry::Registry;
+use crate::wire::{
+    decode_payload, write_frame, FrameHeader, Message, UpdateMsg, WireError, HEADER_LEN,
+};
+
+/// How long the per-connection receive threads block on the socket before
+/// re-checking the shutdown flag. Small enough that `shutdown` joins
+/// promptly, large enough to stay off the scheduler's back.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Liveness TTL: a client silent for longer than this is swept into
+    /// the departed set on the next [`NetServer::sweep_expired`].
+    pub ttl: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            ttl: Duration::from_secs(5),
+        }
+    }
+}
+
+/// An `Update` frame as it arrived at the server, stamped with its
+/// arrival instant so the executor can measure round-trip time.
+#[derive(Debug, Clone)]
+pub struct InboundUpdate {
+    /// The decoded update payload.
+    pub msg: UpdateMsg,
+    /// When the update was fully decoded off the socket.
+    pub arrival: Instant,
+}
+
+/// State shared between the public handle and the background threads.
+struct Shared {
+    start: Instant,
+    registry: Mutex<Registry>,
+    /// Write halves (via `try_clone`) of every subscribed client's socket.
+    peers: Mutex<HashMap<usize, TcpStream>>,
+    /// Arrived updates, drained by `recv_update`. `std::sync::Mutex` +
+    /// `Condvar` rather than the parking_lot shim, which has no condvar.
+    inbox: StdMutex<VecDeque<InboundUpdate>>,
+    inbox_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Milliseconds since the server started — the logical clock the
+    /// registry's TTL arithmetic runs on.
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn inbox_lock(&self) -> std::sync::MutexGuard<'_, VecDeque<InboundUpdate>> {
+        self.inbox.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The federated server's listening endpoint: accepts client
+/// connections, tracks liveness, fans out model versions, and queues
+/// incoming updates for the executor.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and start the accept thread.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> Result<NetServer, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let ttl_ms = (cfg.ttl.as_millis() as u64).max(1);
+        let shared = Arc::new(Shared {
+            start: Instant::now(),
+            registry: Mutex::new(Registry::new(ttl_ms)),
+            peers: Mutex::new(HashMap::new()),
+            inbox: StdMutex::new(VecDeque::new()),
+            inbox_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = thread::Builder::new()
+            .name("feddrl-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(WireError::from)?;
+        Ok(NetServer {
+            shared,
+            addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address, with the OS-assigned port resolved.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The liveness TTL in milliseconds, as configured.
+    pub fn ttl_ms(&self) -> u64 {
+        self.shared.registry.lock().ttl_ms()
+    }
+
+    /// Block until at least `n` clients have said `Hello`, or fail with a
+    /// timed-out I/O error.
+    pub fn wait_for_clients(&self, n: usize, timeout: Duration) -> Result<(), WireError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let have = self.shared.registry.lock().len();
+            if have >= n {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(WireError::Io {
+                    kind: io::ErrorKind::TimedOut,
+                    detail: format!("waited {timeout:?} for {n} clients, only {have} subscribed"),
+                });
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Broadcast `ModelPublish { version, weights }` to every subscribed
+    /// client, one scoped writer thread per peer. Peers whose socket
+    /// write fails are dropped from the peer table (the TTL sweep will
+    /// retire them). Returns how many peers were reached.
+    pub fn publish(&self, version: u64, weights: &[f32]) -> usize {
+        let frame = Message::ModelPublish {
+            version,
+            weights: weights.to_vec(),
+        }
+        .encode();
+        let mut peers = self.shared.peers.lock();
+        let mut dead: Vec<usize> = Vec::new();
+        let total = peers.len();
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = peers
+                .iter_mut()
+                .map(|(&id, stream)| {
+                    let frame = &frame;
+                    s.spawn(move |_| {
+                        let ok = stream.write_all(frame).and_then(|_| stream.flush()).is_ok();
+                        (id, ok)
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Ok((id, ok)) = h.join() {
+                    if !ok {
+                        dead.push(id);
+                    }
+                }
+            }
+        })
+        .expect("publish fan-out threads must not panic");
+        let reached = total - dead.len();
+        for id in dead {
+            peers.remove(&id);
+        }
+        reached
+    }
+
+    /// Send one frame to a single subscribed client. A failed write
+    /// drops the peer and surfaces the error.
+    pub fn send_to(&self, client_id: usize, msg: &Message) -> Result<(), WireError> {
+        let mut peers = self.shared.peers.lock();
+        let outcome = match peers.get_mut(&client_id) {
+            Some(stream) => write_frame(stream, msg),
+            None => {
+                return Err(WireError::Io {
+                    kind: io::ErrorKind::NotConnected,
+                    detail: format!("client {client_id} is not subscribed"),
+                })
+            }
+        };
+        if outcome.is_err() {
+            peers.remove(&client_id);
+        }
+        outcome
+    }
+
+    /// Pop the next arrived update, blocking until `deadline`. `None`
+    /// means the deadline passed (or the server is shutting down) with
+    /// nothing queued.
+    pub fn recv_update(&self, deadline: Instant) -> Option<InboundUpdate> {
+        let mut inbox = self.shared.inbox_lock();
+        loop {
+            if let Some(u) = inbox.pop_front() {
+                return Some(u);
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .inbox_cv
+                .wait_timeout(inbox, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inbox = guard;
+        }
+    }
+
+    /// Run a TTL sweep on the registry's logical clock, dropping the
+    /// write halves of newly expired peers. Returns the newly departed
+    /// ids in ascending order.
+    pub fn sweep_expired(&self) -> Vec<usize> {
+        let now = self.shared.now_ms();
+        let expired = self.shared.registry.lock().sweep(now);
+        if !expired.is_empty() {
+            let mut peers = self.shared.peers.lock();
+            for id in &expired {
+                peers.remove(id);
+            }
+        }
+        expired
+    }
+
+    /// Every client that has ever departed (Bye or TTL expiry), ascending.
+    pub fn departed(&self) -> Vec<usize> {
+        self.shared.registry.lock().departed_clients()
+    }
+
+    /// Currently live client ids, ascending.
+    pub fn live_clients(&self) -> Vec<usize> {
+        self.shared.registry.lock().live_clients()
+    }
+
+    /// Whether `client_id` is registered and unexpired.
+    pub fn is_live(&self, client_id: usize) -> bool {
+        self.shared.registry.lock().is_live(client_id)
+    }
+
+    /// Number of currently live clients.
+    pub fn client_count(&self) -> usize {
+        self.shared.registry.lock().len()
+    }
+
+    /// Messages observed from `client_id` (heartbeats included), if live.
+    pub fn messages_from(&self, client_id: usize) -> Option<u64> {
+        self.shared
+            .registry
+            .lock()
+            .entry(client_id)
+            .map(|e| e.messages)
+    }
+
+    /// Orderly shutdown: tell every connected client `Bye`, stop the
+    /// accept loop, and join all background threads. Idempotent; also
+    /// runs on `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut peers = self.shared.peers.lock();
+            for (&id, stream) in peers.iter_mut() {
+                let _ = write_frame(
+                    stream,
+                    &Message::Bye {
+                        client_id: id as u64,
+                    },
+                );
+            }
+            peers.clear();
+        }
+        self.shared.inbox_cv.notify_all();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("live", &self.client_count())
+            .finish()
+    }
+}
+
+/// Poll the nonblocking listener, spawning one receive thread per
+/// connection; on shutdown, join them all before exiting.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                if let Ok(h) = thread::Builder::new()
+                    .name("feddrl-net-conn".into())
+                    .spawn(move || conn_loop(stream, conn_shared))
+                {
+                    conns.push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// One connection's receive loop: frames off the socket, routed by kind.
+fn conn_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut me: Option<usize> = None;
+    // The loop ends on clean EOF, shutdown, a protocol violation, or a
+    // hard socket error — drop the connection either way. An unannounced
+    // disappearance is the TTL sweep's job to retire.
+    while let Ok(Some(msg)) = read_frame_interruptible(&mut stream, &shared.shutdown) {
+        let now = shared.now_ms();
+        match msg {
+            Message::Hello { client_id } => {
+                let id = client_id as usize;
+                // A departed id may not rejoin (churn semantics). For a
+                // live one the peer entry must exist *before* the
+                // registry counts it, so `wait_for_clients` returning
+                // guarantees the next `publish` reaches everyone waited
+                // for.
+                if !shared.registry.lock().is_departed(id) {
+                    if let Ok(write_half) = stream.try_clone() {
+                        shared.peers.lock().insert(id, write_half);
+                        me = Some(id);
+                    }
+                }
+                shared.registry.lock().touch(id, now);
+            }
+            Message::Heartbeat { client_id } => {
+                shared.registry.lock().touch(client_id as usize, now);
+            }
+            Message::Update(update) => {
+                shared.registry.lock().touch(update.client_id as usize, now);
+                let mut inbox = shared.inbox_lock();
+                inbox.push_back(InboundUpdate {
+                    msg: update,
+                    arrival: Instant::now(),
+                });
+                drop(inbox);
+                shared.inbox_cv.notify_all();
+            }
+            Message::Bye { client_id } => {
+                let id = client_id as usize;
+                shared.registry.lock().mark_departed(id);
+                shared.peers.lock().remove(&id);
+                me = None;
+                break;
+            }
+            // Server-bound kinds only on this socket; a client pushing
+            // ModelPublish/TrainRequest is violating the protocol.
+            Message::ModelPublish { .. } | Message::TrainRequest { .. } => break,
+        }
+    }
+    if let Some(id) = me {
+        shared.peers.lock().remove(&id);
+    }
+}
+
+/// Read one frame like [`crate::wire::read_frame`], but on a socket with
+/// a read timeout: `WouldBlock`/`TimedOut` become shutdown-flag checks
+/// instead of errors, so receive threads stay joinable.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<Message>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    if read_fill(stream, &mut header, shutdown, true)?.is_none() {
+        return Ok(None);
+    }
+    let fh = FrameHeader::parse(&header)?;
+    let mut payload = vec![0u8; fh.payload_len];
+    if read_fill(stream, &mut payload, shutdown, false)?.is_none() {
+        return Ok(None);
+    }
+    decode_payload(fh.kind, &payload).map(Some)
+}
+
+/// Fill `buf` completely, tolerating socket timeouts. `Ok(None)` means a
+/// shutdown request interrupted the read, or — when `allow_eof_at_start`
+/// — the peer closed cleanly before the first byte. EOF mid-buffer is a
+/// [`WireError::Truncated`].
+fn read_fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    allow_eof_at_start: bool,
+) -> Result<Option<()>, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && allow_eof_at_start {
+                    return Ok(None);
+                }
+                return Err(WireError::Truncated {
+                    needed: buf.len(),
+                    got: filled,
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::read_frame;
+
+    fn connect_and_hello(addr: SocketAddr, id: u64) -> TcpStream {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write_frame(&mut s, &Message::Hello { client_id: id }).expect("hello");
+        s
+    }
+
+    #[test]
+    fn hello_registers_and_publish_reaches_every_peer() {
+        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        let mut a = connect_and_hello(addr, 0);
+        let mut b = connect_and_hello(addr, 1);
+        server
+            .wait_for_clients(2, Duration::from_secs(5))
+            .expect("both subscribed");
+        assert_eq!(server.live_clients(), vec![0, 1]);
+
+        let reached = server.publish(7, &[1.0, -2.5, 3.25]);
+        assert_eq!(reached, 2);
+        for s in [&mut a, &mut b] {
+            match read_frame(s).expect("frame").expect("not eof") {
+                Message::ModelPublish { version, weights } => {
+                    assert_eq!(version, 7);
+                    assert_eq!(weights, vec![1.0, -2.5, 3.25]);
+                }
+                other => panic!("expected ModelPublish, got {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn update_lands_in_inbox_and_bye_departs() {
+        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        let mut c = connect_and_hello(addr, 4);
+        server
+            .wait_for_clients(1, Duration::from_secs(5))
+            .expect("subscribed");
+
+        let update = UpdateMsg {
+            client_id: 4,
+            round: 2,
+            model_version: 9,
+            staleness: 0,
+            n_samples: 32,
+            loss_before: 1.5,
+            loss_after: 0.5,
+            weights: vec![0.25; 4],
+        };
+        write_frame(&mut c, &Message::Update(update.clone())).expect("send update");
+        let inbound = server
+            .recv_update(Instant::now() + Duration::from_secs(5))
+            .expect("update arrives");
+        assert_eq!(inbound.msg, update);
+
+        write_frame(&mut c, &Message::Bye { client_id: 4 }).expect("bye");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.is_live(4) && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!server.is_live(4));
+        assert_eq!(server.departed(), vec![4]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn silent_client_expires_via_ttl_sweep() {
+        let cfg = ServerConfig {
+            ttl: Duration::from_millis(50),
+        };
+        let mut server = NetServer::bind("127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr();
+        let _c = connect_and_hello(addr, 11);
+        server
+            .wait_for_clients(1, Duration::from_secs(5))
+            .expect("subscribed");
+        assert!(server.sweep_expired().is_empty(), "fresh client is live");
+        thread::sleep(Duration::from_millis(120));
+        assert_eq!(server.sweep_expired(), vec![11]);
+        assert_eq!(server.departed(), vec![11]);
+        assert!(!server.is_live(11));
+        server.shutdown();
+    }
+
+    #[test]
+    fn recv_update_times_out_empty() {
+        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let got = server.recv_update(Instant::now() + Duration::from_millis(30));
+        assert!(got.is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_sends_bye_to_connected_clients() {
+        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        let mut c = connect_and_hello(addr, 3);
+        server
+            .wait_for_clients(1, Duration::from_secs(5))
+            .expect("subscribed");
+        server.shutdown();
+        match read_frame(&mut c).expect("frame") {
+            Some(Message::Bye { client_id }) => assert_eq!(client_id, 3),
+            other => panic!("expected Bye, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,695 @@
+//! The `feddrl_net` wire protocol: length-prefixed binary frames with a
+//! versioned header and a typed message grammar.
+//!
+//! Every frame is `magic (u16) | version (u8) | kind (u8) |
+//! payload_len (u32) | payload`, all integers little-endian (see
+//! `docs/NETWORKING.md` for the full layout and payload grammar). The
+//! codec is hand-rolled rather than serde-based so the hot path — a
+//! full-model [`Message::Update`] — is a bounds check plus a `memcpy` of
+//! the raw `f32` weight buffer, and so every way a frame can be malformed
+//! maps to a distinct [`WireError`] variant instead of a generic parse
+//! failure.
+//!
+//! Weights travel as raw IEEE-754 bit patterns (`f32::to_le_bytes` /
+//! `from_le_bytes`), so a decode(encode(x)) round trip is bit-exact —
+//! the property the loopback byte-identity law in `tests/net_props.rs`
+//! rests on.
+
+use feddrl_fl::error::FlError;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First two bytes of every frame; rejects non-protocol peers early.
+pub const FRAME_MAGIC: u16 = 0xFD7E;
+
+/// Wire-protocol version this build speaks. The frame header carries the
+/// sender's version; a receiver rejects any other value with
+/// [`WireError::UnsupportedVersion`] (see `docs/NETWORKING.md` on
+/// negotiation).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame header size: magic (2) + version (1) + kind (1) + payload length (4).
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a frame's payload (64 MiB — a ~16M-parameter dense
+/// model). Larger length prefixes are rejected before any allocation with
+/// [`WireError::Oversized`], so a corrupt or hostile length field cannot
+/// OOM the server.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Everything that can go wrong encoding, decoding or transporting a
+/// frame. `Clone + PartialEq` (the `io::Error` cause is captured as its
+/// [`io::ErrorKind`] plus text) so tests can match decode failures
+/// exactly; convertible into the orchestration-level
+/// [`FlError::Io`] / [`FlError::Protocol`] variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Socket-level failure (connect, read, write, bind, accept).
+    Io {
+        /// The underlying `io::ErrorKind`.
+        kind: io::ErrorKind,
+        /// The error's display text.
+        detail: String,
+    },
+    /// The first two bytes were not [`FRAME_MAGIC`].
+    BadMagic {
+        /// The bytes found, as a little-endian u16.
+        found: u16,
+    },
+    /// The frame header named a protocol version this build does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u8,
+    },
+    /// The frame header named an unknown message kind.
+    UnknownKind {
+        /// The kind byte found.
+        found: u8,
+    },
+    /// The buffer or stream ended before the frame did.
+    Truncated {
+        /// Bytes the frame needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The payload parsed but violated its message grammar (wrong size for
+    /// the kind, trailing bytes, a weight count that disagrees with the
+    /// payload length).
+    Malformed {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io { kind, detail } => write!(f, "i/o error ({kind:?}): {detail}"),
+            WireError::BadMagic { found } => write!(f, "bad frame magic {found:#06x}"),
+            WireError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownKind { found } => write!(f, "unknown message kind {found}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: payload of {len} bytes exceeds {max}")
+            }
+            WireError::Malformed { detail } => write!(f, "malformed payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<WireError> for FlError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io { .. } => FlError::Io {
+                reason: e.to_string(),
+            },
+            _ => FlError::Protocol {
+                reason: e.to_string(),
+            },
+        }
+    }
+}
+
+/// A client's locally-trained report, as it travels on the wire. The
+/// superset of what [`feddrl_fl::client::ClientUpdate`] needs: the echoed
+/// `round` lets a round-barrier server discard updates from an abandoned
+/// round, and `model_version` (the publish the client trained against)
+/// is what the server measures staleness from — a client cannot know how
+/// many aggregations happened while it trained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateMsg {
+    /// The reporting client's id.
+    pub client_id: u64,
+    /// The round of the `TrainRequest` this update answers.
+    pub round: u64,
+    /// The model version the client trained against.
+    pub model_version: u64,
+    /// Versions behind at aggregation time; reserved on the wire (clients
+    /// send 0 — the server overwrites it from its own version counter).
+    pub staleness: u64,
+    /// Local sample count `n_k`.
+    pub n_samples: u64,
+    /// Inference loss of the received global model on the client's data.
+    pub loss_before: f32,
+    /// Loss of the locally trained model.
+    pub loss_after: f32,
+    /// The locally-trained flat weight vector, bit-exact.
+    pub weights: Vec<f32>,
+}
+
+/// The wire message grammar. One frame carries exactly one message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: subscribe `client_id` to the federation.
+    Hello {
+        /// The joining client's id.
+        client_id: u64,
+    },
+    /// Server → client: the current global model.
+    ModelPublish {
+        /// Monotone model version (increments per aggregation).
+        version: u64,
+        /// Flat global parameters, bit-exact.
+        weights: Vec<f32>,
+    },
+    /// Server → client: train on your latest received model.
+    TrainRequest {
+        /// The round this dispatch belongs to (echoed in the update).
+        round: u64,
+        /// Fraction of the model to train (1.0 = full model; below 1
+        /// reserved for structured-dropout sub-model dispatch).
+        keep_ratio: f64,
+    },
+    /// Client → server: a locally-trained report.
+    Update(UpdateMsg),
+    /// Client → server: liveness keep-alive refreshing the registry TTL.
+    Heartbeat {
+        /// The reporting client's id.
+        client_id: u64,
+    },
+    /// Either direction: orderly departure (server: shutdown; client:
+    /// leaving the federation).
+    Bye {
+        /// The departing client's id (the server sends the receiver's id).
+        client_id: u64,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_MODEL_PUBLISH: u8 = 2;
+const KIND_TRAIN_REQUEST: u8 = 3;
+const KIND_UPDATE: u8 = 4;
+const KIND_HEARTBEAT: u8 = 5;
+const KIND_BYE: u8 = 6;
+
+/// A parsed and validated frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version the sender speaks.
+    pub version: u8,
+    /// Message kind byte (validated against the known grammar).
+    pub kind: u8,
+    /// Payload length in bytes (validated against [`MAX_PAYLOAD`]).
+    pub payload_len: usize,
+}
+
+impl FrameHeader {
+    /// Parse and validate the fixed-size header: magic, version, kind and
+    /// the payload length bound, in that order (so the caller learns the
+    /// *first* violated rule).
+    pub fn parse(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> {
+        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
+        let version = bytes[2];
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion { found: version });
+        }
+        let kind = bytes[3];
+        if !(KIND_HELLO..=KIND_BYE).contains(&kind) {
+            return Err(WireError::UnknownKind { found: kind });
+        }
+        let payload_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+        if payload_len > MAX_PAYLOAD {
+            return Err(WireError::Oversized {
+                len: payload_len,
+                max: MAX_PAYLOAD,
+            });
+        }
+        Ok(FrameHeader {
+            version,
+            kind,
+            payload_len,
+        })
+    }
+}
+
+// --- payload writers -------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_weights(out: &mut Vec<u8>, weights: &[f32]) {
+    put_u64(out, weights.len() as u64);
+    out.reserve(weights.len() * 4);
+    for &w in weights {
+        put_f32(out, w);
+    }
+}
+
+// --- payload reader --------------------------------------------------------
+
+/// Sequential reader over a payload slice; every overrun is a typed
+/// [`WireError::Malformed`] naming what was being read.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed {
+                detail: format!(
+                    "payload ended reading {what}: needed {n} bytes at offset {}, had {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn weights(&mut self) -> Result<Vec<f32>, WireError> {
+        let count = self.u64("weight count")? as usize;
+        // The count must agree with the bytes actually present *before*
+        // the allocation, so a corrupt count cannot OOM.
+        let available = (self.buf.len() - self.pos) / 4;
+        if count > available {
+            return Err(WireError::Malformed {
+                detail: format!("weight count {count} exceeds the {available} encoded"),
+            });
+        }
+        let raw = self.take(count * 4, "weight data")?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed {
+                detail: format!("{} trailing bytes after {what}", self.buf.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decode a validated-header payload into its [`Message`]. `kind` must
+/// come from [`FrameHeader::parse`] (unknown kinds are rejected there).
+pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut c = Cursor::new(payload);
+    let msg = match kind {
+        KIND_HELLO => Message::Hello {
+            client_id: c.u64("Hello.client_id")?,
+        },
+        KIND_MODEL_PUBLISH => Message::ModelPublish {
+            version: c.u64("ModelPublish.version")?,
+            weights: c.weights()?,
+        },
+        KIND_TRAIN_REQUEST => Message::TrainRequest {
+            round: c.u64("TrainRequest.round")?,
+            keep_ratio: c.f64("TrainRequest.keep_ratio")?,
+        },
+        KIND_UPDATE => Message::Update(UpdateMsg {
+            client_id: c.u64("Update.client_id")?,
+            round: c.u64("Update.round")?,
+            model_version: c.u64("Update.model_version")?,
+            staleness: c.u64("Update.staleness")?,
+            n_samples: c.u64("Update.n_samples")?,
+            loss_before: c.f32("Update.loss_before")?,
+            loss_after: c.f32("Update.loss_after")?,
+            weights: c.weights()?,
+        }),
+        KIND_HEARTBEAT => Message::Heartbeat {
+            client_id: c.u64("Heartbeat.client_id")?,
+        },
+        KIND_BYE => Message::Bye {
+            client_id: c.u64("Bye.client_id")?,
+        },
+        other => return Err(WireError::UnknownKind { found: other }),
+    };
+    c.finish(kind_name(kind))?;
+    Ok(msg)
+}
+
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_HELLO => "Hello",
+        KIND_MODEL_PUBLISH => "ModelPublish",
+        KIND_TRAIN_REQUEST => "TrainRequest",
+        KIND_UPDATE => "Update",
+        KIND_HEARTBEAT => "Heartbeat",
+        KIND_BYE => "Bye",
+        _ => "unknown",
+    }
+}
+
+impl Message {
+    /// The message's kind byte in the frame header.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => KIND_HELLO,
+            Message::ModelPublish { .. } => KIND_MODEL_PUBLISH,
+            Message::TrainRequest { .. } => KIND_TRAIN_REQUEST,
+            Message::Update(_) => KIND_UPDATE,
+            Message::Heartbeat { .. } => KIND_HEARTBEAT,
+            Message::Bye { .. } => KIND_BYE,
+        }
+    }
+
+    /// Encode into a complete frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Message::Hello { client_id } => put_u64(&mut payload, *client_id),
+            Message::ModelPublish { version, weights } => {
+                put_u64(&mut payload, *version);
+                put_weights(&mut payload, weights);
+            }
+            Message::TrainRequest { round, keep_ratio } => {
+                put_u64(&mut payload, *round);
+                put_f64(&mut payload, *keep_ratio);
+            }
+            Message::Update(u) => {
+                put_u64(&mut payload, u.client_id);
+                put_u64(&mut payload, u.round);
+                put_u64(&mut payload, u.model_version);
+                put_u64(&mut payload, u.staleness);
+                put_u64(&mut payload, u.n_samples);
+                put_f32(&mut payload, u.loss_before);
+                put_f32(&mut payload, u.loss_after);
+                put_weights(&mut payload, &u.weights);
+            }
+            Message::Heartbeat { client_id } => put_u64(&mut payload, *client_id),
+            Message::Bye { client_id } => put_u64(&mut payload, *client_id),
+        }
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "encoded payload of {} bytes exceeds MAX_PAYLOAD",
+            payload.len()
+        );
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame.push(PROTOCOL_VERSION);
+        frame.push(self.kind());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decode one frame from the front of `buf`, returning the message and
+    /// the bytes consumed. A buffer shorter than the frame it starts is
+    /// [`WireError::Truncated`]; bytes *after* the frame are fine (they
+    /// belong to the next one).
+    pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let header = FrameHeader::parse(buf[..HEADER_LEN].try_into().expect("header slice"))?;
+        let total = HEADER_LEN + header.payload_len;
+        if buf.len() < total {
+            return Err(WireError::Truncated {
+                needed: total,
+                got: buf.len(),
+            });
+        }
+        let msg = decode_payload(header.kind, &buf[HEADER_LEN..total])?;
+        Ok((msg, total))
+    }
+}
+
+/// Write one frame to a stream.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<(), WireError> {
+    w.write_all(&msg.encode())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from a stream. `Ok(None)` on a clean end-of-stream at a
+/// frame boundary; EOF mid-frame is [`WireError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Message>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(WireError::Truncated {
+                    needed: HEADER_LEN,
+                    got: filled,
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let fh = FrameHeader::parse(&header)?;
+    let mut payload = vec![0u8; fh.payload_len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated {
+                needed: HEADER_LEN + fh.payload_len,
+                got: HEADER_LEN,
+            }
+        } else {
+            e.into()
+        }
+    })?;
+    decode_payload(fh.kind, &payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_update() -> Message {
+        Message::Update(UpdateMsg {
+            client_id: 3,
+            round: 7,
+            model_version: 6,
+            staleness: 0,
+            n_samples: 120,
+            loss_before: 1.25,
+            loss_after: 0.75,
+            weights: vec![0.5, -1.0, f32::MIN_POSITIVE, 3.25e7],
+        })
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let msgs = [
+            Message::Hello { client_id: 9 },
+            Message::ModelPublish {
+                version: 4,
+                weights: vec![1.0, 2.0, -0.125],
+            },
+            Message::TrainRequest {
+                round: 11,
+                keep_ratio: 0.625,
+            },
+            sample_update(),
+            Message::Heartbeat { client_id: 2 },
+            Message::Bye { client_id: 5 },
+        ];
+        for msg in msgs {
+            let frame = msg.encode();
+            let (back, used) = Message::decode(&frame).expect("decode");
+            assert_eq!(used, frame.len());
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn weights_round_trip_bit_exact_including_nan() {
+        let weights: Vec<f32> = [0x7FC0_0001u32, 0xFF80_0000, 0x0000_0001, 0x8000_0000]
+            .iter()
+            .map(|&b| f32::from_bits(b))
+            .collect();
+        let msg = Message::ModelPublish {
+            version: 1,
+            weights: weights.clone(),
+        };
+        let (back, _) = Message::decode(&msg.encode()).expect("decode");
+        let Message::ModelPublish { weights: got, .. } = back else {
+            panic!("wrong kind");
+        };
+        let bits: Vec<u32> = got.iter().map(|w| w.to_bits()).collect();
+        let want: Vec<u32> = weights.iter().map(|w| w.to_bits()).collect();
+        assert_eq!(bits, want);
+    }
+
+    #[test]
+    fn bad_magic_version_kind_are_typed() {
+        let mut frame = sample_update().encode();
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::BadMagic { .. })
+        ));
+
+        let mut frame = sample_update().encode();
+        frame[2] = 99;
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::UnsupportedVersion { found: 99 })
+        );
+
+        let mut frame = sample_update().encode();
+        frame[3] = 0;
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::UnknownKind { found: 0 })
+        );
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_prefix() {
+        let frame = sample_update().encode();
+        for cut in 0..frame.len() {
+            let err = Message::decode(&frame[..cut]).expect_err("truncated frame accepted");
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut frame = sample_update().encode();
+        frame[4..8].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::Oversized {
+                len: MAX_PAYLOAD + 1,
+                max: MAX_PAYLOAD
+            })
+        );
+    }
+
+    #[test]
+    fn lying_weight_count_is_malformed_not_oom() {
+        let mut frame = Message::ModelPublish {
+            version: 0,
+            weights: vec![1.0],
+        }
+        .encode();
+        // Payload layout: version u64 | count u64 | f32. Corrupt the count.
+        let count_off = HEADER_LEN + 8;
+        frame[count_off..count_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_malformed() {
+        let mut frame = Message::Heartbeat { client_id: 1 }.encode();
+        frame.push(0xAB);
+        let len = (frame.len() - HEADER_LEN) as u32;
+        frame[4..8].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_read_write_round_trips_and_reports_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Hello { client_id: 1 }).unwrap();
+        write_frame(&mut buf, &sample_update()).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Message::Hello { client_id: 1 })
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Some(sample_update()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_eof_mid_frame_is_truncated() {
+        let frame = sample_update().encode();
+        let mut r = io::Cursor::new(&frame[..frame.len() - 1]);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
+        // EOF inside the header, too.
+        let mut r = io::Cursor::new(&frame[..3]);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(WireError::Truncated { needed: 8, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn wire_errors_surface_as_typed_fl_errors() {
+        let e: FlError = WireError::BadMagic { found: 0xBEEF }.into();
+        assert!(matches!(e, FlError::Protocol { .. }));
+        let e: FlError = WireError::Io {
+            kind: io::ErrorKind::ConnectionReset,
+            detail: "peer reset".into(),
+        }
+        .into();
+        assert!(matches!(e, FlError::Io { .. }));
+    }
+}

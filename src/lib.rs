@@ -12,7 +12,11 @@
 //! * [`feddrl_nn`] — the pure-Rust deep-learning substrate;
 //! * [`feddrl_sim`] — communication/timing overhead models plus the
 //!   discrete-event heterogeneity engine (device fleets, virtual clock,
-//!   event queue) behind `feddrl_fl`'s deadline-bounded round executor.
+//!   event queue) behind `feddrl_fl`'s deadline-bounded round executor;
+//! * [`feddrl_net`] — the networked runtime: length-prefixed wire
+//!   protocol, TCP server/worker processes, heartbeat liveness registry,
+//!   and the `NetworkExecutor` that plugs real transport into the
+//!   unchanged session loop.
 
 #![warn(missing_docs)]
 
@@ -20,6 +24,7 @@ pub use feddrl;
 pub use feddrl_data;
 pub use feddrl_drl;
 pub use feddrl_fl;
+pub use feddrl_net;
 pub use feddrl_nn;
 pub use feddrl_sim;
 
@@ -52,5 +57,6 @@ pub use feddrl_sim;
 ///   shims over deletion.
 pub mod prelude {
     pub use feddrl::prelude::*;
+    pub use feddrl_net::prelude::*;
     pub use feddrl_sim::prelude::*;
 }

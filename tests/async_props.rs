@@ -32,6 +32,9 @@ use proptest::prelude::*;
 // re-import proptest's unambiguously for method resolution.
 use proptest::strategy::Strategy as _;
 
+mod common;
+use common::golden_json;
+
 /// The golden fixture's environment (must match `server_props`).
 fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
     let (train, test) = SynthSpec {
@@ -138,11 +141,9 @@ fn full_buffer_on_homogeneous_fleet_reduces_to_ideal_golden_fixture() {
     // golden fixture (timings scrubbed like every golden comparison).
     let mut scrubbed = history;
     for r in &mut scrubbed.records {
-        r.strategy_micros = 0;
-        r.aggregate_micros = 0;
         r.hetero = None;
     }
-    let json = serde_json::to_string_pretty(&scrubbed).expect("serialize history") + "\n";
+    let json = golden_json(scrubbed);
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/tests/golden/ideal_history.json"

@@ -19,6 +19,9 @@
 use feddrl_repro::prelude::*;
 use proptest::prelude::*;
 
+mod common;
+use common::scrubbed_json;
+
 // ---------------------------------------------------------------------------
 // Churn process laws
 // ---------------------------------------------------------------------------
@@ -286,7 +289,7 @@ proptest! {
         }
         prop_assert!(sub.mask_ratio() < 1.0);
         prop_assert!(
-            &sub.weights != &plain.weights,
+            sub.weights != plain.weights,
             "sub-model training cannot equal full-model training"
         );
     }
@@ -828,16 +831,6 @@ fn dynamics_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
         executor: ExecutorConfig::Ideal,
     };
     (spec, train, test, partition, cfg)
-}
-
-/// Zero the only nondeterministic fields (wall-clock stage timings) so
-/// histories compare byte-for-byte.
-fn scrubbed_json(mut history: RunHistory) -> String {
-    for r in &mut history.records {
-        r.strategy_micros = 0;
-        r.aggregate_micros = 0;
-    }
-    serde_json::to_string_pretty(&history).expect("serialize history")
 }
 
 fn run_history(cfg: &FlConfig) -> RunHistory {

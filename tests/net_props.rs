@@ -1,0 +1,395 @@
+//! Integration contract of the networked runtime (`feddrl_net`).
+//!
+//! Four promises, checked at the workspace boundary: (1) the frame codec
+//! round-trips every message kind bit-exactly and rejects malformed
+//! input with *typed* errors (property-based); (2) a client that goes
+//! silent past the liveness TTL surfaces as a departure through the same
+//! `RoundExecutor::departed_clients` channel the simulator's churn uses;
+//! (3) — the headline law — a `NetworkExecutor` round-barrier run over
+//! loopback sockets with a deterministic stub trainer reproduces the
+//! `IdealExecutor`'s `RunHistory` **byte-identically** (timings
+//! scrubbed), proving the transport adds no behavior; (4) the buffered
+//! mode measures real staleness on late arrivals.
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use feddrl_repro::prelude::*;
+use proptest::prelude::*;
+// Both glob imports export a `Strategy` trait (ours vs proptest's);
+// re-import proptest's unambiguously for method resolution.
+use proptest::strategy::Strategy as PropStrategy;
+
+mod common;
+use common::scrubbed_json;
+
+// ---------------------------------------------------------------------------
+// Codec laws (property-based)
+// ---------------------------------------------------------------------------
+
+/// Weights including the awkward citizens: NaN, infinities, signed zero.
+fn arb_weights() -> impl PropStrategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (-1.0e6f32..1.0e6).boxed(),
+            Just(f32::NAN).boxed(),
+            Just(f32::INFINITY).boxed(),
+            Just(f32::NEG_INFINITY).boxed(),
+            Just(-0.0f32).boxed(),
+        ],
+        0..48,
+    )
+}
+
+fn arb_message() -> impl PropStrategy<Value = Message> {
+    prop_oneof![
+        (0u64..1 << 40).prop_map(|client_id| Message::Hello { client_id }),
+        (0u64..1 << 40, arb_weights())
+            .prop_map(|(version, weights)| Message::ModelPublish { version, weights }),
+        (0u64..10_000, 0.0f64..=1.0)
+            .prop_map(|(round, keep_ratio)| Message::TrainRequest { round, keep_ratio }),
+        (
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..64),
+            (0u64..1 << 30, -10.0f32..10.0, -10.0f32..10.0),
+            arb_weights(),
+        )
+            .prop_map(
+                |((client_id, round, model_version, staleness), (n, lb, la), weights)| {
+                    Message::Update(UpdateMsg {
+                        client_id,
+                        round,
+                        model_version,
+                        staleness,
+                        n_samples: n,
+                        loss_before: lb,
+                        loss_after: la,
+                        weights,
+                    })
+                }
+            ),
+        (0u64..1 << 40).prop_map(|client_id| Message::Heartbeat { client_id }),
+        (0u64..1 << 40).prop_map(|client_id| Message::Bye { client_id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on the *encoding*: comparing
+    /// re-encoded bytes makes the law hold through NaN payloads, where
+    /// `PartialEq` on the message itself would be vacuously false.
+    #[test]
+    fn codec_round_trips_every_kind_bit_exactly(msg in arb_message()) {
+        let bytes = msg.encode();
+        let (decoded, consumed) = Message::decode(&bytes).expect("decode own encoding");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Every proper prefix of a frame is rejected as `Truncated` — never
+    /// a panic, never a bogus success, never a misdecode.
+    #[test]
+    fn truncated_frames_fail_typed(msg in arb_message(), cut in 0.0f64..1.0) {
+        let bytes = msg.encode();
+        let keep = ((bytes.len() as f64) * cut) as usize; // < len: proper prefix
+        match Message::decode(&bytes[..keep]) {
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, keep);
+                prop_assert!(needed > got);
+            }
+            other => panic!("prefix of {keep}/{} bytes gave {other:?}", bytes.len()),
+        }
+    }
+
+    /// A header advertising more payload than `MAX_PAYLOAD` is rejected
+    /// as `Oversized` before any allocation happens.
+    #[test]
+    fn oversized_frames_fail_typed(extra in 1u64..1 << 30) {
+        let len = (MAX_PAYLOAD as u64 + extra).min(u32::MAX as u64) as u32;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame.push(PROTOCOL_VERSION);
+        frame.push(5); // Heartbeat kind
+        frame.extend_from_slice(&len.to_le_bytes());
+        match Message::decode(&frame) {
+            Err(WireError::Oversized { len: l, max }) => {
+                prop_assert_eq!(l, len as usize);
+                prop_assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => panic!("oversized header gave {other:?}"),
+        }
+    }
+
+    /// Corrupting the magic or version byte fails with the matching
+    /// typed error, whatever the payload.
+    #[test]
+    fn bad_magic_and_version_fail_typed(msg in arb_message(), twiddle in 1u8..255) {
+        let mut bytes = msg.encode();
+        bytes[0] ^= twiddle;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadMagic { .. })
+        ));
+        let mut bytes = msg.encode();
+        bytes[2] ^= twiddle;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness TTL → departure
+// ---------------------------------------------------------------------------
+
+/// A client silent past the TTL departs through the executor's
+/// `departed_clients` — the same channel the simulator's churn feeds —
+/// while a heartbeating client stays live.
+#[test]
+fn ttl_expiry_surfaces_as_departure_through_the_executor() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            ttl: Duration::from_millis(100),
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Client 1 heartbeats properly via the real worker loop...
+    let worker_cfg = ClientConfig::new(addr.clone(), 1).with_heartbeat(Duration::from_millis(25));
+    let worker = thread::spawn(move || {
+        run_client(&worker_cfg, |_, _| ClientUpdate {
+            client_id: 1,
+            weights: vec![],
+            n_samples: 1,
+            loss_before: 0.0,
+            loss_after: 0.0,
+            staleness: 0,
+            mask: None,
+        })
+    });
+    // ...client 3 says Hello once and then goes silent forever.
+    let mut silent = TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut silent, &Message::Hello { client_id: 3 }).expect("hello");
+
+    server
+        .wait_for_clients(2, Duration::from_secs(5))
+        .expect("both subscribed");
+    let executor = NetworkExecutor::barrier(server);
+    assert!(executor.departed_clients().is_empty(), "everyone fresh");
+
+    thread::sleep(Duration::from_millis(300));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while executor.departed_clients().is_empty() && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(executor.departed_clients(), vec![3], "silence departs");
+    assert!(executor.server().is_live(1), "heartbeats keep 1 live");
+
+    drop(executor); // shutdown → Bye → worker exits
+    worker.join().expect("no panic").expect("clean exit");
+}
+
+// ---------------------------------------------------------------------------
+// Headline law: loopback byte-identity with the ideal executor
+// ---------------------------------------------------------------------------
+
+const NET_CLIENTS: usize = 5;
+
+/// The deterministic stand-in for local training, computed identically
+/// by the in-process ideal run and by every networked worker: a pure
+/// function of (round, client id, published global weights).
+fn stub_update(round: usize, client_id: usize, global: &[f32]) -> ClientUpdate {
+    let scale = 0.9 - 0.05 * client_id as f32;
+    let bias = 0.01 * (round as f32 + 1.0) + 0.001 * client_id as f32;
+    ClientUpdate {
+        client_id,
+        weights: global
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w * scale + bias * ((i % 7) as f32 - 3.0))
+            .collect(),
+        n_samples: 10 + 3 * client_id,
+        loss_before: 1.0 + 0.25 * round as f32 + 0.01 * client_id as f32,
+        loss_after: 0.5 + 0.01 * client_id as f32,
+        staleness: 0,
+        mask: None,
+    }
+}
+
+fn net_env() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
+    let (train, test) = SynthSpec {
+        train_size: 300,
+        test_size: 80,
+        ..SynthSpec::mnist_like()
+    }
+    .generate(12);
+    let partition = PartitionMethod::Iid
+        .partition(&train, NET_CLIENTS, &mut Rng64::new(4))
+        .unwrap();
+    let spec = ModelSpec::Mlp {
+        in_dim: train.feature_dim(),
+        hidden: vec![8],
+        out_dim: train.num_classes(),
+    };
+    let cfg = FlConfig {
+        rounds: 3,
+        participants: 3,
+        local: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+            ..Default::default()
+        },
+        eval_batch: 64,
+        seed: 41,
+        log_every: 0,
+        selection: Selection::Uniform,
+        executor: ExecutorConfig::Ideal,
+    };
+    (spec, train, test, partition, cfg)
+}
+
+/// The tentpole law: with every worker live, a `NetworkExecutor` barrier
+/// run over real loopback sockets reproduces the `IdealExecutor`'s
+/// history byte-for-byte — same selections, same aggregations, same
+/// `f32` bits — because updates cross the wire bit-exactly and are
+/// reassembled into sampling order. The transport is pure plumbing.
+#[test]
+fn loopback_barrier_run_is_byte_identical_to_ideal() {
+    let (spec, train, test, partition, cfg) = net_env();
+
+    // In-process reference: the ideal executor driven by the stub.
+    let ideal_history = {
+        let mut strategy = FedAvg;
+        SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+            .config(&cfg)
+            .train_fn(Box::new(|ctx, dispatches| {
+                dispatches
+                    .iter()
+                    .map(|d| stub_update(ctx.round, d.client_id, ctx.global))
+                    .collect()
+            }))
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("ideal run")
+    };
+
+    // Networked run: one worker thread per client, each computing the
+    // same stub from the frames it receives.
+    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let workers: Vec<_> = (0..NET_CLIENTS)
+        .map(|cid| {
+            let worker_cfg = ClientConfig::new(addr.clone(), cid);
+            thread::spawn(move || {
+                run_client(&worker_cfg, move |order, global| {
+                    stub_update(order.round as usize, cid, global)
+                })
+            })
+        })
+        .collect();
+    server
+        .wait_for_clients(NET_CLIENTS, Duration::from_secs(10))
+        .expect("all workers subscribed");
+
+    let net_history = {
+        let executor = NetworkExecutor::barrier(server);
+        let telemetry = executor.telemetry();
+        let mut strategy = FedAvg;
+        let history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+            .config(&cfg)
+            .executor_instance(Box::new(executor))
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("networked run");
+        let t = telemetry.lock();
+        assert_eq!(
+            t.dispatched,
+            cfg.rounds * cfg.participants,
+            "every sampled client was dispatched over the wire"
+        );
+        assert_eq!(t.failed_dispatches, 0);
+        assert_eq!(t.timed_out, 0);
+        assert!(t.staleness.iter().all(|&s| s == 0), "barrier is fresh");
+        assert!(t.p50_rtt_ms() > 0.0, "RTTs were actually measured");
+        history
+    }; // session (and with it the server) drops here → workers get Bye
+
+    for w in workers {
+        w.join().expect("no panic").expect("clean worker exit");
+    }
+
+    assert_eq!(
+        scrubbed_json(net_history),
+        scrubbed_json(ideal_history),
+        "loopback barrier run diverged from the ideal executor"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Buffered mode measures staleness
+// ---------------------------------------------------------------------------
+
+/// With a deliberately slow worker and `buffer_size = 1`, the slow
+/// worker's answer aggregates one version late — and the executor
+/// *measures* that staleness off the wire instead of simulating it.
+#[test]
+fn buffered_mode_measures_staleness_of_late_arrivals() {
+    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let workers: Vec<_> = [(0usize, 0u64), (1usize, 400u64)]
+        .into_iter()
+        .map(|(cid, delay_ms)| {
+            let worker_cfg = ClientConfig::new(addr.clone(), cid)
+                .with_train_delay(Duration::from_millis(delay_ms));
+            thread::spawn(move || {
+                run_client(&worker_cfg, move |order, global| {
+                    stub_update(order.round as usize, cid, global)
+                })
+            })
+        })
+        .collect();
+    server
+        .wait_for_clients(2, Duration::from_secs(10))
+        .expect("both subscribed");
+
+    let mut executor =
+        NetworkExecutor::buffered(server, 1).with_round_timeout(Duration::from_secs(30));
+    let telemetry = executor.telemetry();
+    let global = vec![0.5f32; 8];
+    let noop_train: &TrainFn<'_> = &|_dispatches: &[Dispatch]| Vec::new();
+
+    // Round 0: both dispatched; the fast worker fills the buffer alone.
+    executor.publish_model(0, &global);
+    let out0 = executor.execute(0, &[0, 1], noop_train);
+    let h0 = out0.hetero.expect("buffered rounds carry hetero records");
+    assert_eq!(h0.aggregated_ids, vec![0], "fast worker wins round 0");
+    assert_eq!(out0.updates[0].staleness, 0);
+    assert_eq!(executor.in_flight_clients(), vec![1], "slow one in flight");
+
+    // Round 1: select only the slow worker — still busy, so nothing new
+    // is dispatched and the buffer drains its round-0 answer (trained on
+    // version 0) against version counter 1 → measured staleness 1.
+    executor.publish_model(1, &global);
+    let out1 = executor.execute(1, &[1], noop_train);
+    let h1 = out1.hetero.expect("buffered rounds carry hetero records");
+    assert!(h1.busy >= 1, "in-flight client skipped as busy");
+    assert_eq!(h1.staleness, vec![1], "staleness measured, not simulated");
+    assert_eq!(out1.updates[0].client_id, 1);
+    assert_eq!(out1.updates[0].staleness, 1);
+    assert!(
+        telemetry.lock().mean_staleness() > 0.0,
+        "telemetry saw the late arrival"
+    );
+
+    drop(executor);
+    for w in workers {
+        w.join().expect("no panic").expect("clean worker exit");
+    }
+}

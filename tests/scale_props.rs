@@ -28,6 +28,9 @@
 use feddrl_repro::prelude::*;
 use proptest::prelude::*;
 
+mod common;
+use common::scrubbed_json;
+
 /// Builds an `ExecutorConfig` with the given `parallel_dispatch` flag.
 type ConfigBuilder = Box<dyn Fn(bool) -> ExecutorConfig>;
 
@@ -251,17 +254,13 @@ fn parallel_dispatch_history_is_byte_identical_to_serial() {
                 executor: mk_exec(parallel),
             };
             let mut strategy = FedAvg;
-            let mut history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+            let history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
                 .config(&cfg)
                 .build()
                 .expect("valid config")
                 .run()
                 .expect("federated run");
-            for r in &mut history.records {
-                r.strategy_micros = 0;
-                r.aggregate_micros = 0;
-            }
-            histories.push(serde_json::to_string_pretty(&history).expect("serialize history"));
+            histories.push(scrubbed_json(history));
         }
         assert_eq!(
             histories[0], histories[1],

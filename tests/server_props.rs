@@ -18,6 +18,9 @@ use proptest::prelude::*;
 // re-import proptest's unambiguously for method resolution.
 use proptest::strategy::Strategy as _;
 
+mod common;
+use common::golden_json;
+
 /// The exact configuration the golden fixture was generated with (by the
 /// pre-refactor loop at the commit introducing the executor abstraction).
 fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
@@ -53,15 +56,6 @@ fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
     (spec, train, test, partition, cfg)
 }
 
-/// Zero the only nondeterministic fields (wall-clock stage timings) so the
-/// rest of the history can be compared byte-for-byte.
-fn scrub_timings(history: &mut RunHistory) {
-    for r in &mut history.records {
-        r.strategy_micros = 0;
-        r.aggregate_micros = 0;
-    }
-}
-
 /// The ideal executor reproduces the pre-refactor round loop exactly:
 /// its serialized history (timings scrubbed) is byte-identical to the
 /// fixture generated before the `RoundExecutor` abstraction existed.
@@ -72,9 +66,8 @@ fn scrub_timings(history: &mut RunHistory) {
 #[test]
 fn ideal_history_matches_pre_refactor_golden_fixture() {
     let (spec, train, test, partition, cfg) = golden_setup();
-    let mut history = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
-    scrub_timings(&mut history);
-    let json = serde_json::to_string_pretty(&history).expect("serialize history") + "\n";
+    let history = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
+    let json = golden_json(history);
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/tests/golden/ideal_history.json"

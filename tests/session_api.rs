@@ -10,6 +10,9 @@
 
 use feddrl_repro::prelude::*;
 
+mod common;
+use common::golden_json as scrubbed_json;
+
 /// The golden fixture's environment (must match `server_props`).
 fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
     let (train, test) = SynthSpec {
@@ -42,20 +45,6 @@ fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
         executor: ExecutorConfig::Ideal,
     };
     (spec, train, test, partition, cfg)
-}
-
-/// Zero the only nondeterministic fields (wall-clock stage timings) so
-/// histories can be compared byte-for-byte.
-fn scrub_timings(history: &mut RunHistory) {
-    for r in &mut history.records {
-        r.strategy_micros = 0;
-        r.aggregate_micros = 0;
-    }
-}
-
-fn scrubbed_json(mut history: RunHistory) -> String {
-    scrub_timings(&mut history);
-    serde_json::to_string_pretty(&history).expect("serialize history") + "\n"
 }
 
 /// A default-component `SessionBuilder` is byte-identical to the

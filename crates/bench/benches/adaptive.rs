@@ -1,0 +1,40 @@
+//! Criterion harness for the server-optimizer layer.
+//!
+//! `server_opt/*` prices one `ServerOpt::apply` call per optimizer over
+//! model-sized parameter vectors — the per-round cost an adaptive server
+//! step adds on top of plain replacement (which must stay a move, not a
+//! loop). The adaptive optimizers run one fused pass over the
+//! parameters (moment update + step), so their cost is a small constant
+//! factor over a dense weighted average of the same width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use feddrl_fl::server_opt::{AdaptiveParams, ServerOptConfig};
+use feddrl_nn::rng::Rng64;
+
+fn bench_server_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_opt");
+    for dim in [10_000usize, 100_000] {
+        let mut rng = Rng64::new(0xADA);
+        let global: Vec<f32> = (0..dim).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let aggregate: Vec<f32> = global.iter().map(|&w| w + rng.uniform(-0.1, 0.1)).collect();
+        group.throughput(Throughput::Elements(dim as u64));
+        for cfg in [
+            ServerOptConfig::Plain,
+            ServerOptConfig::FedAdam(AdaptiveParams::default()),
+            ServerOptConfig::FedYogi(AdaptiveParams::default()),
+            ServerOptConfig::FedAMSGrad(AdaptiveParams::default()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(cfg.name(), dim), &dim, |b, _| {
+                // State building stays outside the timed loop; the timed
+                // body is the steady-state per-round apply.
+                let mut opt = cfg.build();
+                opt.apply(&global, aggregate.clone());
+                b.iter(|| std::hint::black_box(opt.apply(&global, aggregate.clone())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_opt);
+criterion_main!(benches);

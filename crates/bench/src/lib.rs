@@ -323,6 +323,7 @@ impl ExperimentSpec {
             log_every: 0,
             selection: Selection::Uniform,
             executor: ExecutorConfig::Ideal,
+            server_opt: ServerOptConfig::Plain,
         }
     }
 

@@ -135,6 +135,7 @@ mod tests {
             log_every: 0,
             selection: Selection::Uniform,
             executor: ExecutorConfig::Ideal,
+            server_opt: feddrl_fl::server_opt::ServerOptConfig::Plain,
         };
         (spec, train, test, partition, fl_cfg)
     }

@@ -79,6 +79,13 @@ pub enum FlError {
         /// The rejected mixing rate `η`.
         server_mix: f64,
     },
+    /// A server optimizer with invalid hyper-parameters: a non-positive
+    /// or non-finite learning rate or adaptivity floor `τ`, or a moment
+    /// decay `β` outside `[0, 1)`.
+    InvalidServerOpt {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
     /// A [`SelectionPolicy`](crate::selection::SelectionPolicy) returned an
     /// invalid sample: wrong cardinality, duplicate ids, or ids outside
     /// `[0, N)`. Only user-defined policies can trigger this — the
@@ -144,6 +151,9 @@ impl fmt::Display for FlError {
             FlError::InvalidServerMix { server_mix } => {
                 write!(f, "server mixing rate must be in (0, 1], got {server_mix}")
             }
+            FlError::InvalidServerOpt { reason } => {
+                write!(f, "invalid server optimizer: {reason}")
+            }
             FlError::InvalidSelection { round, reason } => write!(
                 f,
                 "round {round}: selection policy returned an invalid sample: {reason}"
@@ -197,6 +207,10 @@ mod tests {
             reason: "diurnal period must be positive".into(),
         };
         assert!(e.to_string().contains("fleet dynamics: diurnal period"));
+        let e = FlError::InvalidServerOpt {
+            reason: "lr must be positive and finite, got 0".into(),
+        };
+        assert!(e.to_string().contains("server optimizer: lr"));
     }
 
     #[test]

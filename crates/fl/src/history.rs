@@ -83,13 +83,21 @@ pub struct RoundRecord {
     pub test_accuracy: f32,
     /// Mean test loss of the new global model.
     pub test_loss: f32,
-    /// Ids of the clients that participated.
+    /// Ids of the clients *sampled* this round. Under the ideal executor
+    /// this is also the aggregated set; under hetero executors the
+    /// aggregated set is [`HeteroRoundRecord::aggregated_ids`] instead
+    /// (dropouts/stragglers omitted, carried-over updates included).
     pub selected: Vec<usize>,
-    /// Normalized impact factors applied at aggregation (aligned with
-    /// `selected`).
+    /// Normalized impact factors applied at aggregation, one per
+    /// *aggregated* update in aggregation order — aligned with
+    /// [`HeteroRoundRecord::aggregated_ids`] when `hetero` is present
+    /// (and with `selected` only under the ideal executor, where the two
+    /// sets coincide).
     pub impact_factors: Vec<f32>,
-    /// Inference loss of the broadcast global model on each selected
-    /// client's data (`l_before`; Figure 6's robustness metric).
+    /// Inference loss of the broadcast global model on each aggregated
+    /// client's data (`l_before`; Figure 6's robustness metric), aligned
+    /// with `impact_factors` — *not* with `selected` under hetero
+    /// executors.
     pub client_losses_before: Vec<f32>,
     /// Wall-clock spent computing impact factors (µs) — Figure 9's "DRL".
     pub strategy_micros: u64,

@@ -68,6 +68,7 @@ pub mod history;
 pub mod metrics;
 pub mod selection;
 pub mod server;
+pub mod server_opt;
 pub mod session;
 pub mod singleset;
 pub mod strategy;
@@ -94,6 +95,7 @@ pub mod prelude {
         SelectionContext, SelectionPolicy, StalenessBalancedSelection, UniformSelection,
     };
     pub use crate::server::{run_federated, FlConfig};
+    pub use crate::server_opt::{AdaptiveParams, ServerOpt, ServerOptConfig};
     pub use crate::session::{
         EarlyStop, ProgressLogger, RoundControl, RoundObserver, RoundSignals, Session,
         SessionBuilder, SessionTrainFn, TrainContext,

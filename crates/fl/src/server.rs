@@ -12,6 +12,7 @@
 
 use crate::executor::ExecutorConfig;
 use crate::history::RunHistory;
+use crate::server_opt::ServerOptConfig;
 use crate::session::{Session, SessionBuilder};
 use crate::strategy::Strategy;
 use feddrl_data::dataset::Dataset;
@@ -48,6 +49,13 @@ pub struct FlConfig {
     /// asynchronous aggregation with staleness discounting.
     #[serde(default)]
     pub executor: ExecutorConfig,
+    /// Server-side optimizer applied to the aggregated model each round:
+    /// plain Eq. 4 replacement (default, byte-identical to the historical
+    /// path) or an adaptive step (FedAdam/FedYogi/FedAMSGrad) on the
+    /// pseudo-gradient `Δ = aggregate − global`. Skipped in JSON while
+    /// `Plain` so existing config/history files keep their exact shape.
+    #[serde(default, skip_serializing_if = "ServerOptConfig::is_plain")]
+    pub server_opt: ServerOptConfig,
 }
 
 impl Default for FlConfig {
@@ -61,6 +69,7 @@ impl Default for FlConfig {
             log_every: 0,
             selection: Selection::Uniform,
             executor: ExecutorConfig::Ideal,
+            server_opt: ServerOptConfig::Plain,
         }
     }
 }
@@ -93,6 +102,7 @@ impl FlConfig {
             ExecutorConfig::Deadline(h) => h.validate()?,
             ExecutorConfig::Buffered(b) => b.validate(self.participants)?,
         }
+        self.server_opt.validate()?;
         Ok(())
     }
 }
@@ -167,6 +177,7 @@ mod tests {
             log_every: 0,
             selection: Selection::Uniform,
             executor: ExecutorConfig::Ideal,
+            server_opt: ServerOptConfig::Plain,
         }
     }
 

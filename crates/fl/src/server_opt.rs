@@ -1,0 +1,468 @@
+//! Server-side adaptive optimizers over the aggregated pseudo-gradient.
+//!
+//! The paper's Eq. 4 server step is pure replacement: the weighted
+//! average of client updates *becomes* the next global model. Reddi et
+//! al.'s adaptive federated optimization ("Adaptive Federated
+//! Optimization", and the non-IID treatment in arXiv:2009.06557) instead
+//! treats the averaged model as a noisy *target* and folds it in through
+//! a server optimizer: with pseudo-gradient `Δ_t = aggregate − global`,
+//!
+//! ```text
+//! m_t = β₁·m_{t−1} + (1 − β₁)·Δ_t
+//! v_t = β₂·v_{t−1} + (1 − β₂)·Δ_t²                  (FedAdam / FedAMSGrad)
+//! v_t = v_{t−1} − (1 − β₂)·Δ_t²·sign(v_{t−1} − Δ_t²) (FedYogi)
+//! v̂_t = max(v̂_{t−1}, v_t)                           (FedAMSGrad only)
+//! w_{t+1} = w_t + lr · m_t / (√v_t + τ)
+//! ```
+//!
+//! The pseudo-gradient is computed *after* masked averaging, staleness
+//! discounting and server mixing, so every executor (ideal, deadline,
+//! buffered, networked) composes with every optimizer unchanged: the
+//! optimizer only ever sees "the model the replacement path would have
+//! installed" and decides how far to move toward it.
+//!
+//! [`ServerOptConfig::Plain`] is the default and is *structurally*
+//! byte-identical to the historical replacement path — its
+//! [`ServerOpt::apply`] returns the aggregate untouched, no arithmetic —
+//! so the golden fixture `tests/golden/ideal_history.json` and every
+//! existing history stay bit-for-bit (pinned by `tests/adaptive_props.rs`).
+//!
+//! Moment state lives in `f64`: `f32 → f64` promotion is exact and the
+//! difference of two `f32`s is exactly representable in `f64`, so the
+//! accumulated state is independent of summation quirks in `f32`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlError;
+
+/// Hyper-parameters shared by every adaptive server optimizer.
+///
+/// Defaults follow the grid centers used by Reddi et al. for the
+/// cross-device benchmarks: a conservative server learning rate with
+/// standard moment decay and an adaptivity floor `τ` that keeps early
+/// steps (tiny `v`) bounded by `lr·|Δ|/τ`-ish magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveParams {
+    /// Server learning rate `lr` (must be positive and finite).
+    pub lr: f64,
+    /// First-moment decay `β₁ ∈ [0, 1)`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂ ∈ [0, 1)`.
+    pub beta2: f64,
+    /// Adaptivity floor `τ` added to `√v` (must be positive and finite).
+    pub tau: f64,
+}
+
+impl Default for AdaptiveParams {
+    /// `lr = 0.5`, `β₁ = 0.9`, `β₂ = 0.99`, `τ = 1e-3`.
+    fn default() -> Self {
+        Self {
+            lr: 0.5,
+            beta1: 0.9,
+            beta2: 0.99,
+            tau: 1e-3,
+        }
+    }
+}
+
+impl AdaptiveParams {
+    /// Check the hyper-parameters, naming the offending knob.
+    ///
+    /// # Errors
+    /// [`FlError::InvalidServerOpt`] when `lr` or `τ` is non-positive or
+    /// non-finite, or a `β` falls outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), FlError> {
+        let bad = |reason: String| Err(FlError::InvalidServerOpt { reason });
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return bad(format!("lr must be positive and finite, got {}", self.lr));
+        }
+        if !(self.tau.is_finite() && self.tau > 0.0) {
+            return bad(format!("tau must be positive and finite, got {}", self.tau));
+        }
+        for (name, beta) in [("beta1", self.beta1), ("beta2", self.beta2)] {
+            if !(0.0..1.0).contains(&beta) || !beta.is_finite() {
+                return bad(format!("{name} must be in [0, 1), got {beta}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which server optimizer a [`Session`](crate::session::Session) applies
+/// to the aggregated model each round (an
+/// [`FlConfig`](crate::server::FlConfig) knob; `Plain` is the paper's
+/// pure replacement and the default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ServerOptConfig {
+    /// Eq. 4 replacement: the aggregate *is* the next global model.
+    /// Byte-identical to the pre-optimizer code path.
+    #[default]
+    Plain,
+    /// Adam on the pseudo-gradient (`v` decays exponentially).
+    FedAdam(AdaptiveParams),
+    /// Yogi on the pseudo-gradient: `v` moves *toward* `Δ²` additively,
+    /// so it reacts slower to sudden gradient-scale drops than Adam.
+    FedYogi(AdaptiveParams),
+    /// AMSGrad on the pseudo-gradient: the step uses the running max
+    /// `v̂ = max(v̂, v)`, so the effective learning rate never grows.
+    FedAMSGrad(AdaptiveParams),
+}
+
+impl ServerOptConfig {
+    /// `true` for the default replacement path — used as the
+    /// `skip_serializing_if` predicate so legacy config/history JSON
+    /// keeps its exact shape.
+    pub fn is_plain(&self) -> bool {
+        matches!(self, ServerOptConfig::Plain)
+    }
+
+    /// The table/CSV label experiment sweeps print for this optimizer.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServerOptConfig::Plain => "plain",
+            ServerOptConfig::FedAdam(_) => "fedadam",
+            ServerOptConfig::FedYogi(_) => "fedyogi",
+            ServerOptConfig::FedAMSGrad(_) => "fedamsgrad",
+        }
+    }
+
+    /// Check the configuration (no-op for `Plain`).
+    ///
+    /// # Errors
+    /// [`FlError::InvalidServerOpt`] for non-positive `lr`/`τ` or betas
+    /// outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), FlError> {
+        match self {
+            ServerOptConfig::Plain => Ok(()),
+            ServerOptConfig::FedAdam(p)
+            | ServerOptConfig::FedYogi(p)
+            | ServerOptConfig::FedAMSGrad(p) => p.validate(),
+        }
+    }
+
+    /// Build the stateful optimizer this config describes. Call
+    /// [`ServerOptConfig::validate`] first; `build` assumes a valid
+    /// config.
+    pub fn build(&self) -> Box<dyn ServerOpt> {
+        match *self {
+            ServerOptConfig::Plain => Box::new(PlainOpt),
+            ServerOptConfig::FedAdam(p) => Box::new(AdaptiveOpt::new(AdaptiveKind::Adam, p)),
+            ServerOptConfig::FedYogi(p) => Box::new(AdaptiveOpt::new(AdaptiveKind::Yogi, p)),
+            ServerOptConfig::FedAMSGrad(p) => Box::new(AdaptiveOpt::new(AdaptiveKind::AmsGrad, p)),
+        }
+    }
+}
+
+/// A stateful server-side optimizer: folds each round's aggregated model
+/// into the next global model, carrying moment state across rounds for
+/// the lifetime of one [`Session`](crate::session::Session).
+pub trait ServerOpt: Send {
+    /// Short optimizer name for logs and tables.
+    fn name(&self) -> &'static str;
+
+    /// Produce the next global model from the current one and the round's
+    /// aggregation target.
+    ///
+    /// `aggregate` is the result of masked weighted averaging + staleness
+    /// discounting + server mixing — exactly the vector the historical
+    /// replacement path would install verbatim. Implementations may
+    /// consume and return it unchanged (that's [`PlainOpt`]'s whole
+    /// contract) or compute a damped step toward it.
+    fn apply(&mut self, global: &[f32], aggregate: Vec<f32>) -> Vec<f32>;
+}
+
+/// Eq. 4 replacement: returns the aggregate untouched. Stateless, no
+/// arithmetic — byte-identity with the pre-optimizer path is structural,
+/// not numerical.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PlainOpt;
+
+impl ServerOpt for PlainOpt {
+    fn name(&self) -> &'static str {
+        "plain"
+    }
+
+    fn apply(&mut self, _global: &[f32], aggregate: Vec<f32>) -> Vec<f32> {
+        aggregate
+    }
+}
+
+/// Which second-moment rule an [`AdaptiveOpt`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdaptiveKind {
+    Adam,
+    Yogi,
+    AmsGrad,
+}
+
+/// FedAdam/FedYogi/FedAMSGrad: one implementation, three second-moment
+/// rules. Moment state is lazily sized on the first round (the model
+/// dimension is fixed for a session's lifetime) and carried across
+/// `apply` calls — `step()`-driven and `run()`-driven sessions see the
+/// identical state sequence.
+struct AdaptiveOpt {
+    kind: AdaptiveKind,
+    p: AdaptiveParams,
+    /// First moment `m`, one slot per parameter.
+    m: Vec<f64>,
+    /// Second moment `v`, one slot per parameter.
+    v: Vec<f64>,
+    /// Running max `v̂` (AMSGrad only; empty otherwise).
+    vmax: Vec<f64>,
+}
+
+impl AdaptiveOpt {
+    fn new(kind: AdaptiveKind, p: AdaptiveParams) -> Self {
+        Self {
+            kind,
+            p,
+            m: Vec::new(),
+            v: Vec::new(),
+            vmax: Vec::new(),
+        }
+    }
+}
+
+impl ServerOpt for AdaptiveOpt {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            AdaptiveKind::Adam => "fedadam",
+            AdaptiveKind::Yogi => "fedyogi",
+            AdaptiveKind::AmsGrad => "fedamsgrad",
+        }
+    }
+
+    fn apply(&mut self, global: &[f32], aggregate: Vec<f32>) -> Vec<f32> {
+        let dim = global.len();
+        assert_eq!(
+            aggregate.len(),
+            dim,
+            "aggregate dimension {} does not match the global model's {}",
+            aggregate.len(),
+            dim
+        );
+        if self.m.is_empty() {
+            self.m = vec![0.0; dim];
+            self.v = vec![0.0; dim];
+            if self.kind == AdaptiveKind::AmsGrad {
+                self.vmax = vec![0.0; dim];
+            }
+        }
+        assert_eq!(
+            self.m.len(),
+            dim,
+            "model dimension changed mid-session ({} -> {dim})",
+            self.m.len()
+        );
+        let AdaptiveParams {
+            lr,
+            beta1,
+            beta2,
+            tau,
+        } = self.p;
+        let mut next = aggregate;
+        for i in 0..dim {
+            let g = global[i] as f64;
+            let delta = next[i] as f64 - g; // exact: f32 values, f64 math
+            let m = beta1 * self.m[i] + (1.0 - beta1) * delta;
+            let d2 = delta * delta;
+            let v = match self.kind {
+                AdaptiveKind::Adam | AdaptiveKind::AmsGrad => {
+                    beta2 * self.v[i] + (1.0 - beta2) * d2
+                }
+                AdaptiveKind::Yogi => self.v[i] - (1.0 - beta2) * d2 * (self.v[i] - d2).signum(),
+            };
+            self.m[i] = m;
+            self.v[i] = v;
+            let denom_v = if self.kind == AdaptiveKind::AmsGrad {
+                self.vmax[i] = self.vmax[i].max(v);
+                self.vmax[i]
+            } else {
+                v
+            };
+            next[i] = (g + lr * m / (denom_v.sqrt() + tau)) as f32;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AdaptiveParams {
+        AdaptiveParams::default()
+    }
+
+    #[test]
+    fn plain_returns_the_aggregate_bitwise() {
+        let global = vec![1.0f32, -2.5, 0.125];
+        let aggregate = vec![0.3f32, f32::MIN_POSITIVE, -0.0];
+        let bits: Vec<u32> = aggregate.iter().map(|w| w.to_bits()).collect();
+        let out = PlainOpt.apply(&global, aggregate);
+        let out_bits: Vec<u32> = out.iter().map(|w| w.to_bits()).collect();
+        assert_eq!(out_bits, bits, "plain must not touch a single bit");
+    }
+
+    #[test]
+    fn adam_first_step_matches_the_closed_form() {
+        // One step from zero state: m = (1−β₁)Δ, v = (1−β₂)Δ², so
+        // w' = w + lr·(1−β₁)Δ / (√((1−β₂))·|Δ| + τ).
+        let p = params();
+        let mut opt = ServerOptConfig::FedAdam(p).build();
+        let global = vec![0.5f32, -1.0];
+        let aggregate = vec![1.5f32, -1.25];
+        let out = opt.apply(&global, aggregate.clone());
+        for i in 0..global.len() {
+            let delta = aggregate[i] as f64 - global[i] as f64;
+            let m = (1.0 - p.beta1) * delta;
+            let v = (1.0 - p.beta2) * delta * delta;
+            let want = (global[i] as f64 + p.lr * m / (v.sqrt() + p.tau)) as f32;
+            assert_eq!(out[i].to_bits(), want.to_bits(), "coordinate {i}");
+        }
+    }
+
+    #[test]
+    fn moment_state_carries_across_rounds() {
+        // Two identical pseudo-gradients: with state carried, the second
+        // step's m is strictly larger than the first's, so the second
+        // step moves farther. A stateless (re-built) optimizer repeats
+        // the first step exactly.
+        let p = params();
+        let global = vec![0.0f32; 4];
+        let aggregate = vec![1.0f32; 4];
+        let mut stateful = ServerOptConfig::FedAdam(p).build();
+        let s1 = stateful.apply(&global, aggregate.clone());
+        let s2 = stateful.apply(&global, aggregate.clone());
+        let mut fresh = ServerOptConfig::FedAdam(p).build();
+        let f1 = fresh.apply(&global, aggregate.clone());
+        assert_eq!(s1, f1, "first steps must agree");
+        assert!(
+            s2[0] > s1[0],
+            "carried first moment must accelerate the second step \
+             ({} vs {})",
+            s2[0],
+            s1[0]
+        );
+    }
+
+    #[test]
+    fn yogi_second_moment_moves_additively() {
+        // After a large Δ then a tiny Δ, Yogi's v stays close to the
+        // large Δ² (additive decrease), while Adam's collapses by β₂ —
+        // so Yogi's follow-up step is the smaller of the two.
+        let p = AdaptiveParams {
+            beta2: 0.5,
+            ..params()
+        };
+        let global = vec![0.0f32];
+        let run = |cfg: ServerOptConfig| {
+            let mut opt = cfg.build();
+            opt.apply(&global, vec![10.0]);
+            opt.apply(&global, vec![0.01])[0]
+        };
+        let adam = run(ServerOptConfig::FedAdam(p));
+        let yogi = run(ServerOptConfig::FedYogi(p));
+        assert!(
+            yogi < adam,
+            "yogi's slow-decaying v must damp the step more (yogi {yogi}, adam {adam})"
+        );
+    }
+
+    #[test]
+    fn amsgrad_denominator_never_shrinks() {
+        // A huge Δ then a tiny one: AMSGrad keeps the huge v̂ in the
+        // denominator, so its second step is smaller than Adam's.
+        let p = AdaptiveParams {
+            beta2: 0.5,
+            ..params()
+        };
+        let global = vec![0.0f32];
+        let run = |cfg: ServerOptConfig| {
+            let mut opt = cfg.build();
+            opt.apply(&global, vec![100.0]);
+            opt.apply(&global, vec![0.5])[0]
+        };
+        let adam = run(ServerOptConfig::FedAdam(p));
+        let ams = run(ServerOptConfig::FedAMSGrad(p));
+        assert!(
+            ams < adam,
+            "amsgrad's max-v̂ must damp the step more (ams {ams}, adam {adam})"
+        );
+    }
+
+    #[test]
+    fn validation_names_the_offending_knob() {
+        let cases: &[(AdaptiveParams, &str)] = &[
+            (
+                AdaptiveParams {
+                    lr: 0.0,
+                    ..params()
+                },
+                "lr",
+            ),
+            (
+                AdaptiveParams {
+                    lr: f64::NAN,
+                    ..params()
+                },
+                "lr",
+            ),
+            (
+                AdaptiveParams {
+                    tau: -1e-3,
+                    ..params()
+                },
+                "tau",
+            ),
+            (
+                AdaptiveParams {
+                    beta1: 1.0,
+                    ..params()
+                },
+                "beta1",
+            ),
+            (
+                AdaptiveParams {
+                    beta2: -0.1,
+                    ..params()
+                },
+                "beta2",
+            ),
+        ];
+        for (p, knob) in cases {
+            let err = ServerOptConfig::FedAdam(*p).validate().unwrap_err();
+            match &err {
+                FlError::InvalidServerOpt { reason } => assert!(
+                    reason.contains(knob),
+                    "expected {knob} in {reason:?} for {p:?}"
+                ),
+                other => panic!("wrong error {other:?}"),
+            }
+        }
+        ServerOptConfig::Plain.validate().unwrap();
+        ServerOptConfig::FedYogi(params()).validate().unwrap();
+        // β = 0 is legal: momentum off, pure sign-scaled steps.
+        ServerOptConfig::FedAMSGrad(AdaptiveParams {
+            beta1: 0.0,
+            beta2: 0.0,
+            ..params()
+        })
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn config_names_match_built_optimizers() {
+        for cfg in [
+            ServerOptConfig::Plain,
+            ServerOptConfig::FedAdam(params()),
+            ServerOptConfig::FedYogi(params()),
+            ServerOptConfig::FedAMSGrad(params()),
+        ] {
+            assert_eq!(cfg.build().name(), cfg.name());
+        }
+        assert!(ServerOptConfig::Plain.is_plain());
+        assert!(!ServerOptConfig::FedAdam(params()).is_plain());
+    }
+}

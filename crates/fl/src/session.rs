@@ -309,6 +309,15 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// Server-side optimizer applied to the aggregated model each round
+    /// (plain Eq. 4 replacement by default; FedAdam/FedYogi/FedAMSGrad
+    /// step along the pseudo-gradient instead, carrying moment state
+    /// across rounds for the session's lifetime).
+    pub fn server_opt(mut self, server_opt: crate::server_opt::ServerOptConfig) -> Self {
+        self.cfg.server_opt = server_opt;
+        self
+    }
+
     /// Plug in a pre-built [`RoundExecutor`] instance, overriding the
     /// config-level [`ExecutorConfig`] (the executor-instance analogue of
     /// [`SessionBuilder::selection_policy`]). This is how executors that
@@ -389,6 +398,7 @@ impl<'a> SessionBuilder<'a> {
 
         let method = self.strategy.name().to_string();
         let rounds = cfg.rounds;
+        let server_opt = cfg.server_opt.build();
         Ok(Session {
             train: self.train,
             test: self.test,
@@ -403,6 +413,7 @@ impl<'a> SessionBuilder<'a> {
             local_cfg,
             executor,
             policy,
+            server_opt,
             train_override: self.train_override,
             observers,
             known_loss: vec![None; n_clients],
@@ -436,6 +447,7 @@ pub struct Session<'a> {
     local_cfg: crate::client::LocalTrainConfig,
     executor: Box<dyn RoundExecutor>,
     policy: Box<dyn SelectionPolicy>,
+    server_opt: Box<dyn crate::server_opt::ServerOpt>,
     train_override: Option<Box<SessionTrainFn<'a>>>,
     observers: Vec<Box<dyn RoundObserver>>,
     known_loss: Vec<Option<f32>>,
@@ -660,6 +672,13 @@ impl<'a> Session<'a> {
                     *w = (1.0 - eta) * g + eta * *w;
                 }
             }
+            // --- Server optimizer: fold the aggregation target into the
+            // next global model. The default `Plain` returns `new_global`
+            // untouched (no arithmetic — the historical replacement path,
+            // bit-for-bit); the adaptive optimizers step along the
+            // pseudo-gradient `Δ = new_global − global`, carrying moment
+            // state in the session across rounds.
+            let new_global = self.server_opt.apply(&global_flat, new_global);
             let aggregate_micros = t1.elapsed().as_micros() as u64;
             self.global.set_flat_params(&new_global);
             (alphas, strategy_micros, aggregate_micros)

@@ -22,7 +22,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use feddrl_fl::client::ClientUpdate;
 
@@ -95,6 +95,40 @@ fn lock_writer(writer: &Mutex<TcpStream>) -> MutexGuard<'_, TcpStream> {
     writer.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// When to emit the next heartbeat, as an absolute wall-clock deadline.
+///
+/// The heartbeat loop sleeps in short ticks (so joining after `stop` is
+/// prompt) and asks this schedule whether a beat is due at each wake-up.
+/// Deciding off `Instant::now()` rather than a sum of *intended* tick
+/// durations means oversleeping ticks on a loaded machine cannot stretch
+/// the effective period past `period` — the first wake-up at or past the
+/// deadline beats immediately. After a beat the deadline re-anchors on
+/// the observed `now` (not `+= period`), so a long stall yields one
+/// catch-up beat rather than a burst.
+struct BeatSchedule {
+    next: Instant,
+    period: Duration,
+}
+
+impl BeatSchedule {
+    fn new(start: Instant, period: Duration) -> Self {
+        BeatSchedule {
+            next: start + period,
+            period,
+        }
+    }
+
+    /// `true` when a beat is due at `now`; arms the next deadline.
+    fn poll(&mut self, now: Instant) -> bool {
+        if now >= self.next {
+            self.next = now + self.period;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Run one worker to completion: connect, `Hello`, serve `TrainRequest`s
 /// against the latest published model via `train`, until the server says
 /// `Bye` or closes the connection.
@@ -125,14 +159,15 @@ where
         thread::Builder::new()
             .name("feddrl-net-heartbeat".into())
             .spawn(move || {
-                // Sleep in short ticks so joining after `stop` is prompt.
+                // Sleep in short ticks so joining after `stop` is prompt;
+                // beat off the elapsed-wall-clock schedule so slow ticks
+                // under load cannot drive heartbeats late and let the
+                // server's TTL spuriously retire an idle worker.
                 let tick = Duration::from_millis(10).min(period);
-                let mut since_beat = Duration::ZERO;
+                let mut schedule = BeatSchedule::new(Instant::now(), period);
                 while !stop.load(Ordering::Acquire) {
                     thread::sleep(tick);
-                    since_beat += tick;
-                    if since_beat >= period {
-                        since_beat = Duration::ZERO;
+                    if schedule.poll(Instant::now()) {
                         let sent = write_frame(
                             &mut *lock_writer(&writer),
                             &Message::Heartbeat { client_id: id },
@@ -266,6 +301,42 @@ mod tests {
         assert_eq!(report.rounds_trained, 1);
         assert_eq!(report.publishes_seen, 1);
         assert_eq!(report.last_version, 1);
+    }
+
+    /// Regression for the tick-accumulation drift: a worker whose ticks
+    /// oversleep (a loaded machine) must still beat at every wake-up past
+    /// the deadline. The old `since_beat += tick` accounting credited
+    /// each 10 ms tick as exactly 10 ms, so ticks that actually took
+    /// 100 ms stretched a 25 ms period to 3 wake-ups (~300 ms) between
+    /// beats — past a 150 ms TTL. Driven synthetically so the test does
+    /// not itself depend on machine load.
+    #[test]
+    fn slow_ticks_cannot_drive_heartbeats_late() {
+        let period = Duration::from_millis(25);
+        let start = Instant::now();
+        let mut schedule = BeatSchedule::new(start, period);
+        // Wake-ups arrive every 100 ms of wall-clock (each intended
+        // 10 ms tick overslept 10x). Every single one is past the
+        // deadline, so every single one must beat: the gap between
+        // beats is one wake-up interval, never a multiple of it.
+        let mut beats = 0;
+        for wake in 1..=10u32 {
+            if schedule.poll(start + wake * Duration::from_millis(100)) {
+                beats += 1;
+            }
+        }
+        assert_eq!(beats, 10, "every overslept wake-up past the deadline beats");
+        // A stall does not queue a make-up burst: after one catch-up
+        // beat the next deadline re-anchors a full period out.
+        let stalled = start + Duration::from_secs(5);
+        assert!(schedule.poll(stalled));
+        assert!(!schedule.poll(stalled + Duration::from_millis(1)));
+        assert!(schedule.poll(stalled + period));
+        // And fast ticks still respect the period: no beat before it.
+        let mut schedule = BeatSchedule::new(start, period);
+        assert!(!schedule.poll(start + Duration::from_millis(10)));
+        assert!(!schedule.poll(start + Duration::from_millis(20)));
+        assert!(schedule.poll(start + Duration::from_millis(25)));
     }
 
     #[test]

@@ -71,15 +71,20 @@ pub struct NetTelemetry {
 
 impl NetTelemetry {
     /// The `pct`-th percentile of observed RTTs in milliseconds
-    /// (nearest-rank on the sorted samples; 0.0 when empty).
+    /// (nearest-rank on the sorted samples: index `⌈pct/100 · N⌉ − 1`,
+    /// the same definition `feddrl_sim`'s fleet percentiles use, so
+    /// measured-vs-predicted comparisons compare like with like; 0.0
+    /// when empty).
     pub fn percentile_rtt_ms(&self, pct: f64) -> f64 {
         if self.rtt_ms.is_empty() {
             return 0.0;
         }
         let mut sorted = self.rtt_ms.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("RTTs are finite"));
-        let idx = ((sorted.len() - 1) as f64 * (pct / 100.0)).round() as usize;
-        sorted[idx.min(sorted.len() - 1)]
+        let idx = ((sorted.len() as f64 * (pct / 100.0)).ceil() as usize)
+            .saturating_sub(1)
+            .min(sorted.len() - 1);
+        sorted[idx]
     }
 
     /// Median observed round-trip time in milliseconds.
@@ -390,6 +395,28 @@ mod tests {
         let empty = NetTelemetry::default();
         assert_eq!(empty.p50_rtt_ms(), 0.0);
         assert_eq!(empty.mean_staleness(), 0.0);
+    }
+
+    /// Regression for the nearest-rank fix: over 100 samples `1..=100`,
+    /// p50 is the 50th value (the old `((N−1)·p).round()` indexing read
+    /// the 51st) and p99 the 99th — the exact definition
+    /// `feddrl_sim::device` applies to fleet completion times.
+    #[test]
+    fn percentiles_are_true_nearest_rank() {
+        let t = NetTelemetry {
+            rtt_ms: (1..=100).rev().map(f64::from).collect(),
+            ..NetTelemetry::default()
+        };
+        assert_eq!(t.p50_rtt_ms(), 50.0);
+        assert_eq!(t.p99_rtt_ms(), 99.0);
+        assert_eq!(t.percentile_rtt_ms(0.0), 1.0);
+        assert_eq!(t.percentile_rtt_ms(100.0), 100.0);
+        // Odd N keeps the textbook median.
+        let t = NetTelemetry {
+            rtt_ms: vec![9.0, 1.0, 5.0],
+            ..NetTelemetry::default()
+        };
+        assert_eq!(t.p50_rtt_ms(), 5.0);
     }
 
     #[test]

@@ -561,9 +561,11 @@ impl FleetView {
     }
 
     /// The `pct`-percentile (in `[0, 1]`) of the fleet's completion times
-    /// for an `upload_bytes` payload. O(n log n) compute with an O(n)
-    /// *transient* buffer — a setup-time helper for deadline placement,
-    /// not a per-round operation; does not count toward
+    /// for an `upload_bytes` payload — nearest-rank on the sorted times
+    /// (index `⌈pct · N⌉ − 1`, matching [`Fleet::completion_percentile_s`]
+    /// and `feddrl_net`'s RTT percentiles). O(n log n) compute with an
+    /// O(n) *transient* buffer — a setup-time helper for deadline
+    /// placement, not a per-round operation; does not count toward
     /// [`FleetView::derivations`].
     pub fn completion_percentile_s(&self, upload_bytes: u64, pct: f64) -> f64 {
         assert!((0.0..=1.0).contains(&pct), "percentile must be in [0, 1]");
@@ -571,8 +573,7 @@ impl FleetView {
             .map(|i| derive_profile(&self.cfg, &self.master, i).completion_time_s(upload_bytes))
             .collect();
         times.sort_by(f64::total_cmp);
-        let idx = ((times.len() - 1) as f64 * pct).round() as usize;
-        times[idx]
+        times[nearest_rank(times.len(), pct)]
     }
 
     /// Materialize the view into an eager [`Fleet`] (derives all `n`
@@ -649,7 +650,10 @@ impl Fleet {
 
     /// The `pct`-percentile (in `[0, 1]`) of the fleet's completion times
     /// for an `upload_bytes` payload — a principled way to pick a round
-    /// deadline ("wait for the fastest 70%").
+    /// deadline ("wait for the fastest 70%"). Nearest-rank on the sorted
+    /// times (index `⌈pct · N⌉ − 1`, matching
+    /// [`FleetView::completion_percentile_s`] and `feddrl_net`'s RTT
+    /// percentiles).
     pub fn completion_percentile_s(&self, upload_bytes: u64, pct: f64) -> f64 {
         assert!((0.0..=1.0).contains(&pct), "percentile must be in [0, 1]");
         let mut times: Vec<f64> = self
@@ -658,9 +662,19 @@ impl Fleet {
             .map(|p| p.completion_time_s(upload_bytes))
             .collect();
         times.sort_by(f64::total_cmp);
-        let idx = ((times.len() - 1) as f64 * pct).round() as usize;
-        times[idx]
+        times[nearest_rank(times.len(), pct)]
     }
+}
+
+/// Nearest-rank percentile index over `n` sorted samples for a quantile
+/// `pct ∈ [0, 1]`: the smallest index whose rank covers `pct` of the
+/// samples, `⌈pct · n⌉ − 1` (clamped so `pct = 0` reads the minimum and
+/// `pct = 1` the maximum). `feddrl_net`'s RTT telemetry implements the
+/// identical definition on percent-valued input.
+fn nearest_rank(n: usize, pct: f64) -> usize {
+    ((n as f64 * pct).ceil() as usize)
+        .saturating_sub(1)
+        .min(n - 1)
 }
 
 #[cfg(test)]
@@ -755,6 +769,40 @@ mod tests {
         let hi = fleet.completion_percentile_s(1_000, 1.0);
         assert!(lo <= mid && mid <= hi);
         assert!(hi > lo, "skewed fleet must spread percentiles");
+    }
+
+    /// Regression for the nearest-rank fix: on a 100-device fleet, p50
+    /// must read the 50th-fastest completion time (index 49 — the old
+    /// `((N−1)·p).round()` indexing read index 50) and p99 the
+    /// 99th-fastest (index 98), bit-identically in `Fleet` and
+    /// `FleetView`. Same definition as `feddrl_net`'s RTT percentiles.
+    #[test]
+    fn percentile_is_true_nearest_rank() {
+        let cfg = FleetConfig {
+            compute_skew: 6.0,
+            bandwidth_skew: 3.0,
+            seed: 42,
+            ..Default::default()
+        };
+        let fleet = Fleet::generate(100, &cfg);
+        let view = FleetView::new(100, &cfg);
+        let mut times: Vec<f64> = (0..100)
+            .map(|i| fleet.profile(i).completion_time_s(1_000_000))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        for (pct, idx) in [(0.5, 49), (0.99, 98), (0.0, 0), (1.0, 99)] {
+            let want = times[idx];
+            assert_eq!(
+                fleet.completion_percentile_s(1_000_000, pct).to_bits(),
+                want.to_bits(),
+                "Fleet p{pct} must read sorted index {idx}"
+            );
+            assert_eq!(
+                view.completion_percentile_s(1_000_000, pct).to_bits(),
+                want.to_bits(),
+                "FleetView p{pct} must read sorted index {idx}"
+            );
+        }
     }
 
     #[test]

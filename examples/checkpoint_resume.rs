@@ -39,6 +39,7 @@ fn main() {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
 
     // 1. Pre-train an agent with the two-stage procedure.

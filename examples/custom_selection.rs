@@ -60,6 +60,7 @@ fn main() {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
 
     // --- 1. The custom policy, end to end.

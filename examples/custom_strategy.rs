@@ -56,6 +56,7 @@ fn main() {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
 
     let run = |strategy: &mut dyn Strategy| {

@@ -48,6 +48,7 @@ fn main() {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal, // overridden by the net executor
+        server_opt: ServerOptConfig::Plain,
     };
     let shared_train = Arc::new(train.clone());
     let shared_partition = Arc::new(partition.clone());

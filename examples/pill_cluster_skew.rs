@@ -55,6 +55,7 @@ fn main() {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
 
     let single = run_singleset(

@@ -51,6 +51,7 @@ fn main() {
         log_every: 10,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
 
     // 4. Train FedAvg and FedDRL on identical data and seeds. Runs are

@@ -65,6 +65,7 @@ fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
     (spec, train, test, partition, cfg)
 }
@@ -251,6 +252,7 @@ fn buffered_reaches_target_accuracy_in_less_sim_time_than_deadline() {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
 
     // Baseline: the barrier waits out its 70th-percentile deadline every
@@ -446,6 +448,7 @@ proptest! {
             log_every: 0,
             selection: Selection::Uniform,
             executor: ExecutorConfig::Buffered(cfg),
+            server_opt: ServerOptConfig::Plain,
         };
         let history = run(&spec, &train, &test, &partition, &fl_cfg);
         for r in &history.records {

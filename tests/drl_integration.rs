@@ -84,6 +84,7 @@ fn two_stage_produces_trained_main_agent() {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
     let mut feddrl_cfg = FedDrlConfig::default();
     feddrl_cfg.ddpg.hidden = 32;

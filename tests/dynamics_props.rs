@@ -829,6 +829,7 @@ fn dynamics_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
     (spec, train, test, partition, cfg)
 }

@@ -39,6 +39,7 @@ fn fl_cfg(rounds: usize, participants: usize, seed: u64) -> FlConfig {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     }
 }
 

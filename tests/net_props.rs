@@ -249,6 +249,7 @@ fn net_env() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
     (spec, train, test, partition, cfg)
 }

@@ -252,6 +252,7 @@ fn parallel_dispatch_history_is_byte_identical_to_serial() {
                 log_every: 0,
                 selection: Selection::Uniform,
                 executor: mk_exec(parallel),
+                server_opt: ServerOptConfig::Plain,
             };
             let mut strategy = FedAvg;
             let history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)

@@ -52,6 +52,7 @@ fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
     (spec, train, test, partition, cfg)
 }
@@ -118,7 +119,57 @@ fn tiny_cfg(executor: ExecutorConfig) -> FlConfig {
         log_every: 0,
         selection: Selection::Uniform,
         executor,
+        server_opt: ServerOptConfig::Plain,
     }
+}
+
+/// `RoundRecord::impact_factors`/`client_losses_before` align with the
+/// *aggregated* set (`HeteroRoundRecord::aggregated_ids`), not with
+/// `selected`: under carry-over the aggregated set omits stragglers and
+/// re-injects clients sampled in earlier rounds, so the two genuinely
+/// diverge — which is exactly what the field docs must (and now do) say.
+#[test]
+fn factor_alignment_follows_aggregated_ids_not_selected() {
+    let (spec, train, test, partition) = tiny_env(4);
+    let fleet = FleetConfig {
+        compute_skew: 5.0,
+        seed: 17,
+        ..Default::default()
+    };
+    // A deadline at the 40th percentile cuts the slow majority, so under
+    // CarryOver their updates land one-plus rounds late.
+    let deadline = Fleet::generate(5, &fleet).completion_percentile_s(4_000_000, 0.4);
+    let mut cfg = tiny_cfg(ExecutorConfig::Deadline(HeteroConfig {
+        fleet,
+        deadline_s: Some(deadline),
+        late_policy: LatePolicy::CarryOver,
+        ..Default::default()
+    }));
+    cfg.rounds = 6;
+    let history = run_federated(&spec, &train, &test, &partition, &mut FedAvg, &cfg);
+    let mut saw_carry = false;
+    let mut saw_divergence = false;
+    for r in &history.records {
+        let h = r.hetero.as_ref().expect("deadline run records telemetry");
+        assert_eq!(
+            r.impact_factors.len(),
+            h.aggregated_ids.len(),
+            "round {}: impact_factors must align with aggregated_ids",
+            r.round
+        );
+        assert_eq!(
+            r.client_losses_before.len(),
+            h.aggregated_ids.len(),
+            "round {}: client_losses_before must align with aggregated_ids",
+            r.round
+        );
+        saw_carry |= h.carried_in > 0;
+        saw_divergence |= h.aggregated_ids != r.selected;
+    }
+    assert!(
+        saw_carry && saw_divergence,
+        "the run must actually exercise carry-over (carried {saw_carry}, diverged {saw_divergence})"
+    );
 }
 
 fn arb_fleet() -> impl proptest::strategy::Strategy<Value = FleetConfig> {

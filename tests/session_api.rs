@@ -43,6 +43,7 @@ fn golden_setup() -> (ModelSpec, Dataset, Dataset, Partition, FlConfig) {
         log_every: 0,
         selection: Selection::Uniform,
         executor: ExecutorConfig::Ideal,
+        server_opt: ServerOptConfig::Plain,
     };
     (spec, train, test, partition, cfg)
 }

@@ -1,17 +1,24 @@
 //! Networked-runtime measurement: the `feddrl_net` executor over real
 //! loopback sockets vs the simulator's predictions for the same fleet.
 //!
-//! Spins up a `feddrl_net` server plus one worker thread per client and
-//! drives the `NetworkExecutor` directly — every model broadcast and
-//! every update crosses a TCP socket. Each worker delays its reply by its
-//! device profile's completion time (drawn from the same skewed
-//! [`FleetConfig`] the simulator uses, linearly scaled from simulated
-//! seconds to real milliseconds), so the transport sees the fleet the
-//! discrete-event simulator only imagines. Two measured cells:
+//! Spins up a `feddrl_net` server plus one worker per client — a thread
+//! by default, a real OS process under `--processes` (the binary
+//! re-execs itself with `--worker`) — and drives the `NetworkExecutor`
+//! directly: every model broadcast and every update crosses a TCP
+//! socket. Each worker delays its reply by its device profile's
+//! completion time (drawn from the same skewed [`FleetConfig`] the
+//! simulator uses, linearly scaled from simulated seconds to real
+//! milliseconds), so the transport sees the fleet the discrete-event
+//! simulator only imagines. Two measured cells:
 //!
 //! * **barrier** — wait for every dispatch: measured p50/p99 round-trip
 //!   time and update throughput against the fleet profile's predicted
-//!   completion percentiles (staleness is zero by construction);
+//!   completion percentiles (staleness is zero by construction). Delta
+//!   publishes are on: after the first dense fan-out, steady-state
+//!   rounds ship sparse `ModelPublishDelta` frames and the cell reports
+//!   (and asserts) the resulting bytes-on-wire reduction. Under
+//!   `--processes` one worker process is killed mid-run; its TTL expiry
+//!   must surface as a permanent departure.
 //! * **buffered(m)** — aggregate at the m-th arrival: *measured* mean
 //!   staleness (model-version gaps of real late arrivals) against the
 //!   mean staleness the simulator's `BufferedExecutor` predicts for the
@@ -19,6 +26,7 @@
 //!
 //! Artifacts: `net_sweep.txt` (table) and `net_sweep.csv`.
 
+use std::process::{Child, Command};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -26,6 +34,11 @@ use feddrl::prelude::*;
 use feddrl_bench::{render_table, write_artifact, DatasetKind, ExpOptions, ExperimentSpec, Scale};
 use feddrl_net::prelude::*;
 use feddrl_sim::prelude::*;
+
+/// Liveness TTL / worker heartbeat for the process cell — short enough
+/// that a killed worker departs within a quick run.
+const PROCESS_TTL: Duration = Duration::from_millis(900);
+const PROCESS_HEARTBEAT: Duration = Duration::from_millis(100);
 
 /// Real milliseconds the slowest device's completion time maps onto.
 fn target_max_ms(scale: Scale) -> f64 {
@@ -35,12 +48,16 @@ fn target_max_ms(scale: Scale) -> f64 {
     }
 }
 
-/// Nearest-rank percentile of `samples` (must be non-empty).
+/// Nearest-rank percentile of `samples` for `pct` in `[0, 100]` (must be
+/// non-empty) — index `⌈pct/100 · N⌉ − 1`, the same definition
+/// `NetTelemetry::rtt_percentile_ms` and the fleet percentiles use.
 fn percentile(samples: &[f64], pct: f64) -> f64 {
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-    let idx = ((sorted.len() - 1) as f64 * (pct / 100.0)).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let idx = ((sorted.len() as f64 * (pct / 100.0)).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx]
 }
 
 /// The deterministic stub update both the workers and the simulator's
@@ -59,34 +76,159 @@ fn stub_update(client_id: usize, round: u64, global: &[f32]) -> ClientUpdate {
     }
 }
 
+/// The `--worker` entry point: this binary re-execed as one federated
+/// worker process. Parses its own tiny argument grammar (it must never
+/// reach `ExpOptions::from_args`, which would reject `--worker`), runs
+/// the same deterministic stub the thread workers run, and exits 0 on a
+/// clean `Bye`.
+fn run_worker_process(args: &[String]) -> ! {
+    let mut addr = None;
+    let mut id = None;
+    let mut delay_ms = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().cloned(),
+            "--id" => id = it.next().and_then(|v| v.parse::<usize>().ok()),
+            "--delay-ms" => {
+                delay_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--delay-ms needs a float");
+            }
+            other => panic!("unknown worker argument: {other}"),
+        }
+    }
+    let addr = addr.expect("--worker needs --addr");
+    let id = id.expect("--worker needs --id");
+    let cfg = NetClientBuilder::new(addr, id)
+        .heartbeat(PROCESS_HEARTBEAT)
+        .train_delay(Duration::from_secs_f64(delay_ms / 1e3))
+        .build()
+        .expect("worker config");
+    let outcome = run_client(&cfg, move |order, global| {
+        stub_update(id, order.round, global)
+    });
+    match outcome {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker {id} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// One measured loopback run's outcome.
 struct NetRun {
     telemetry: NetTelemetry,
     wall_s: f64,
+    /// Publish bytes-on-wire over the steady-state rounds (everything
+    /// after the first round's cold dense fan-out).
+    steady_publish: PublishStats,
+    /// Ids departed by the end of the run (TTL expiry or `Bye`).
+    departed: Vec<usize>,
+}
+
+/// Worker handles for either spawning mode, so the run loop can join
+/// threads and reap processes uniformly (and kill one process mid-run).
+enum Workers {
+    Threads(Vec<thread::JoinHandle<Result<ClientReport, WireError>>>),
+    Processes(Vec<Child>),
+}
+
+impl Workers {
+    /// Kill worker `idx` (process mode only; thread workers cannot be
+    /// killed mid-run and `None` is returned).
+    fn kill(&mut self, idx: usize) -> Option<usize> {
+        match self {
+            Workers::Threads(_) => None,
+            Workers::Processes(children) => {
+                let child = children.get_mut(idx)?;
+                child.kill().expect("kill worker process");
+                let _ = child.wait();
+                Some(idx)
+            }
+        }
+    }
+
+    fn join(self) {
+        match self {
+            Workers::Threads(handles) => {
+                for h in handles {
+                    let _ = h.join().expect("worker thread");
+                }
+            }
+            Workers::Processes(children) => {
+                for mut c in children {
+                    let _ = c.wait();
+                }
+            }
+        }
+    }
 }
 
 /// Server + `n_clients` delayed loopback workers, `rounds` executor
-/// rounds; `buffer: None` is barrier mode, `Some(m)` buffered.
+/// rounds; `buffer: None` is barrier mode, `Some(m)` buffered. With
+/// `processes` the workers are real OS processes and the one with the
+/// highest id is killed halfway through — its TTL expiry must flow into
+/// the departed set without stalling the remaining rounds.
 fn run_net(
     n_clients: usize,
     rounds: usize,
     params: usize,
     delays_ms: &[f64],
     buffer: Option<usize>,
+    processes: bool,
 ) -> NetRun {
-    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind server");
+    let ttl = if processes {
+        PROCESS_TTL
+    } else {
+        Duration::from_secs(5)
+    };
+    let server = NetServerBuilder::new()
+        .ttl(ttl)
+        .delta_publish(true)
+        .build()
+        .expect("bind server");
     let addr = server.local_addr().to_string();
-    let workers: Vec<_> = (0..n_clients)
-        .map(|cid| {
-            let cfg = ClientConfig::new(addr.clone(), cid)
-                .with_train_delay(Duration::from_secs_f64(delays_ms[cid] / 1e3));
-            thread::spawn(move || {
-                run_client(&cfg, move |order, global| {
-                    stub_update(cid, order.round, global)
+
+    let mut workers = if processes {
+        let exe = std::env::current_exe().expect("own binary path");
+        Workers::Processes(
+            (0..n_clients)
+                .map(|cid| {
+                    Command::new(&exe)
+                        .args([
+                            "--worker",
+                            "--addr",
+                            &addr,
+                            "--id",
+                            &cid.to_string(),
+                            "--delay-ms",
+                            &format!("{:.3}", delays_ms[cid]),
+                        ])
+                        .spawn()
+                        .expect("spawn worker process")
                 })
-            })
-        })
-        .collect();
+                .collect(),
+        )
+    } else {
+        Workers::Threads(
+            (0..n_clients)
+                .map(|cid| {
+                    let cfg = NetClientBuilder::new(addr.clone(), cid)
+                        .train_delay(Duration::from_secs_f64(delays_ms[cid] / 1e3))
+                        .build()
+                        .expect("worker config");
+                    thread::spawn(move || {
+                        run_client(&cfg, move |order, global| {
+                            stub_update(cid, order.round, global)
+                        })
+                    })
+                })
+                .collect(),
+        )
+    };
     server
         .wait_for_clients(n_clients, Duration::from_secs(10))
         .expect("workers subscribed");
@@ -98,25 +240,47 @@ fn run_net(
     .with_round_timeout(Duration::from_secs(30));
     let telemetry = exec.telemetry();
     let selected: Vec<usize> = (0..n_clients).collect();
-    let global = vec![0.0f32; params];
+    let mut global = vec![0.0f32; params];
     let noop: &TrainFn<'_> = &|_dispatches: &[Dispatch]| Vec::new();
+    let kill_at = rounds / 2;
+    let mut cold_publish = PublishStats::default();
     let start = Instant::now();
     for round in 0..rounds {
+        // Sweep (and surface) departures before dispatching, exactly as
+        // the session does via selection context.
+        let _ = exec.departed_clients();
+        // Touch one parameter per round so steady-state publishes are
+        // genuine sparse deltas, not empty ones.
+        global[round % params] = (round + 1) as f32;
         exec.publish_model(round, &global);
         let _ = exec.execute(round, &selected, noop);
+        if round == 0 {
+            cold_publish = telemetry.lock().publish;
+        }
+        if processes && round + 1 == kill_at {
+            // Kill between rounds, then outlast the TTL so the next
+            // round's sweep retires the worker instead of the barrier
+            // waiting on its corpse.
+            if let Some(idx) = workers.kill(n_clients - 1) {
+                eprintln!("killed worker process {idx} after round {round}");
+                thread::sleep(ttl * 5 / 2);
+            }
+        }
     }
     let wall_s = start.elapsed().as_secs_f64();
+    let departed = exec.departed_clients();
     // Dropping the executor shuts the server down; workers exit on `Bye`
     // (a buffered run may cut a still-sleeping straggler's socket, so the
     // worker result is not required to be clean here).
     drop(exec);
-    for w in workers {
-        let _ = w.join().expect("worker thread");
-    }
+    workers.join();
     let snapshot = telemetry.lock().clone();
+    let steady_publish = snapshot.publish.since(&cold_publish);
     NetRun {
         telemetry: snapshot,
         wall_s,
+        steady_publish,
+        departed,
     }
 }
 
@@ -169,6 +333,7 @@ fn push_row(
 ) {
     let t = &run.telemetry;
     let updates_per_s = t.rtt_ms.len() as f64 / run.wall_s.max(1e-9);
+    let steady = &run.steady_publish;
     rows.push(vec![
         mode.to_string(),
         buffer.to_string(),
@@ -182,19 +347,35 @@ fn push_row(
         format!("{updates_per_s:.0}"),
         format!("{:.2}", t.mean_staleness()),
         format!("{sim_staleness:.2}"),
+        t.publish.wire_bytes.to_string(),
+        t.publish.dense_bytes.to_string(),
+        format!("{}/{}", t.publish.delta_frames, t.publish.full_frames),
+        format!("{:.3}", steady.wire_to_dense_ratio()),
     ]);
     csv.push_str(&format!(
         "{mode},{buffer},{rounds},{},{},{:.3},{:.3},{pred_p50_ms:.3},{pred_p99_ms:.3},\
-         {updates_per_s:.1},{:.3},{sim_staleness:.3}\n",
+         {updates_per_s:.1},{:.3},{sim_staleness:.3},{},{},{},{},{:.4}\n",
         t.dispatched,
         t.rtt_ms.len(),
         t.p50_rtt_ms(),
         t.p99_rtt_ms(),
         t.mean_staleness(),
+        t.publish.wire_bytes,
+        t.publish.dense_bytes,
+        t.publish.delta_frames,
+        t.publish.full_frames,
+        steady.wire_to_dense_ratio(),
     ));
 }
 
 fn main() {
+    // Worker re-exec path: `exp_net --worker --addr A --id N
+    // --delay-ms D` never parses experiment options.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--worker") {
+        run_worker_process(&raw[1..]);
+    }
+
     let opts = ExpOptions::from_args();
     let n_clients = 8;
     let rounds = opts.rounds();
@@ -234,32 +415,74 @@ fn main() {
     let pred_p99 = percentile(&delays_ms, 99.0);
     println!(
         "fleet: skew {:.0}, completion {:.2}-{:.2} sim s, scaled at {:.1} ms per sim s \
-         ({} params, {} B upload)",
+         ({} params, {} B upload), workers as {}",
         fleet.compute_skew,
         completion_s.iter().cloned().fold(f64::INFINITY, f64::min),
         max_s,
         ms_per_sim_s,
         params,
-        upload_bytes
+        upload_bytes,
+        if opts.processes {
+            "OS processes"
+        } else {
+            "threads"
+        }
     );
 
     let mut rows = Vec::new();
     let mut csv = String::from(
         "mode,buffer,rounds,dispatched,updates,p50_rtt_ms,p99_rtt_ms,predicted_p50_ms,\
-         predicted_p99_ms,updates_per_s,measured_mean_staleness,predicted_mean_staleness\n",
+         predicted_p99_ms,updates_per_s,measured_mean_staleness,predicted_mean_staleness,\
+         publish_wire_bytes,publish_dense_bytes,delta_frames,full_frames,\
+         steady_wire_to_dense\n",
     );
 
     // Cell 1 — barrier: every round waits for all dispatches, so RTT
     // percentiles should track the fleet's completion percentiles and
-    // staleness is zero on both sides by construction.
-    let barrier = run_net(n_clients, rounds, params, &delays_ms, None);
+    // staleness is zero on both sides by construction. Delta publishes
+    // are on; under --processes the workers are real killable processes.
+    let barrier = run_net(n_clients, rounds, params, &delays_ms, None, opts.processes);
+    let steady = &barrier.steady_publish;
+    println!(
+        "barrier publishes: steady-state {} wire B vs {} dense-equivalent B \
+         (ratio {:.3}, {} delta / {} full frames)",
+        steady.wire_bytes,
+        steady.dense_bytes,
+        steady.wire_to_dense_ratio(),
+        steady.delta_frames,
+        steady.full_frames,
+    );
+    assert!(
+        steady.wire_to_dense_ratio() <= 0.5,
+        "steady-state delta publishes must cost at most half the dense \
+         fan-out, got {:.3}",
+        steady.wire_to_dense_ratio()
+    );
+    if opts.processes {
+        assert!(
+            barrier.departed.contains(&(n_clients - 1)),
+            "the killed worker process must surface as departed, got {:?}",
+            barrier.departed
+        );
+        println!(
+            "killed worker {} departed via TTL expiry; survivors finished the run",
+            n_clients - 1
+        );
+    }
     push_row(
         &mut rows, &mut csv, "barrier", "-", rounds, &barrier, pred_p50, pred_p99, 0.0,
     );
 
     // Cell 2 — buffered(m): real late arrivals carry measured staleness;
     // the simulator predicts it for the identical fleet/buffer/horizon.
-    let buffered = run_net(n_clients, rounds, params, &delays_ms, Some(buffer_size));
+    let buffered = run_net(
+        n_clients,
+        rounds,
+        params,
+        &delays_ms,
+        Some(buffer_size),
+        false,
+    );
     let sim = run_sim_buffered(&exp, &env, &fleet, buffer_size, rounds);
     push_row(
         &mut rows,
@@ -287,6 +510,10 @@ fn main() {
             "upd/s",
             "stale (meas)",
             "stale (sim)",
+            "pub wire B",
+            "pub dense B",
+            "delta/full",
+            "steady ratio",
         ],
         &rows,
     );
@@ -301,7 +528,10 @@ fn main() {
          *measured* socket round trips against the fleet's 'pred' \
          completion percentiles; 'stale (meas)' is the mean model-version \
          gap of real buffered arrivals vs the simulator's prediction for \
-         the identical fleet, buffer, and horizon."
+         the identical fleet, buffer, and horizon. 'pub wire B' counts \
+         bytes actually written by publishes vs their dense-equivalent \
+         cost, and 'steady ratio' is that quotient excluding the first \
+         round's cold dense fan-out — the delta-encoding saving."
     );
     write_artifact(&opts.out_path("net_sweep.txt"), &table);
     write_artifact(&opts.out_path("net_sweep.csv"), &csv);

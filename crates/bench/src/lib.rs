@@ -65,6 +65,10 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: PathBuf,
+    /// Spawn real worker *processes* (not threads) where the binary
+    /// supports it (`exp_net`): exercises discovery, heartbeat TTLs and
+    /// mid-run process death over loopback.
+    pub processes: bool,
 }
 
 impl ExpOptions {
@@ -75,12 +79,14 @@ impl ExpOptions {
             rounds: None,
             seed: 2022,
             out_dir: PathBuf::from("results"),
+            processes: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => opts.scale = Scale::Quick,
                 "--full" => opts.scale = Scale::Full,
+                "--processes" => opts.processes = true,
                 "--rounds" => {
                     let v = args.next().expect("--rounds needs a value");
                     opts.rounds = Some(v.parse().expect("--rounds must be an integer"));
@@ -93,7 +99,8 @@ impl ExpOptions {
                     opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
                 }
                 other => panic!(
-                    "unknown argument: {other} (try --quick/--full/--rounds N/--seed N/--out DIR)"
+                    "unknown argument: {other} (try --quick/--full/--rounds N/--seed N/--out DIR/\
+                     --processes)"
                 ),
             }
         }
@@ -549,6 +556,7 @@ mod tests {
             rounds: Some(2),
             seed: 7,
             out_dir: std::env::temp_dir().join("feddrl_bench_test"),
+            processes: false,
         };
         let exp = ExperimentSpec::new(DatasetKind::MnistLike, "CE", 6, &opts);
         let h = exp.run_method(MethodKind::FedAvg, Scale::Quick);

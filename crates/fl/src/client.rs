@@ -22,6 +22,25 @@ use serde::{Deserialize, Serialize};
 /// perturbs any other draw.
 pub const MASK_SALT: u64 = 0x3A5C;
 
+/// Derive the structured-dropout mask for one `(round, client)` dispatch.
+///
+/// This is the *only* sanctioned derivation: both the in-process session
+/// path and the networked runtime call it, which is what lets a
+/// `MaskedUpdate` frame omit the mask entirely — the server re-derives the
+/// identical mask from `(seed, round, client_id, keep_ratio)` and the
+/// model's layer structure. Any drift between the two sides would scatter
+/// kept weights into the wrong positions, so keep this a single function.
+pub fn dispatch_mask(
+    model: &Sequential,
+    seed: u64,
+    round: u64,
+    client_id: u64,
+    keep_ratio: f64,
+) -> StructuredMask {
+    let mut rng = Rng64::new(seed ^ MASK_SALT).derive(round).derive(client_id);
+    StructuredMask::derive(model, keep_ratio, &mut rng)
+}
+
 /// Hyper-parameters of the local solver (paper §4.1.2: SGD, `E = 5`,
 /// `lr = 0.01`, batch 10).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

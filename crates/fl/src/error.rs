@@ -112,6 +112,14 @@ pub enum FlError {
         /// Human-readable description of the violated rule.
         reason: String,
     },
+    /// A networked-runtime builder (`NetServerBuilder`/`NetClientBuilder`)
+    /// was given a degenerate configuration: an empty address, a
+    /// non-positive TTL or heartbeat period, or a delta-publish snapshot
+    /// ring too small to hold a base version.
+    InvalidNetConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -160,6 +168,9 @@ impl fmt::Display for FlError {
             ),
             FlError::Io { reason } => write!(f, "network i/o error: {reason}"),
             FlError::Protocol { reason } => write!(f, "wire protocol violation: {reason}"),
+            FlError::InvalidNetConfig { reason } => {
+                write!(f, "invalid network config: {reason}")
+            }
         }
     }
 }
@@ -223,6 +234,10 @@ mod tests {
             reason: "bad frame magic 0xBEEF".into(),
         };
         assert!(e.to_string().contains("wire protocol violation: bad frame"));
+        let e = FlError::InvalidNetConfig {
+            reason: "server address must not be empty".into(),
+        };
+        assert!(e.to_string().contains("invalid network config: server"));
     }
 
     #[test]

@@ -161,10 +161,28 @@ impl StructuredDropoutConfig {
     /// Candidate keep ratios, largest first (the executor takes the first
     /// that fits the deadline — the biggest sub-model the device can
     /// finish in time).
-    fn ratios_desc(&self) -> impl Iterator<Item = f64> + '_ {
+    pub fn ratios_desc(&self) -> impl Iterator<Item = f64> + '_ {
         (0..self.levels)
             .rev()
             .map(move |i| self.min_ratio + i as f64 * (1.0 - self.min_ratio) / self.levels as f64)
+    }
+
+    /// The largest keep ratio on the grid whose predicted completion time
+    /// (per the caller-supplied cost model) fits the deadline, or `None`
+    /// when even the smallest sub-model misses it.
+    ///
+    /// Both the in-process [`DeadlineExecutor`] and the networked
+    /// executor's wire-masking path route their dispatch decision through
+    /// this one function, so a given `(deadline, cost model)` pair yields
+    /// the same keep ratio on either side — a precondition for their
+    /// byte-identical histories.
+    pub fn largest_fitting(
+        &self,
+        deadline_s: f64,
+        mut time_for_ratio: impl FnMut(f64) -> f64,
+    ) -> Option<f64> {
+        self.ratios_desc()
+            .find(|&r| time_for_ratio(r) <= deadline_s)
     }
 
     /// Check the ratio grid's invariants.
@@ -870,13 +888,13 @@ impl RoundExecutor for DeadlineExecutor {
                 profile.completion_time_at(self.upload_bytes, 1.0, diurnal.as_ref(), round_start_s);
             if full_completion > deadline {
                 if let Some(fit) = self.cfg.structured_dropout.as_ref().and_then(|sd| {
-                    sd.ratios_desc().find(|&r| {
+                    sd.largest_fitting(deadline, |r| {
                         profile.completion_time_at(
                             self.upload_bytes,
                             r,
                             diurnal.as_ref(),
                             round_start_s,
-                        ) <= deadline
+                        )
                     })
                 }) {
                     masked += 1;

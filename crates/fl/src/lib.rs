@@ -77,8 +77,8 @@ pub mod strategy;
 pub mod prelude {
     pub use crate::baselines::{FedAdp, LossProportional};
     pub use crate::client::{
-        run_local_round, run_local_round_masked, ClientSummary, ClientUpdate, LocalTrainConfig,
-        MASK_SALT,
+        dispatch_mask, run_local_round, run_local_round_masked, ClientSummary, ClientUpdate,
+        LocalTrainConfig, MASK_SALT,
     };
     pub use crate::error::FlError;
     pub use crate::executor::{

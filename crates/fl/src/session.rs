@@ -27,7 +27,7 @@
 //! historical `run_federated` loop (enforced by the committed golden
 //! fixture).
 
-use crate::client::{run_local_round, run_local_round_masked, ClientUpdate, MASK_SALT};
+use crate::client::{dispatch_mask, run_local_round, run_local_round_masked, ClientUpdate};
 use crate::error::FlError;
 use crate::executor::{Dispatch, ExecutorConfig, RoundExecutor};
 use crate::history::{RoundRecord, RunHistory};
@@ -39,7 +39,6 @@ use crate::strategy::{
 };
 use feddrl_data::dataset::Dataset;
 use feddrl_data::partition::Partition;
-use feddrl_nn::mask::StructuredMask;
 use feddrl_nn::model::Sequential;
 use feddrl_nn::parallel::par_map;
 use feddrl_nn::rng::Rng64;
@@ -566,11 +565,12 @@ impl<'a> Session<'a> {
                 if d.keep_ratio < 1.0 {
                     // Structured sub-model dispatch: the mask comes from
                     // its own salted stream so full-model training (and
-                    // every pre-dynamics history) never consumes it.
-                    let mut mask_rng = Rng64::new(seed ^ MASK_SALT)
-                        .derive(round as u64)
-                        .derive(client_id as u64);
-                    let mask = StructuredMask::derive(&model, d.keep_ratio, &mut mask_rng);
+                    // every pre-dynamics history) never consumes it. The
+                    // shared `dispatch_mask` helper is the same derivation
+                    // networked workers use, which is what makes wire-level
+                    // masked dispatch bit-identical to this path.
+                    let mask =
+                        dispatch_mask(&model, seed, round as u64, client_id as u64, d.keep_ratio);
                     run_local_round_masked(
                         model,
                         train_set,

@@ -2,13 +2,17 @@
 //! report updates, heartbeat in the background.
 //!
 //! [`run_client`] is the whole worker: it connects, announces itself
-//! with `Hello`, then blocks on the socket handling `ModelPublish`
-//! (remember the latest global model), `TrainRequest` (call the
-//! caller-supplied training closure on the remembered weights and send
-//! the resulting `Update` back), and `Bye` (leave). A background thread
-//! shares the write half of the socket and emits `Heartbeat` frames so
-//! the server's liveness TTL stays refreshed even while the worker sits
-//! idle between rounds.
+//! with a `Hello` carrying its protocol version range, then blocks on
+//! the socket handling `HelloAck` (pin the negotiated version),
+//! `ModelPublish` / `ModelPublishDelta` (remember the latest global
+//! model, acknowledging each cached version with `PublishAck` on v2+
+//! connections), `TrainRequest` (call the caller-supplied training
+//! closure on the remembered weights and send the resulting `Update` —
+//! or, for a sub-model dispatch on a v2+ connection, a compact
+//! `MaskedUpdate` carrying only the mask's kept positions), and `Bye`
+//! (leave). A background thread shares the write half of the socket and
+//! emits `Heartbeat` frames so the server's liveness TTL stays refreshed
+//! even while the worker sits idle between rounds.
 //!
 //! The training closure is deliberately transport-agnostic — it maps a
 //! [`TrainOrder`] plus the current global weights to a
@@ -26,12 +30,20 @@ use std::time::{Duration, Instant};
 
 use feddrl_fl::client::ClientUpdate;
 
-use crate::wire::{read_frame, write_frame, Message, UpdateMsg, WireError};
+use crate::wire::{
+    read_frame, write_frame, MaskedUpdateMsg, Message, UpdateMsg, WireError, PROTOCOL_VERSION_MAX,
+    PROTOCOL_VERSION_MIN,
+};
 
-/// Connection settings for one worker process/thread.
+/// Connection settings for one worker process/thread. Prefer
+/// constructing through
+/// [`NetClientBuilder`](crate::builder::NetClientBuilder), which
+/// validates these at `build()` time.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// Server address, e.g. `"127.0.0.1:7070"`.
+    /// Server address — the server's OS-assigned
+    /// [`local_addr`](crate::server::NetServer::local_addr), not a fixed
+    /// port.
     pub server_addr: String,
     /// This worker's client id, echoed in every frame it sends.
     pub client_id: usize,
@@ -45,6 +57,7 @@ pub struct ClientConfig {
 
 impl ClientConfig {
     /// Defaults: 500 ms heartbeat, no artificial training delay.
+    #[deprecated(note = "construct through `NetClientBuilder` instead")]
     pub fn new(server_addr: impl Into<String>, client_id: usize) -> Self {
         ClientConfig {
             server_addr: server_addr.into(),
@@ -55,12 +68,14 @@ impl ClientConfig {
     }
 
     /// Replace the heartbeat period.
+    #[deprecated(note = "use `NetClientBuilder::heartbeat` instead")]
     pub fn with_heartbeat(mut self, period: Duration) -> Self {
         self.heartbeat = period;
         self
     }
 
     /// Replace the artificial per-round training delay.
+    #[deprecated(note = "use `NetClientBuilder::train_delay` instead")]
     pub fn with_train_delay(mut self, delay: Duration) -> Self {
         self.train_delay = delay;
         self
@@ -85,10 +100,18 @@ pub struct TrainOrder {
 pub struct ClientReport {
     /// Training rounds completed and reported.
     pub rounds_trained: usize,
-    /// `ModelPublish` frames observed.
+    /// Model publishes applied (dense frames plus applied deltas).
     pub publishes_seen: usize,
     /// The last model version received.
     pub last_version: u64,
+    /// The protocol version pinned by the server's `HelloAck`, or 0 when
+    /// the connection never saw one (a pre-handshake v1 server).
+    pub negotiated_version: u8,
+    /// `ModelPublishDelta` frames received (applied or not).
+    pub delta_publishes_seen: usize,
+    /// Rounds answered with a compact `MaskedUpdate` rather than a dense
+    /// `Update`.
+    pub masked_rounds: usize,
 }
 
 fn lock_writer(writer: &Mutex<TcpStream>) -> MutexGuard<'_, TcpStream> {
@@ -147,6 +170,8 @@ where
         &mut *lock_writer(&writer),
         &Message::Hello {
             client_id: cfg.client_id as u64,
+            min_version: PROTOCOL_VERSION_MIN,
+            max_version: PROTOCOL_VERSION_MAX,
         },
     )?;
 
@@ -203,10 +228,35 @@ where
     loop {
         match read_frame(&mut reader)? {
             None | Some(Message::Bye { .. }) => break,
+            Some(Message::HelloAck { version, .. }) => {
+                report.negotiated_version = version;
+            }
             Some(Message::ModelPublish { version, weights }) => {
                 report.publishes_seen += 1;
                 report.last_version = version;
                 model = Some((version, weights));
+                ack_publish(cfg, writer, report.negotiated_version, version)?;
+            }
+            Some(Message::ModelPublishDelta(d)) => {
+                report.delta_publishes_seen += 1;
+                // Reconstruct only over the exact base the delta was
+                // encoded against. A mismatch (an ack still in flight
+                // when the server planned the frame) is dropped, not
+                // guessed at: the next dense publish — or a delta against
+                // the version this worker actually acked — resynchronizes.
+                let applies = model
+                    .as_ref()
+                    .is_some_and(|(v, w)| *v == d.base_version && w.len() as u64 == d.total_len);
+                if applies {
+                    let (version, weights) = model.as_mut().expect("applies implies cached model");
+                    for (&i, &value) in d.indices.iter().zip(&d.values) {
+                        weights[i as usize] = value;
+                    }
+                    *version = d.version;
+                    report.publishes_seen += 1;
+                    report.last_version = d.version;
+                    ack_publish(cfg, writer, report.negotiated_version, d.version)?;
+                }
             }
             Some(Message::TrainRequest { round, keep_ratio }) => {
                 // A demand before any publish has nothing to train on;
@@ -223,32 +273,83 @@ where
                     model_version: *version,
                 };
                 let update = train(&order, weights);
-                let msg = Message::Update(UpdateMsg {
-                    client_id: cfg.client_id as u64,
-                    round,
-                    model_version: *version,
-                    staleness: 0,
-                    n_samples: update.n_samples as u64,
-                    loss_before: update.loss_before,
-                    loss_after: update.loss_after,
-                    weights: update.weights,
-                });
+                // A sub-model result on a v2+ connection travels as a
+                // compact MaskedUpdate: only the kept positions, in
+                // ascending order — the server re-derives the mask from
+                // the shared seed. Full masks (and v1 connections) fall
+                // back to the dense Update frame.
+                let compact = report.negotiated_version >= 2
+                    && update.mask.as_ref().is_some_and(|m| !m.is_full());
+                let msg = if compact {
+                    let mask = update.mask.as_ref().expect("compact implies mask");
+                    let kept_weights: Vec<f32> = (0..update.weights.len())
+                        .filter(|&p| mask.keeps(p))
+                        .map(|p| update.weights[p])
+                        .collect();
+                    report.masked_rounds += 1;
+                    Message::MaskedUpdate(MaskedUpdateMsg {
+                        client_id: cfg.client_id as u64,
+                        round,
+                        model_version: *version,
+                        staleness: 0,
+                        n_samples: update.n_samples as u64,
+                        loss_before: update.loss_before,
+                        loss_after: update.loss_after,
+                        keep_ratio,
+                        total_len: update.weights.len() as u64,
+                        kept_weights,
+                    })
+                } else {
+                    Message::Update(UpdateMsg {
+                        client_id: cfg.client_id as u64,
+                        round,
+                        model_version: *version,
+                        staleness: 0,
+                        n_samples: update.n_samples as u64,
+                        loss_before: update.loss_before,
+                        loss_after: update.loss_after,
+                        weights: update.weights,
+                    })
+                };
                 write_frame(&mut *lock_writer(writer), &msg)?;
                 report.rounds_trained += 1;
             }
             // The server never sends client-bound kinds; ignore strays.
             Some(Message::Hello { .. })
             | Some(Message::Update(_))
+            | Some(Message::MaskedUpdate(_))
+            | Some(Message::PublishAck { .. })
             | Some(Message::Heartbeat { .. }) => {}
         }
     }
     Ok(report)
 }
 
+/// Acknowledge a cached model version so the server may delta-encode
+/// future publishes against it. Only meaningful on v2+ connections — a
+/// pre-handshake server would reject the kind.
+fn ack_publish(
+    cfg: &ClientConfig,
+    writer: &Mutex<TcpStream>,
+    negotiated: u8,
+    version: u64,
+) -> Result<(), WireError> {
+    if negotiated >= 2 {
+        write_frame(
+            &mut *lock_writer(writer),
+            &Message::PublishAck {
+                client_id: cfg.client_id as u64,
+                version,
+            },
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::{NetServer, ServerConfig};
+    use crate::builder::{NetClientBuilder, NetServerBuilder};
     use std::time::Instant;
 
     /// Deterministic stub: weights = global scaled by (client_id + 2).
@@ -269,9 +370,12 @@ mod tests {
 
     #[test]
     fn worker_trains_on_demand_and_reports() {
-        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let mut server = NetServerBuilder::new().build().expect("bind");
         let addr = server.local_addr().to_string();
-        let cfg = ClientConfig::new(addr, 5).with_heartbeat(Duration::from_millis(50));
+        let cfg = NetClientBuilder::new(addr, 5)
+            .heartbeat(Duration::from_millis(50))
+            .build()
+            .expect("client config");
         let worker = thread::spawn(move || run_client(&cfg, stub(5)));
 
         server
@@ -301,6 +405,9 @@ mod tests {
         assert_eq!(report.rounds_trained, 1);
         assert_eq!(report.publishes_seen, 1);
         assert_eq!(report.last_version, 1);
+        assert_eq!(report.negotiated_version, PROTOCOL_VERSION_MAX);
+        assert_eq!(report.delta_publishes_seen, 0);
+        assert_eq!(report.masked_rounds, 0, "full-model round stays dense");
     }
 
     /// Regression for the tick-accumulation drift: a worker whose ticks
@@ -341,12 +448,15 @@ mod tests {
 
     #[test]
     fn heartbeats_keep_an_idle_worker_live_past_the_ttl() {
-        let cfg = ServerConfig {
-            ttl: Duration::from_millis(150),
-        };
-        let mut server = NetServer::bind("127.0.0.1:0", cfg).expect("bind");
+        let mut server = NetServerBuilder::new()
+            .ttl(Duration::from_millis(150))
+            .build()
+            .expect("bind");
         let addr = server.local_addr().to_string();
-        let ccfg = ClientConfig::new(addr, 9).with_heartbeat(Duration::from_millis(30));
+        let ccfg = NetClientBuilder::new(addr, 9)
+            .heartbeat(Duration::from_millis(30))
+            .build()
+            .expect("client config");
         let worker = thread::spawn(move || run_client(&ccfg, stub(9)));
         server
             .wait_for_clients(1, Duration::from_secs(5))

@@ -23,9 +23,21 @@
 //! [`RoundExecutor::departed_clients`], which the session hands to
 //! selection as `SelectionContext::departed`.
 //!
+//! With a [`WireMasking`] policy attached, deadline-pressed clients get
+//! sub-model dispatches over the wire: `execute` picks each client's
+//! keep ratio from the fleet's *predicted* completion times (the same
+//! largest-fitting-ratio rule the in-process `DeadlineExecutor` applies,
+//! so both paths make identical dispatch decisions), sends
+//! `TrainRequest { keep_ratio < 1 }`, and reassembles the returning
+//! compact `MaskedUpdate` by re-deriving the structured mask from the
+//! shared seed and scattering the kept weights into a full-length
+//! vector with the mask attached — exactly what the in-process masked
+//! path hands to `masked_weighted_average`.
+//!
 //! A shared [`NetTelemetry`] handle (clone it *before* boxing the
-//! executor into a session) accumulates per-dispatch round-trip times
-//! and measured staleness for benches to report.
+//! executor into a session) accumulates per-dispatch round-trip times,
+//! measured staleness, and the server's publish bytes-on-wire counters
+//! for benches to report.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -33,11 +45,15 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use feddrl_fl::client::ClientUpdate;
-use feddrl_fl::executor::{RoundExecutor, RoundOutcome, StalenessDiscount, TrainFn};
+use feddrl_fl::client::{dispatch_mask, ClientUpdate};
+use feddrl_fl::executor::{
+    RoundExecutor, RoundOutcome, StalenessDiscount, StructuredDropoutConfig, TrainFn,
+};
 use feddrl_fl::history::HeteroRoundRecord;
+use feddrl_nn::model::Sequential;
+use feddrl_sim::device::FleetView;
 
-use crate::server::NetServer;
+use crate::server::{MaskedWireInfo, NetServer, PublishStats};
 use crate::wire::{Message, UpdateMsg};
 
 /// How `execute` decides a round is over.
@@ -67,34 +83,50 @@ pub struct NetTelemetry {
     pub failed_dispatches: usize,
     /// Dispatches abandoned at the round timeout (barrier mode).
     pub timed_out: usize,
+    /// Updates that arrived as compact `MaskedUpdate` frames.
+    pub masked_updates: usize,
+    /// The server's cumulative publish bytes-on-wire accounting,
+    /// mirrored here after every `publish_model` so it stays readable
+    /// once the executor is boxed into a session.
+    pub publish: PublishStats,
 }
 
 impl NetTelemetry {
-    /// The `pct`-th percentile of observed RTTs in milliseconds
-    /// (nearest-rank on the sorted samples: index `⌈pct/100 · N⌉ − 1`,
-    /// the same definition `feddrl_sim`'s fleet percentiles use, so
-    /// measured-vs-predicted comparisons compare like with like; 0.0
-    /// when empty).
-    pub fn percentile_rtt_ms(&self, pct: f64) -> f64 {
+    /// The `pct`-percentile (in `[0, 1]`) of observed RTTs in
+    /// milliseconds — nearest-rank on the sorted samples (index
+    /// `⌈pct · N⌉ − 1`), the same quantile convention as
+    /// `feddrl_sim`'s `completion_percentile_s`, so measured-vs-predicted
+    /// comparisons compare like with like; 0.0 when empty.
+    ///
+    /// # Panics
+    /// Panics when `pct` is outside `[0, 1]`.
+    pub fn rtt_percentile_ms(&self, pct: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&pct), "percentile must be in [0, 1]");
         if self.rtt_ms.is_empty() {
             return 0.0;
         }
         let mut sorted = self.rtt_ms.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("RTTs are finite"));
-        let idx = ((sorted.len() as f64 * (pct / 100.0)).ceil() as usize)
+        let idx = ((sorted.len() as f64 * pct).ceil() as usize)
             .saturating_sub(1)
             .min(sorted.len() - 1);
         sorted[idx]
     }
 
+    /// The `pct`-th percentile of observed RTTs with `pct` in `[0, 100]`.
+    #[deprecated(note = "use `rtt_percentile_ms` (quantile in [0, 1]) instead")]
+    pub fn percentile_rtt_ms(&self, pct: f64) -> f64 {
+        self.rtt_percentile_ms(pct / 100.0)
+    }
+
     /// Median observed round-trip time in milliseconds.
     pub fn p50_rtt_ms(&self) -> f64 {
-        self.percentile_rtt_ms(50.0)
+        self.rtt_percentile_ms(0.5)
     }
 
     /// Tail (99th percentile) round-trip time in milliseconds.
     pub fn p99_rtt_ms(&self) -> f64 {
-        self.percentile_rtt_ms(99.0)
+        self.rtt_percentile_ms(0.99)
     }
 
     /// Mean measured staleness over every accepted update (0.0 when
@@ -104,6 +136,54 @@ impl NetTelemetry {
             return 0.0;
         }
         self.staleness.iter().map(|&s| s as f64).sum::<f64>() / self.staleness.len() as f64
+    }
+}
+
+/// The wire-masking policy: everything the executor needs to decide a
+/// sub-model dispatch per client and to re-derive the returning mask.
+///
+/// Keep ratios come from the fleet's *predicted* completion times — the
+/// same `largest_fitting` rule over the same grid the in-process
+/// `DeadlineExecutor` applies — so the networked and simulated paths
+/// make identical dispatch decisions for the same fleet and deadline.
+/// The `model` and `seed` must match the workers' (they are the mask
+/// derivation inputs shared through `dispatch_mask`).
+pub struct WireMasking {
+    /// The model architecture masks are derived over (never trained
+    /// here — only its layer shapes matter).
+    pub model: Sequential,
+    /// The run seed shared with the workers.
+    pub seed: u64,
+    /// The keep-ratio grid to fit into the deadline.
+    pub grid: StructuredDropoutConfig,
+    /// The fleet whose predicted per-client completion times drive the
+    /// keep-ratio choice.
+    pub fleet: FleetView,
+    /// Full-model upload payload in bytes (the prediction's input).
+    pub upload_bytes: u64,
+    /// The round deadline (seconds, virtual) dispatches must fit.
+    pub deadline_s: f64,
+}
+
+impl WireMasking {
+    /// The keep ratio to dispatch to `client_id`: 1.0 when the full
+    /// model is predicted to fit the deadline, otherwise the largest
+    /// grid ratio that does (or 1.0 again when even the smallest
+    /// sub-model cannot — a predicted dropout trains in full, exactly
+    /// as the in-process `DeadlineExecutor` treats it).
+    fn keep_ratio_for(&self, client_id: usize) -> f64 {
+        let profile = self.fleet.profile(client_id);
+        let time_for = |r: f64| self.profile_time(&profile, r);
+        if time_for(1.0) <= self.deadline_s {
+            return 1.0;
+        }
+        self.grid
+            .largest_fitting(self.deadline_s, time_for)
+            .unwrap_or(1.0)
+    }
+
+    fn profile_time(&self, profile: &feddrl_sim::device::DeviceProfile, ratio: f64) -> f64 {
+        profile.completion_time_at(self.upload_bytes, ratio, None, 0.0)
     }
 }
 
@@ -128,6 +208,13 @@ pub struct NetworkExecutor {
     /// Cumulative departed count at the end of the previous round, for
     /// the per-round `departed` delta in buffered hetero records.
     departed_seen: usize,
+    /// Sub-model dispatch policy; `None` sends every client the full
+    /// model (`keep_ratio: 1.0`), byte-identical to the pre-masking
+    /// executor.
+    masking: Option<WireMasking>,
+    /// Keep ratios already decided per client (the prediction is
+    /// time-invariant, so one derivation per client suffices).
+    ratio_cache: BTreeMap<usize, f64>,
     telemetry: Arc<Mutex<NetTelemetry>>,
 }
 
@@ -143,6 +230,8 @@ impl NetworkExecutor {
             version: 0,
             pending: BTreeMap::new(),
             departed_seen: 0,
+            masking: None,
+            ratio_cache: BTreeMap::new(),
             telemetry: Arc::new(Mutex::new(NetTelemetry::default())),
         }
     }
@@ -184,6 +273,15 @@ impl NetworkExecutor {
         self
     }
 
+    /// Attach a wire-masking policy: deadline-pressed clients get
+    /// sub-model dispatches, answered with compact `MaskedUpdate`
+    /// frames.
+    pub fn with_wire_masking(mut self, masking: WireMasking) -> Self {
+        self.masking = Some(masking);
+        self.ratio_cache.clear();
+        self
+    }
+
     /// Shared handle onto the measured telemetry. Clone it before boxing
     /// the executor into a `Session`; it stays readable afterwards.
     pub fn telemetry(&self) -> Arc<Mutex<NetTelemetry>> {
@@ -201,6 +299,18 @@ impl NetworkExecutor {
         self.version
     }
 
+    /// The keep ratio to dispatch to `cid` under the current masking
+    /// policy (1.0 without one), memoized per client.
+    fn dispatch_ratio(&mut self, cid: usize) -> f64 {
+        let Some(masking) = &self.masking else {
+            return 1.0;
+        };
+        *self
+            .ratio_cache
+            .entry(cid)
+            .or_insert_with(|| masking.keep_ratio_for(cid))
+    }
+
     fn to_update(msg: UpdateMsg, staleness: usize) -> ClientUpdate {
         ClientUpdate {
             client_id: msg.client_id as usize,
@@ -211,6 +321,47 @@ impl NetworkExecutor {
             staleness,
             mask: None,
         }
+    }
+
+    /// Rebuild the full-length masked [`ClientUpdate`] from a compact
+    /// `MaskedUpdate` arrival: re-derive the structured mask from the
+    /// shared seed (the same derivation the worker ran) and scatter the
+    /// kept weights back into position. `None` when the re-derived mask
+    /// disagrees with the frame's shape — a client that derived from
+    /// different inputs — in which case the update is dropped rather
+    /// than aggregated misaligned.
+    fn reassemble_masked(
+        masking: &WireMasking,
+        msg: UpdateMsg,
+        info: MaskedWireInfo,
+        staleness: usize,
+    ) -> Option<ClientUpdate> {
+        let mask = dispatch_mask(
+            &masking.model,
+            masking.seed,
+            msg.round,
+            msg.client_id,
+            info.keep_ratio,
+        );
+        if mask.len() != info.total_len || mask.kept() != msg.weights.len() {
+            return None;
+        }
+        let mut full = vec![0.0f32; info.total_len];
+        let mut kept = msg.weights.iter();
+        for (p, slot) in full.iter_mut().enumerate() {
+            if mask.keeps(p) {
+                *slot = *kept.next().expect("kept count checked above");
+            }
+        }
+        Some(ClientUpdate {
+            client_id: msg.client_id as usize,
+            weights: full,
+            n_samples: msg.n_samples as usize,
+            loss_before: msg.loss_before,
+            loss_after: msg.loss_after,
+            staleness,
+            mask: Some(mask),
+        })
     }
 }
 
@@ -227,6 +378,10 @@ impl std::fmt::Debug for NetworkExecutor {
 impl RoundExecutor for NetworkExecutor {
     fn publish_model(&mut self, _round: usize, global: &[f32]) {
         let _ = self.server.publish(self.version, global);
+        // Mirror the server's cumulative bytes-on-wire counters into the
+        // shared telemetry so they stay readable once this executor is
+        // boxed into a session.
+        self.telemetry.lock().publish = self.server.publish_stats();
     }
 
     /// Training happens on the remote workers, so the session's `train`
@@ -251,7 +406,7 @@ impl RoundExecutor for NetworkExecutor {
             }
             let request = Message::TrainRequest {
                 round: round as u64,
-                keep_ratio: 1.0,
+                keep_ratio: self.dispatch_ratio(cid),
             };
             // Stamp *before* the send: on loopback the whole reply can
             // land before the write syscall returns, and an after-send
@@ -289,12 +444,30 @@ impl RoundExecutor for NetworkExecutor {
                 .as_secs_f64()
                 * 1e3;
             let staleness = self.version.saturating_sub(inbound.msg.model_version);
+            let masked_arrival = inbound.masked.is_some();
+            let update = if let Some(info) = inbound.masked {
+                // A masked frame with no masking policy attached (or one
+                // whose re-derived mask disagrees with its shape) cannot
+                // be scattered; drop it rather than aggregate misaligned.
+                let Some(masking) = &self.masking else {
+                    continue;
+                };
+                match Self::reassemble_masked(masking, inbound.msg, info, staleness as usize) {
+                    Some(update) => update,
+                    None => continue,
+                }
+            } else {
+                Self::to_update(inbound.msg, staleness as usize)
+            };
             {
                 let mut t = self.telemetry.lock();
                 t.rtt_ms.push(rtt_ms);
                 t.staleness.push(staleness);
+                if masked_arrival {
+                    t.masked_updates += 1;
+                }
             }
-            arrived.push((cid, Self::to_update(inbound.msg, staleness as usize)));
+            arrived.push((cid, update));
         }
 
         let mut timed_out = 0usize;
@@ -335,6 +508,7 @@ impl RoundExecutor for NetworkExecutor {
                 self.departed_seen = departed_total;
                 let staleness: Vec<usize> = arrived.iter().map(|(_, u)| u.staleness).collect();
                 let aggregated_ids: Vec<usize> = arrived.iter().map(|(cid, _)| *cid).collect();
+                let masked = arrived.iter().filter(|(_, u)| u.mask.is_some()).count();
                 let hetero = HeteroRoundRecord {
                     // Measured wall-clock of the aggregation, where the
                     // simulator would report virtual time.
@@ -346,7 +520,7 @@ impl RoundExecutor for NetworkExecutor {
                     buffered: 0,
                     joined: 0,
                     departed: newly_departed,
-                    masked: 0,
+                    masked,
                     staleness,
                     aggregated_ids,
                 };
@@ -409,8 +583,13 @@ mod tests {
         };
         assert_eq!(t.p50_rtt_ms(), 50.0);
         assert_eq!(t.p99_rtt_ms(), 99.0);
-        assert_eq!(t.percentile_rtt_ms(0.0), 1.0);
-        assert_eq!(t.percentile_rtt_ms(100.0), 100.0);
+        assert_eq!(t.rtt_percentile_ms(0.0), 1.0);
+        assert_eq!(t.rtt_percentile_ms(1.0), 100.0);
+        // The deprecated percent-valued accessor stays a thin wrapper.
+        #[allow(deprecated)]
+        {
+            assert_eq!(t.percentile_rtt_ms(50.0), t.rtt_percentile_ms(0.5));
+        }
         // Odd N keeps the textbook median.
         let t = NetTelemetry {
             rtt_ms: vec![9.0, 1.0, 5.0],
@@ -422,16 +601,44 @@ mod tests {
     #[test]
     #[should_panic(expected = "buffer size must be positive")]
     fn zero_buffer_is_rejected() {
-        use crate::server::{NetServer, ServerConfig};
-        let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        use crate::builder::NetServerBuilder;
+        let server = NetServerBuilder::new().build().expect("bind");
         let _ = NetworkExecutor::buffered(server, 0);
     }
 
     #[test]
     #[should_panic(expected = "server mix must be in (0, 1]")]
     fn out_of_range_mix_is_rejected() {
-        use crate::server::{NetServer, ServerConfig};
-        let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        use crate::builder::NetServerBuilder;
+        let server = NetServerBuilder::new().build().expect("bind");
         let _ = NetworkExecutor::barrier(server).with_server_mix(1.5);
+    }
+
+    /// The wire-masking keep-ratio rule must be the in-process
+    /// `DeadlineExecutor`'s: full model when it fits, else the largest
+    /// fitting grid ratio, else full model for a predicted dropout.
+    #[test]
+    fn wire_masking_picks_the_largest_fitting_ratio() {
+        use feddrl_nn::model::Sequential;
+        use feddrl_sim::device::{FleetConfig, FleetView};
+
+        let masking_with = |deadline_s: f64| WireMasking {
+            model: Sequential::new(),
+            seed: 7,
+            grid: StructuredDropoutConfig::default(),
+            fleet: FleetView::new(16, &FleetConfig::default()),
+            upload_bytes: 50_000,
+            deadline_s,
+        };
+        // Nothing fits: a predicted dropout still trains in full.
+        assert_eq!(masking_with(0.0).keep_ratio_for(0), 1.0);
+        // Everything fits: full model everywhere.
+        assert_eq!(masking_with(1e9).keep_ratio_for(0), 1.0);
+        // A deadline exactly at the 0.625 sub-model's predicted time
+        // fits 0.625 (largest fitting) but not the full model, since
+        // local compute scales with the ratio.
+        let probe = masking_with(0.0);
+        let t_625 = probe.profile_time(&probe.fleet.profile(0), 0.625);
+        assert_eq!(masking_with(t_625).keep_ratio_for(0), 0.625);
     }
 }

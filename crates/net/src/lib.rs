@@ -20,7 +20,19 @@
 //! * [`client`] — [`client::run_client`]: subscribe, heartbeat, train
 //!   via any closure (the repo's real local trainer or a stub), report;
 //! * [`executor`] — barrier and buffered collection over the above,
-//!   with measured RTT/staleness telemetry.
+//!   with measured RTT/staleness telemetry;
+//! * [`builder`] — [`builder::NetServerBuilder`] /
+//!   [`builder::NetClientBuilder`], the validating entry points
+//!   mirroring the in-process `SessionBuilder`.
+//!
+//! Protocol version 2 (negotiated per connection at `Hello`/`HelloAck`
+//! time, v1 peers still speak) adds wire-level sub-model dispatch
+//! (`TrainRequest { keep_ratio < 1 }` answered by a compact
+//! `MaskedUpdate` — both ends derive the structured mask from the shared
+//! seed, so it never travels) and delta-compressed publishes
+//! (`ModelPublishDelta` against the receiver's last-acked version, with
+//! automatic dense fallback). See `docs/NETWORKING.md` for the frame
+//! grammar and negotiation state machine.
 //!
 //! Concurrency is plain threads plus the repo's vendored
 //! `crossbeam`/`parking_lot` shims; there is no async runtime and no
@@ -35,6 +47,7 @@
 //! sampling order, staleness is zero, and `f32` weights cross the wire
 //! bit-exactly. The `net_props` integration suite pins this law.
 
+pub mod builder;
 pub mod client;
 pub mod executor;
 pub mod registry;
@@ -43,12 +56,14 @@ pub mod wire;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::builder::{NetClientBuilder, NetServerBuilder};
     pub use crate::client::{run_client, ClientConfig, ClientReport, TrainOrder};
-    pub use crate::executor::{NetMode, NetTelemetry, NetworkExecutor};
+    pub use crate::executor::{NetMode, NetTelemetry, NetworkExecutor, WireMasking};
     pub use crate::registry::{Registry, RegistryEntry};
-    pub use crate::server::{InboundUpdate, NetServer, ServerConfig};
+    pub use crate::server::{InboundUpdate, MaskedWireInfo, NetServer, PublishStats, ServerConfig};
     pub use crate::wire::{
-        read_frame, write_frame, Message, UpdateMsg, WireError, FRAME_MAGIC, HEADER_LEN,
-        MAX_PAYLOAD, PROTOCOL_VERSION,
+        negotiate, read_frame, write_frame, DeltaMsg, MaskedUpdateMsg, Message, UpdateMsg,
+        WireError, FRAME_MAGIC, HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION, PROTOCOL_VERSION_MAX,
+        PROTOCOL_VERSION_MIN,
     };
 }

@@ -26,6 +26,11 @@ pub struct RegistryEntry {
     pub last_seen_ms: u64,
     /// Messages observed from this client (heartbeats included).
     pub messages: u64,
+    /// The newest model version the client has acknowledged caching
+    /// (`PublishAck`), or `None` before its first ack. The server may
+    /// delta-encode publishes only against this version — anything else
+    /// risks the client reconstructing from the wrong base.
+    pub acked_version: Option<u64>,
 }
 
 /// The server's client registry: who is subscribed, when each was last
@@ -79,11 +84,31 @@ impl Registry {
                         first_seen_ms: now_ms,
                         last_seen_ms: now_ms,
                         messages: 1,
+                        acked_version: None,
                     },
                 );
                 true
             }
         }
+    }
+
+    /// Record a `PublishAck` from `client_id` at `now_ms`: the client now
+    /// caches model `version`, so future publishes may delta-encode
+    /// against it. Counts as liveness (it touches the entry first). Acks
+    /// never regress — a stale ack racing a newer one is ignored.
+    pub fn record_ack(&mut self, client_id: usize, version: u64, now_ms: u64) {
+        self.touch(client_id, now_ms);
+        if let Some(e) = self.entries.get_mut(&client_id) {
+            if e.acked_version.is_none_or(|v| version > v) {
+                e.acked_version = Some(version);
+            }
+        }
+    }
+
+    /// The newest model version `client_id` has acknowledged caching, if
+    /// it is live and has acked at all.
+    pub fn acked_version(&self, client_id: usize) -> Option<u64> {
+        self.entries.get(&client_id).and_then(|e| e.acked_version)
     }
 
     /// Explicit departure (`Bye`), effective immediately.
@@ -200,5 +225,35 @@ mod tests {
     #[should_panic(expected = "TTL must be positive")]
     fn zero_ttl_is_rejected() {
         let _ = Registry::new(0);
+    }
+
+    #[test]
+    fn acks_advance_monotonically_and_count_as_liveness() {
+        let mut r = Registry::new(100);
+        r.touch(2, 0);
+        assert_eq!(r.acked_version(2), None);
+        r.record_ack(2, 5, 10);
+        assert_eq!(r.acked_version(2), Some(5));
+        // A stale ack racing a newer one never regresses the base.
+        r.record_ack(2, 3, 20);
+        assert_eq!(r.acked_version(2), Some(5));
+        r.record_ack(2, 6, 30);
+        assert_eq!(r.acked_version(2), Some(6));
+        // The ack refreshed the TTL: 30 + 100 is still live at 120.
+        assert!(r.sweep(120).is_empty());
+        assert_eq!(r.entry(2).unwrap().last_seen_ms, 30);
+    }
+
+    #[test]
+    fn acks_from_departed_or_unknown_clients_are_ignored() {
+        let mut r = Registry::new(100);
+        r.touch(1, 0);
+        r.mark_departed(1);
+        r.record_ack(1, 9, 10);
+        assert_eq!(r.acked_version(1), None);
+        // An unknown client's ack registers it first (touch semantics).
+        r.record_ack(5, 2, 10);
+        assert_eq!(r.acked_version(5), Some(2));
+        assert!(r.is_live(5));
     }
 }

@@ -21,7 +21,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 
 use crate::registry::Registry;
 use crate::wire::{
-    decode_payload, write_frame, FrameHeader, Message, UpdateMsg, WireError, HEADER_LEN,
+    decode_payload, negotiate, DeltaMsg, FrameHeader, Message, UpdateMsg, WireError, HEADER_LEN,
 };
 
 /// How long the per-connection receive threads block on the socket before
@@ -38,43 +38,143 @@ use crate::wire::{
 /// promptly, large enough to stay off the scheduler's back.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 
-/// Tuning knobs for a [`NetServer`].
+/// Tuning knobs for a [`NetServer`]. Prefer constructing through
+/// [`NetServerBuilder`](crate::builder::NetServerBuilder), which
+/// validates these at `build()` time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerConfig {
     /// Liveness TTL: a client silent for longer than this is swept into
     /// the departed set on the next [`NetServer::sweep_expired`].
     pub ttl: Duration,
+    /// When `true`, publishes to v2-negotiated peers that have acked a
+    /// cached version are delta-encoded against it (exact, sparse)
+    /// whenever that is smaller than the dense frame. Off by default —
+    /// the loopback byte-identity law runs with every knob off.
+    pub delta_publish: bool,
+    /// How many recent `(version, weights)` snapshots to keep for delta
+    /// encoding. A peer whose acked base has fallen out of the ring
+    /// silently falls back to a full frame.
+    pub snapshot_ring: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             ttl: Duration::from_secs(5),
+            delta_publish: false,
+            snapshot_ring: 8,
         }
     }
 }
 
-/// An `Update` frame as it arrived at the server, stamped with its
-/// arrival instant so the executor can measure round-trip time.
+/// Cumulative bytes-on-wire accounting for [`NetServer::publish`], the
+/// evidence `exp_net` prints for the delta-encoding fan-out reduction.
+/// Counters only grow; subtract two snapshots (see [`PublishStats::since`])
+/// to isolate a window such as the steady-state rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PublishStats {
+    /// Bytes actually written to peers by `publish` (headers included).
+    pub wire_bytes: u64,
+    /// Bytes the same publishes would have cost as dense full frames —
+    /// the denominator of the fan-out-reduction claim.
+    pub dense_bytes: u64,
+    /// Publish frames that went out delta-encoded.
+    pub delta_frames: u64,
+    /// Publish frames that went out dense (v1 peers, no acked base, base
+    /// evicted from the ring, or a delta that would not have been
+    /// smaller).
+    pub full_frames: u64,
+}
+
+impl PublishStats {
+    /// The counter deltas since an `earlier` snapshot of the same server.
+    pub fn since(&self, earlier: &PublishStats) -> PublishStats {
+        PublishStats {
+            wire_bytes: self.wire_bytes.saturating_sub(earlier.wire_bytes),
+            dense_bytes: self.dense_bytes.saturating_sub(earlier.dense_bytes),
+            delta_frames: self.delta_frames.saturating_sub(earlier.delta_frames),
+            full_frames: self.full_frames.saturating_sub(earlier.full_frames),
+        }
+    }
+
+    /// Bytes-on-wire as a fraction of the dense-equivalent fan-out
+    /// (`1.0` when nothing was published).
+    pub fn wire_to_dense_ratio(&self) -> f64 {
+        if self.dense_bytes == 0 {
+            1.0
+        } else {
+            self.wire_bytes as f64 / self.dense_bytes as f64
+        }
+    }
+}
+
+/// Sub-model metadata of a `MaskedUpdate` arrival: enough for the
+/// executor to re-derive the [`StructuredMask`] (via the shared
+/// `MASK_SALT` stream) and scatter the kept weights back into a
+/// full-length vector.
+///
+/// [`StructuredMask`]: feddrl_nn::mask::StructuredMask
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskedWireInfo {
+    /// The dispatch's keep ratio — the mask derivation parameter.
+    pub keep_ratio: f64,
+    /// Full flat parameter count the kept positions scatter into.
+    pub total_len: usize,
+}
+
+/// An `Update` (or `MaskedUpdate`) frame as it arrived at the server,
+/// stamped with its arrival instant so the executor can measure
+/// round-trip time.
 #[derive(Debug, Clone)]
 pub struct InboundUpdate {
-    /// The decoded update payload.
+    /// The decoded update payload. For a masked arrival, `msg.weights`
+    /// holds only the kept positions in ascending order.
     pub msg: UpdateMsg,
+    /// `Some` when the update arrived as a `MaskedUpdate` frame.
+    pub masked: Option<MaskedWireInfo>,
     /// When the update was fully decoded off the socket.
     pub arrival: Instant,
+}
+
+/// One subscribed client's write half plus the protocol version its
+/// connection negotiated at `Hello` time — the version every frame sent
+/// to it must be encoded at.
+struct Peer {
+    stream: TcpStream,
+    version: u8,
+}
+
+impl Peer {
+    fn send(&mut self, msg: &Message) -> Result<(), WireError> {
+        let frame = msg.encode_v(self.version);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
 }
 
 /// State shared between the public handle and the background threads.
 struct Shared {
     start: Instant,
     registry: Mutex<Registry>,
-    /// Write halves (via `try_clone`) of every subscribed client's socket.
-    peers: Mutex<HashMap<usize, TcpStream>>,
+    /// Write halves (via `try_clone`) of every subscribed client's
+    /// socket, with their negotiated versions.
+    peers: Mutex<HashMap<usize, Peer>>,
     /// Arrived updates, drained by `recv_update`. `std::sync::Mutex` +
     /// `Condvar` rather than the parking_lot shim, which has no condvar.
     inbox: StdMutex<VecDeque<InboundUpdate>>,
     inbox_cv: Condvar,
     shutdown: AtomicBool,
+    /// Recent published models for delta encoding, newest last; empty
+    /// unless `delta_publish` is on.
+    snapshots: Mutex<VecDeque<(u64, Vec<f32>)>>,
+    delta_publish: bool,
+    snapshot_cap: usize,
+    publish_wire_bytes: AtomicU64,
+    publish_dense_bytes: AtomicU64,
+    delta_frames: AtomicU64,
+    full_frames: AtomicU64,
+    negotiation_failures: AtomicU64,
 }
 
 impl Shared {
@@ -99,9 +199,17 @@ pub struct NetServer {
 }
 
 impl NetServer {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
-    /// and start the accept thread.
+    /// Bind `addr` and start the accept thread.
+    #[deprecated(note = "construct through `NetServerBuilder` instead")]
     pub fn bind(addr: &str, cfg: ServerConfig) -> Result<NetServer, WireError> {
+        NetServer::bind_with(addr, cfg)
+    }
+
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and start the accept thread. The validated entry point is
+    /// [`NetServerBuilder::build`](crate::builder::NetServerBuilder::build),
+    /// which delegates here.
+    pub(crate) fn bind_with(addr: &str, cfg: ServerConfig) -> Result<NetServer, WireError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -113,6 +221,14 @@ impl NetServer {
             inbox: StdMutex::new(VecDeque::new()),
             inbox_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            snapshots: Mutex::new(VecDeque::new()),
+            delta_publish: cfg.delta_publish,
+            snapshot_cap: cfg.snapshot_ring.max(1),
+            publish_wire_bytes: AtomicU64::new(0),
+            publish_dense_bytes: AtomicU64::new(0),
+            delta_frames: AtomicU64::new(0),
+            full_frames: AtomicU64::new(0),
+            negotiation_failures: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_handle = thread::Builder::new()
@@ -155,33 +271,103 @@ impl NetServer {
         }
     }
 
-    /// Broadcast `ModelPublish { version, weights }` to every subscribed
-    /// client, one scoped writer thread per peer. Peers whose socket
-    /// write fails are dropped from the peer table (the TTL sweep will
-    /// retire them). Returns how many peers were reached.
+    /// Broadcast the global model to every subscribed client, one scoped
+    /// writer thread per peer. Each peer gets either a dense
+    /// `ModelPublish` (encoded at its negotiated version) or — when
+    /// `delta_publish` is on, the peer negotiated v2 and acked a base
+    /// still in the snapshot ring — an exact sparse `ModelPublishDelta`,
+    /// whichever is smaller on the wire. Peers whose socket write fails
+    /// are dropped from the peer table (the TTL sweep will retire them).
+    /// Returns how many peers were reached.
     pub fn publish(&self, version: u64, weights: &[f32]) -> usize {
-        let frame = Message::ModelPublish {
-            version,
-            weights: weights.to_vec(),
+        let shared = &self.shared;
+        // What this publish would cost per peer if sent dense: the
+        // denominator of the fan-out-reduction accounting. Dense payload:
+        // version u64 + count u64 + raw f32s (identical at v1 and v2).
+        let dense_len = (HEADER_LEN + 16 + weights.len() * 4) as u64;
+        if shared.delta_publish {
+            let mut ring = shared.snapshots.lock();
+            ring.push_back((version, weights.to_vec()));
+            while ring.len() > shared.snapshot_cap {
+                ring.pop_front();
+            }
         }
-        .encode();
-        let mut peers = self.shared.peers.lock();
+        let mut peers = shared.peers.lock();
+        // Frame choice per peer, computed up front so identical choices
+        // share one encoding (workers typically ack in lockstep, so one
+        // delta serves the whole fleet).
+        let mut dense_cache: HashMap<u8, Arc<Vec<u8>>> = HashMap::new();
+        let mut delta_cache: HashMap<u64, Option<Arc<Vec<u8>>>> = HashMap::new();
+        let mut plan: HashMap<usize, (Arc<Vec<u8>>, bool)> = HashMap::with_capacity(peers.len());
+        {
+            let registry = shared.registry.lock();
+            let ring = shared.snapshots.lock();
+            for (&id, peer) in peers.iter() {
+                let delta = if shared.delta_publish && peer.version >= 2 {
+                    registry.acked_version(id).and_then(|base| {
+                        delta_cache
+                            .entry(base)
+                            .or_insert_with(|| {
+                                encode_delta(&ring, base, version, weights).map(Arc::new)
+                            })
+                            .clone()
+                    })
+                } else {
+                    None
+                };
+                let chosen = match delta {
+                    Some(frame) => (frame, true),
+                    None => {
+                        let frame = dense_cache
+                            .entry(peer.version)
+                            .or_insert_with(|| {
+                                Arc::new(
+                                    Message::ModelPublish {
+                                        version,
+                                        weights: weights.to_vec(),
+                                    }
+                                    .encode_v(peer.version),
+                                )
+                            })
+                            .clone();
+                        (frame, false)
+                    }
+                };
+                plan.insert(id, chosen);
+            }
+        }
         let mut dead: Vec<usize> = Vec::new();
         let total = peers.len();
         crossbeam::scope(|s| {
             let handles: Vec<_> = peers
                 .iter_mut()
-                .map(|(&id, stream)| {
-                    let frame = &frame;
+                .map(|(&id, peer)| {
+                    let (frame, is_delta) = plan.get(&id).cloned().expect("every peer is planned");
+                    let stream = &mut peer.stream;
                     s.spawn(move |_| {
-                        let ok = stream.write_all(frame).and_then(|_| stream.flush()).is_ok();
-                        (id, ok)
+                        let ok = stream
+                            .write_all(&frame)
+                            .and_then(|_| stream.flush())
+                            .is_ok();
+                        (id, ok, frame.len() as u64, is_delta)
                     })
                 })
                 .collect();
             for h in handles {
-                if let Ok((id, ok)) = h.join() {
-                    if !ok {
+                if let Ok((id, ok, wire_len, is_delta)) = h.join() {
+                    if ok {
+                        shared
+                            .publish_wire_bytes
+                            .fetch_add(wire_len, Ordering::Relaxed);
+                        shared
+                            .publish_dense_bytes
+                            .fetch_add(dense_len, Ordering::Relaxed);
+                        if is_delta {
+                            shared.delta_frames.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            shared.full_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
                         dead.push(id);
                     }
                 }
@@ -195,12 +381,29 @@ impl NetServer {
         reached
     }
 
-    /// Send one frame to a single subscribed client. A failed write
-    /// drops the peer and surfaces the error.
+    /// Cumulative bytes-on-wire accounting across every `publish` so far.
+    pub fn publish_stats(&self) -> PublishStats {
+        PublishStats {
+            wire_bytes: self.shared.publish_wire_bytes.load(Ordering::Relaxed),
+            dense_bytes: self.shared.publish_dense_bytes.load(Ordering::Relaxed),
+            delta_frames: self.shared.delta_frames.load(Ordering::Relaxed),
+            full_frames: self.shared.full_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Connections dropped because the peer's advertised version range
+    /// did not overlap this build's.
+    pub fn negotiation_failures(&self) -> u64 {
+        self.shared.negotiation_failures.load(Ordering::Relaxed)
+    }
+
+    /// Send one frame to a single subscribed client, encoded at the
+    /// connection's negotiated version. A failed write drops the peer and
+    /// surfaces the error.
     pub fn send_to(&self, client_id: usize, msg: &Message) -> Result<(), WireError> {
         let mut peers = self.shared.peers.lock();
         let outcome = match peers.get_mut(&client_id) {
-            Some(stream) => write_frame(stream, msg),
+            Some(peer) => peer.send(msg),
             None => {
                 return Err(WireError::Io {
                     kind: io::ErrorKind::NotConnected,
@@ -292,13 +495,10 @@ impl NetServer {
         }
         {
             let mut peers = self.shared.peers.lock();
-            for (&id, stream) in peers.iter_mut() {
-                let _ = write_frame(
-                    stream,
-                    &Message::Bye {
-                        client_id: id as u64,
-                    },
-                );
+            for (&id, peer) in peers.iter_mut() {
+                let _ = peer.send(&Message::Bye {
+                    client_id: id as u64,
+                });
             }
             peers.clear();
         }
@@ -348,27 +548,91 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// Encode the new model as an exact sparse delta against `base_version`,
+/// if that base is in the ring, shape-compatible, and the delta actually
+/// beats the dense frame on the wire. Changed positions are compared by
+/// *bit pattern*, so reconstruction is exact even across NaNs and signed
+/// zeros.
+fn encode_delta(
+    ring: &VecDeque<(u64, Vec<f32>)>,
+    base_version: u64,
+    version: u64,
+    weights: &[f32],
+) -> Option<Vec<u8>> {
+    let (_, base) = ring.iter().find(|(v, _)| *v == base_version)?;
+    if base.len() != weights.len() || weights.len() > u32::MAX as usize {
+        return None;
+    }
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    for (i, (&b, &w)) in base.iter().zip(weights).enumerate() {
+        if b.to_bits() != w.to_bits() {
+            indices.push(i as u32);
+            values.push(w);
+        }
+    }
+    // Delta payload: 4 u64 header fields + 8 bytes per entry; dense
+    // payload: 2 u64s + 4 bytes per weight. Send the smaller frame.
+    let delta_payload = 32 + indices.len() * 8;
+    let dense_payload = 16 + weights.len() * 4;
+    if delta_payload >= dense_payload {
+        return None;
+    }
+    Some(
+        Message::ModelPublishDelta(DeltaMsg {
+            version,
+            base_version,
+            total_len: weights.len() as u64,
+            indices,
+            values,
+        })
+        .encode(),
+    )
+}
+
 /// One connection's receive loop: frames off the socket, routed by kind.
 fn conn_loop(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
     let mut me: Option<usize> = None;
-    // The loop ends on clean EOF, shutdown, a protocol violation, or a
-    // hard socket error — drop the connection either way. An unannounced
-    // disappearance is the TTL sweep's job to retire.
+    // The loop ends on clean EOF, shutdown, a protocol violation, a
+    // failed negotiation, or a hard socket error — drop the connection
+    // either way. An unannounced disappearance is the TTL sweep's job to
+    // retire.
     while let Ok(Some(msg)) = read_frame_interruptible(&mut stream, &shared.shutdown) {
         let now = shared.now_ms();
         match msg {
-            Message::Hello { client_id } => {
+            Message::Hello {
+                client_id,
+                min_version,
+                max_version,
+            } => {
                 let id = client_id as usize;
+                let version = match negotiate(min_version, max_version) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        // No common version: count it and hang up. We
+                        // cannot even promise the peer would decode a
+                        // reply frame.
+                        shared.negotiation_failures.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                };
                 // A departed id may not rejoin (churn semantics). For a
-                // live one the peer entry must exist *before* the
-                // registry counts it, so `wait_for_clients` returning
-                // guarantees the next `publish` reaches everyone waited
-                // for.
+                // live one the `HelloAck` must be written and the peer
+                // entry must exist *before* the registry counts it, so
+                // `wait_for_clients` returning guarantees the ack
+                // precedes any `publish` on this socket and the publish
+                // reaches everyone waited for.
                 if !shared.registry.lock().is_departed(id) {
-                    if let Ok(write_half) = stream.try_clone() {
-                        shared.peers.lock().insert(id, write_half);
+                    if let Ok(stream) = stream.try_clone() {
+                        let mut peer = Peer { stream, version };
+                        // v1 predates HelloAck; such connections proceed
+                        // exactly as before the handshake existed.
+                        if version >= 2 {
+                            let _ = peer.send(&Message::HelloAck { client_id, version });
+                        }
+                        shared.peers.lock().insert(id, peer);
                         me = Some(id);
                     }
                 }
@@ -377,11 +641,42 @@ fn conn_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             Message::Heartbeat { client_id } => {
                 shared.registry.lock().touch(client_id as usize, now);
             }
+            Message::PublishAck { client_id, version } => {
+                shared
+                    .registry
+                    .lock()
+                    .record_ack(client_id as usize, version, now);
+            }
             Message::Update(update) => {
                 shared.registry.lock().touch(update.client_id as usize, now);
                 let mut inbox = shared.inbox_lock();
                 inbox.push_back(InboundUpdate {
                     msg: update,
+                    masked: None,
+                    arrival: Instant::now(),
+                });
+                drop(inbox);
+                shared.inbox_cv.notify_all();
+            }
+            Message::MaskedUpdate(m) => {
+                shared.registry.lock().touch(m.client_id as usize, now);
+                let masked = Some(MaskedWireInfo {
+                    keep_ratio: m.keep_ratio,
+                    total_len: m.total_len as usize,
+                });
+                let mut inbox = shared.inbox_lock();
+                inbox.push_back(InboundUpdate {
+                    msg: UpdateMsg {
+                        client_id: m.client_id,
+                        round: m.round,
+                        model_version: m.model_version,
+                        staleness: m.staleness,
+                        n_samples: m.n_samples,
+                        loss_before: m.loss_before,
+                        loss_after: m.loss_after,
+                        weights: m.kept_weights,
+                    },
+                    masked,
                     arrival: Instant::now(),
                 });
                 drop(inbox);
@@ -395,8 +690,12 @@ fn conn_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 break;
             }
             // Server-bound kinds only on this socket; a client pushing
-            // ModelPublish/TrainRequest is violating the protocol.
-            Message::ModelPublish { .. } | Message::TrainRequest { .. } => break,
+            // publishes, dispatches or acks-of-acks is violating the
+            // protocol.
+            Message::ModelPublish { .. }
+            | Message::ModelPublishDelta(_)
+            | Message::TrainRequest { .. }
+            | Message::HelloAck { .. } => break,
         }
     }
     if let Some(id) = me {
@@ -420,7 +719,7 @@ fn read_frame_interruptible(
     if read_fill(stream, &mut payload, shutdown, false)?.is_none() {
         return Ok(None);
     }
-    decode_payload(fh.kind, &payload).map(Some)
+    decode_payload(fh.version, fh.kind, &payload).map(Some)
 }
 
 /// Fill `buf` completely, tolerating socket timeouts. `Ok(None)` means a
@@ -468,17 +767,48 @@ fn read_fill(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::read_frame;
+    use crate::builder::NetServerBuilder;
+    use crate::wire::{read_frame, write_frame, PROTOCOL_VERSION_MAX, PROTOCOL_VERSION_MIN};
 
     fn connect_and_hello(addr: SocketAddr, id: u64) -> TcpStream {
         let mut s = TcpStream::connect(addr).expect("connect");
-        write_frame(&mut s, &Message::Hello { client_id: id }).expect("hello");
+        write_frame(
+            &mut s,
+            &Message::Hello {
+                client_id: id,
+                min_version: PROTOCOL_VERSION_MIN,
+                max_version: PROTOCOL_VERSION_MAX,
+            },
+        )
+        .expect("hello");
+        match read_frame(&mut s).expect("frame").expect("not eof") {
+            Message::HelloAck { client_id, version } => {
+                assert_eq!(client_id, id);
+                assert_eq!(version, PROTOCOL_VERSION_MAX);
+            }
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        s
+    }
+
+    /// Subscribe like a v1-only build: bare-id `Hello`, no `HelloAck`
+    /// expected (the server must not send v2 kinds to a v1 peer).
+    fn connect_and_hello_v1(addr: SocketAddr, id: u64) -> TcpStream {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let frame = Message::Hello {
+            client_id: id,
+            min_version: 1,
+            max_version: 1,
+        }
+        .encode_v(1);
+        s.write_all(&frame).expect("hello");
+        s.flush().expect("flush");
         s
     }
 
     #[test]
     fn hello_registers_and_publish_reaches_every_peer() {
-        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let mut server = NetServerBuilder::new().build().expect("bind");
         let addr = server.local_addr();
         let mut a = connect_and_hello(addr, 0);
         let mut b = connect_and_hello(addr, 1);
@@ -503,7 +833,7 @@ mod tests {
 
     #[test]
     fn update_lands_in_inbox_and_bye_departs() {
-        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let mut server = NetServerBuilder::new().build().expect("bind");
         let addr = server.local_addr();
         let mut c = connect_and_hello(addr, 4);
         server
@@ -538,10 +868,10 @@ mod tests {
 
     #[test]
     fn silent_client_expires_via_ttl_sweep() {
-        let cfg = ServerConfig {
-            ttl: Duration::from_millis(50),
-        };
-        let mut server = NetServer::bind("127.0.0.1:0", cfg).expect("bind");
+        let mut server = NetServerBuilder::new()
+            .ttl(Duration::from_millis(50))
+            .build()
+            .expect("bind");
         let addr = server.local_addr();
         let _c = connect_and_hello(addr, 11);
         server
@@ -557,7 +887,7 @@ mod tests {
 
     #[test]
     fn recv_update_times_out_empty() {
-        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let mut server = NetServerBuilder::new().build().expect("bind");
         let got = server.recv_update(Instant::now() + Duration::from_millis(30));
         assert!(got.is_none());
         server.shutdown();
@@ -565,7 +895,7 @@ mod tests {
 
     #[test]
     fn shutdown_sends_bye_to_connected_clients() {
-        let mut server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let mut server = NetServerBuilder::new().build().expect("bind");
         let addr = server.local_addr();
         let mut c = connect_and_hello(addr, 3);
         server

@@ -22,11 +22,25 @@ use std::io::{self, Read, Write};
 /// First two bytes of every frame; rejects non-protocol peers early.
 pub const FRAME_MAGIC: u16 = 0xFD7E;
 
-/// Wire-protocol version this build speaks. The frame header carries the
-/// sender's version; a receiver rejects any other value with
-/// [`WireError::UnsupportedVersion`] (see `docs/NETWORKING.md` on
-/// negotiation).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Oldest wire-protocol version this build still decodes. Version-1
+/// frames (kinds 1–6, bare-`u64` `Hello`) remain valid forever — the
+/// golden frame fixtures in `tests/net_props.rs` pin their exact bytes.
+pub const PROTOCOL_VERSION_MIN: u8 = 1;
+
+/// Newest wire-protocol version this build speaks. Version 2 adds the
+/// negotiated handshake (`Hello` version range + `HelloAck`), masked
+/// sub-model updates (`MaskedUpdate`) and delta-compressed publishes
+/// (`ModelPublishDelta` / `PublishAck`).
+pub const PROTOCOL_VERSION_MAX: u8 = 2;
+
+/// The version this build prefers (and stamps on frames by default):
+/// [`PROTOCOL_VERSION_MAX`]. The frame header carries the sender's
+/// version; a receiver rejects anything outside
+/// `[PROTOCOL_VERSION_MIN, PROTOCOL_VERSION_MAX]` with
+/// [`WireError::UnsupportedVersion`], and connections pin a single
+/// negotiated version at `Hello`/`HelloAck` time (see
+/// `docs/NETWORKING.md` on negotiation).
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_VERSION_MAX;
 
 /// Frame header size: magic (2) + version (1) + kind (1) + payload length (4).
 pub const HEADER_LEN: usize = 8;
@@ -87,6 +101,19 @@ pub enum WireError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// The `Hello`/`HelloAck` handshake found no protocol version both
+    /// ends speak: the peer's advertised `[min, max]` range does not
+    /// overlap ours.
+    NegotiationFailed {
+        /// Smallest version the peer offered.
+        peer_min: u8,
+        /// Largest version the peer offered.
+        peer_max: u8,
+        /// Smallest version this build speaks ([`PROTOCOL_VERSION_MIN`]).
+        ours_min: u8,
+        /// Largest version this build speaks ([`PROTOCOL_VERSION_MAX`]).
+        ours_max: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -97,7 +124,8 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion { found } => {
                 write!(
                     f,
-                    "unsupported protocol version {found} (this build speaks {PROTOCOL_VERSION})"
+                    "unsupported protocol version {found} (this build speaks \
+                     {PROTOCOL_VERSION_MIN}..={PROTOCOL_VERSION_MAX})"
                 )
             }
             WireError::UnknownKind { found } => write!(f, "unknown message kind {found}"),
@@ -108,6 +136,16 @@ impl fmt::Display for WireError {
                 write!(f, "oversized frame: payload of {len} bytes exceeds {max}")
             }
             WireError::Malformed { detail } => write!(f, "malformed payload: {detail}"),
+            WireError::NegotiationFailed {
+                peer_min,
+                peer_max,
+                ours_min,
+                ours_max,
+            } => write!(
+                f,
+                "version negotiation failed: peer speaks {peer_min}..={peer_max}, \
+                 this build speaks {ours_min}..={ours_max}"
+            ),
         }
     }
 }
@@ -163,31 +201,121 @@ pub struct UpdateMsg {
     pub weights: Vec<f32>,
 }
 
+/// A masked (structured sub-model) client report: only the *kept*
+/// positions of the weight vector travel. The mask itself never does —
+/// both ends derive the identical [`StructuredMask`] from the shared
+/// `MASK_SALT` stream via `feddrl_fl::client::dispatch_mask(model, seed,
+/// round, client_id, keep_ratio)`, which is exactly what makes the
+/// omission safe and the frame small.
+///
+/// [`StructuredMask`]: feddrl_nn::mask::StructuredMask
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedUpdateMsg {
+    /// The reporting client's id.
+    pub client_id: u64,
+    /// The round of the `TrainRequest` this update answers (a mask
+    /// derivation input).
+    pub round: u64,
+    /// The model version the client trained against.
+    pub model_version: u64,
+    /// Versions behind at aggregation time; reserved on the wire (clients
+    /// send 0 — the server overwrites it from its own version counter).
+    pub staleness: u64,
+    /// Local sample count `n_k`.
+    pub n_samples: u64,
+    /// Inference loss of the received global model on the client's data.
+    pub loss_before: f32,
+    /// Loss of the locally trained sub-model.
+    pub loss_after: f32,
+    /// The keep ratio the dispatch named (the third mask derivation
+    /// input); in `(0, 1]`.
+    pub keep_ratio: f64,
+    /// Length of the *full* flat parameter vector the kept positions
+    /// scatter into.
+    pub total_len: u64,
+    /// Weights at the mask's kept positions, in ascending position order,
+    /// bit-exact.
+    pub kept_weights: Vec<f32>,
+}
+
+/// A delta-compressed model publish: the new global encoded against a
+/// `base_version` the receiver has acknowledged caching. Reconstruction
+/// is exact (not approximate): copy the cached base, then overwrite each
+/// listed position with its new value — positions whose *bit pattern* is
+/// unchanged are simply absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaMsg {
+    /// The version this publish advances the receiver to.
+    pub version: u64,
+    /// The receiver-cached version the entries are encoded against.
+    pub base_version: u64,
+    /// Full flat parameter count (must match the cached base).
+    pub total_len: u64,
+    /// Changed positions, strictly ascending, each `< total_len`.
+    pub indices: Vec<u32>,
+    /// New values at those positions (same length as `indices`),
+    /// bit-exact.
+    pub values: Vec<f32>,
+}
+
 /// The wire message grammar. One frame carries exactly one message.
+/// Kinds 1–6 are version-1; kinds 7–10 require a negotiated version ≥ 2.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Client → server: subscribe `client_id` to the federation.
+    /// Client → server: subscribe `client_id` to the federation,
+    /// advertising the protocol versions the client speaks. A v1 peer
+    /// sends only the id; its range decodes as `[1, 1]`.
     Hello {
         /// The joining client's id.
         client_id: u64,
+        /// Smallest protocol version the client speaks.
+        min_version: u8,
+        /// Largest protocol version the client speaks.
+        max_version: u8,
     },
-    /// Server → client: the current global model.
+    /// Server → client (v2+): pins the negotiated protocol version for
+    /// this connection — the highest version both ends speak. Never sent
+    /// on a connection negotiated down to v1 (a v1 peer would not decode
+    /// it); such connections proceed exactly as before the handshake
+    /// existed.
+    HelloAck {
+        /// The subscribing client's id, echoed.
+        client_id: u64,
+        /// The negotiated protocol version.
+        version: u8,
+    },
+    /// Server → client: the current global model, dense.
     ModelPublish {
         /// Monotone model version (increments per aggregation).
         version: u64,
         /// Flat global parameters, bit-exact.
         weights: Vec<f32>,
     },
+    /// Server → client (v2+): the current global model, encoded as an
+    /// exact sparse delta against a version the client acknowledged.
+    ModelPublishDelta(DeltaMsg),
+    /// Client → server (v2+): acknowledges having cached a published
+    /// model version — the server may encode future publishes against it.
+    PublishAck {
+        /// The acknowledging client's id.
+        client_id: u64,
+        /// The model version now cached client-side.
+        version: u64,
+    },
     /// Server → client: train on your latest received model.
     TrainRequest {
         /// The round this dispatch belongs to (echoed in the update).
         round: u64,
-        /// Fraction of the model to train (1.0 = full model; below 1
-        /// reserved for structured-dropout sub-model dispatch).
+        /// Fraction of the model to train: 1.0 = full model; below 1 is a
+        /// structured-dropout sub-model dispatch (the client derives the
+        /// mask locally and answers with a `MaskedUpdate`).
         keep_ratio: f64,
     },
-    /// Client → server: a locally-trained report.
+    /// Client → server: a locally-trained full-model report.
     Update(UpdateMsg),
+    /// Client → server (v2+): a locally-trained sub-model report carrying
+    /// only the mask's kept positions.
+    MaskedUpdate(MaskedUpdateMsg),
     /// Client → server: liveness keep-alive refreshing the registry TTL.
     Heartbeat {
         /// The reporting client's id.
@@ -207,6 +335,39 @@ const KIND_TRAIN_REQUEST: u8 = 3;
 const KIND_UPDATE: u8 = 4;
 const KIND_HEARTBEAT: u8 = 5;
 const KIND_BYE: u8 = 6;
+const KIND_HELLO_ACK: u8 = 7;
+const KIND_MASKED_UPDATE: u8 = 8;
+const KIND_MODEL_PUBLISH_DELTA: u8 = 9;
+const KIND_PUBLISH_ACK: u8 = 10;
+
+/// The largest kind byte a frame of `version` may carry: the grammar only
+/// grows, so each version's kinds are a prefix of the next's.
+fn max_kind_for(version: u8) -> u8 {
+    if version >= 2 {
+        KIND_PUBLISH_ACK
+    } else {
+        KIND_BYE
+    }
+}
+
+/// Pick the protocol version for a connection whose peer advertised
+/// `[peer_min, peer_max]`: the highest version both ends speak.
+///
+/// # Errors
+/// [`WireError::NegotiationFailed`] when the ranges do not overlap.
+pub fn negotiate(peer_min: u8, peer_max: u8) -> Result<u8, WireError> {
+    let lo = peer_min.max(PROTOCOL_VERSION_MIN);
+    let hi = peer_max.min(PROTOCOL_VERSION_MAX);
+    if lo > hi {
+        return Err(WireError::NegotiationFailed {
+            peer_min,
+            peer_max,
+            ours_min: PROTOCOL_VERSION_MIN,
+            ours_max: PROTOCOL_VERSION_MAX,
+        });
+    }
+    Ok(hi)
+}
 
 /// A parsed and validated frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,11 +390,13 @@ impl FrameHeader {
             return Err(WireError::BadMagic { found: magic });
         }
         let version = bytes[2];
-        if version != PROTOCOL_VERSION {
+        if !(PROTOCOL_VERSION_MIN..=PROTOCOL_VERSION_MAX).contains(&version) {
             return Err(WireError::UnsupportedVersion { found: version });
         }
         let kind = bytes[3];
-        if !(KIND_HELLO..=KIND_BYE).contains(&kind) {
+        // A v2-only kind under a v1 header is unknown *to that version*:
+        // the header's version byte governs the whole frame's grammar.
+        if !(KIND_HELLO..=max_kind_for(version)).contains(&kind) {
             return Err(WireError::UnknownKind { found: kind });
         }
         let payload_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
@@ -262,6 +425,10 @@ fn put_f32(out: &mut Vec<u8>, v: f32) {
 }
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -302,6 +469,10 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
     fn u64(&mut self, what: &str) -> Result<u64, WireError> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
@@ -334,6 +505,38 @@ impl<'a> Cursor<'a> {
             .collect())
     }
 
+    /// Read `count` little-endian `u32`s, checking the count against the
+    /// bytes actually present *before* allocating (same OOM defense as
+    /// [`Cursor::weights`]).
+    fn u32s(&mut self, count: usize, what: &str) -> Result<Vec<u32>, WireError> {
+        let available = (self.buf.len() - self.pos) / 4;
+        if count > available {
+            return Err(WireError::Malformed {
+                detail: format!("{what} count {count} exceeds the {available} encoded"),
+            });
+        }
+        let raw = self.take(count * 4, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
+    /// Read `count` raw-bit `f32`s with the same pre-allocation check.
+    fn f32s(&mut self, count: usize, what: &str) -> Result<Vec<f32>, WireError> {
+        let available = (self.buf.len() - self.pos) / 4;
+        if count > available {
+            return Err(WireError::Malformed {
+                detail: format!("{what} count {count} exceeds the {available} encoded"),
+            });
+        }
+        let raw = self.take(count * 4, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
     fn finish(self, what: &str) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::Malformed {
@@ -344,17 +547,83 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decode a validated-header payload into its [`Message`]. `kind` must
-/// come from [`FrameHeader::parse`] (unknown kinds are rejected there).
-pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+/// Decode a validated-header payload into its [`Message`]. `version` and
+/// `kind` must come from [`FrameHeader::parse`] (unsupported versions and
+/// unknown kinds are rejected there); `version` selects the payload
+/// grammar where it differs — today only `Hello`, whose v1 payload is the
+/// bare client id.
+pub fn decode_payload(version: u8, kind: u8, payload: &[u8]) -> Result<Message, WireError> {
     let mut c = Cursor::new(payload);
     let msg = match kind {
-        KIND_HELLO => Message::Hello {
-            client_id: c.u64("Hello.client_id")?,
+        KIND_HELLO => {
+            let client_id = c.u64("Hello.client_id")?;
+            let (min_version, max_version) = if version >= 2 {
+                (c.u8("Hello.min_version")?, c.u8("Hello.max_version")?)
+            } else {
+                // A v1 peer predates the range handshake: it speaks
+                // exactly version 1.
+                (1, 1)
+            };
+            if min_version > max_version {
+                return Err(WireError::Malformed {
+                    detail: format!(
+                        "Hello version range is empty: min {min_version} > max {max_version}"
+                    ),
+                });
+            }
+            Message::Hello {
+                client_id,
+                min_version,
+                max_version,
+            }
+        }
+        KIND_HELLO_ACK => Message::HelloAck {
+            client_id: c.u64("HelloAck.client_id")?,
+            version: c.u8("HelloAck.version")?,
         },
         KIND_MODEL_PUBLISH => Message::ModelPublish {
             version: c.u64("ModelPublish.version")?,
             weights: c.weights()?,
+        },
+        KIND_MODEL_PUBLISH_DELTA => {
+            let msg_version = c.u64("ModelPublishDelta.version")?;
+            let base_version = c.u64("ModelPublishDelta.base_version")?;
+            let total_len = c.u64("ModelPublishDelta.total_len")?;
+            let count = c.u64("ModelPublishDelta.count")? as usize;
+            let indices = c.u32s(count, "ModelPublishDelta.indices")?;
+            let values = c.f32s(count, "ModelPublishDelta.values")?;
+            for pair in indices.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(WireError::Malformed {
+                        detail: format!(
+                            "ModelPublishDelta indices not strictly ascending: \
+                             {} then {}",
+                            pair[0], pair[1]
+                        ),
+                    });
+                }
+            }
+            if let Some(&last) = indices.last() {
+                if u64::from(last) >= total_len {
+                    return Err(WireError::Malformed {
+                        detail: format!(
+                            "ModelPublishDelta index {last} out of range for \
+                             total_len {total_len}"
+                        ),
+                    });
+                }
+            }
+            Message::ModelPublishDelta(DeltaMsg {
+                version: msg_version,
+                base_version,
+                total_len,
+                indices,
+                values,
+            })
+        }
+        KIND_PUBLISH_ACK => Message::PublishAck {
+            client_id: c.u64("PublishAck.client_id")?,
+            version: c.u64("PublishAck.version")?,
         },
         KIND_TRAIN_REQUEST => Message::TrainRequest {
             round: c.u64("TrainRequest.round")?,
@@ -370,6 +639,38 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
             loss_after: c.f32("Update.loss_after")?,
             weights: c.weights()?,
         }),
+        KIND_MASKED_UPDATE => {
+            let msg = MaskedUpdateMsg {
+                client_id: c.u64("MaskedUpdate.client_id")?,
+                round: c.u64("MaskedUpdate.round")?,
+                model_version: c.u64("MaskedUpdate.model_version")?,
+                staleness: c.u64("MaskedUpdate.staleness")?,
+                n_samples: c.u64("MaskedUpdate.n_samples")?,
+                loss_before: c.f32("MaskedUpdate.loss_before")?,
+                loss_after: c.f32("MaskedUpdate.loss_after")?,
+                keep_ratio: c.f64("MaskedUpdate.keep_ratio")?,
+                total_len: c.u64("MaskedUpdate.total_len")?,
+                kept_weights: c.weights()?,
+            };
+            if !(msg.keep_ratio.is_finite() && 0.0 < msg.keep_ratio && msg.keep_ratio <= 1.0) {
+                return Err(WireError::Malformed {
+                    detail: format!(
+                        "MaskedUpdate keep_ratio must be in (0, 1], got {}",
+                        msg.keep_ratio
+                    ),
+                });
+            }
+            if msg.kept_weights.len() as u64 > msg.total_len {
+                return Err(WireError::Malformed {
+                    detail: format!(
+                        "MaskedUpdate kept {} weights but total_len is {}",
+                        msg.kept_weights.len(),
+                        msg.total_len
+                    ),
+                });
+            }
+            Message::MaskedUpdate(msg)
+        }
         KIND_HEARTBEAT => Message::Heartbeat {
             client_id: c.u64("Heartbeat.client_id")?,
         },
@@ -390,6 +691,10 @@ fn kind_name(kind: u8) -> &'static str {
         KIND_UPDATE => "Update",
         KIND_HEARTBEAT => "Heartbeat",
         KIND_BYE => "Bye",
+        KIND_HELLO_ACK => "HelloAck",
+        KIND_MASKED_UPDATE => "MaskedUpdate",
+        KIND_MODEL_PUBLISH_DELTA => "ModelPublishDelta",
+        KIND_PUBLISH_ACK => "PublishAck",
         _ => "unknown",
     }
 }
@@ -399,22 +704,97 @@ impl Message {
     pub fn kind(&self) -> u8 {
         match self {
             Message::Hello { .. } => KIND_HELLO,
+            Message::HelloAck { .. } => KIND_HELLO_ACK,
             Message::ModelPublish { .. } => KIND_MODEL_PUBLISH,
+            Message::ModelPublishDelta(_) => KIND_MODEL_PUBLISH_DELTA,
+            Message::PublishAck { .. } => KIND_PUBLISH_ACK,
             Message::TrainRequest { .. } => KIND_TRAIN_REQUEST,
             Message::Update(_) => KIND_UPDATE,
+            Message::MaskedUpdate(_) => KIND_MASKED_UPDATE,
             Message::Heartbeat { .. } => KIND_HEARTBEAT,
             Message::Bye { .. } => KIND_BYE,
         }
     }
 
-    /// Encode into a complete frame (header + payload).
+    /// The oldest protocol version whose grammar can carry this message.
+    pub fn min_wire_version(&self) -> u8 {
+        if self.kind() > KIND_BYE {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Encode into a complete frame stamped with the preferred version
+    /// ([`PROTOCOL_VERSION`]). Use [`Message::encode_v`] on a connection
+    /// negotiated down to an older version.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_v(PROTOCOL_VERSION)
+    }
+
+    /// Encode into a complete frame (header + payload) under `version`'s
+    /// grammar.
+    ///
+    /// # Panics
+    /// If `version` is outside the supported range or the message's kind
+    /// does not exist at `version` (both are programmer errors — the
+    /// negotiated version of a connection bounds what may be sent on it).
+    pub fn encode_v(&self, version: u8) -> Vec<u8> {
+        assert!(
+            (PROTOCOL_VERSION_MIN..=PROTOCOL_VERSION_MAX).contains(&version),
+            "cannot encode at protocol version {version} (this build speaks \
+             {PROTOCOL_VERSION_MIN}..={PROTOCOL_VERSION_MAX})"
+        );
+        assert!(
+            version >= self.min_wire_version(),
+            "{} frames require protocol version {} (encoding at {version})",
+            kind_name(self.kind()),
+            self.min_wire_version(),
+        );
         let mut payload = Vec::new();
         match self {
-            Message::Hello { client_id } => put_u64(&mut payload, *client_id),
+            Message::Hello {
+                client_id,
+                min_version,
+                max_version,
+            } => {
+                put_u64(&mut payload, *client_id);
+                // The version range rides only on v2+ frames; a v1 Hello
+                // is the bare id (its range is implicitly [1, 1]).
+                if version >= 2 {
+                    payload.push(*min_version);
+                    payload.push(*max_version);
+                }
+            }
+            Message::HelloAck { client_id, version } => {
+                put_u64(&mut payload, *client_id);
+                payload.push(*version);
+            }
             Message::ModelPublish { version, weights } => {
                 put_u64(&mut payload, *version);
                 put_weights(&mut payload, weights);
+            }
+            Message::ModelPublishDelta(d) => {
+                assert_eq!(
+                    d.indices.len(),
+                    d.values.len(),
+                    "delta indices and values must pair up"
+                );
+                put_u64(&mut payload, d.version);
+                put_u64(&mut payload, d.base_version);
+                put_u64(&mut payload, d.total_len);
+                put_u64(&mut payload, d.indices.len() as u64);
+                payload.reserve(d.indices.len() * 8);
+                for &i in &d.indices {
+                    put_u32(&mut payload, i);
+                }
+                for &v in &d.values {
+                    put_f32(&mut payload, v);
+                }
+            }
+            Message::PublishAck { client_id, version } => {
+                put_u64(&mut payload, *client_id);
+                put_u64(&mut payload, *version);
             }
             Message::TrainRequest { round, keep_ratio } => {
                 put_u64(&mut payload, *round);
@@ -430,6 +810,18 @@ impl Message {
                 put_f32(&mut payload, u.loss_after);
                 put_weights(&mut payload, &u.weights);
             }
+            Message::MaskedUpdate(u) => {
+                put_u64(&mut payload, u.client_id);
+                put_u64(&mut payload, u.round);
+                put_u64(&mut payload, u.model_version);
+                put_u64(&mut payload, u.staleness);
+                put_u64(&mut payload, u.n_samples);
+                put_f32(&mut payload, u.loss_before);
+                put_f32(&mut payload, u.loss_after);
+                put_f64(&mut payload, u.keep_ratio);
+                put_u64(&mut payload, u.total_len);
+                put_weights(&mut payload, &u.kept_weights);
+            }
             Message::Heartbeat { client_id } => put_u64(&mut payload, *client_id),
             Message::Bye { client_id } => put_u64(&mut payload, *client_id),
         }
@@ -440,7 +832,7 @@ impl Message {
         );
         let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
         frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-        frame.push(PROTOCOL_VERSION);
+        frame.push(version);
         frame.push(self.kind());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
@@ -466,7 +858,7 @@ impl Message {
                 got: buf.len(),
             });
         }
-        let msg = decode_payload(header.kind, &buf[HEADER_LEN..total])?;
+        let msg = decode_payload(header.version, header.kind, &buf[HEADER_LEN..total])?;
         Ok((msg, total))
     }
 }
@@ -511,7 +903,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Message>, WireError> {
             e.into()
         }
     })?;
-    decode_payload(fh.kind, &payload).map(Some)
+    decode_payload(fh.version, fh.kind, &payload).map(Some)
 }
 
 #[cfg(test)]
@@ -531,19 +923,58 @@ mod tests {
         })
     }
 
+    fn sample_masked_update() -> Message {
+        Message::MaskedUpdate(MaskedUpdateMsg {
+            client_id: 4,
+            round: 9,
+            model_version: 8,
+            staleness: 0,
+            n_samples: 64,
+            loss_before: 2.0,
+            loss_after: 1.5,
+            keep_ratio: 0.625,
+            total_len: 10,
+            kept_weights: vec![0.25, -0.5, 1.0e-7],
+        })
+    }
+
+    fn sample_delta() -> Message {
+        Message::ModelPublishDelta(DeltaMsg {
+            version: 12,
+            base_version: 11,
+            total_len: 100,
+            indices: vec![0, 7, 99],
+            values: vec![1.0, -2.5, f32::MIN_POSITIVE],
+        })
+    }
+
     #[test]
     fn every_kind_round_trips() {
         let msgs = [
-            Message::Hello { client_id: 9 },
+            Message::Hello {
+                client_id: 9,
+                min_version: 1,
+                max_version: 2,
+            },
+            Message::HelloAck {
+                client_id: 9,
+                version: 2,
+            },
             Message::ModelPublish {
                 version: 4,
                 weights: vec![1.0, 2.0, -0.125],
+            },
+            sample_delta(),
+            Message::PublishAck {
+                client_id: 3,
+                version: 4,
             },
             Message::TrainRequest {
                 round: 11,
                 keep_ratio: 0.625,
             },
             sample_update(),
+            sample_masked_update(),
             Message::Heartbeat { client_id: 2 },
             Message::Bye { client_id: 5 },
         ];
@@ -553,6 +984,93 @@ mod tests {
             assert_eq!(used, frame.len());
             assert_eq!(back, msg);
         }
+    }
+
+    #[test]
+    fn v1_hello_is_the_bare_client_id_and_decodes_with_a_pinned_range() {
+        let msg = Message::Hello {
+            client_id: 7,
+            min_version: 1,
+            max_version: 1,
+        };
+        let frame = msg.encode_v(1);
+        assert_eq!(frame.len(), HEADER_LEN + 8, "v1 Hello payload is one u64");
+        assert_eq!(frame[2], 1, "header carries the requested version");
+        let (back, _) = Message::decode(&frame).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn v2_only_kinds_are_unknown_under_a_v1_header() {
+        let mut frame = sample_masked_update().encode();
+        frame[2] = 1;
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::UnknownKind { found: 8 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "require protocol version 2")]
+    fn encoding_a_v2_message_at_v1_panics() {
+        sample_masked_update().encode_v(1);
+    }
+
+    #[test]
+    fn negotiation_picks_the_highest_common_version() {
+        assert_eq!(negotiate(1, 1), Ok(1));
+        assert_eq!(negotiate(1, 2), Ok(2));
+        assert_eq!(negotiate(2, 2), Ok(2));
+        assert_eq!(negotiate(1, 200), Ok(PROTOCOL_VERSION_MAX));
+        assert_eq!(
+            negotiate(3, 200),
+            Err(WireError::NegotiationFailed {
+                peer_min: 3,
+                peer_max: 200,
+                ours_min: PROTOCOL_VERSION_MIN,
+                ours_max: PROTOCOL_VERSION_MAX,
+            })
+        );
+    }
+
+    #[test]
+    fn delta_grammar_rejects_unsorted_and_out_of_range_indices() {
+        let mut unsorted = sample_delta();
+        if let Message::ModelPublishDelta(d) = &mut unsorted {
+            d.indices = vec![7, 7, 99];
+        }
+        assert!(matches!(
+            Message::decode(&unsorted.encode()),
+            Err(WireError::Malformed { .. })
+        ));
+        let mut oob = sample_delta();
+        if let Message::ModelPublishDelta(d) = &mut oob {
+            d.indices = vec![0, 7, 100];
+        }
+        assert!(matches!(
+            Message::decode(&oob.encode()),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn masked_update_grammar_rejects_bad_ratio_and_overfull_kept_set() {
+        let mut bad_ratio = sample_masked_update();
+        if let Message::MaskedUpdate(u) = &mut bad_ratio {
+            u.keep_ratio = 0.0;
+        }
+        assert!(matches!(
+            Message::decode(&bad_ratio.encode()),
+            Err(WireError::Malformed { .. })
+        ));
+        let mut overfull = sample_masked_update();
+        if let Message::MaskedUpdate(u) = &mut overfull {
+            u.total_len = 2;
+        }
+        assert!(matches!(
+            Message::decode(&overfull.encode()),
+            Err(WireError::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -654,13 +1172,15 @@ mod tests {
     #[test]
     fn stream_read_write_round_trips_and_reports_clean_eof() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Message::Hello { client_id: 1 }).unwrap();
+        let hello = Message::Hello {
+            client_id: 1,
+            min_version: 1,
+            max_version: 2,
+        };
+        write_frame(&mut buf, &hello).unwrap();
         write_frame(&mut buf, &sample_update()).unwrap();
         let mut r = io::Cursor::new(buf);
-        assert_eq!(
-            read_frame(&mut r).unwrap(),
-            Some(Message::Hello { client_id: 1 })
-        );
+        assert_eq!(read_frame(&mut r).unwrap(), Some(hello));
         assert_eq!(read_frame(&mut r).unwrap(), Some(sample_update()));
         assert_eq!(read_frame(&mut r).unwrap(), None);
     }

@@ -669,8 +669,9 @@ impl Fleet {
 /// Nearest-rank percentile index over `n` sorted samples for a quantile
 /// `pct ∈ [0, 1]`: the smallest index whose rank covers `pct` of the
 /// samples, `⌈pct · n⌉ − 1` (clamped so `pct = 0` reads the minimum and
-/// `pct = 1` the maximum). `feddrl_net`'s RTT telemetry implements the
-/// identical definition on percent-valued input.
+/// `pct = 1` the maximum). `feddrl_net`'s `rtt_percentile_ms` implements
+/// the identical definition on the identical `[0, 1]` input — measured
+/// RTTs read against predicted completion times with no conversion.
 fn nearest_rank(n: usize, pct: f64) -> usize {
     ((n as f64 * pct).ceil() as usize)
         .saturating_sub(1)

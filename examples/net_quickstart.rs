@@ -56,8 +56,13 @@ fn main() {
     let local_cfg = cfg.local.clone();
     let seed = cfg.seed;
 
-    // 2. The server endpoint on an ephemeral loopback port.
-    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind server");
+    // 2. The server endpoint on an ephemeral loopback port, with
+    //    delta-compressed publishes on (steady-state broadcasts cross
+    //    the wire as sparse residuals whenever that is cheaper).
+    let server = NetServerBuilder::new()
+        .delta_publish(true)
+        .build()
+        .expect("bind server");
     let addr = server.local_addr().to_string();
     println!("server listening on {addr}");
 
@@ -74,7 +79,9 @@ fn main() {
                 Arc::clone(&shared_spec),
             );
             let local_cfg = local_cfg.clone();
-            let worker_cfg = ClientConfig::new(addr.clone(), cid);
+            let worker_cfg = NetClientBuilder::new(addr.clone(), cid)
+                .build()
+                .expect("client config");
             thread::spawn(move || {
                 run_client(&worker_cfg, move |order, global| {
                     let mut model = spec.build(0);
@@ -128,6 +135,14 @@ fn main() {
         t.rtt_ms.len(),
         t.p50_rtt_ms(),
         t.p99_rtt_ms()
+    );
+    println!(
+        "publishes: {} B on the wire vs {} B dense ({} delta / {} full frames, ratio {:.3})",
+        t.publish.wire_bytes,
+        t.publish.dense_bytes,
+        t.publish.delta_frames,
+        t.publish.full_frames,
+        t.publish.wire_to_dense_ratio()
     );
     assert!(t.dispatched == ROUNDS * N_CLIENTS && t.failed_dispatches == 0);
 }

@@ -14,9 +14,10 @@
 //!   discrete-event heterogeneity engine (device fleets, virtual clock,
 //!   event queue) behind `feddrl_fl`'s deadline-bounded round executor;
 //! * [`feddrl_net`] — the networked runtime: length-prefixed wire
-//!   protocol, TCP server/worker processes, heartbeat liveness registry,
-//!   and the `NetworkExecutor` that plugs real transport into the
-//!   unchanged session loop.
+//!   protocol with a negotiated version handshake, wire-level sub-model
+//!   dispatch and delta-compressed publishes, TCP server/worker
+//!   processes, heartbeat liveness registry, and the `NetworkExecutor`
+//!   that plugs real transport into the unchanged session loop.
 
 #![warn(missing_docs)]
 

@@ -1,17 +1,27 @@
 //! Integration contract of the networked runtime (`feddrl_net`).
 //!
-//! Four promises, checked at the workspace boundary: (1) the frame codec
-//! round-trips every message kind bit-exactly and rejects malformed
-//! input with *typed* errors (property-based); (2) a client that goes
-//! silent past the liveness TTL surfaces as a departure through the same
-//! `RoundExecutor::departed_clients` channel the simulator's churn uses;
-//! (3) — the headline law — a `NetworkExecutor` round-barrier run over
-//! loopback sockets with a deterministic stub trainer reproduces the
-//! `IdealExecutor`'s `RunHistory` **byte-identically** (timings
-//! scrubbed), proving the transport adds no behavior; (4) the buffered
-//! mode measures real staleness on late arrivals.
+//! Seven promises, checked at the workspace boundary: (1) the frame
+//! codec round-trips every message kind — v1 and v2 — bit-exactly and
+//! rejects malformed input with *typed* errors (property-based);
+//! (2) pinned golden byte fixtures prove today's build still decodes
+//! yesterday's v1 frames, and a v1 peer on a live server negotiates
+//! down and is served v1 frames only; (3) a client that goes silent
+//! past the liveness TTL surfaces as a departure through the same
+//! `RoundExecutor::departed_clients` channel the simulator's churn
+//! uses; (4) — the headline law — a `NetworkExecutor` round-barrier run
+//! over loopback sockets with a deterministic stub trainer reproduces
+//! the `IdealExecutor`'s `RunHistory` **byte-identically** (timings
+//! scrubbed), proving the transport adds no behavior; (5) delta
+//! publishes reconstruct the global model *exactly* through the real
+//! worker loop, fall back to dense frames when the acked base is
+//! evicted or the delta would not pay, and spend fewer bytes than
+//! dense fan-out; (6) wire-level masked dispatch reproduces the
+//! in-process structured-dropout session byte-for-byte with *real*
+//! local training on both sides; (7) the buffered mode measures real
+//! staleness on late arrivals.
 
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -42,11 +52,47 @@ fn arb_weights() -> impl PropStrategy<Value = Vec<f32>> {
     )
 }
 
+/// Every message kind of the v2 grammar, constrained to frames the
+/// decoder accepts (ascending delta indices, masked `keep_ratio` in
+/// `(0, 1]`, kept count within `total_len`).
 fn arb_message() -> impl PropStrategy<Value = Message> {
     prop_oneof![
-        (0u64..1 << 40).prop_map(|client_id| Message::Hello { client_id }),
+        (0u64..1 << 40, 0u8..=255, 0u8..=255).prop_map(|(client_id, lo, hi)| {
+            Message::Hello {
+                client_id,
+                min_version: lo.min(hi),
+                max_version: lo.max(hi),
+            }
+        }),
+        (0u64..1 << 40, 0u8..=255)
+            .prop_map(|(client_id, version)| Message::HelloAck { client_id, version }),
         (0u64..1 << 40, arb_weights())
             .prop_map(|(version, weights)| Message::ModelPublish { version, weights }),
+        // Strictly ascending indices via positive-step prefix sums.
+        (
+            proptest::collection::vec((1u32..16, -1.0e3f32..1.0e3), 0..24),
+            0u64..64,
+        )
+            .prop_map(|(steps, slack)| {
+                let mut next = 0u32;
+                let (indices, values): (Vec<u32>, Vec<f32>) = steps
+                    .into_iter()
+                    .map(|(step, v)| {
+                        next += step;
+                        (next - 1, v)
+                    })
+                    .unzip();
+                let total_len = u64::from(indices.last().copied().unwrap_or(0)) + 1 + slack;
+                Message::ModelPublishDelta(DeltaMsg {
+                    version: slack + 1,
+                    base_version: slack,
+                    total_len,
+                    indices,
+                    values,
+                })
+            }),
+        (0u64..1 << 40, 0u64..1 << 40)
+            .prop_map(|(client_id, version)| Message::PublishAck { client_id, version }),
         (0u64..10_000, 0.0f64..=1.0)
             .prop_map(|(round, keep_ratio)| Message::TrainRequest { round, keep_ratio }),
         (
@@ -68,6 +114,34 @@ fn arb_message() -> impl PropStrategy<Value = Message> {
                     })
                 }
             ),
+        (
+            (0u64..1000, 0u64..1000, 0u64..1000, 0u64..64),
+            (0u64..1 << 30, -10.0f32..10.0, -10.0f32..10.0),
+            (0.001f64..=1.0, 0u64..64),
+            arb_weights(),
+        )
+            .prop_map(
+                |(
+                    (client_id, round, model_version, staleness),
+                    (n, lb, la),
+                    (keep_ratio, slack),
+                    kept_weights,
+                )| {
+                    let total_len = kept_weights.len() as u64 + slack;
+                    Message::MaskedUpdate(MaskedUpdateMsg {
+                        client_id,
+                        round,
+                        model_version,
+                        staleness,
+                        n_samples: n,
+                        loss_before: lb,
+                        loss_after: la,
+                        keep_ratio,
+                        total_len,
+                        kept_weights,
+                    })
+                }
+            ),
         (0u64..1 << 40).prop_map(|client_id| Message::Heartbeat { client_id }),
         (0u64..1 << 40).prop_map(|client_id| Message::Bye { client_id }),
     ]
@@ -85,6 +159,19 @@ proptest! {
         let (decoded, consumed) = Message::decode(&bytes).expect("decode own encoding");
         prop_assert_eq!(consumed, bytes.len());
         prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Messages that exist at protocol version 1 also round-trip under
+    /// the v1 grammar — the down-negotiated encoding stays decodable by
+    /// this build forever.
+    #[test]
+    fn v1_expressible_messages_round_trip_at_v1(msg in arb_message()) {
+        if msg.min_wire_version() <= 1 {
+            let bytes = msg.encode_v(1);
+            let (decoded, consumed) = Message::decode(&bytes).expect("decode v1 encoding");
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded.encode_v(1), bytes);
+        }
     }
 
     /// Every proper prefix of a frame is rejected as `Truncated` — never
@@ -121,10 +208,18 @@ proptest! {
         }
     }
 
-    /// Corrupting the magic or version byte fails with the matching
-    /// typed error, whatever the payload.
+    /// Corrupting the magic fails `BadMagic`; a version byte outside the
+    /// supported `[PROTOCOL_VERSION_MIN, PROTOCOL_VERSION_MAX]` range
+    /// fails `UnsupportedVersion` — whatever the payload.
     #[test]
-    fn bad_magic_and_version_fail_typed(msg in arb_message(), twiddle in 1u8..255) {
+    fn bad_magic_and_version_fail_typed(
+        msg in arb_message(),
+        twiddle in 1u8..255,
+        bad_version in prop_oneof![
+            Just(PROTOCOL_VERSION_MIN - 1),
+            (PROTOCOL_VERSION_MAX + 1)..=255u8,
+        ],
+    ) {
         let mut bytes = msg.encode();
         bytes[0] ^= twiddle;
         assert!(matches!(
@@ -132,12 +227,175 @@ proptest! {
             Err(WireError::BadMagic { .. })
         ));
         let mut bytes = msg.encode();
-        bytes[2] ^= twiddle;
+        bytes[2] = bad_version;
         assert!(matches!(
             Message::decode(&bytes),
             Err(WireError::UnsupportedVersion { .. })
         ));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version compatibility: golden v1 frames and a live v1 peer
+// ---------------------------------------------------------------------------
+
+/// Byte-for-byte fixtures of protocol-version-1 frames as the pre-v2
+/// build wrote them. They must decode — and re-encode identically under
+/// `encode_v(1)` — for as long as `PROTOCOL_VERSION_MIN` is 1.
+#[test]
+fn golden_v1_frames_decode_and_reencode_identically() {
+    // Hello: bare client id 7; the version range is implicit [1, 1].
+    let hello: &[u8] = &[
+        0x7E, 0xFD, 0x01, 0x01, 0x08, 0x00, 0x00, 0x00, // header, len 8
+        0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // client_id = 7
+    ];
+    // TrainRequest: round 2, keep_ratio 1.0.
+    let train: &[u8] = &[
+        0x7E, 0xFD, 0x01, 0x03, 0x10, 0x00, 0x00, 0x00, // header, len 16
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // round = 2
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F, // f64 1.0
+    ];
+    // ModelPublish: version 1, weights [1.0, -2.5].
+    let publish: &[u8] = &[
+        0x7E, 0xFD, 0x01, 0x02, 0x18, 0x00, 0x00, 0x00, // header, len 24
+        0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // version = 1
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count = 2
+        0x00, 0x00, 0x80, 0x3F, // f32 1.0
+        0x00, 0x00, 0x20, 0xC0, // f32 -2.5
+    ];
+    let cases: [(&[u8], Message); 3] = [
+        (
+            hello,
+            Message::Hello {
+                client_id: 7,
+                min_version: 1,
+                max_version: 1,
+            },
+        ),
+        (
+            train,
+            Message::TrainRequest {
+                round: 2,
+                keep_ratio: 1.0,
+            },
+        ),
+        (
+            publish,
+            Message::ModelPublish {
+                version: 1,
+                weights: vec![1.0, -2.5],
+            },
+        ),
+    ];
+    for (bytes, expect) in cases {
+        let (msg, used) = Message::decode(bytes).expect("golden v1 frame decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(msg, expect, "golden v1 frame decoded to the wrong message");
+        assert_eq!(
+            expect.encode_v(1),
+            bytes,
+            "v1 re-encoding drifted from the golden bytes"
+        );
+    }
+}
+
+/// A pinned v2 `HelloAck` — the first frame of the new grammar a v2
+/// client ever sees — so its layout can never drift silently either.
+#[test]
+fn golden_v2_hello_ack_decodes() {
+    let ack: &[u8] = &[
+        0x7E, 0xFD, 0x02, 0x07, 0x09, 0x00, 0x00, 0x00, // header, len 9
+        0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // client_id = 3
+        0x02, // negotiated version = 2
+    ];
+    let (msg, used) = Message::decode(ack).expect("golden v2 HelloAck decodes");
+    assert_eq!(used, ack.len());
+    assert_eq!(
+        msg,
+        Message::HelloAck {
+            client_id: 3,
+            version: 2,
+        }
+    );
+}
+
+/// Read one raw frame off a socket, returning the wire version byte it
+/// was stamped with alongside the decoded message.
+fn read_raw_frame(sock: &mut TcpStream) -> (u8, Message) {
+    use std::io::Read as _;
+    let mut header = [0u8; HEADER_LEN];
+    sock.read_exact(&mut header).expect("frame header");
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    let mut frame = header.to_vec();
+    frame.resize(HEADER_LEN + len, 0);
+    sock.read_exact(&mut frame[HEADER_LEN..])
+        .expect("frame payload");
+    let (msg, used) = Message::decode(&frame).expect("decode raw frame");
+    assert_eq!(used, frame.len());
+    (header[2], msg)
+}
+
+/// A v1-only peer on a v2 server with delta publishing *enabled*: the
+/// server negotiates down, never sends a `HelloAck` (v1 predates it),
+/// and serves dense v1 `ModelPublish` frames only — deltas require v2.
+/// A peer advertising a disjoint version range is counted and dropped.
+#[test]
+fn v1_peer_negotiates_down_and_only_ever_sees_v1_frames() {
+    use std::io::Write as _;
+    let server = NetServerBuilder::new()
+        .delta_publish(true)
+        .build()
+        .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let mut v1_peer = TcpStream::connect(&addr).expect("connect");
+    let hello = Message::Hello {
+        client_id: 9,
+        min_version: 1,
+        max_version: 1,
+    };
+    v1_peer.write_all(&hello.encode_v(1)).expect("v1 hello");
+    server
+        .wait_for_clients(1, Duration::from_secs(5))
+        .expect("v1 peer subscribed");
+
+    // Two publishes: no ack channel exists at v1, so both must arrive
+    // dense, stamped v1 — never a delta, never a HelloAck in between.
+    server.publish(3, &[0.5, -1.0]);
+    server.publish(4, &[0.75, -1.0]);
+    for expect_version in [3u64, 4] {
+        let (wire_version, msg) = read_raw_frame(&mut v1_peer);
+        assert_eq!(wire_version, 1, "frames to a v1 peer are stamped v1");
+        match msg {
+            Message::ModelPublish { version, .. } => assert_eq!(version, expect_version),
+            other => panic!("v1 peer received {other:?}"),
+        }
+    }
+    let stats = server.publish_stats();
+    assert_eq!(stats.delta_frames, 0, "deltas require a v2 peer");
+    assert_eq!(stats.full_frames, 2);
+    assert_eq!(server.negotiation_failures(), 0);
+
+    // A peer from the future, speaking only versions we do not: the
+    // handshake fails typed on our side of the math too...
+    assert!(matches!(
+        negotiate(PROTOCOL_VERSION_MAX + 1, 255),
+        Err(WireError::NegotiationFailed { .. })
+    ));
+    // ...and the server counts the failure and hangs up on the socket.
+    let mut alien = TcpStream::connect(&addr).expect("connect");
+    let alien_hello = Message::Hello {
+        client_id: 10,
+        min_version: PROTOCOL_VERSION_MAX + 1,
+        max_version: 255,
+    };
+    alien.write_all(&alien_hello.encode()).expect("alien hello");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.negotiation_failures() == 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.negotiation_failures(), 1, "disjoint range counted");
+    assert!(!server.is_live(10), "failed negotiation never subscribes");
 }
 
 // ---------------------------------------------------------------------------
@@ -149,17 +407,17 @@ proptest! {
 /// while a heartbeating client stays live.
 #[test]
 fn ttl_expiry_surfaces_as_departure_through_the_executor() {
-    let server = NetServer::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            ttl: Duration::from_millis(100),
-        },
-    )
-    .expect("bind");
+    let server = NetServerBuilder::new()
+        .ttl(Duration::from_millis(100))
+        .build()
+        .expect("bind");
     let addr = server.local_addr().to_string();
 
     // Client 1 heartbeats properly via the real worker loop...
-    let worker_cfg = ClientConfig::new(addr.clone(), 1).with_heartbeat(Duration::from_millis(25));
+    let worker_cfg = NetClientBuilder::new(addr.clone(), 1)
+        .heartbeat(Duration::from_millis(25))
+        .build()
+        .expect("client config");
     let worker = thread::spawn(move || {
         run_client(&worker_cfg, |_, _| ClientUpdate {
             client_id: 1,
@@ -173,7 +431,15 @@ fn ttl_expiry_surfaces_as_departure_through_the_executor() {
     });
     // ...client 3 says Hello once and then goes silent forever.
     let mut silent = TcpStream::connect(&addr).expect("connect");
-    write_frame(&mut silent, &Message::Hello { client_id: 3 }).expect("hello");
+    write_frame(
+        &mut silent,
+        &Message::Hello {
+            client_id: 3,
+            min_version: PROTOCOL_VERSION_MIN,
+            max_version: PROTOCOL_VERSION_MAX,
+        },
+    )
+    .expect("hello");
 
     server
         .wait_for_clients(2, Duration::from_secs(5))
@@ -282,11 +548,13 @@ fn loopback_barrier_run_is_byte_identical_to_ideal() {
 
     // Networked run: one worker thread per client, each computing the
     // same stub from the frames it receives.
-    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let server = NetServerBuilder::new().build().expect("bind");
     let addr = server.local_addr().to_string();
     let workers: Vec<_> = (0..NET_CLIENTS)
         .map(|cid| {
-            let worker_cfg = ClientConfig::new(addr.clone(), cid);
+            let worker_cfg = NetClientBuilder::new(addr.clone(), cid)
+                .build()
+                .expect("client config");
             thread::spawn(move || {
                 run_client(&worker_cfg, move |order, global| {
                     stub_update(order.round as usize, cid, global)
@@ -334,6 +602,365 @@ fn loopback_barrier_run_is_byte_identical_to_ideal() {
 }
 
 // ---------------------------------------------------------------------------
+// Delta-compressed publishes
+// ---------------------------------------------------------------------------
+
+/// With `delta_publish` on, steady-state publishes cross the wire as
+/// sparse residuals against each worker's acked base — and the worker
+/// loop reconstructs the global *bit-exactly*: its stub updates (pure
+/// functions of the model it trained on) match what dense publishing
+/// would have produced, while the byte counters show the saving.
+#[test]
+fn delta_publishes_reconstruct_exactly_through_the_worker_loop() {
+    const PARAMS: usize = 96;
+    let server = NetServerBuilder::new()
+        .delta_publish(true)
+        .build()
+        .expect("bind");
+    let addr = server.local_addr().to_string();
+    let workers: Vec<_> = (0..2usize)
+        .map(|cid| {
+            let worker_cfg = NetClientBuilder::new(addr.clone(), cid)
+                .build()
+                .expect("client config");
+            thread::spawn(move || {
+                run_client(&worker_cfg, move |order, global| {
+                    stub_update(order.round as usize, cid, global)
+                })
+            })
+        })
+        .collect();
+    server
+        .wait_for_clients(2, Duration::from_secs(10))
+        .expect("both subscribed");
+
+    let mut executor = NetworkExecutor::barrier(server);
+    let telemetry = executor.telemetry();
+    let noop_train: &TrainFn<'_> = &|_dispatches: &[Dispatch]| Vec::new();
+    let mut global = vec![0.25f32; PARAMS];
+    for round in 0..4usize {
+        // One coordinate moves per round: the residual against the
+        // previous publish is a single (index, value) pair.
+        global[(round * 7) % PARAMS] = round as f32 + 1.5;
+        executor.publish_model(round, &global);
+        let out = executor.execute(round, &[0, 1], noop_train);
+        assert_eq!(out.updates.len(), 2, "barrier collects both workers");
+        for u in &out.updates {
+            assert_eq!(
+                u.weights,
+                stub_update(round, u.client_id, &global).weights,
+                "worker {} trained on a mis-reconstructed model",
+                u.client_id
+            );
+        }
+    }
+    let stats = telemetry.lock().publish;
+    // Round 0 is dense for everyone (nothing acked yet); rounds 1-3 ride
+    // as one-coordinate deltas to both workers.
+    assert_eq!(stats.full_frames, 2, "only the cold start is dense");
+    assert_eq!(stats.delta_frames, 6, "steady state is all deltas");
+    assert!(
+        stats.wire_bytes < stats.dense_bytes,
+        "deltas must beat dense fan-out: {} vs {}",
+        stats.wire_bytes,
+        stats.dense_bytes
+    );
+    assert!(stats.wire_to_dense_ratio() < 0.5);
+
+    drop(executor);
+    for w in workers {
+        w.join().expect("no panic").expect("clean worker exit");
+    }
+}
+
+/// The two dense-fallback triggers, observed on a raw v2 socket: a base
+/// evicted from the snapshot ring (ring capacity 1 — pushing the new
+/// version evicts the acked one), and a residual so dense the delta
+/// frame would cost more than the dense frame it replaces.
+#[test]
+fn delta_publish_falls_back_to_dense_when_base_evicted_or_delta_too_big() {
+    use std::io::Write as _;
+    for (ring, change_all, expect_delta) in [
+        (8usize, false, true), // base retained, sparse residual → delta
+        (1, false, false),     // base evicted by the push → dense
+        (8, true, false),      // every coordinate moved → delta loses
+    ] {
+        let server = NetServerBuilder::new()
+            .delta_publish(true)
+            .snapshot_ring(ring)
+            .build()
+            .expect("bind");
+        let addr = server.local_addr().to_string();
+        let mut sock = TcpStream::connect(&addr).expect("connect");
+        write_frame(
+            &mut sock,
+            &Message::Hello {
+                client_id: 9,
+                min_version: PROTOCOL_VERSION_MIN,
+                max_version: PROTOCOL_VERSION_MAX,
+            },
+        )
+        .expect("hello");
+        let (_, ack) = read_raw_frame(&mut sock);
+        assert_eq!(
+            ack,
+            Message::HelloAck {
+                client_id: 9,
+                version: PROTOCOL_VERSION_MAX,
+            },
+            "v2 handshake pins the negotiated version"
+        );
+        // The ack is written before the peer enters the publish fan-out
+        // table; registration (which `wait_for_clients` observes) comes
+        // after it, so this is the publish-safe synchronization point.
+        server
+            .wait_for_clients(1, Duration::from_secs(5))
+            .expect("peer registered");
+
+        let w0 = vec![0.5f32; 64];
+        server.publish(0, &w0);
+        let (_, first) = read_raw_frame(&mut sock);
+        assert!(
+            matches!(first, Message::ModelPublish { version: 0, .. }),
+            "cold publish is dense, got {first:?}"
+        );
+        sock.write_all(
+            &Message::PublishAck {
+                client_id: 9,
+                version: 0,
+            }
+            .encode(),
+        )
+        .expect("ack");
+        // Hello was message 1; wait until the ack (message 2) is in the
+        // registry before publishing against it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.messages_from(9) != Some(2) && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.messages_from(9), Some(2), "ack registered");
+
+        let mut w1 = w0.clone();
+        if change_all {
+            for w in &mut w1 {
+                *w += 1.0;
+            }
+        } else {
+            w1[17] = -3.25;
+        }
+        server.publish(1, &w1);
+        let (_, second) = read_raw_frame(&mut sock);
+        if expect_delta {
+            match second {
+                Message::ModelPublishDelta(d) => {
+                    assert_eq!(d.version, 1);
+                    assert_eq!(d.base_version, 0);
+                    assert_eq!(d.total_len, 64);
+                    assert_eq!(d.indices, vec![17]);
+                    assert_eq!(d.values, vec![-3.25]);
+                }
+                other => panic!("expected a delta, got {other:?}"),
+            }
+        } else {
+            assert!(
+                matches!(second, Message::ModelPublish { version: 1, .. }),
+                "ring={ring} change_all={change_all}: expected dense fallback, got {second:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level masked dispatch ≡ in-process structured dropout
+// ---------------------------------------------------------------------------
+
+/// The keep-ratio rule both sides must share: full model when it fits
+/// the deadline, else the largest grid ratio that does, else full again
+/// (a predicted dropout trains in full, as `DeadlineExecutor` does).
+fn expected_ratio(
+    fleet: &FleetView,
+    grid: &StructuredDropoutConfig,
+    upload_bytes: u64,
+    deadline_s: f64,
+    client_id: usize,
+) -> f64 {
+    let profile = fleet.profile(client_id);
+    let time_for = |r: f64| profile.completion_time_at(upload_bytes, r, None, 0.0);
+    if time_for(1.0) <= deadline_s {
+        return 1.0;
+    }
+    grid.largest_fitting(deadline_s, time_for).unwrap_or(1.0)
+}
+
+/// The in-process reference for the wire-masking law: an ideal (no
+/// drops, no deadline misses) executor that dispatches the *same*
+/// per-client keep ratios `WireMasking` derives, feeding the session's
+/// own PR-7 structured-dropout training path.
+struct MaskedIdealExecutor {
+    fleet: FleetView,
+    grid: StructuredDropoutConfig,
+    upload_bytes: u64,
+    deadline_s: f64,
+}
+
+impl RoundExecutor for MaskedIdealExecutor {
+    fn execute(&mut self, _round: usize, selected: &[usize], train: &TrainFn<'_>) -> RoundOutcome {
+        let dispatches: Vec<Dispatch> = selected
+            .iter()
+            .map(|&c| Dispatch {
+                client_id: c,
+                keep_ratio: expected_ratio(
+                    &self.fleet,
+                    &self.grid,
+                    self.upload_bytes,
+                    self.deadline_s,
+                    c,
+                ),
+            })
+            .collect();
+        RoundOutcome {
+            updates: train(&dispatches),
+            hetero: None,
+        }
+    }
+}
+
+/// The second tentpole law: wire-level sub-model dispatch reproduces
+/// the in-process structured-dropout session **byte-for-byte** with
+/// real local training on both sides. Deadline-pressed workers receive
+/// `keep_ratio < 1`, derive the mask locally from the shared seed (it
+/// never crosses the wire), train the sub-model, and answer with a
+/// compact `MaskedUpdate` the server scatters back into place — and
+/// none of that machinery shifts a single bit of the run history.
+#[test]
+fn wire_masked_run_is_byte_identical_to_in_process_structured_dropout() {
+    let (spec, train, test, partition, mut cfg) = net_env();
+    // Every client dispatched every round: the masked/full split is then
+    // exactly the fleet's deadline split, not selection luck.
+    cfg.participants = NET_CLIENTS;
+
+    let grid = StructuredDropoutConfig::default();
+    let upload_bytes = (spec.build(0).param_count() * 4) as u64;
+    let fleet_cfg = FleetConfig {
+        compute_skew: 4.0,
+        ..FleetConfig::default()
+    };
+    let fleet = || FleetView::new(NET_CLIENTS, &fleet_cfg);
+    // Median completion time as the round deadline: the slower half of
+    // the fleet must sub-model (or prove it can't and train in full).
+    let deadline_s = fleet().completion_percentile_s(upload_bytes, 0.5);
+    let ratios: Vec<f64> = (0..NET_CLIENTS)
+        .map(|c| expected_ratio(&fleet(), &grid, upload_bytes, deadline_s, c))
+        .collect();
+    assert!(
+        ratios.iter().any(|&r| r < 1.0),
+        "test is vacuous: no client sub-models under {ratios:?}"
+    );
+    assert!(
+        ratios.iter().any(|&r| r >= 1.0),
+        "test is degenerate: every client sub-models under {ratios:?}"
+    );
+
+    // In-process reference: the session's own structured-dropout path.
+    let ideal_history = {
+        let mut strategy = FedAvg;
+        SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+            .config(&cfg)
+            .executor_instance(Box::new(MaskedIdealExecutor {
+                fleet: fleet(),
+                grid,
+                upload_bytes,
+                deadline_s,
+            }))
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("in-process masked run")
+    };
+
+    // Networked run: workers perform *real* local training, replicating
+    // the session's train path — same model build, same RNG streams,
+    // same shared mask derivation.
+    let server = NetServerBuilder::new().build().expect("bind");
+    let addr = server.local_addr().to_string();
+    let seed = cfg.seed;
+    let train_arc = Arc::new(train.clone());
+    let workers: Vec<_> = (0..NET_CLIENTS)
+        .map(|cid| {
+            let worker_cfg = NetClientBuilder::new(addr.clone(), cid)
+                .build()
+                .expect("client config");
+            let spec = spec.clone();
+            let train_set = Arc::clone(&train_arc);
+            let partition = partition.clone();
+            let local_cfg = cfg.local.clone();
+            thread::spawn(move || {
+                run_client(&worker_cfg, move |order, global| {
+                    let mut model = spec.build(0);
+                    model.set_flat_params(global);
+                    let mut rng = Rng64::new(seed ^ 0xC11E)
+                        .derive(order.round)
+                        .derive(cid as u64);
+                    let shard = partition.client(cid % NET_CLIENTS);
+                    if order.keep_ratio < 1.0 {
+                        let mask =
+                            dispatch_mask(&model, seed, order.round, cid as u64, order.keep_ratio);
+                        run_local_round_masked(
+                            model, &train_set, shard, cid, &local_cfg, mask, &mut rng,
+                        )
+                    } else {
+                        run_local_round(model, &train_set, shard, cid, &local_cfg, &mut rng)
+                    }
+                })
+            })
+        })
+        .collect();
+    server
+        .wait_for_clients(NET_CLIENTS, Duration::from_secs(10))
+        .expect("all workers subscribed");
+
+    let (net_history, masked_over_wire) = {
+        let executor = NetworkExecutor::barrier(server).with_wire_masking(WireMasking {
+            model: spec.build(0),
+            seed,
+            grid,
+            fleet: fleet(),
+            upload_bytes,
+            deadline_s,
+        });
+        let telemetry = executor.telemetry();
+        let mut strategy = FedAvg;
+        let history = SessionBuilder::new(&spec, &train, &test, &partition, &mut strategy)
+            .config(&cfg)
+            .executor_instance(Box::new(executor))
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("wire-masked run");
+        let t = telemetry.lock();
+        assert!(t.masked_updates > 0, "no compact updates crossed the wire");
+        (history, t.masked_updates)
+    };
+
+    let mut worker_masked_rounds = 0usize;
+    for w in workers {
+        let report = w.join().expect("no panic").expect("clean worker exit");
+        assert_eq!(report.negotiated_version, PROTOCOL_VERSION_MAX);
+        worker_masked_rounds += report.masked_rounds;
+    }
+    assert_eq!(
+        worker_masked_rounds, masked_over_wire,
+        "every compact reply the workers sent was reassembled and counted"
+    );
+
+    assert_eq!(
+        scrubbed_json(net_history),
+        scrubbed_json(ideal_history),
+        "wire-masked run diverged from the in-process structured-dropout path"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Buffered mode measures staleness
 // ---------------------------------------------------------------------------
 
@@ -342,13 +969,15 @@ fn loopback_barrier_run_is_byte_identical_to_ideal() {
 /// *measures* that staleness off the wire instead of simulating it.
 #[test]
 fn buffered_mode_measures_staleness_of_late_arrivals() {
-    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let server = NetServerBuilder::new().build().expect("bind");
     let addr = server.local_addr().to_string();
     let workers: Vec<_> = [(0usize, 0u64), (1usize, 400u64)]
         .into_iter()
         .map(|(cid, delay_ms)| {
-            let worker_cfg = ClientConfig::new(addr.clone(), cid)
-                .with_train_delay(Duration::from_millis(delay_ms));
+            let worker_cfg = NetClientBuilder::new(addr.clone(), cid)
+                .train_delay(Duration::from_millis(delay_ms))
+                .build()
+                .expect("client config");
             thread::spawn(move || {
                 run_client(&worker_cfg, move |order, global| {
                     stub_update(order.round as usize, cid, global)
